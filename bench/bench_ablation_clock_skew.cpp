@@ -1,0 +1,84 @@
+// Ablation — clock synchronization sensitivity. The paper assumes NTP-
+// synchronized clocks (offset ≈ 0); this bench quantifies what a residual
+// monitor-side clock offset does to a push-style detector: the observed
+// "delays" become delay + offset, shifting timeouts and biasing T_D.
+//
+// Implementation: the monitor's skew is folded into the link delay (a
+// constant offset added to every one-way delay is indistinguishable from a
+// clock offset under the paper's σ_i = i·η convention).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "stats/table_writer.hpp"
+#include "wan/delay_model.hpp"
+#include "wan/italy_japan.hpp"
+
+using namespace fdqos;
+
+namespace {
+
+// Wraps the Italy–Japan model, adding a constant pseudo-offset.
+class SkewedDelay final : public wan::DelayModel {
+ public:
+  SkewedDelay(std::unique_ptr<wan::DelayModel> inner, Duration skew)
+      : inner_(std::move(inner)), skew_(skew) {
+    name_ = "skewed(" + skew.to_string() + ")+" + inner_->name();
+  }
+  Duration sample(Rng& rng, TimePoint t) override {
+    const Duration d = inner_->sample(rng, t) + skew_;
+    return d > Duration::zero() ? d : Duration::zero();
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<wan::DelayModel> make_fresh() const override {
+    return std::make_unique<SkewedDelay>(inner_->make_fresh(), skew_);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<wan::DelayModel> inner_;
+  Duration skew_;
+};
+
+}  // namespace
+
+int main() {
+  stats::TableWriter table(
+      "Ablation — monitor clock offset (detector: Last+JAC_med)");
+  table.set_columns({"offset (ms)", "T_D mean (ms)", "T_M mean (ms)", "P_A"});
+
+  for (const int skew_ms : {-100, -20, 0, 20, 100}) {
+    exp::QosExperimentConfig config;
+    config.runs = 2;
+    config.num_cycles =
+        static_cast<std::int64_t>(bench::env_u64("FDQOS_CYCLES", 10000)) / 2;
+    config.seed = bench::env_u64("FDQOS_SEED", 42);
+    config.include_paper_suite = false;
+    fd::FdSpec spec;
+    spec.name = "Last+JAC_med";
+    spec.predictor_label = "Last";
+    spec.margin_label = "JAC_med";
+    spec.make_predictor = fd::make_paper_predictor("Last");
+    spec.make_margin = fd::make_paper_margin("JAC_med");
+    config.extra_specs.push_back(std::move(spec));
+    // Fold the skew into the link; run_qos_experiment builds the link from
+    // config.link, so shift the propagation floor instead.
+    config.link.floor =
+        Duration::millis(192 + skew_ms) > Duration::zero()
+            ? Duration::millis(192 + skew_ms)
+            : Duration::zero();
+
+    const auto report = exp::run_qos_experiment(config);
+    const auto& m = report.results[0].metrics;
+    table.add_row({std::to_string(skew_ms),
+                   stats::format_double(m.detection_time_ms.mean, 1),
+                   stats::format_double(m.mistake_duration_ms.mean, 1),
+                   stats::format_double(m.query_accuracy, 6)});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("(an adaptive detector absorbs a *constant* offset into its "
+              "predictor: T_D shifts by roughly the offset, accuracy is "
+              "unharmed — the paper's NTP assumption matters for comparing "
+              "T_D across sites, not for detector correctness)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Each binary reproduces one table or figure of the paper and prints it in
+// the paper's layout. Scale knobs come from the environment so CI can run
+// reduced sweeps:
+//   FDQOS_RUNS    — QoS experiment runs        (paper: 13)
+//   FDQOS_CYCLES  — heartbeat cycles per run   (paper: 10000)
+//   FDQOS_NONEWAY — accuracy-experiment length (paper: 100000)
+//   FDQOS_SEED    — experiment seed            (default 42)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+
+namespace fdqos::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+inline exp::QosExperimentConfig qos_config_from_env() {
+  exp::QosExperimentConfig config;
+  config.runs = static_cast<std::size_t>(env_u64("FDQOS_RUNS", 13));
+  config.num_cycles = static_cast<std::int64_t>(env_u64("FDQOS_CYCLES", 10000));
+  config.seed = env_u64("FDQOS_SEED", 42);
+  return config;
+}
+
+// The QoS experiment feeds five figures; run it once per process and share.
+inline const exp::QosReport& shared_qos_report() {
+  static const exp::QosReport kReport = [] {
+    const auto config = qos_config_from_env();
+    std::fprintf(stderr, "[fdqos-bench] running QoS experiment: %s\n",
+                 exp::qos_config_summary(config).c_str());
+    return exp::run_qos_experiment(config);
+  }();
+  return kReport;
+}
+
+inline void print_figure(exp::QosMetricKind kind) {
+  const auto& report = shared_qos_report();
+  auto table = exp::qos_metric_table(report, kind);
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("(%s values; %s. Experiment: %s; %llu crashes observed)\n",
+              exp::metric_name(kind),
+              exp::metric_smaller_is_better(kind) ? "smaller is better"
+                                                  : "larger is better",
+              exp::qos_config_summary(report.config).c_str(),
+              static_cast<unsigned long long>(report.total_crashes));
+
+  // Optional machine-readable copy: FDQOS_CSV_DIR=<dir> writes figN.csv.
+  const char* csv_dir = std::getenv("FDQOS_CSV_DIR");
+  if (csv_dir != nullptr && *csv_dir != '\0') {
+    std::string path = std::string(csv_dir) + "/";
+    switch (kind) {
+      case exp::QosMetricKind::kTd: path += "fig4_td"; break;
+      case exp::QosMetricKind::kTdU: path += "fig5_tdu"; break;
+      case exp::QosMetricKind::kTm: path += "fig6_tm"; break;
+      case exp::QosMetricKind::kTmr: path += "fig7_tmr"; break;
+      case exp::QosMetricKind::kPa: path += "fig8_pa"; break;
+    }
+    path += ".csv";
+    const std::string csv = table.to_csv();
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "[fdqos-bench] wrote %s\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace fdqos::bench

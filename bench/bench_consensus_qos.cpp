@@ -1,0 +1,126 @@
+// Consensus QoS as a function of failure-detector QoS — the relation the
+// paper motivates via its reference [6] (Coccoli, Urbán, Bondavalli,
+// Schiper, DSN 2002): the FD's accuracy/speed trade-off surfaces directly
+// in the latency of Chandra–Toueg consensus.
+//
+//  * failure-free instances: an FD with frequent false suspicions makes
+//    participants NACK a correct coordinator, adding rounds;
+//  * coordinator-crash instances: detection time bounds how long round 1
+//    stalls before the NACKs release everyone to round 2.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "consensus/cluster.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/running_stats.hpp"
+#include "stats/table_writer.hpp"
+#include "wan/italy_japan.hpp"
+
+using namespace fdqos;
+
+namespace {
+
+struct Scenario {
+  const char* predictor;
+  const char* margin;
+};
+
+struct ScenarioResult {
+  stats::RunningStats latency_s;
+  stats::SampleSet latency_samples;
+  stats::RunningStats rounds;
+  int failures = 0;  // instances that missed the deadline
+};
+
+ScenarioResult run_scenario(const Scenario& scenario, bool crash_coordinator,
+                            int instances, std::uint64_t seed) {
+  ScenarioResult result;
+  const TimePoint propose_at = TimePoint::origin() + Duration::seconds(5);
+  const TimePoint deadline = TimePoint::origin() + Duration::seconds(120);
+
+  for (int k = 0; k < instances; ++k) {
+    consensus::ConsensusCluster::Config config;
+    config.nodes = 3;
+    config.predictor_label = scenario.predictor;
+    config.margin_label = scenario.margin;
+    config.seed = seed + static_cast<std::uint64_t>(k) * 7919;
+    if (crash_coordinator) {
+      // Round-1 coordinator dies just as the instance starts.
+      config.crash_schedules[0] = {
+          {propose_at + Duration::millis(50), TimePoint::max()}};
+    }
+    consensus::ConsensusCluster cluster(
+        config, [&](net::NodeId, net::NodeId) {
+          net::SimTransport::LinkConfig link;
+          link.delay = wan::make_italy_japan_delay();
+          link.loss = wan::make_italy_japan_loss();
+          return link;
+        });
+    cluster.propose_all(propose_at, {100, 200, 300});
+    const bool decided = cluster.run_until_decided(deadline);
+    if (!decided) {
+      ++result.failures;
+      continue;
+    }
+    TimePoint last_decision = TimePoint::origin();
+    std::uint32_t max_rounds = 0;
+    for (int i = 0; i < config.nodes; ++i) {
+      if (!cluster.node_up(i)) continue;
+      last_decision = std::max(last_decision, cluster.decision_time(i));
+      max_rounds = std::max(max_rounds, cluster.rounds_entered(i));
+    }
+    const double latency = (last_decision - propose_at).to_seconds_double();
+    result.latency_s.add(latency);
+    result.latency_samples.add(latency);
+    result.rounds.add(static_cast<double>(max_rounds));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto instances = static_cast<int>(
+      fdqos::bench::env_u64("FDQOS_CONSENSUS_INSTANCES", 40));
+  const std::uint64_t seed = fdqos::bench::env_u64("FDQOS_SEED", 42);
+
+  const std::vector<Scenario> scenarios = {
+      {"Arima", "JAC_low"},   // fast, inaccurate detector
+      {"Last", "JAC_med"},    // the paper's effective pick
+      {"Last", "CI_med"},     // slower, accurate
+      {"Mean", "CI_high"},    // slowest, most conservative
+  };
+
+  for (const bool crash : {false, true}) {
+    stats::TableWriter table(
+        crash ? "Consensus QoS — round-1 coordinator crashes at start"
+              : "Consensus QoS — failure-free instances");
+    table.set_columns({"detector", "mean latency (s)", "p95 latency (s)",
+                       "mean rounds", "timeouts"});
+    for (const auto& scenario : scenarios) {
+      const auto result = run_scenario(scenario, crash, instances, seed);
+      char name[64];
+      std::snprintf(name, sizeof name, "%s+%s", scenario.predictor,
+                    scenario.margin);
+      table.add_row(
+          {name, stats::format_double(result.latency_s.mean(), 3),
+           stats::format_double(
+               result.latency_samples.empty()
+                   ? 0.0
+                   : result.latency_samples.quantile(0.95),
+               3),
+           stats::format_double(result.rounds.mean(), 2),
+           std::to_string(result.failures)});
+    }
+    std::printf("%s\n", table.to_ascii().c_str());
+  }
+  std::printf("(failure-free latency is a few WAN round trips for every "
+              "detector, plus one extra round per false suspicion — the "
+              "accurate-FD configurations run fewer rounds; under a "
+              "coordinator crash, T_D adds a stall before round 2 and the "
+              "inaccurate detectors' extra NACK rounds stack on top. FD "
+              "QoS is consensus QoS, the paper's [6] relation.)\n");
+  return 0;
+}

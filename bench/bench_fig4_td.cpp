@@ -1,0 +1,9 @@
+// Figure 4 — mean detection time T_D for the 30 detectors.
+// Paper shape: MEAN is the worst predictor everywhere; best mean delay is
+// LPF+SM_CI and LAST+SM_JAC; ARIMA gets its best delay under SM_JAC.
+#include "bench_common.hpp"
+
+int main() {
+  fdqos::bench::print_figure(fdqos::exp::QosMetricKind::kTd);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 5 — maximum observed detection time T_D^U for the 30 detectors.
+// Paper shape: mirrors Figure 4 with MEAN worst; LAST+SM_JAC best.
+#include "bench_common.hpp"
+
+int main() {
+  fdqos::bench::print_figure(fdqos::exp::QosMetricKind::kTdU);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 6 — mean mistake duration T_M for the 30 detectors.
+// Paper shape: strongly correlated with T_MR; good accuracy needs either a
+// good predictor with a predictor-independent margin (ARIMA+SM_CI) or a
+// crude predictor with an error-driven margin (LAST+SM_JAC).
+#include "bench_common.hpp"
+
+int main() {
+  fdqos::bench::print_figure(fdqos::exp::QosMetricKind::kTm);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 7 — mean mistake recurrence time T_MR for the 30 detectors.
+// Paper shape: higher T_MR is paid for with higher T_M; ARIMA+SM_JAC_high
+// is among the worst accuracy configurations.
+#include "bench_common.hpp"
+
+int main() {
+  fdqos::bench::print_figure(fdqos::exp::QosMetricKind::kTmr);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 8 — query accuracy probability P_A for the 30 detectors.
+// Paper shape: ARIMA best on the SM_CI side but among the worst on the
+// SM_JAC side; under SM_JAC the ranking is LPF, LAST, WinMean, ...
+#include "bench_common.hpp"
+
+int main() {
+  fdqos::bench::print_figure(fdqos::exp::QosMetricKind::kPa);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Baseline — NFD-E (Chen, Toueg, Aguilera; the paper's reference [5]):
+// configure the constant-margin detector from QoS requirements + link
+// characterization, then run it against the paper's best adaptive
+// combinations on the same link.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fd/nfd_config.hpp"
+#include "stats/table_writer.hpp"
+
+using namespace fdqos;
+
+int main() {
+  // Characterize the link (Table 4 values of the synthetic model).
+  fd::LinkCharacterization link;
+  link.loss_probability = 0.006;
+  link.delay_mean_ms = 200.0;
+  link.delay_var_ms2 = 45.0;
+
+  fd::QosRequirements req;
+  req.max_detection_time = Duration::seconds(2);
+  req.min_mistake_recurrence = Duration::seconds(60);
+  req.max_mistake_duration = Duration::seconds(2);
+
+  const auto config = fd::configure_nfd_e(req, link);
+  if (!config) {
+    std::printf("NFD-E configuration infeasible for these requirements\n");
+    return 1;
+  }
+  std::printf("NFD-E configured from requirements (T_D^U=2s, T_MR^L=60s, "
+              "T_M^U=2s):\n");
+  std::printf("  eta = %s, alpha = %s (margin %.1f ms beyond E[D])\n",
+              config->eta.to_string().c_str(),
+              config->alpha.to_string().c_str(), config->margin_ms);
+  std::printf("  bounded miss probability = %.5f, guaranteed T_D <= %s, "
+              "E[T_MR] >= %s\n\n",
+              config->miss_probability,
+              config->detection_bound.to_string().c_str(),
+              config->mistake_recurrence_bound.to_string().c_str());
+
+  // Run NFD-E next to the paper's picks, at NFD-E's configured eta.
+  exp::QosExperimentConfig experiment = bench::qos_config_from_env();
+  experiment.runs = std::min<std::size_t>(experiment.runs, 6);
+  experiment.eta = config->eta;
+  experiment.include_paper_suite = false;
+  experiment.extra_specs.push_back(fd::make_nfd_e_spec(*config));
+  for (const char* pred : {"Last", "Arima"}) {
+    for (const char* margin : {"JAC_med", "CI_med"}) {
+      fd::FdSpec spec;
+      spec.name = std::string(pred) + "+" + margin;
+      spec.predictor_label = pred;
+      spec.margin_label = margin;
+      spec.make_predictor = fd::make_paper_predictor(pred);
+      spec.make_margin = fd::make_paper_margin(margin);
+      experiment.extra_specs.push_back(std::move(spec));
+    }
+  }
+  const auto report = exp::run_qos_experiment(experiment);
+
+  stats::TableWriter table("NFD-E vs adaptive detectors (same eta and link)");
+  table.set_columns({"detector", "T_D mean (ms)", "T_D max (ms)",
+                     "T_M mean (ms)", "T_MR mean (ms)", "P_A"});
+  for (const auto& result : report.results) {
+    const auto& m = result.metrics;
+    table.add_row({result.name,
+                   stats::format_double(m.detection_time_ms.mean, 1),
+                   stats::format_double(m.detection_time_ms.max, 1),
+                   stats::format_double(m.mistake_duration_ms.mean, 1),
+                   stats::format_double(m.mistake_recurrence_ms.mean, 1),
+                   stats::format_double(m.query_accuracy, 6)});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("(requirement check: NFD-E max T_D must stay below %.0f ms)\n",
+              req.max_detection_time.to_millis_double());
+  return 0;
+}

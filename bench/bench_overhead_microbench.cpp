@@ -1,0 +1,123 @@
+// §5.3 — runtime overhead of the timeout-calculation methods.
+//
+// The paper argues all methods are O(1) per update with different constants,
+// and crowns LAST+SM_JAC the most effective once implementation cost is
+// considered. This google-benchmark binary measures the per-heartbeat cost
+// (margin update + predictor update + forecast) of every combination.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fd/suite.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace fdqos;
+
+std::vector<double> delay_stream(std::size_t n) {
+  Rng rng(42);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(192.0 + rng.lognormal(1.74, 0.64));
+  }
+  return out;
+}
+
+void BM_PredictorUpdateAndForecast(benchmark::State& state,
+                                   const std::string& label) {
+  const auto stream = delay_stream(1 << 14);
+  auto predictor = fd::make_paper_predictor(label)();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor->observe(stream[i++ & (stream.size() - 1)]);
+    benchmark::DoNotOptimize(predictor->predict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_MarginUpdate(benchmark::State& state, const std::string& label) {
+  const auto stream = delay_stream(1 << 14);
+  auto margin = fd::make_paper_margin(label)();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double obs = stream[i++ & (stream.size() - 1)];
+    margin->observe(obs, 200.0);
+    benchmark::DoNotOptimize(margin->margin());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FullTimeoutCalculation(benchmark::State& state,
+                               const std::string& pred_label,
+                               const std::string& margin_label) {
+  const auto stream = delay_stream(1 << 14);
+  auto predictor = fd::make_paper_predictor(pred_label)();
+  auto margin = fd::make_paper_margin(margin_label)();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const double obs = stream[i++ & (stream.size() - 1)];
+    margin->observe(obs, predictor->predict());
+    predictor->observe(obs);
+    benchmark::DoNotOptimize(predictor->predict() + margin->margin());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Substrate envelope: raw event throughput of the discrete-event core and
+// the cost of one full detector heartbeat cycle (arrival + freshness
+// bookkeeping). Shows the 13 × 10 000 s experiment fitting in ~1 s of CPU.
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_after(Duration::micros(i), [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  // The detector pattern: schedule + cancel (every heartbeat re-arms).
+  sim::Simulator simulator;
+  for (auto _ : state) {
+    sim::EventHandle handle =
+        simulator.schedule_after(Duration::seconds(3600), [] {});
+    handle.cancel();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& pred : fdqos::fd::paper_predictor_labels()) {
+    benchmark::RegisterBenchmark(("predictor/" + pred).c_str(),
+                                 BM_PredictorUpdateAndForecast, pred);
+  }
+  for (const auto& margin : fdqos::fd::paper_margin_labels()) {
+    benchmark::RegisterBenchmark(("margin/" + margin).c_str(), BM_MarginUpdate,
+                                 margin);
+  }
+  // The paper's §5.3 headline comparison plus the extremes.
+  benchmark::RegisterBenchmark("timeout/Last+JAC_med", BM_FullTimeoutCalculation,
+                               std::string("Last"), std::string("JAC_med"));
+  benchmark::RegisterBenchmark("timeout/Arima+CI_med", BM_FullTimeoutCalculation,
+                               std::string("Arima"), std::string("CI_med"));
+  benchmark::RegisterBenchmark("timeout/Mean+CI_med", BM_FullTimeoutCalculation,
+                               std::string("Mean"), std::string("CI_med"));
+  benchmark::RegisterBenchmark("simulator/event_throughput",
+                               BM_SimulatorEventThroughput);
+  benchmark::RegisterBenchmark("simulator/timer_churn", BM_SimulatorTimerChurn);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 5 — experiment parameters, echoed from the QoS experiment
+// configuration actually used by the figure benches.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/table_writer.hpp"
+
+int main() {
+  using namespace fdqos;
+  const auto config = bench::qos_config_from_env();
+
+  stats::TableWriter table("Table 5 — Experiment Parameters");
+  table.set_columns({"Parameter", "Value", "Paper value"});
+  table.add_row({"NumCycles", std::to_string(config.num_cycles), "10000"});
+  table.add_row({"MTTC", config.mttc.to_string(), "300 s"});
+  table.add_row({"TTR", config.ttr.to_string(), "30 s"});
+  table.add_row({"eta", config.eta.to_string(), "1 s"});
+  table.add_row({"runs", std::to_string(config.runs), "13"});
+  std::printf("%s", table.to_ascii().c_str());
+
+  const double n_td =
+      static_cast<double>(config.num_cycles) * config.eta.to_seconds_double() /
+      (config.mttc.to_seconds_double() + config.ttr.to_seconds_double());
+  std::printf("Expected T_D samples per run: NumCycles*eta/(MTTC+TTR) ~= %.0f "
+              "(paper: ~30)\n",
+              n_td);
+  return 0;
+}

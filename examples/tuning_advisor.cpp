@@ -1,0 +1,87 @@
+// Tuning advisor: pick a detector configuration for application QoS
+// requirements (paper §2.1/§5.2 — "if T_MR needs to be much higher, work on
+// the safety margin until the desired T_MR is reached").
+//
+// Given a maximum tolerable detection time and a minimum mistake-recurrence
+// target, the advisor sweeps the suite on a calibration workload, filters
+// the feasible configurations and recommends the best trade-off for two
+// application profiles:
+//   - "group membership": accuracy first (false coordinator elections are
+//     expensive), detection speed second;
+//   - "interactive failover": detection speed first, accuracy second.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+
+using namespace fdqos;
+
+namespace {
+
+struct Requirement {
+  const char* profile;
+  double max_td_ms;    // upper bound on mean detection time
+  double min_tmr_ms;   // lower bound on mean mistake recurrence
+};
+
+void advise(const exp::QosReport& report, const Requirement& req) {
+  std::printf("Profile '%s': T_D <= %.0f ms, T_MR >= %.0f ms\n", req.profile,
+              req.max_td_ms, req.min_tmr_ms);
+  std::vector<const exp::FdQosResult*> feasible;
+  for (const auto& result : report.results) {
+    const double td = result.metrics.detection_time_ms.mean;
+    const double tmr = result.metrics.mistake_recurrence_ms.count > 0
+                           ? result.metrics.mistake_recurrence_ms.mean
+                           : 1e12;  // no mistakes at all: trivially feasible
+    if (td <= req.max_td_ms && tmr >= req.min_tmr_ms) {
+      feasible.push_back(&result);
+    }
+  }
+  if (feasible.empty()) {
+    std::printf("  -> no feasible configuration; relax a requirement or "
+                "decrease eta.\n\n");
+    return;
+  }
+  // Among feasible configurations prefer the highest accuracy, breaking
+  // ties by detection speed.
+  std::sort(feasible.begin(), feasible.end(),
+            [](const exp::FdQosResult* a, const exp::FdQosResult* b) {
+              if (a->metrics.query_accuracy != b->metrics.query_accuracy) {
+                return a->metrics.query_accuracy > b->metrics.query_accuracy;
+              }
+              return a->metrics.detection_time_ms.mean <
+                     b->metrics.detection_time_ms.mean;
+            });
+  std::printf("  %zu feasible of %zu; top 3:\n", feasible.size(),
+              report.results.size());
+  for (std::size_t i = 0; i < 3 && i < feasible.size(); ++i) {
+    const auto& m = feasible[i]->metrics;
+    std::printf("   %zu. %-16s T_D %7.1f ms  T_MR %10.1f ms  P_A %.6f\n",
+                i + 1, feasible[i]->name.c_str(), m.detection_time_ms.mean,
+                m.mistake_recurrence_ms.count > 0
+                    ? m.mistake_recurrence_ms.mean
+                    : 0.0,
+                m.query_accuracy);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  exp::QosExperimentConfig config;
+  config.runs = 3;
+  config.num_cycles = 3000;
+  config.seed = 7;
+  std::printf("Calibrating the 30-detector suite on the Italy->Japan model "
+              "(%zu runs x %lld cycles)...\n\n",
+              config.runs, static_cast<long long>(config.num_cycles));
+  const exp::QosReport report = exp::run_qos_experiment(config);
+
+  advise(report, {"group membership (accuracy first)", 2500.0, 60000.0});
+  advise(report, {"interactive failover (speed first)", 1400.0, 10000.0});
+  advise(report, {"unsatisfiable (for contrast)", 300.0, 1e9});
+  return 0;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Plot the paper's Figures 4-8 from the bench CSV exports.
+
+Usage:
+    mkdir -p out && FDQOS_CSV_DIR=out ./build/bench/bench_fig4_td \
+        && FDQOS_CSV_DIR=out ./build/bench/bench_fig5_tdu \
+        && FDQOS_CSV_DIR=out ./build/bench/bench_fig6_tm \
+        && FDQOS_CSV_DIR=out ./build/bench/bench_fig7_tmr \
+        && FDQOS_CSV_DIR=out ./build/bench/bench_fig8_pa
+    python3 scripts/plot_figures.py out
+
+Produces out/figN_*.png in the paper's layout: safety margins on the
+x-axis, one line per predictor, an arrow toward "better". Requires
+matplotlib; without it, prints the parsed series as text.
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+FIGURES = {
+    "fig4_td": ("Figure 4 - T_D (ms)", True),
+    "fig5_tdu": ("Figure 5 - T_D^U (ms)", True),
+    "fig6_tm": ("Figure 6 - T_M (ms)", True),
+    "fig7_tmr": ("Figure 7 - T_MR (ms)", False),
+    "fig8_pa": ("Figure 8 - P_A", False),
+}
+
+
+def load(path: Path):
+    with path.open() as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    margins = [r[0] for r in body]
+    series = {
+        pred: [float(r[i + 1]) for r in body]
+        for i, pred in enumerate(header[1:])
+    }
+    return margins, series
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available - printing series as text")
+
+    for stem, (title, smaller_better) in FIGURES.items():
+        path = out_dir / f"{stem}.csv"
+        if not path.exists():
+            print(f"skip {path} (not found; run the bench with FDQOS_CSV_DIR)")
+            continue
+        margins, series = load(path)
+        if plt is None:
+            print(f"\n{title}")
+            for pred, values in series.items():
+                print(f"  {pred:10s} " + " ".join(f"{v:10.3f}" for v in values))
+            continue
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for pred, values in series.items():
+            ax.plot(margins, values, marker="o", label=pred)
+        ax.set_title(title + ("  (lower = better)" if smaller_better else "  (higher = better)"))
+        ax.set_xlabel("safety margin")
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+        fig.tight_layout()
+        png = out_dir / f"{stem}.png"
+        fig.savefig(png, dpi=130)
+        print(f"wrote {png}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+#include "clockx/clock_model.hpp"
+
+#include <cmath>
+
+namespace fdqos::clockx {
+
+ClockModel::ClockModel(Duration offset, double drift_ppm, TimePoint epoch)
+    : offset_(offset), drift_ppm_(drift_ppm), epoch_(epoch) {}
+
+TimePoint ClockModel::to_local(TimePoint global) const {
+  const double drift_ns =
+      drift_ppm_ * 1e-6 * static_cast<double>((global - epoch_).count_nanos());
+  return global + offset_ +
+         Duration::nanos(static_cast<std::int64_t>(std::llround(drift_ns)));
+}
+
+TimePoint ClockModel::to_global(TimePoint local) const {
+  // Invert local = global + offset + k·(global − epoch), k = drift·1e-6:
+  // global = epoch + (local − offset − epoch) / (1 + k).
+  const double k = drift_ppm_ * 1e-6;
+  const double rel =
+      static_cast<double>((local - offset_ - epoch_).count_nanos());
+  return epoch_ +
+         Duration::nanos(static_cast<std::int64_t>(std::llround(rel / (1.0 + k))));
+}
+
+Duration ClockModel::error_at(TimePoint global) const {
+  return to_local(global) - global;
+}
+
+Duration DisciplinedClock::residual_at(TimePoint global) const {
+  const TimePoint local = raw_.to_local(global);
+  return global_estimate(local) - global;
+}
+
+}  // namespace fdqos::clockx

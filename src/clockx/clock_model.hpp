@@ -1,0 +1,61 @@
+// Local-clock models: offset + drift.
+//
+// The paper assumes offset_pq = 0 and drift rho_pq = 0, justified by NTP
+// synchronization against two stratum servers. This module provides (a) the
+// drifting-clock model needed to *test* that assumption's impact, and (b)
+// the timeline conversions used by the NTP-style estimator that discharges
+// it. A ClockModel maps the global (true) timeline to a node's local one:
+//
+//   local(t) = t + offset + drift_ppm·1e-6·(t − epoch)
+#pragma once
+
+#include "common/time.hpp"
+
+namespace fdqos::clockx {
+
+class ClockModel {
+ public:
+  ClockModel() = default;  // perfect clock
+  ClockModel(Duration offset, double drift_ppm,
+             TimePoint epoch = TimePoint::origin());
+
+  TimePoint to_local(TimePoint global) const;
+  TimePoint to_global(TimePoint local) const;
+
+  Duration offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+  // Instantaneous error local(t) − t.
+  Duration error_at(TimePoint global) const;
+
+ private:
+  Duration offset_ = Duration::zero();
+  double drift_ppm_ = 0.0;
+  TimePoint epoch_ = TimePoint::origin();
+};
+
+// A clock disciplined by an externally supplied correction (the output of
+// the NTP estimator): reads the raw local clock and subtracts the estimated
+// offset, approximating the global timeline.
+class DisciplinedClock {
+ public:
+  explicit DisciplinedClock(const ClockModel& raw) : raw_(raw) {}
+
+  void apply_correction(Duration estimated_offset) {
+    correction_ = estimated_offset;
+  }
+  Duration correction() const { return correction_; }
+
+  // Estimate of global time from a local reading.
+  TimePoint global_estimate(TimePoint local) const {
+    return local - correction_;
+  }
+  // Residual synchronization error at global time t.
+  Duration residual_at(TimePoint global) const;
+
+ private:
+  const ClockModel& raw_;
+  Duration correction_ = Duration::zero();
+};
+
+}  // namespace fdqos::clockx

@@ -1,0 +1,47 @@
+#include "clockx/ntp_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fdqos::clockx {
+
+NtpSample compute_ntp_sample(const NtpExchange& e) {
+  NtpSample s;
+  const Duration forward = e.t2 - e.t1;   // includes +offset
+  const Duration backward = e.t3 - e.t4;  // includes +offset − return delay
+  s.offset = (forward + backward) / 2;
+  s.rtt = (e.t4 - e.t1) - (e.t3 - e.t2);
+  return s;
+}
+
+NtpEstimator::NtpEstimator(std::size_t window) : window_(window) {
+  FDQOS_REQUIRE(window > 0);
+}
+
+void NtpEstimator::add_exchange(const NtpExchange& exchange) {
+  add_sample(compute_ntp_sample(exchange));
+}
+
+void NtpEstimator::add_sample(const NtpSample& sample) {
+  samples_.push_back(sample);
+  if (samples_.size() > window_) samples_.pop_front();
+}
+
+std::optional<Duration> NtpEstimator::offset() const {
+  if (samples_.empty()) return std::nullopt;
+  const NtpSample* best = &samples_.front();
+  for (const auto& s : samples_) {
+    if (s.rtt < best->rtt) best = &s;
+  }
+  return best->offset;
+}
+
+std::optional<Duration> NtpEstimator::best_rtt() const {
+  if (samples_.empty()) return std::nullopt;
+  Duration best = samples_.front().rtt;
+  for (const auto& s : samples_) best = std::min(best, s.rtt);
+  return best;
+}
+
+}  // namespace fdqos::clockx

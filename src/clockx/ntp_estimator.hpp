@@ -1,0 +1,59 @@
+// NTP-style clock-offset estimation.
+//
+// The classical four-timestamp exchange: client sends at t1 (client clock),
+// server receives at t2 and replies at t3 (server clock), client receives
+// at t4 (client clock). Then
+//
+//   offset = ((t2 − t1) + (t3 − t4)) / 2,   rtt = (t4 − t1) − (t3 − t2)
+//
+// The estimator keeps a sliding window of samples and reports the offset of
+// the minimum-RTT sample (NTP's huff-'n-puff idea: the least-queued exchange
+// has the least asymmetric-delay contamination). This is the mechanism that
+// backs the paper's synchronized-clocks assumption; tests quantify the
+// residual error it leaves under the Italy–Japan delay model.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/time.hpp"
+
+namespace fdqos::clockx {
+
+struct NtpExchange {
+  TimePoint t1;  // client send   (client clock)
+  TimePoint t2;  // server recv   (server clock)
+  TimePoint t3;  // server send   (server clock)
+  TimePoint t4;  // client recv   (client clock)
+};
+
+struct NtpSample {
+  Duration offset;  // estimated server_clock − client_clock
+  Duration rtt;     // round-trip time net of server processing
+};
+
+// Pure computation on one exchange.
+NtpSample compute_ntp_sample(const NtpExchange& exchange);
+
+class NtpEstimator {
+ public:
+  explicit NtpEstimator(std::size_t window = 8);
+
+  void add_exchange(const NtpExchange& exchange);
+  void add_sample(const NtpSample& sample);
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+  // Offset of the minimum-RTT sample in the window; nullopt before any
+  // sample arrives.
+  std::optional<Duration> offset() const;
+  // RTT of that best sample.
+  std::optional<Duration> best_rtt() const;
+
+ private:
+  std::size_t window_;
+  std::deque<NtpSample> samples_;
+};
+
+}  // namespace fdqos::clockx

@@ -1,0 +1,70 @@
+#include "common/args.hpp"
+
+#include <cstdlib>
+
+namespace fdqos {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[i + 1];
+      ++i;
+    } else {
+      values_[token] = "";  // bare flag
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  queried_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_flag(const std::string& key) const {
+  queried_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> ArgParser::unknown_keys() const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (queried_.count(key) == 0) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace fdqos

@@ -1,0 +1,45 @@
+// Minimal command-line argument parsing for the fdqos CLI and examples.
+//
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms, plus
+// positional arguments. Unknown-key detection lets callers reject typos
+// instead of silently running a default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fdqos {
+
+class ArgParser {
+ public:
+  // argv[0] is skipped. Every `--key` is greedy: `--key value` consumes the
+  // next token unless it also starts with "--" (then `key` is a flag).
+  ArgParser(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  // True when the key appears, either bare (`--flag`) or as
+  // `--flag=true|1`; `--flag=false|0` yields false.
+  bool get_flag(const std::string& key) const;
+
+  // Keys present on the command line but never queried through the getters
+  // above — call after all gets to report typos.
+  std::vector<std::string> unknown_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;  // "" for bare flags
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace fdqos

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// Experiments are batch jobs; the logger writes to stderr so that stdout
+// stays clean for machine-readable tables. Level is process-global and can
+// be raised via the FDQOS_LOG environment variable (trace|debug|info|warn|
+// error|off).
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace fdqos {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log_fmt(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
+  log_line(level, buf);
+}
+}  // namespace detail
+
+#define FDQOS_LOG_DEBUG(...) \
+  ::fdqos::detail::log_fmt(::fdqos::LogLevel::kDebug, __VA_ARGS__)
+#define FDQOS_LOG_INFO(...) \
+  ::fdqos::detail::log_fmt(::fdqos::LogLevel::kInfo, __VA_ARGS__)
+#define FDQOS_LOG_WARN(...) \
+  ::fdqos::detail::log_fmt(::fdqos::LogLevel::kWarn, __VA_ARGS__)
+#define FDQOS_LOG_ERROR(...) \
+  ::fdqos::detail::log_fmt(::fdqos::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace fdqos

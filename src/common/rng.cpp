@@ -1,0 +1,170 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace fdqos {
+namespace {
+
+// splitmix64: seeds the xoshiro state and hashes fork names.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) { seed_from(seed); }
+
+void Rng::seed_from(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  has_spare_ = false;
+}
+
+Rng Rng::fork(std::string_view name) const {
+  Rng child;
+  std::uint64_t mix = s_[0] ^ rotl(s_[1], 17) ^ fnv1a(name);
+  child.seed_from(mix);
+  return child;
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  Rng child;
+  std::uint64_t x = index * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  child.seed_from(s_[0] ^ rotl(s_[1], 29) ^ splitmix64(x));
+  return child;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FDQOS_ASSERT(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FDQOS_ASSERT(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double mean) {
+  FDQOS_ASSERT(mean > 0.0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::gamma(double shape, double scale) {
+  FDQOS_ASSERT(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct (Marsaglia–Tsang trick).
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::pareto(double x_m, double alpha) {
+  FDQOS_ASSERT(x_m > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace fdqos

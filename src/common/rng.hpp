@@ -1,0 +1,60 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of an experiment (delay model, loss model,
+// crash injector, ...) forks its own named substream from the experiment
+// seed. Forking is stable: the same (seed, name) pair always yields the
+// same stream, independent of how many other components exist, which keeps
+// runs reproducible as the system grows.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fdqos {
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derive an independent substream identified by `name`.
+  Rng fork(std::string_view name) const;
+  // Derive an independent substream identified by an index (e.g. run number).
+  Rng fork(std::uint64_t index) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box–Muller (deterministic across platforms).
+  double normal();
+  double normal(double mean, double stddev);
+  // Exponential with the given mean.
+  double exponential(double mean);
+  // Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  // Gamma(shape k, scale theta) via Marsaglia–Tsang.
+  double gamma(double shape, double scale);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+  // Pareto with scale x_m and shape alpha (heavy tail).
+  double pareto(double x_m, double alpha);
+
+  // Fisher–Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  Rng() = default;
+  void seed_from(std::uint64_t seed);
+  std::uint64_t s_[4] = {};
+  // Box–Muller spare value.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace fdqos

@@ -1,0 +1,42 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fdqos {
+
+Duration Duration::from_millis_double(double ms) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(ms * 1e6)));
+}
+
+Duration Duration::from_seconds_double(double s) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+Duration Duration::scaled(double factor) const {
+  return Duration::nanos(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(ns_) * factor)));
+}
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) / 1e9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", to_seconds_double());
+  return buf;
+}
+
+}  // namespace fdqos

@@ -1,0 +1,138 @@
+#include "consensus/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::consensus {
+
+ConsensusCluster::ConsensusCluster(Config config,
+                                   const LinkFactory& link_factory)
+    : config_(std::move(config)) {
+  FDQOS_REQUIRE(config_.nodes >= 3);
+  FDQOS_REQUIRE(link_factory != nullptr);
+
+  transport_ =
+      std::make_unique<net::SimTransport>(simulator_, Rng(config_.seed));
+  for (int a = 0; a < config_.nodes; ++a) {
+    for (int b = 0; b < config_.nodes; ++b) {
+      if (a != b) transport_->set_link(a, b, link_factory(a, b));
+    }
+  }
+
+  std::vector<net::NodeId> members;
+  for (int i = 0; i < config_.nodes; ++i) members.push_back(i);
+
+  nodes_.resize(static_cast<std::size_t>(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    Node& node = nodes_[static_cast<std::size_t>(i)];
+    node.process = std::make_unique<runtime::ProcessNode>(*transport_, i);
+
+    auto schedule_it = config_.crash_schedules.find(i);
+    node.crash = &node.process->push(std::make_unique<runtime::ScriptedCrashLayer>(
+        simulator_,
+        schedule_it != config_.crash_schedules.end()
+            ? schedule_it->second
+            : std::vector<runtime::ScriptedCrashLayer::DownPeriod>{}));
+
+    for (int peer = 0; peer < config_.nodes; ++peer) {
+      if (peer == i) continue;
+      runtime::HeartbeaterLayer::Config hb;
+      hb.eta = config_.eta;
+      hb.self = i;
+      hb.monitor = peer;
+      auto beater = std::make_unique<runtime::HeartbeaterLayer>(simulator_, hb);
+      node.process->attach_unowned(*node.crash, *beater);
+      node.heartbeaters.push_back(std::move(beater));
+
+      fd::FreshnessDetector::Config fd_config;
+      fd_config.eta = config_.eta;
+      fd_config.monitored = peer;
+      fd_config.cold_start_timeout = config_.cold_start_timeout;
+      auto detector = std::make_unique<fd::FreshnessDetector>(
+          simulator_, fd_config,
+          fd::make_paper_predictor(config_.predictor_label)(),
+          fd::make_paper_margin(config_.margin_label)());
+      node.process->attach_unowned(*node.crash, *detector);
+      node.detectors.emplace(peer, std::move(detector));
+    }
+
+    ConsensusProcess::Config c_config;
+    c_config.self = i;
+    c_config.members = members;
+    c_config.retransmit_interval = config_.retransmit_interval;
+    auto* detectors = &node.detectors;
+    node.consensus = std::make_unique<ConsensusProcess>(
+        simulator_, c_config, [detectors](net::NodeId peer) {
+          auto it = detectors->find(peer);
+          return it != detectors->end() && it->second->suspecting();
+        });
+    node.process->attach_unowned(*node.crash, *node.consensus);
+    Node* node_ptr = &node;
+    node.consensus->set_decision_observer(
+        [node_ptr](std::int64_t value, TimePoint t, std::uint32_t) {
+          node_ptr->decision = value;
+          node_ptr->decision_time = t;
+        });
+    for (auto& [peer, det] : node.detectors) {
+      ConsensusProcess* consensus = node.consensus.get();
+      det->set_observer(
+          [consensus](TimePoint, bool) { consensus->on_suspicion_change(); });
+    }
+    node.process->start();
+  }
+}
+
+void ConsensusCluster::propose_all(TimePoint when,
+                                   const std::vector<std::int64_t>& values) {
+  FDQOS_REQUIRE(values.size() == nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node* node = &nodes_[i];
+    const std::int64_t value = values[i];
+    simulator_.schedule_at(when, [node, value] {
+      if (!node->crash->crashed()) node->consensus->propose(value);
+    });
+  }
+}
+
+bool ConsensusCluster::run_until_decided(TimePoint deadline) {
+  // Step in coarse slices; stop as soon as all up nodes have decided.
+  const Duration slice = Duration::millis(100);
+  while (simulator_.now() < deadline) {
+    const TimePoint next =
+        std::min(deadline, simulator_.now() + slice);
+    simulator_.run_until(next);
+    bool all_decided = true;
+    for (const auto& node : nodes_) {
+      if (!node.crash->crashed() && !node.decision.has_value()) {
+        all_decided = false;
+        break;
+      }
+    }
+    if (all_decided) return true;
+  }
+  for (const auto& node : nodes_) {
+    if (!node.crash->crashed() && !node.decision.has_value()) return false;
+  }
+  return true;
+}
+
+bool ConsensusCluster::node_up(int i) const {
+  return !nodes_[static_cast<std::size_t>(i)].crash->crashed();
+}
+
+std::optional<std::int64_t> ConsensusCluster::decision(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].decision;
+}
+
+TimePoint ConsensusCluster::decision_time(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].decision_time;
+}
+
+std::uint32_t ConsensusCluster::rounds_entered(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].consensus->rounds_entered();
+}
+
+std::uint64_t ConsensusCluster::consensus_messages(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].consensus->messages_sent();
+}
+
+}  // namespace fdqos::consensus

@@ -1,0 +1,81 @@
+// ConsensusCluster — an N-node consensus deployment in a box.
+//
+// Wires, per node: scripted crash injection, per-peer heartbeaters and
+// freshness detectors (the ◇S oracle), and a ConsensusProcess, all over one
+// simulated transport. Used by the consensus QoS experiment
+// (bench_consensus_qos) to relate detector QoS to consensus QoS, the
+// relation studied by Coccoli et al. (paper reference [6]).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/process.hpp"
+#include "fd/freshness_detector.hpp"
+#include "fd/suite.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/scripted_crash.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::consensus {
+
+class ConsensusCluster {
+ public:
+  struct Config {
+    int nodes = 3;
+    Duration eta = Duration::millis(200);  // heartbeat period
+    Duration cold_start_timeout = Duration::millis(500);
+    Duration retransmit_interval = Duration::millis(300);
+    // Failure-detector configuration (paper-suite labels).
+    std::string predictor_label = "Last";
+    std::string margin_label = "JAC_med";
+    // Per-node down periods (deterministic fault injection).
+    std::map<int, std::vector<runtime::ScriptedCrashLayer::DownPeriod>>
+        crash_schedules;
+    std::uint64_t seed = 1;
+  };
+
+  // link_factory(from, to) builds each directional link.
+  using LinkFactory =
+      std::function<net::SimTransport::LinkConfig(net::NodeId, net::NodeId)>;
+
+  ConsensusCluster(Config config, const LinkFactory& link_factory);
+
+  sim::Simulator& simulator() { return simulator_; }
+
+  // Schedule proposals at `when`; nodes that are down at that instant do
+  // not propose.
+  void propose_all(TimePoint when, const std::vector<std::int64_t>& values);
+
+  // Runs until every currently-up node has decided, or until `deadline`.
+  // Returns true if all up nodes decided.
+  bool run_until_decided(TimePoint deadline);
+
+  bool node_up(int i) const;
+  std::optional<std::int64_t> decision(int i) const;
+  TimePoint decision_time(int i) const;
+  std::uint32_t rounds_entered(int i) const;
+  std::uint64_t consensus_messages(int i) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<runtime::ProcessNode> process;
+    runtime::ScriptedCrashLayer* crash = nullptr;
+    std::vector<std::unique_ptr<runtime::HeartbeaterLayer>> heartbeaters;
+    std::map<net::NodeId, std::unique_ptr<fd::FreshnessDetector>> detectors;
+    std::unique_ptr<ConsensusProcess> consensus;
+    std::optional<std::int64_t> decision;
+    TimePoint decision_time;
+  };
+
+  Config config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fdqos::consensus

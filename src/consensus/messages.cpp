@@ -1,0 +1,64 @@
+#include "consensus/messages.hpp"
+
+#include "net/codec.hpp"
+
+namespace fdqos::consensus {
+namespace {
+constexpr std::uint8_t kPayloadTag = 0xC5;  // distinguishes consensus payloads
+}
+
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kEstimate: return "estimate";
+    case MsgKind::kProposal: return "proposal";
+    case MsgKind::kAck: return "ack";
+    case MsgKind::kNack: return "nack";
+    case MsgKind::kDecide: return "decide";
+  }
+  return "?";
+}
+
+net::Message wrap(const ConsensusMsg& msg, net::NodeId from, net::NodeId to,
+                  TimePoint now) {
+  net::ByteWriter w;
+  w.u8(kPayloadTag);
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u32(msg.instance);
+  w.u32(msg.round);
+  w.i64(msg.value);
+  w.u32(msg.ts);
+
+  net::Message out;
+  out.from = from;
+  out.to = to;
+  out.type = net::MessageType::kUser;
+  out.seq = msg.round;
+  out.send_time = now;
+  out.payload = w.take();
+  return out;
+}
+
+std::optional<ConsensusMsg> unwrap(const net::Message& msg) {
+  if (msg.type != net::MessageType::kUser) return std::nullopt;
+  net::ByteReader r(msg.payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kPayloadTag) return std::nullopt;
+  const auto kind = r.u8();
+  const auto instance = r.u32();
+  const auto round = r.u32();
+  const auto value = r.i64();
+  const auto ts = r.u32();
+  if (!kind || !instance || !round || !value || !ts || !r.exhausted()) {
+    return std::nullopt;
+  }
+  if (*kind < 1 || *kind > 5) return std::nullopt;
+  ConsensusMsg out;
+  out.kind = static_cast<MsgKind>(*kind);
+  out.instance = *instance;
+  out.round = *round;
+  out.value = *value;
+  out.ts = *ts;
+  return out;
+}
+
+}  // namespace fdqos::consensus

@@ -1,0 +1,43 @@
+// Wire messages for the Chandra–Toueg ◇S consensus protocol.
+//
+// Consensus messages ride inside net::Message payloads (type kUser), so the
+// protocol runs over the same transports — and through the same crash
+// injectors — as the failure detectors that drive it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/message.hpp"
+
+namespace fdqos::consensus {
+
+enum class MsgKind : std::uint8_t {
+  kEstimate = 1,  // participant -> coordinator: (estimate, ts)
+  kProposal = 2,  // coordinator -> all: adopted estimate for the round
+  kAck = 3,       // participant -> coordinator: proposal adopted
+  kNack = 4,      // participant -> coordinator: coordinator suspected
+  kDecide = 5,    // decided value, flooded
+};
+
+const char* msg_kind_name(MsgKind kind);
+
+struct ConsensusMsg {
+  MsgKind kind = MsgKind::kEstimate;
+  std::uint32_t instance = 0;  // consensus instance id
+  std::uint32_t round = 0;
+  std::int64_t value = 0;      // estimate / proposal / decision
+  std::uint32_t ts = 0;        // round in which `value` was last adopted
+
+  bool operator==(const ConsensusMsg&) const = default;
+};
+
+// Wraps a ConsensusMsg into a transport message from -> to.
+net::Message wrap(const ConsensusMsg& msg, net::NodeId from, net::NodeId to,
+                  TimePoint now);
+
+// Extracts a ConsensusMsg; nullopt if the message is not a (valid)
+// consensus payload.
+std::optional<ConsensusMsg> unwrap(const net::Message& msg);
+
+}  // namespace fdqos::consensus

@@ -1,0 +1,278 @@
+#include "consensus/process.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fdqos::consensus {
+
+ConsensusProcess::ConsensusProcess(sim::Simulator& simulator, Config config,
+                                   SuspicionQuery suspected)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      suspected_(std::move(suspected)) {
+  FDQOS_REQUIRE(config_.members.size() >= 3);
+  FDQOS_REQUIRE(std::find(config_.members.begin(), config_.members.end(),
+                          config_.self) != config_.members.end());
+  FDQOS_REQUIRE(suspected_ != nullptr);
+  FDQOS_REQUIRE(config_.retransmit_interval > Duration::zero());
+}
+
+net::NodeId ConsensusProcess::coordinator_of(std::uint32_t round) const {
+  // Rounds start at 1: round 1 -> members[0].
+  return config_.members[(round - 1) % config_.members.size()];
+}
+
+std::optional<std::int64_t> ConsensusProcess::decision() const {
+  if (!decided_) return std::nullopt;
+  return decision_;
+}
+
+void ConsensusProcess::send(const ConsensusMsg& msg, net::NodeId to) {
+  if (to == config_.self) {
+    // Loop self-addressed messages straight back up (a process is always a
+    // reliable channel to itself).
+    net::Message looped = wrap(msg, config_.self, to, simulator_.now());
+    handle_up(looped);
+    return;
+  }
+  ++messages_sent_;
+  send_down(wrap(msg, config_.self, to, simulator_.now()));
+}
+
+void ConsensusProcess::broadcast(const ConsensusMsg& msg) {
+  for (net::NodeId member : config_.members) {
+    send(msg, member);
+  }
+}
+
+void ConsensusProcess::propose(std::int64_t value) {
+  FDQOS_REQUIRE(!proposed_);
+  proposed_ = true;
+  estimate_ = value;
+  ts_ = 0;
+  enter_round(1);
+  simulator_.schedule_after(config_.retransmit_interval,
+                            [this] { on_retransmit_timer(); });
+}
+
+void ConsensusProcess::enter_round(std::uint32_t round) {
+  FDQOS_ASSERT(round > round_);
+  round_ = round;
+  ++rounds_entered_;
+  awaiting_proposal_ = true;
+  send_estimate();
+  // If the coordinator is already suspected, skip the round without waiting
+  // for the retransmit tick.
+  check_coordinator_suspicion();
+}
+
+void ConsensusProcess::send_estimate() {
+  ConsensusMsg msg;
+  msg.kind = MsgKind::kEstimate;
+  msg.instance = config_.instance;
+  msg.round = round_;
+  msg.value = estimate_;
+  msg.ts = ts_;
+  send(msg, coordinator_of(round_));
+}
+
+void ConsensusProcess::handle_up(const net::Message& raw) {
+  const auto msg = unwrap(raw);
+  if (!msg || msg->instance != config_.instance) {
+    deliver_up(raw);
+    return;
+  }
+  if (!proposed_) return;  // not participating yet; stubborn peers retry
+
+  if (decided_ && msg->kind != MsgKind::kDecide) {
+    // Help laggards: anything arriving after our decision is answered with
+    // the decision itself.
+    ConsensusMsg decide;
+    decide.kind = MsgKind::kDecide;
+    decide.instance = config_.instance;
+    decide.round = round_;
+    decide.value = decision_;
+    send(decide, raw.from);
+    return;
+  }
+
+  switch (msg->kind) {
+    case MsgKind::kEstimate:
+      handle_estimate(*msg, raw.from);
+      break;
+    case MsgKind::kProposal:
+      handle_proposal(*msg, raw.from);
+      break;
+    case MsgKind::kAck:
+      handle_ack(*msg, raw.from);
+      break;
+    case MsgKind::kNack:
+      // A NACK tells the coordinator this round cannot reach unanimity;
+      // majority ACKs may still arrive, so nothing to do beyond noting.
+      break;
+    case MsgKind::kDecide:
+      handle_decide(*msg);
+      break;
+  }
+}
+
+void ConsensusProcess::handle_estimate(const ConsensusMsg& msg,
+                                       net::NodeId from) {
+  if (coordinator_of(msg.round) != config_.self) return;  // misrouted/stale
+  CoordRound& state = coord_rounds_[msg.round];
+  if (state.proposal_sent) {
+    // Duplicate or late estimate: the sender probably lost our proposal —
+    // re-send it directly (stubborn channel, receiver-driven).
+    ConsensusMsg proposal;
+    proposal.kind = MsgKind::kProposal;
+    proposal.instance = config_.instance;
+    proposal.round = msg.round;
+    proposal.value = state.proposal_value;
+    send(proposal, from);
+    return;
+  }
+  const bool inserted = state.estimate_senders.insert(from).second;
+  if (inserted &&
+      (state.estimate_senders.size() == 1 || msg.ts > state.best_ts)) {
+    // Adopt the estimate with the highest timestamp (first one initializes).
+    state.best_ts = msg.ts;
+    state.best_value = msg.value;
+  }
+  // A round from the future fast-forwards us (others have moved on).
+  if (msg.round > round_) {
+    enter_round(msg.round);
+    if (decided_) return;
+  }
+  maybe_propose(coord_rounds_[msg.round], msg.round);
+}
+
+void ConsensusProcess::maybe_propose(CoordRound& state, std::uint32_t round) {
+  if (state.proposal_sent || state.estimate_senders.size() < majority()) {
+    return;
+  }
+  state.proposal_sent = true;
+  state.proposal_value = state.best_value;
+  ConsensusMsg proposal;
+  proposal.kind = MsgKind::kProposal;
+  proposal.instance = config_.instance;
+  proposal.round = round;
+  proposal.value = state.proposal_value;
+  broadcast(proposal);  // includes self: we adopt and ACK via handle_proposal
+}
+
+void ConsensusProcess::handle_proposal(const ConsensusMsg& msg,
+                                       net::NodeId from) {
+  if (from != coordinator_of(msg.round)) return;  // not from the coordinator
+  if (msg.round > round_) {
+    enter_round(msg.round);
+    if (decided_ || round_ != msg.round) return;
+  }
+  if (msg.round < round_ || !awaiting_proposal_) return;  // stale / done
+
+  // Adopt and ACK.
+  estimate_ = msg.value;
+  ts_ = msg.round;
+  awaiting_proposal_ = false;
+  ConsensusMsg ack;
+  ack.kind = MsgKind::kAck;
+  ack.instance = config_.instance;
+  ack.round = msg.round;
+  ack.value = msg.value;
+  send(ack, coordinator_of(msg.round));
+  if (!decided_) enter_round(round_ + 1);
+}
+
+void ConsensusProcess::handle_ack(const ConsensusMsg& msg, net::NodeId from) {
+  if (coordinator_of(msg.round) != config_.self) return;
+  CoordRound& state = coord_rounds_[msg.round];
+  if (!state.proposal_sent) return;  // cannot ACK what was never proposed
+  state.acks.insert(from);
+  if (state.acks.size() >= majority() && !decided_) {
+    decide(state.proposal_value);
+  }
+}
+
+void ConsensusProcess::handle_decide(const ConsensusMsg& msg) {
+  if (decided_) return;
+  decide(msg.value);
+}
+
+void ConsensusProcess::decide(std::int64_t value) {
+  FDQOS_ASSERT(!decided_);
+  decided_ = true;
+  decision_ = value;
+  decide_floods_left_ = config_.decide_floods;
+  awaiting_proposal_ = false;
+  ConsensusMsg msg;
+  msg.kind = MsgKind::kDecide;
+  msg.instance = config_.instance;
+  msg.round = round_;
+  msg.value = value;
+  broadcast(msg);
+  if (observer_) observer_(value, simulator_.now(), rounds_entered_);
+}
+
+void ConsensusProcess::check_coordinator_suspicion() {
+  if (decided_ || !awaiting_proposal_) return;
+  const net::NodeId coord = coordinator_of(round_);
+  if (coord == config_.self) return;  // we never suspect ourselves
+  if (!suspected_(coord)) return;
+  // Phase 3 exit by suspicion: NACK and move on.
+  ConsensusMsg nack;
+  nack.kind = MsgKind::kNack;
+  nack.instance = config_.instance;
+  nack.round = round_;
+  send(nack, coord);
+  awaiting_proposal_ = false;
+  enter_round(round_ + 1);
+}
+
+void ConsensusProcess::on_suspicion_change() {
+  if (proposed_) check_coordinator_suspicion();
+}
+
+void ConsensusProcess::on_retransmit_timer() {
+  if (decided_) {
+    if (decide_floods_left_ > 0) {
+      --decide_floods_left_;
+      ConsensusMsg msg;
+      msg.kind = MsgKind::kDecide;
+      msg.instance = config_.instance;
+      msg.round = round_;
+      msg.value = decision_;
+      broadcast(msg);
+      simulator_.schedule_after(config_.retransmit_interval,
+                                [this] { on_retransmit_timer(); });
+    }
+    return;
+  }
+
+  check_coordinator_suspicion();
+  if (!decided_) {
+    // Stubbornly re-send the current round's estimate; a coordinator that
+    // already proposed will answer with the proposal (see handle_estimate).
+    send_estimate();
+    // Re-broadcast unfinished proposals for rounds we coordinate (bounded:
+    // older rounds than round_ - 2n are dead).
+    const std::uint32_t horizon =
+        round_ > 2 * config_.members.size()
+            ? round_ - 2 * static_cast<std::uint32_t>(config_.members.size())
+            : 0;
+    for (auto& [round, state] : coord_rounds_) {
+      if (round < horizon || !state.proposal_sent) continue;
+      if (state.acks.size() >= majority()) continue;
+      ConsensusMsg proposal;
+      proposal.kind = MsgKind::kProposal;
+      proposal.instance = config_.instance;
+      proposal.round = round;
+      proposal.value = state.proposal_value;
+      broadcast(proposal);
+    }
+  }
+  simulator_.schedule_after(config_.retransmit_interval,
+                            [this] { on_retransmit_timer(); });
+}
+
+}  // namespace fdqos::consensus

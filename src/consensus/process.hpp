@@ -1,0 +1,125 @@
+// Chandra–Toueg ◇S rotating-coordinator consensus (the paper's reference
+// [4]; reference [6] studies exactly this layer's QoS as a function of the
+// failure detector's QoS — reproduced by bench_consensus_qos).
+//
+// Round r (coordinator c = members[r mod n]):
+//   1. every process sends (ESTIMATE, r, estimate, ts) to c;
+//   2. c collects a majority of estimates, adopts the one with the highest
+//      ts and broadcasts (PROPOSAL, r, v);
+//   3. each process waits for c's proposal — adopting it (ts := r) and
+//      ACKing — or, if its failure detector suspects c, NACKs and moves to
+//      round r+1;
+//   4. on a majority of ACKs, c decides v and floods DECIDE; everyone who
+//      receives DECIDE decides and re-floods once.
+//
+// Channels here are fair-lossy (UDP semantics), while Chandra–Toueg assumes
+// reliable links; the gap is closed the standard way, with stubborn
+// retransmission: a periodic timer re-sends the current round's pending
+// messages (estimate / proposal / decide) until progress is made, and a
+// coordinator answers stale or duplicate estimates by re-sending its
+// proposal for that round. Safety is the algorithm's: a value can only be
+// decided after a majority adopted it with timestamp r, and later
+// coordinators must adopt from an intersecting majority.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/messages.hpp"
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::consensus {
+
+class ConsensusProcess final : public runtime::Layer {
+ public:
+  struct Config {
+    net::NodeId self = 0;
+    std::vector<net::NodeId> members;  // all participants, including self
+    std::uint32_t instance = 1;
+    Duration retransmit_interval = Duration::millis(500);
+    int decide_floods = 3;  // extra DECIDE broadcasts after deciding
+  };
+
+  // suspected(node): the local failure detector's current opinion of node.
+  using SuspicionQuery = std::function<bool(net::NodeId)>;
+  // decided(value, time, rounds_entered)
+  using DecisionObserver =
+      std::function<void(std::int64_t, TimePoint, std::uint32_t)>;
+
+  ConsensusProcess(sim::Simulator& simulator, Config config,
+                   SuspicionQuery suspected);
+
+  void set_decision_observer(DecisionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Start participating with the given initial value. Must be called at
+  // most once; processes that crash before proposing simply never call it.
+  void propose(std::int64_t value);
+
+  void handle_up(const net::Message& msg) override;
+
+  // Re-evaluate coordinator suspicion now (wire this to the FD observer for
+  // prompt NACKs; the retransmit timer also polls it).
+  void on_suspicion_change();
+
+  bool has_proposed() const { return proposed_; }
+  bool decided() const { return decided_; }
+  std::optional<std::int64_t> decision() const;
+  std::uint32_t round() const { return round_; }
+  std::uint32_t rounds_entered() const { return rounds_entered_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct CoordRound {
+    std::set<net::NodeId> estimate_senders;
+    std::int64_t best_value = 0;
+    std::uint32_t best_ts = 0;
+    bool proposal_sent = false;
+    std::int64_t proposal_value = 0;
+    std::set<net::NodeId> acks;
+  };
+
+  net::NodeId coordinator_of(std::uint32_t round) const;
+  std::size_t majority() const { return config_.members.size() / 2 + 1; }
+
+  void send(const ConsensusMsg& msg, net::NodeId to);
+  void broadcast(const ConsensusMsg& msg);  // to every other member
+
+  void enter_round(std::uint32_t round);
+  void send_estimate();
+  void maybe_propose(CoordRound& state, std::uint32_t round);
+  void handle_estimate(const ConsensusMsg& msg, net::NodeId from);
+  void handle_proposal(const ConsensusMsg& msg, net::NodeId from);
+  void handle_ack(const ConsensusMsg& msg, net::NodeId from);
+  void handle_decide(const ConsensusMsg& msg);
+  void check_coordinator_suspicion();
+  void decide(std::int64_t value);
+  void on_retransmit_timer();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  SuspicionQuery suspected_;
+  DecisionObserver observer_;
+
+  bool proposed_ = false;
+  std::int64_t estimate_ = 0;
+  std::uint32_t ts_ = 0;
+  std::uint32_t round_ = 0;
+  std::uint32_t rounds_entered_ = 0;
+  bool awaiting_proposal_ = false;  // phase 3 of round_ still open
+  std::map<std::uint32_t, CoordRound> coord_rounds_;
+
+  bool decided_ = false;
+  std::int64_t decision_ = 0;
+  int decide_floods_left_ = 0;
+
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace fdqos::consensus

@@ -1,0 +1,50 @@
+#include "exp/accuracy_experiment.hpp"
+
+#include <algorithm>
+
+#include "forecast/msqerr.hpp"
+
+namespace fdqos::exp {
+
+std::vector<double> generate_delay_series(
+    const AccuracyExperimentConfig& config) {
+  Rng rng(config.seed);
+  Rng delay_rng = rng.fork("accuracy/delay");
+  Rng loss_rng = rng.fork("accuracy/loss");
+  auto delay_model = wan::make_italy_japan_delay(config.link);
+  auto loss_model = wan::make_italy_japan_loss(config.link);
+
+  std::vector<double> delays;
+  delays.reserve(config.n_oneway);
+  TimePoint t = TimePoint::origin();
+  for (std::size_t i = 0; i < config.n_oneway; ++i, t += config.eta) {
+    if (loss_model->drop(loss_rng, t)) continue;
+    delays.push_back(delay_model->sample(delay_rng, t).to_millis_double());
+  }
+  return delays;
+}
+
+AccuracyReport run_accuracy_experiment(const AccuracyExperimentConfig& config) {
+  AccuracyReport report;
+  report.heartbeats_sent = config.n_oneway;
+
+  const std::vector<double> delays = generate_delay_series(config);
+  report.delays_collected = delays.size();
+  stats::RunningStats delay_stats;
+  for (double d : delays) delay_stats.add(d);
+  report.delays_ms = delay_stats.summary();
+
+  for (const auto& label : fd::paper_predictor_labels()) {
+    auto predictor = fd::make_paper_predictor(label, config.params)();
+    const forecast::AccuracyResult acc =
+        forecast::evaluate_accuracy(*predictor, delays);
+    report.rows.push_back({predictor->name(), acc.msqerr, acc.mean_abs_err});
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const AccuracyRow& a, const AccuracyRow& b) {
+              return a.msqerr < b.msqerr;
+            });
+  return report;
+}
+
+}  // namespace fdqos::exp

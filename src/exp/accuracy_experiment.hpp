@@ -1,0 +1,47 @@
+// Predictor-accuracy experiment (paper §5.1 / Table 3).
+//
+// Collects the one-way transmission delays of N successive heartbeats over
+// the Italy–Japan link model, then scores every paper predictor by the mean
+// square error of its one-step-ahead forecasts. Lost heartbeats simply do
+// not contribute observations, as on the real link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fd/suite.hpp"
+#include "stats/running_stats.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos::exp {
+
+struct AccuracyExperimentConfig {
+  std::size_t n_oneway = 100000;  // N_oneway heartbeats sent
+  Duration eta = Duration::seconds(1);
+  std::uint64_t seed = 42;
+  wan::ItalyJapanParams link{};
+  fd::PaperParams params{};
+};
+
+struct AccuracyRow {
+  std::string predictor;
+  double msqerr = 0.0;        // ms²
+  double mean_abs_err = 0.0;  // ms
+};
+
+struct AccuracyReport {
+  std::vector<AccuracyRow> rows;  // sorted by msqerr ascending (Table 3)
+  stats::Summary delays_ms;       // the collected delay series
+  std::size_t heartbeats_sent = 0;
+  std::size_t delays_collected = 0;  // after loss
+};
+
+// Generates the delay series for the experiment (also used by tests and by
+// the ARIMA order-selection bench).
+std::vector<double> generate_delay_series(const AccuracyExperimentConfig& config);
+
+AccuracyReport run_accuracy_experiment(const AccuracyExperimentConfig& config);
+
+}  // namespace fdqos::exp

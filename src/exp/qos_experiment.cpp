@@ -1,0 +1,214 @@
+#include "exp/qos_experiment.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "fd/freshness_detector.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/multiplexer.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/sim_crash.hpp"
+#include "sim/simulator.hpp"
+#include "wan/trace.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+constexpr net::NodeId kMonitored = 0;
+constexpr net::NodeId kMonitor = 1;
+
+// Pooled per-detector accumulators across runs.
+struct Pooled {
+  stats::RunningStats td;
+  stats::RunningStats tm;
+  stats::RunningStats tmr;
+  Duration up = Duration::zero();
+  Duration wrong = Duration::zero();
+  std::uint64_t crashes = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t missed = 0;
+  // One sample per run: that run's mean T_D / availability.
+  stats::RunningStats per_run_td;
+  stats::RunningStats per_run_availability;
+};
+
+fd::QosMetrics pooled_metrics(const Pooled& p) {
+  fd::QosMetrics m;
+  m.detection_time_ms = p.td.summary();
+  m.mistake_duration_ms = p.tm.summary();
+  m.mistake_recurrence_ms = p.tmr.summary();
+  m.crashes_observed = p.crashes;
+  m.detections = p.detections;
+  m.missed_detections = p.missed;
+  m.mistakes = p.tm.count();
+  if (p.up > Duration::zero()) {
+    m.availability =
+        1.0 - p.wrong.to_seconds_double() / p.up.to_seconds_double();
+  }
+  if (p.tmr.count() > 0 && p.tmr.mean() > 0.0) {
+    m.query_accuracy =
+        std::max(0.0, (p.tmr.mean() - p.tm.mean()) / p.tmr.mean());
+  } else {
+    m.query_accuracy = m.availability;
+  }
+  return m;
+}
+
+}  // namespace
+
+QosReport run_qos_experiment(const QosExperimentConfig& config) {
+  FDQOS_REQUIRE(config.runs > 0);
+  FDQOS_REQUIRE(config.num_cycles > 0);
+
+  std::vector<fd::FdSpec> suite;
+  if (config.include_paper_suite) {
+    suite = fd::make_paper_suite(config.params);
+  }
+  if (config.include_constant_baseline) {
+    auto baselines =
+        fd::make_constant_margin_suite(config.baseline_margin_ms, config.params);
+    for (auto& spec : baselines) suite.push_back(std::move(spec));
+  }
+  for (const auto& spec : config.extra_specs) suite.push_back(spec);
+  FDQOS_REQUIRE(!suite.empty());
+
+  std::vector<Pooled> pooled(suite.size());
+  QosReport report;
+  report.config = config;
+
+  const Rng base_rng(config.seed);
+  const TimePoint run_end =
+      TimePoint::origin() + config.eta * config.num_cycles + config.ttr +
+      Duration::seconds(5);
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    Rng run_rng = base_rng.fork(run);
+
+    sim::Simulator simulator;
+    net::SimTransport transport(simulator, run_rng.fork("net"));
+    net::SimTransport::LinkConfig link;
+    if (config.trace_path.empty()) {
+      link.delay = wan::make_italy_japan_delay(config.link);
+      link.loss = wan::make_italy_japan_loss(config.link);
+    } else {
+      auto replay = wan::TraceReplayDelay::load(config.trace_path);
+      FDQOS_REQUIRE(replay != nullptr);
+      // Each run replays the identical trace; runs differ only in the
+      // crash schedule.
+      link.delay = std::move(replay);
+    }
+    transport.set_link(kMonitored, kMonitor, std::move(link));
+
+    // Monitored node: Heartbeater over SimCrash.
+    runtime::ProcessNode monitored(transport, kMonitored);
+    auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
+        simulator,
+        runtime::SimCrashLayer::Config{config.mttc, config.ttr},
+        run_rng.fork("crash")));
+    runtime::HeartbeaterLayer::Config hb_config;
+    hb_config.eta = config.eta;
+    hb_config.self = kMonitored;
+    hb_config.monitor = kMonitor;
+    hb_config.max_cycles = config.num_cycles;
+    monitored.push(
+        std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
+
+    // Monitor node: MultiPlexer fanning out to every detector.
+    runtime::ProcessNode monitor(transport, kMonitor);
+    auto& mux = monitor.push(std::make_unique<runtime::MultiPlexerLayer>());
+
+    const TimePoint warmup_end = TimePoint::origin() + config.warmup;
+    std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;
+    std::vector<fd::QosTracker> trackers;
+    detectors.reserve(suite.size());
+    trackers.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      trackers.emplace_back(warmup_end);
+    }
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      fd::FreshnessDetector::Config fd_config;
+      fd_config.eta = config.eta;
+      fd_config.monitored = kMonitored;
+      fd_config.cold_start_timeout = config.cold_start_timeout;
+      fd_config.name = suite[i].name;
+      auto detector = std::make_unique<fd::FreshnessDetector>(
+          simulator, fd_config, suite[i].make_predictor(),
+          suite[i].make_margin());
+      fd::QosTracker* tracker = &trackers[i];
+      detector->set_observer([tracker](TimePoint t, bool suspecting) {
+        if (suspecting) {
+          tracker->suspect_started(t);
+        } else {
+          tracker->suspect_ended(t);
+        }
+      });
+      monitor.attach_unowned(mux, *detector);
+      detectors.push_back(std::move(detector));
+    }
+
+    crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
+      for (auto& tracker : trackers) {
+        if (crashed) {
+          tracker.process_crashed(t);
+        } else {
+          tracker.process_restored(t);
+        }
+      }
+    });
+
+    monitored.start();
+    monitor.start();
+    simulator.run_until(run_end);
+
+    for (auto& tracker : trackers) tracker.finalize(run_end);
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      Pooled& p = pooled[i];
+      p.td.merge(trackers[i].td_stats());
+      p.tm.merge(trackers[i].tm_stats());
+      p.tmr.merge(trackers[i].tmr_stats());
+      p.up += trackers[i].observed_up_time();
+      p.wrong += trackers[i].wrong_suspicion_time();
+      p.crashes += trackers[i].crash_count();
+      p.detections += trackers[i].detection_count();
+      p.missed += trackers[i].missed_detection_count();
+      if (trackers[i].td_stats().count() > 0) {
+        p.per_run_td.add(trackers[i].td_stats().mean());
+      }
+      const fd::QosMetrics run_metrics = trackers[i].metrics();
+      p.per_run_availability.add(run_metrics.availability);
+    }
+    report.total_crashes += crash_layer.crash_count();
+    report.heartbeats_sent += transport.link_stats(kMonitored, kMonitor).sent;
+    report.heartbeats_delivered +=
+        transport.link_stats(kMonitored, kMonitor).delivered;
+
+    FDQOS_LOG_INFO("qos run %zu/%zu: %llu crashes", run + 1, config.runs,
+                   static_cast<unsigned long long>(crash_layer.crash_count()));
+  }
+
+  report.results.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    FdQosResult result;
+    result.name = suite[i].name;
+    result.predictor_label = suite[i].predictor_label;
+    result.margin_label = suite[i].margin_label;
+    result.metrics = pooled_metrics(pooled[i]);
+    result.per_run_td_mean_ms = pooled[i].per_run_td.summary();
+    result.per_run_availability = pooled[i].per_run_availability.summary();
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+const FdQosResult* find_result(const QosReport& report,
+                               const std::string& name) {
+  for (const auto& result : report.results) {
+    if (result.name == name) return &result;
+  }
+  return nullptr;
+}
+
+}  // namespace fdqos::exp

@@ -1,0 +1,78 @@
+// The QoS experiment (paper §5.2, Figures 4–8).
+//
+// Architecture per run (paper Figure 3), all in virtual time:
+//
+//   Monitored node:  Heartbeater(η) → SimCrash(MTTC, TTR) → network
+//   Monitor node:    network → MultiPlexer → 30 FreshnessDetectors
+//
+// Every detector receives the identical arrival stream through the
+// MultiPlexer; a QosTracker per detector consumes its suspect transitions
+// plus the injector's crash/restore ground truth. Results pool the T_D,
+// T_M and T_MR samples across the configured number of runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/qos_tracker.hpp"
+#include "fd/suite.hpp"
+#include "stats/running_stats.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos::exp {
+
+struct QosExperimentConfig {
+  std::size_t runs = 13;            // paper: 13 experiment runs
+  std::int64_t num_cycles = 10000;  // NumCycles heartbeat cycles per run
+  Duration eta = Duration::seconds(1);
+  Duration mttc = Duration::seconds(300);
+  Duration ttr = Duration::seconds(30);
+  Duration warmup = Duration::seconds(60);  // no samples recorded before this
+  Duration cold_start_timeout = Duration::seconds(1);
+  std::uint64_t seed = 42;
+  wan::ItalyJapanParams link{};
+  // When set, heartbeat delays come from this recorded trace (CSV produced
+  // by wan::TraceRecorder) instead of the synthetic link — the paper's §6
+  // plan of re-running the comparison on other WAN connections, using
+  // delays captured from a real path. Loss is then whatever the trace
+  // encoded (a lost heartbeat simply is not in the trace) plus none.
+  std::string trace_path;
+  fd::PaperParams params{};
+  // Optionally append the constant-margin (NFD-E-style) baselines.
+  bool include_constant_baseline = false;
+  double baseline_margin_ms = 100.0;
+  // Additional detectors to run next to the paper suite (extensions,
+  // configured NFD-E instances, ...). Names must be unique.
+  std::vector<fd::FdSpec> extra_specs;
+  // Replace the 30-detector paper suite entirely (extra_specs still
+  // appended) — for focused sweeps that don't need the full grid.
+  bool include_paper_suite = true;
+};
+
+struct FdQosResult {
+  std::string name;
+  std::string predictor_label;
+  std::string margin_label;
+  fd::QosMetrics metrics;  // pooled over all runs
+  // Run-to-run variability: per-run mean T_D / P_A across the experiment's
+  // runs (count == number of runs that produced samples). The paper pools
+  // 13 runs; this exposes how stable each configuration is between runs.
+  stats::Summary per_run_td_mean_ms;
+  stats::Summary per_run_availability;
+};
+
+struct QosReport {
+  QosExperimentConfig config;
+  std::vector<FdQosResult> results;
+  std::uint64_t total_crashes = 0;      // per run set (same injector for all)
+  std::uint64_t heartbeats_delivered = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
+QosReport run_qos_experiment(const QosExperimentConfig& config);
+
+// Look up a result by detector name; nullptr if absent.
+const FdQosResult* find_result(const QosReport& report, const std::string& name);
+
+}  // namespace fdqos::exp

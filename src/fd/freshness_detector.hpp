@@ -1,0 +1,81 @@
+// FreshnessDetector — the paper's modular push-style crash failure
+// detector (§2.3), one (predictor, safety margin) pair per instance.
+//
+// The monitored process q sends heartbeat m_i at σ_i = i·η. At the
+// beginning of cycle k the detector computes the freshness point
+//
+//   τ_{k+1} = σ_{k+1} + δ_{k+1},   δ_{k+1} = pred_{k+1} + sm_{k+1}
+//
+// using the observations received so far. At any time t ∈ [τ_i, τ_{i+1})
+// the detector trusts q iff it has received some heartbeat m_k with k ≥ i;
+// otherwise it suspects q. Heartbeats may be lost and reordered: the
+// observation list is kept in arrival order and a stale heartbeat (seq
+// below the current freshness index) does not restore trust.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fd/safety_margin.hpp"
+#include "forecast/predictor.hpp"
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::fd {
+
+class FreshnessDetector final : public runtime::Layer {
+ public:
+  struct Config {
+    Duration eta = Duration::seconds(1);   // monitored process's period η
+    net::NodeId monitored = 0;             // heartbeat source to watch
+    TimePoint epoch = TimePoint::origin();  // σ_i = epoch + i·η
+    // Timeout used while no observation has arrived yet (cold start); the
+    // adaptive δ takes over from the first heartbeat.
+    Duration cold_start_timeout = Duration::seconds(1);
+    std::string name;  // display name, e.g. "LAST+JAC_low"
+  };
+
+  // observer(time, suspecting): fired on every trust <-> suspect transition.
+  using SuspectObserver = std::function<void(TimePoint, bool)>;
+
+  FreshnessDetector(sim::Simulator& simulator, Config config,
+                    std::unique_ptr<forecast::Predictor> predictor,
+                    std::unique_ptr<SafetyMargin> margin);
+
+  void set_observer(SuspectObserver observer) { observer_ = std::move(observer); }
+
+  void start() override;
+  void handle_up(const net::Message& msg) override;
+
+  const std::string& name() const { return config_.name; }
+  bool suspecting() const { return suspecting_; }
+  // Highest heartbeat sequence received so far (0 = none).
+  std::int64_t max_seq() const { return max_seq_; }
+  // Index i of the current freshness window [τ_i, τ_{i+1}).
+  std::int64_t freshness_index() const { return freshness_index_; }
+  // Current timeout δ = pred + sm, in milliseconds.
+  double current_delta_ms() const;
+  std::size_t observations() const { return observations_; }
+
+  const forecast::Predictor& predictor() const { return *predictor_; }
+  const SafetyMargin& margin() const { return *margin_; }
+
+ private:
+  void begin_cycle(std::int64_t k);
+  void freshness_reached(std::int64_t index);
+  void update_suspicion();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  std::unique_ptr<forecast::Predictor> predictor_;
+  std::unique_ptr<SafetyMargin> margin_;
+  SuspectObserver observer_;
+
+  std::int64_t max_seq_ = 0;
+  std::int64_t freshness_index_ = 0;
+  bool suspecting_ = false;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace fdqos::fd

@@ -1,0 +1,73 @@
+#include "fd/nfd_config.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "forecast/basic_predictors.hpp"
+
+namespace fdqos::fd {
+
+double nfd_miss_probability(const LinkCharacterization& link, double alpha_ms) {
+  FDQOS_REQUIRE(link.loss_probability >= 0.0 && link.loss_probability <= 1.0);
+  FDQOS_REQUIRE(link.delay_var_ms2 >= 0.0);
+  const double x = alpha_ms - link.delay_mean_ms;
+  if (x <= 0.0) return 1.0;  // Cantelli gives nothing below the mean
+  const double cantelli =
+      link.delay_var_ms2 / (link.delay_var_ms2 + x * x);
+  return link.loss_probability + (1.0 - link.loss_probability) * cantelli;
+}
+
+std::optional<NfdEConfiguration> configure_nfd_e(
+    const QosRequirements& requirements, const LinkCharacterization& link) {
+  const double td_u = requirements.max_detection_time.to_millis_double();
+  const double tmr_l = requirements.min_mistake_recurrence.to_millis_double();
+  const double tm_u = requirements.max_mistake_duration.to_millis_double();
+  FDQOS_REQUIRE(td_u > 0.0 && tmr_l > 0.0 && tm_u > 0.0);
+
+  // Scan candidate periods from large to small; the first feasible η is the
+  // message-optimal one. Feasibility is not monotone in η (the accuracy
+  // constraint relaxes with larger η, the detection constraint tightens),
+  // hence the scan rather than a bisection.
+  const double eta_hi = td_u;  // α must stay positive
+  const int kSteps = 4096;
+  for (int i = kSteps; i >= 1; --i) {
+    const double eta = eta_hi * static_cast<double>(i) / kSteps;
+    const double alpha = td_u - eta;
+    if (alpha <= link.delay_mean_ms) continue;  // Cantelli needs α > E[D]
+    // Mistake-duration: a wrong suspicion at τ_i is corrected by the next
+    // heartbeat at the latest, which arrives by σ_{i+1} + E[D]; measured
+    // from τ_i = σ_i + α that is η + E[D] − α.
+    const double tm_bound = eta + link.delay_mean_ms - alpha;
+    if (tm_bound > tm_u) continue;
+    const double p_miss = nfd_miss_probability(link, alpha);
+    if (p_miss > eta / tmr_l) continue;
+
+    NfdEConfiguration config;
+    config.eta = Duration::from_millis_double(eta);
+    config.alpha = Duration::from_millis_double(alpha);
+    config.margin_ms = alpha - link.delay_mean_ms;
+    config.miss_probability = p_miss;
+    config.detection_bound = Duration::from_millis_double(eta + alpha);
+    config.mistake_recurrence_bound =
+        Duration::from_millis_double(p_miss > 0.0 ? eta / p_miss : 1e15);
+    return config;
+  }
+  return std::nullopt;
+}
+
+FdSpec make_nfd_e_spec(const NfdEConfiguration& config) {
+  FdSpec spec;
+  spec.name = "NFD-E";
+  spec.predictor_label = "Mean";
+  spec.margin_label = "CONST";
+  spec.make_predictor = [] {
+    return std::make_unique<forecast::MeanPredictor>();
+  };
+  const double margin_ms = config.margin_ms;
+  spec.make_margin = [margin_ms] {
+    return std::make_unique<ConstantSafetyMargin>(margin_ms);
+  };
+  return spec;
+}
+
+}  // namespace fdqos::fd

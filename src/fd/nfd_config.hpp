@@ -1,0 +1,69 @@
+// NFD-E-style configuration from QoS requirements (Chen, Toueg, Aguilera,
+// DSN 2000 — the paper's reference [5] and the constant-margin baseline the
+// modular detector extends).
+//
+// Given application requirements
+//   T_D^U   — upper bound on detection time,
+//   T_MR^L  — lower bound on mean mistake recurrence,
+//   T_M^U   — upper bound on mean mistake duration,
+// and a probabilistic characterization of the link (loss probability p_L,
+// delay mean E[D] and variance V[D], all in ms), compute the heartbeat
+// period η and the constant freshness shift α such that the NFD-E detector
+// (MEAN-style expected arrival + constant margin) meets the requirements:
+//
+//   detection:   η + α ≤ T_D^U                     (freshness-point bound)
+//   accuracy:    p_miss(α) ≤ η / T_MR^L            (mistake rate bound)
+//   duration:    η + E[D] ≤ α + T_M^U              (mistake ends at next
+//                                                    arrival)
+// where the per-heartbeat miss probability is bounded via loss plus the
+// one-sided Chebyshev (Cantelli) inequality:
+//
+//   p_miss(α) = p_L + (1 − p_L) · V[D] / (V[D] + (α − E[D])²),  α > E[D].
+//
+// Among feasible (η, α) pairs the configurator returns the one with the
+// largest η — the fewest messages for the required QoS.
+#pragma once
+
+#include <optional>
+
+#include "common/time.hpp"
+#include "fd/suite.hpp"
+
+namespace fdqos::fd {
+
+struct QosRequirements {
+  Duration max_detection_time;       // T_D^U
+  Duration min_mistake_recurrence;   // T_MR^L
+  Duration max_mistake_duration;     // T_M^U
+};
+
+struct LinkCharacterization {
+  double loss_probability = 0.0;  // p_L
+  double delay_mean_ms = 0.0;     // E[D]
+  double delay_var_ms2 = 0.0;     // V[D]
+};
+
+struct NfdEConfiguration {
+  Duration eta;            // heartbeat period
+  Duration alpha;          // constant freshness shift (τ_i = σ_i + α)
+  double margin_ms = 0.0;  // α − E[D]: the constant safety margin beyond
+                           // the MEAN predictor
+  double miss_probability = 0.0;  // bounded per-heartbeat miss probability
+  // Guaranteed bounds implied by (η, α):
+  Duration detection_bound;            // η + α ≥ achieved T_D
+  Duration mistake_recurrence_bound;   // η / p_miss ≤ achieved E[T_MR]
+};
+
+// Bounded per-heartbeat miss probability for shift alpha (ms).
+double nfd_miss_probability(const LinkCharacterization& link, double alpha_ms);
+
+// Returns nullopt when no (η, α) pair can meet the requirements on this
+// link (e.g. T_MR^L · p_L > T_D^U: losses alone force too many mistakes).
+std::optional<NfdEConfiguration> configure_nfd_e(
+    const QosRequirements& requirements, const LinkCharacterization& link);
+
+// FdSpec for the configured detector: MEAN predictor + constant margin
+// α − E[D], runnable in the QoS experiment next to the paper suite.
+FdSpec make_nfd_e_spec(const NfdEConfiguration& config);
+
+}  // namespace fdqos::fd

@@ -1,0 +1,127 @@
+#include "fd/phi_accrual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "stats/normal.hpp"
+
+namespace fdqos::fd {
+
+// Intervals required before the normal approximation is trusted.
+constexpr std::size_t kMinSamples = 5;
+
+PhiAccrualDetector::PhiAccrualDetector(sim::Simulator& simulator,
+                                       Config config)
+    : simulator_(simulator), config_(std::move(config)) {
+  FDQOS_REQUIRE(config_.threshold > 0.0);
+  FDQOS_REQUIRE(config_.window >= 2);
+  FDQOS_REQUIRE(config_.min_stddev_ms > 0.0);
+  if (config_.name.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "PHI(%g)", config_.threshold);
+    config_.name = buf;
+  }
+  ring_.reserve(config_.window);
+}
+
+void PhiAccrualDetector::start() {
+  // Cold start: no interval estimate yet, arm the fallback timeout.
+  crossing_ = simulator_.schedule_after(config_.cold_start_timeout,
+                                        [this] { on_crossing(); });
+}
+
+double PhiAccrualDetector::interval_mean_ms() const {
+  const std::size_t n = std::min(count_, config_.window);
+  return n > 0 ? sum_ / static_cast<double>(n) : 0.0;
+}
+
+double PhiAccrualDetector::interval_stddev_ms() const {
+  const std::size_t n = std::min(count_, config_.window);
+  if (n < 2) return config_.min_stddev_ms;
+  const double mean = sum_ / static_cast<double>(n);
+  const double var =
+      std::max(0.0, sum_sq_ / static_cast<double>(n) - mean * mean);
+  return std::max(std::sqrt(var), config_.min_stddev_ms);
+}
+
+void PhiAccrualDetector::record_interval(double ms) {
+  if (count_ >= config_.window) {
+    const double evicted = ring_[count_ % config_.window];
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+    ring_[count_ % config_.window] = ms;
+  } else {
+    ring_.push_back(ms);
+  }
+  sum_ += ms;
+  sum_sq_ += ms * ms;
+  ++count_;
+}
+
+double PhiAccrualDetector::phi() const {
+  if (arrivals_ == 0 || count_ == 0) return 0.0;
+  const double since_ms =
+      (simulator_.now() - last_arrival_).to_millis_double();
+  const double z =
+      (since_ms - interval_mean_ms()) / interval_stddev_ms();
+  const double p_later = stats::normal_tail(z);
+  if (p_later <= 0.0) return 40.0;  // beyond double-precision tail
+  return -std::log10(p_later);
+}
+
+void PhiAccrualDetector::arm_crossing_timer() {
+  crossing_.cancel();
+  // Until a handful of intervals exist, the σ estimate is meaningless (it
+  // sits on the floor) and would hair-trigger the crossing; stay on the
+  // cold-start timeout while warming up.
+  if (count_ < kMinSamples) {
+    crossing_ = simulator_.schedule_after(config_.cold_start_timeout,
+                                          [this] { on_crossing(); });
+    return;
+  }
+  // φ(t) ≥ Φ exactly when t − t_last ≥ μ + σ·z with
+  // z = Φ_N⁻¹(1 − 10^−Φ); also never fire before the next heartbeat is
+  // even possible (elapsed ≥ 0 by construction).
+  const double p = std::pow(10.0, -config_.threshold);
+  const double z = stats::inverse_normal_cdf(1.0 - p);
+  const double wait_ms = interval_mean_ms() + z * interval_stddev_ms();
+  const TimePoint when =
+      last_arrival_ + Duration::from_millis_double(std::max(wait_ms, 0.0));
+  crossing_ = simulator_.schedule_at(std::max(when, simulator_.now()),
+                                     [this] { on_crossing(); });
+}
+
+void PhiAccrualDetector::on_crossing() { set_suspecting(true); }
+
+void PhiAccrualDetector::set_suspecting(bool suspecting) {
+  if (suspecting_ == suspecting) return;
+  suspecting_ = suspecting;
+  if (observer_) observer_(simulator_.now(), suspecting_);
+}
+
+void PhiAccrualDetector::handle_up(const net::Message& msg) {
+  if (msg.type != net::MessageType::kHeartbeat ||
+      msg.from != config_.monitored) {
+    deliver_up(msg);
+    return;
+  }
+  const TimePoint now = simulator_.now();
+  if (arrivals_ > 0) {
+    const double interval_ms = (now - last_arrival_).to_millis_double();
+    // An interval that dwarfs the current estimate spans a known anomaly —
+    // a crash gap, not jitter. Recording a single 30 s down-time would
+    // poison the window's μ/σ for hundreds of heartbeats (the paper's
+    // detectors never face this: their obs list holds delays, not gaps).
+    const bool anomalous_gap =
+        count_ >= kMinSamples && interval_ms > 3.0 * interval_mean_ms();
+    if (!anomalous_gap) record_interval(interval_ms);
+  }
+  last_arrival_ = now;
+  ++arrivals_;
+  set_suspecting(false);
+  arm_crossing_timer();
+}
+
+}  // namespace fdqos::fd

@@ -1,0 +1,85 @@
+// φ-accrual failure detector (Hayashibara, Défago, Yared, Katayama, SRDS
+// 2004 — the other adaptive-detector lineage, contemporary with the paper
+// and later adopted by Akka and Cassandra). Included as an extension
+// comparison point for the paper's predictor+margin family.
+//
+// Instead of a binary suspect/trust output with an engineered timeout, the
+// detector emits a continuous suspicion level
+//
+//   φ(t) = −log10 P(a heartbeat arrives after t | it was sent)
+//
+// where P is estimated from the recent inter-arrival distribution (normal
+// approximation over a sliding window). The application picks a threshold
+// Φ: suspicion starts when φ(t) ≥ Φ. Larger Φ trades detection speed for
+// accuracy — one scalar instead of the paper's (predictor, margin) grid.
+//
+// Implementation notes: rather than polling φ, the detector solves the
+// threshold crossing analytically — φ(t) ≥ Φ when t − t_last ≥ μ + σ·z
+// with z = Φ_N⁻¹(1 − 10^−Φ) — and arms a cancellable timer at that
+// instant; each arrival cancels and re-arms it. This keeps the
+// event-driven cost at O(1) per heartbeat, like the paper's detectors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::fd {
+
+class PhiAccrualDetector final : public runtime::Layer {
+ public:
+  struct Config {
+    net::NodeId monitored = 0;
+    double threshold = 8.0;          // Φ (Akka's default)
+    std::size_t window = 1000;       // sliding inter-arrival window
+    double min_stddev_ms = 2.0;      // floor on σ (degenerate-window guard)
+    // Until two heartbeats have arrived there is no interval estimate;
+    // suspect if nothing arrives within this budget.
+    Duration cold_start_timeout = Duration::seconds(3);
+    std::string name;                // default "PHI(th)"
+  };
+
+  using SuspectObserver = std::function<void(TimePoint, bool)>;
+
+  PhiAccrualDetector(sim::Simulator& simulator, Config config);
+
+  void set_observer(SuspectObserver observer) { observer_ = std::move(observer); }
+
+  void start() override;
+  void handle_up(const net::Message& msg) override;
+
+  const std::string& name() const { return config_.name; }
+  bool suspecting() const { return suspecting_; }
+  // Current suspicion level φ(now); 0 before the first heartbeat.
+  double phi() const;
+  std::size_t heartbeats_seen() const { return arrivals_; }
+  // Current inter-arrival estimates (ms).
+  double interval_mean_ms() const;
+  double interval_stddev_ms() const;
+
+ private:
+  void record_interval(double ms);
+  void arm_crossing_timer();
+  void on_crossing();
+  void set_suspecting(bool suspecting);
+
+  sim::Simulator& simulator_;
+  Config config_;
+  SuspectObserver observer_;
+
+  // Sliding-window moments of inter-arrival times.
+  std::vector<double> ring_;
+  std::size_t count_ = 0;  // total intervals recorded
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+
+  std::size_t arrivals_ = 0;
+  TimePoint last_arrival_;
+  bool suspecting_ = false;
+  sim::EventHandle crossing_;
+};
+
+}  // namespace fdqos::fd

@@ -1,0 +1,87 @@
+#include "fd/pull_detector.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::fd {
+
+PullDetector::PullDetector(sim::Simulator& simulator, Config config,
+                           std::unique_ptr<forecast::Predictor> rtt_predictor,
+                           std::unique_ptr<SafetyMargin> margin)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      predictor_(std::move(rtt_predictor)),
+      margin_(std::move(margin)) {
+  FDQOS_REQUIRE(config_.eta > Duration::zero());
+  FDQOS_REQUIRE(predictor_ != nullptr);
+  FDQOS_REQUIRE(margin_ != nullptr);
+  if (config_.name.empty()) {
+    config_.name = "pull:" + predictor_->name() + "+" + margin_->name();
+  }
+}
+
+double PullDetector::current_delta_ms() const {
+  if (observations_ == 0) return config_.cold_start_timeout.to_millis_double();
+  const double delta = predictor_->predict() + margin_->margin();
+  return delta > 0.0 ? delta : 0.0;
+}
+
+void PullDetector::start() { begin_cycle(0); }
+
+void PullDetector::begin_cycle(std::int64_t k) {
+  const std::int64_t next = k + 1;
+  const TimePoint sigma_next = config_.epoch + config_.eta * next;
+  const TimePoint tau_next =
+      sigma_next + Duration::from_millis_double(current_delta_ms());
+  // As in FreshnessDetector: a pong landing exactly on τ still counts.
+  simulator_.schedule_at(tau_next + Duration::nanos(1),
+                         [this, next] { freshness_reached(next); });
+  simulator_.schedule_at(sigma_next, [this, next] {
+    send_ping(next);
+    begin_cycle(next);
+  });
+}
+
+void PullDetector::send_ping(std::int64_t k) {
+  if (config_.max_cycles > 0 && k > config_.max_cycles) return;
+  net::Message ping;
+  ping.from = config_.self;
+  ping.to = config_.monitored;
+  ping.type = net::MessageType::kPing;
+  ping.seq = k;
+  ping.send_time = simulator_.now();
+  ++pings_sent_;
+  send_down(std::move(ping));
+}
+
+void PullDetector::freshness_reached(std::int64_t index) {
+  if (index > freshness_index_) freshness_index_ = index;
+  update_suspicion();
+}
+
+void PullDetector::handle_up(const net::Message& msg) {
+  if (msg.type != net::MessageType::kPong || msg.from != config_.monitored) {
+    deliver_up(msg);
+    return;
+  }
+  // RTT against our own clock: ping k left at σ_k, the pong returns now. No
+  // remote clock is read anywhere — pull's key deployment advantage.
+  const TimePoint sigma = config_.epoch + config_.eta * msg.seq;
+  double rtt_ms = (simulator_.now() - sigma).to_millis_double();
+  if (rtt_ms < 0.0) rtt_ms = 0.0;
+
+  margin_->observe(rtt_ms, predictor_->predict());
+  predictor_->observe(rtt_ms);
+  ++observations_;
+
+  if (msg.seq > max_pong_) max_pong_ = msg.seq;
+  update_suspicion();
+}
+
+void PullDetector::update_suspicion() {
+  const bool should_suspect = max_pong_ < freshness_index_;
+  if (should_suspect == suspecting_) return;
+  suspecting_ = should_suspect;
+  if (observer_) observer_(simulator_.now(), suspecting_);
+}
+
+}  // namespace fdqos::fd

@@ -1,0 +1,80 @@
+// PullDetector — pull-style (ping/pong) crash failure detector (paper §2.2).
+//
+// The monitor sends ping r_k at σ_k = k·η and expects pong p_k back; the
+// observed round-trip times drive the same predictor + safety-margin
+// timeout machinery as the push-style FreshnessDetector:
+//
+//   τ_{k+1} = σ_{k+1} + δ_{k+1},   δ = rtt_pred + sm
+//
+// and at t ∈ [τ_i, τ_{i+1}) the monitor trusts q iff some pong p_k with
+// k ≥ i has arrived. Pull costs two messages per cycle where push costs
+// one — the reason the paper calls push "generally considered better" for
+// continuous monitoring — but needs no clock synchronization at all: RTTs
+// are measured against the monitor's own clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "fd/safety_margin.hpp"
+#include "forecast/predictor.hpp"
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::fd {
+
+class PullDetector final : public runtime::Layer {
+ public:
+  struct Config {
+    Duration eta = Duration::seconds(1);  // ping period
+    net::NodeId self = 1;                 // monitor node (ping source)
+    net::NodeId monitored = 0;            // ping target
+    TimePoint epoch = TimePoint::origin();
+    Duration cold_start_timeout = Duration::seconds(1);
+    std::int64_t max_cycles = 0;  // 0 = unbounded pinging
+    std::string name;
+  };
+
+  using SuspectObserver = std::function<void(TimePoint, bool)>;
+
+  PullDetector(sim::Simulator& simulator, Config config,
+               std::unique_ptr<forecast::Predictor> rtt_predictor,
+               std::unique_ptr<SafetyMargin> margin);
+
+  void set_observer(SuspectObserver observer) { observer_ = std::move(observer); }
+
+  void start() override;
+  void handle_up(const net::Message& msg) override;
+
+  const std::string& name() const { return config_.name; }
+  bool suspecting() const { return suspecting_; }
+  std::int64_t max_pong_seq() const { return max_pong_; }
+  std::int64_t pings_sent() const { return pings_sent_; }
+  std::size_t observations() const { return observations_; }
+  // Current timeout δ = rtt_pred + sm, in milliseconds.
+  double current_delta_ms() const;
+
+  const forecast::Predictor& predictor() const { return *predictor_; }
+  const SafetyMargin& margin() const { return *margin_; }
+
+ private:
+  void begin_cycle(std::int64_t k);
+  void send_ping(std::int64_t k);
+  void freshness_reached(std::int64_t index);
+  void update_suspicion();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  std::unique_ptr<forecast::Predictor> predictor_;
+  std::unique_ptr<SafetyMargin> margin_;
+  SuspectObserver observer_;
+
+  std::int64_t max_pong_ = 0;
+  std::int64_t freshness_index_ = 0;
+  std::int64_t pings_sent_ = 0;
+  bool suspecting_ = false;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace fdqos::fd

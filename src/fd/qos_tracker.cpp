@@ -1,0 +1,133 @@
+#include "fd/qos_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fdqos::fd {
+
+QosTracker::QosTracker(TimePoint warmup_end)
+    : warmup_end_(warmup_end), up_since_(warmup_end) {}
+
+// Contribution of the suspicion interval [start, end] to wrong-suspicion
+// time: only the part after the warmup window counts, never negative.
+static Duration clipped_span(TimePoint start, TimePoint end,
+                             TimePoint warmup_end) {
+  const TimePoint from = std::max(start, warmup_end);
+  if (end <= from) return Duration::zero();
+  return end - from;
+}
+
+void QosTracker::process_crashed(TimePoint t) {
+  FDQOS_REQUIRE(up_);
+  up_ = false;
+  ++crashes_;
+  if (t > up_since_) observed_up_ += t - up_since_;
+  crash_time_ = t;
+
+  if (suspecting_) {
+    // The open mistake ends here; the detector is instantly "detecting".
+    if (mistake_start_) {
+      if (recordable(*mistake_start_)) {
+        t_m_.add((t - *mistake_start_).to_millis_double());
+      }
+      wrong_suspicion_ += clipped_span(*mistake_start_, t, warmup_end_);
+      mistake_start_.reset();
+    }
+    active_down_suspect_start_ = t;  // T_D = 0 unless later un-suspected
+  } else {
+    active_down_suspect_start_.reset();
+  }
+}
+
+void QosTracker::process_restored(TimePoint t) {
+  FDQOS_REQUIRE(!up_);
+  up_ = true;
+  up_since_ = std::max(t, warmup_end_);
+
+  FDQOS_ASSERT(crash_time_.has_value());
+  if (active_down_suspect_start_) {
+    ++detections_;
+    if (recordable(t)) {
+      t_d_.add((*active_down_suspect_start_ - *crash_time_).to_millis_double());
+    }
+  } else {
+    ++missed_;
+  }
+  crash_time_.reset();
+  active_down_suspect_start_.reset();
+  // If the detector is still suspecting, that residual belongs to the
+  // detection; suspect_ended while up with no open mistake is a no-op.
+}
+
+void QosTracker::suspect_started(TimePoint t) {
+  FDQOS_REQUIRE(!suspecting_);
+  suspecting_ = true;
+  if (up_) {
+    mistake_start_ = t;
+    if (last_mistake_start_ && recordable(t) && recordable(*last_mistake_start_)) {
+      t_mr_.add((t - *last_mistake_start_).to_millis_double());
+    }
+    last_mistake_start_ = t;
+  } else {
+    // (Re-)start of suspicion while down: the latest start is the one that
+    // turns out permanent.
+    active_down_suspect_start_ = t;
+  }
+}
+
+void QosTracker::suspect_ended(TimePoint t) {
+  FDQOS_REQUIRE(suspecting_);
+  suspecting_ = false;
+  if (up_) {
+    if (mistake_start_) {
+      if (recordable(*mistake_start_)) {
+        t_m_.add((t - *mistake_start_).to_millis_double());
+      }
+      wrong_suspicion_ += clipped_span(*mistake_start_, t, warmup_end_);
+      mistake_start_.reset();
+    }
+    // else: post-restore detection tail ending — not a mistake.
+  } else {
+    // An in-flight heartbeat (sent before the crash) un-suspected the
+    // detector during the down period: the previous start was not permanent.
+    active_down_suspect_start_.reset();
+  }
+}
+
+void QosTracker::finalize(TimePoint end_time) {
+  if (up_) {
+    if (end_time > up_since_) observed_up_ += end_time - up_since_;
+    if (mistake_start_ && suspecting_) {
+      // Censored mistake: counts toward availability, not toward T_M.
+      wrong_suspicion_ += clipped_span(*mistake_start_, end_time, warmup_end_);
+    }
+  }
+}
+
+QosMetrics QosTracker::metrics() const {
+  QosMetrics m;
+  m.detection_time_ms = t_d_.summary();
+  m.mistake_duration_ms = t_m_.summary();
+  m.mistake_recurrence_ms = t_mr_.summary();
+  m.crashes_observed = crashes_;
+  m.detections = detections_;
+  m.missed_detections = missed_;
+  m.mistakes = t_m_.count();
+
+  if (observed_up_ > Duration::zero()) {
+    m.availability = 1.0 - wrong_suspicion_.to_seconds_double() /
+                               observed_up_.to_seconds_double();
+  }
+  if (t_mr_.count() > 0 && t_mr_.mean() > 0.0) {
+    m.query_accuracy =
+        std::max(0.0, (t_mr_.mean() - t_m_.mean()) / t_mr_.mean());
+  } else {
+    // Too few mistakes to estimate a recurrence interval — fall back to the
+    // availability view of P_A.
+    m.query_accuracy = m.availability;
+  }
+  return m;
+}
+
+}  // namespace fdqos::fd

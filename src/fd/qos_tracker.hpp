@@ -1,0 +1,108 @@
+// QosTracker — computes the Chen/Toueg/Aguilera QoS metrics (paper §2.1)
+// from the event stream of one failure detector plus the crash-injector
+// ground truth:
+//
+//   T_D   detection time: crash → start of *permanent* suspicion
+//   T_D^U maximum observed detection time
+//   T_M   mistake duration: wrong suspicion start → correction
+//   T_MR  mistake recurrence: between starts of successive mistakes
+//   P_A   query accuracy probability (T_MR − T_M)/T_MR
+//
+// Classification rules:
+//  * A suspicion that starts while the process is down is (part of) a
+//    detection, not a mistake. Permanence is resolved at restore time: the
+//    T_D sample is the start of the suspicion interval still active when
+//    the process comes back (an in-flight heartbeat delivered just after a
+//    crash can briefly un-suspect a detector; the paper's T_D is defined on
+//    permanent suspicion, so the *last* start wins).
+//  * A suspicion that starts while the process is up is a mistake. If the
+//    process crashes while the mistake is open, the mistake closes at the
+//    crash instant and the detection time for that crash is 0 (already
+//    suspecting).
+//  * The residual suspicion after a restore (until the first fresh
+//    heartbeat) belongs to the preceding detection and is not a mistake.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "stats/running_stats.hpp"
+
+namespace fdqos::fd {
+
+struct QosMetrics {
+  stats::Summary detection_time_ms;  // T_D samples; .max is T_D^U
+  stats::Summary mistake_duration_ms;     // T_M
+  stats::Summary mistake_recurrence_ms;   // T_MR
+  double query_accuracy = 1.0;            // P_A from mean T_M / mean T_MR
+  double availability = 1.0;  // 1 − wrong-suspicion time / observed up time
+  std::uint64_t crashes_observed = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t missed_detections = 0;  // restore arrived with no suspicion
+  std::uint64_t mistakes = 0;
+};
+
+class QosTracker {
+ public:
+  // Events before `warmup_end` still update state but produce no samples
+  // (estimators are cold in the first cycles; the paper's runs are long
+  // enough to swamp this, ours exclude it explicitly).
+  explicit QosTracker(TimePoint warmup_end = TimePoint::origin());
+
+  // Ground truth from the crash injector.
+  void process_crashed(TimePoint t);
+  void process_restored(TimePoint t);
+
+  // Detector transitions.
+  void suspect_started(TimePoint t);
+  void suspect_ended(TimePoint t);
+
+  // Close the books at the end of the run (open intervals are discarded as
+  // censored rather than recorded short).
+  void finalize(TimePoint end_time);
+
+  QosMetrics metrics() const;
+
+  bool process_up() const { return up_; }
+  bool detector_suspecting() const { return suspecting_; }
+
+  // Raw accumulators, for pooling samples across experiment runs.
+  const stats::RunningStats& td_stats() const { return t_d_; }
+  const stats::RunningStats& tm_stats() const { return t_m_; }
+  const stats::RunningStats& tmr_stats() const { return t_mr_; }
+  Duration observed_up_time() const { return observed_up_; }
+  Duration wrong_suspicion_time() const { return wrong_suspicion_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  std::uint64_t detection_count() const { return detections_; }
+  std::uint64_t missed_detection_count() const { return missed_; }
+
+ private:
+  bool recordable(TimePoint t) const { return t >= warmup_end_; }
+
+  TimePoint warmup_end_;
+  bool up_ = true;
+  bool suspecting_ = false;
+
+  // Crash bookkeeping.
+  std::optional<TimePoint> crash_time_;
+  std::optional<TimePoint> active_down_suspect_start_;
+
+  // Mistake bookkeeping.
+  std::optional<TimePoint> mistake_start_;
+  std::optional<TimePoint> last_mistake_start_;
+
+  // Up-time accounting for availability.
+  TimePoint up_since_ = TimePoint::origin();
+  Duration observed_up_ = Duration::zero();
+  Duration wrong_suspicion_ = Duration::zero();
+
+  stats::RunningStats t_d_;
+  stats::RunningStats t_m_;
+  stats::RunningStats t_mr_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t detections_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace fdqos::fd

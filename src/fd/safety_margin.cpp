@@ -1,0 +1,179 @@
+#include "fd/safety_margin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::fd {
+
+CiSafetyMargin::CiSafetyMargin(double gamma, std::string label)
+    : label_(std::move(label)), gamma_(gamma) {
+  FDQOS_REQUIRE(gamma > 0.0);
+  if (label_.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "CI(%g)", gamma_);
+    name_ = buf;
+  } else {
+    name_ = "CI_" + label_;
+  }
+}
+
+void CiSafetyMargin::observe(double obs, double /*prediction_for_obs*/) {
+  ++n_;
+  const double delta = obs - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (obs - mean_);
+  last_obs_ = obs;
+}
+
+double CiSafetyMargin::margin() const {
+  if (n_ < 2) return 0.0;
+  const double sigma = std::sqrt(m2_ / static_cast<double>(n_ - 1));
+  const double dev = last_obs_ - mean_;
+  double inflation = 1.0 + 1.0 / static_cast<double>(n_);
+  if (m2_ > 0.0) inflation += dev * dev / m2_;
+  return gamma_ * sigma * std::sqrt(inflation);
+}
+
+std::unique_ptr<SafetyMargin> CiSafetyMargin::make_fresh() const {
+  return std::make_unique<CiSafetyMargin>(gamma_, label_);
+}
+
+JacobsonSafetyMargin::JacobsonSafetyMargin(double phi, double alpha,
+                                           std::string label)
+    : label_(std::move(label)), phi_(phi), alpha_(alpha) {
+  FDQOS_REQUIRE(phi > 0.0);
+  FDQOS_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  if (label_.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "JAC(%g)", phi_);
+    name_ = buf;
+  } else {
+    name_ = "JAC_" + label_;
+  }
+}
+
+void JacobsonSafetyMargin::observe(double obs, double prediction_for_obs) {
+  const double abs_err = std::fabs(obs - prediction_for_obs);
+  // v ← v + α(|err| − v). φ scales the *output* (sm = φ·v): scaling inside
+  // the recursion, as a literal reading of the paper's formula would do,
+  // diverges geometrically for φ(1−α) > 1 (e.g. φ = 4, α = 1/4); the
+  // Jacobson scheme the paper cites ([13], and Bertier et al. [2]) keeps
+  // the EWMA unscaled and multiplies at use. Documented in DESIGN.md.
+  deviation_ += alpha_ * (abs_err - deviation_);
+}
+
+std::unique_ptr<SafetyMargin> JacobsonSafetyMargin::make_fresh() const {
+  return std::make_unique<JacobsonSafetyMargin>(phi_, alpha_, label_);
+}
+
+RmsSafetyMargin::RmsSafetyMargin(double gamma, double alpha, std::string label)
+    : label_(std::move(label)), gamma_(gamma), alpha_(alpha) {
+  FDQOS_REQUIRE(gamma > 0.0);
+  FDQOS_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  if (label_.empty()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "RMS(%g)", gamma_);
+    name_ = buf;
+  } else {
+    name_ = "RMS_" + label_;
+  }
+}
+
+void RmsSafetyMargin::observe(double obs, double prediction_for_obs) {
+  const double err = obs - prediction_for_obs;
+  variance_ += alpha_ * (err * err - variance_);
+}
+
+double RmsSafetyMargin::margin() const { return gamma_ * std::sqrt(variance_); }
+
+std::unique_ptr<SafetyMargin> RmsSafetyMargin::make_fresh() const {
+  return std::make_unique<RmsSafetyMargin>(gamma_, alpha_, label_);
+}
+
+WindowedCiSafetyMargin::WindowedCiSafetyMargin(double gamma,
+                                               std::size_t window,
+                                               std::string label)
+    : label_(std::move(label)), gamma_(gamma), capacity_(window) {
+  FDQOS_REQUIRE(gamma > 0.0);
+  FDQOS_REQUIRE(window >= 2);
+  if (label_.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "WCI(%g,%zu)", gamma_, capacity_);
+    name_ = buf;
+  } else {
+    name_ = "WCI_" + label_;
+  }
+  ring_.reserve(capacity_);
+}
+
+void WindowedCiSafetyMargin::observe(double obs, double /*prediction*/) {
+  if (count_ >= capacity_) {
+    const double evicted = ring_[count_ % capacity_];
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+    ring_[count_ % capacity_] = obs;
+  } else {
+    ring_.push_back(obs);
+  }
+  sum_ += obs;
+  sum_sq_ += obs * obs;
+  ++count_;
+  last_obs_ = obs;
+}
+
+double WindowedCiSafetyMargin::margin() const {
+  const std::size_t n = std::min(count_, capacity_);
+  if (n < 2) return 0.0;
+  const double mean = sum_ / static_cast<double>(n);
+  const double m2 =
+      std::max(0.0, sum_sq_ - sum_ * sum_ / static_cast<double>(n));
+  const double sigma = std::sqrt(m2 / static_cast<double>(n - 1));
+  const double dev = last_obs_ - mean;
+  double inflation = 1.0 + 1.0 / static_cast<double>(n);
+  if (m2 > 0.0) inflation += dev * dev / m2;
+  return gamma_ * sigma * std::sqrt(inflation);
+}
+
+std::unique_ptr<SafetyMargin> WindowedCiSafetyMargin::make_fresh() const {
+  return std::make_unique<WindowedCiSafetyMargin>(gamma_, capacity_, label_);
+}
+
+MaxSafetyMargin::MaxSafetyMargin(std::unique_ptr<SafetyMargin> first,
+                                 std::unique_ptr<SafetyMargin> second)
+    : first_(std::move(first)), second_(std::move(second)) {
+  FDQOS_REQUIRE(first_ != nullptr && second_ != nullptr);
+  name_ = "MAX(" + first_->name() + "," + second_->name() + ")";
+}
+
+void MaxSafetyMargin::observe(double obs, double prediction_for_obs) {
+  first_->observe(obs, prediction_for_obs);
+  second_->observe(obs, prediction_for_obs);
+}
+
+double MaxSafetyMargin::margin() const {
+  return std::max(first_->margin(), second_->margin());
+}
+
+std::unique_ptr<SafetyMargin> MaxSafetyMargin::make_fresh() const {
+  return std::make_unique<MaxSafetyMargin>(first_->make_fresh(),
+                                           second_->make_fresh());
+}
+
+ConstantSafetyMargin::ConstantSafetyMargin(double margin_ms)
+    : margin_(margin_ms) {
+  FDQOS_REQUIRE(margin_ms >= 0.0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "CONST(%gms)", margin_);
+  name_ = buf;
+}
+
+void ConstantSafetyMargin::observe(double /*obs*/, double /*prediction*/) {}
+
+std::unique_ptr<SafetyMargin> ConstantSafetyMargin::make_fresh() const {
+  return std::make_unique<ConstantSafetyMargin>(margin_);
+}
+
+}  // namespace fdqos::fd

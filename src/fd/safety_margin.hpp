@@ -1,0 +1,180 @@
+// Safety margins (paper §3.2).
+//
+// The timeout for cycle i is δ_i = pred_i + sm_i: the predictor forecasts
+// the next heartbeat delay, the safety margin absorbs prediction error to
+// limit premature (false-positive) suspicion. Two adaptive families from
+// the paper, plus the constant margin of Chen et al.'s NFD-E as the
+// literature baseline:
+//
+//   SM_CI(γ)  — confidence-interval style; depends only on the observed
+//               delay process (the predictor does not appear):
+//               sm = γ·σ̂·sqrt(1 + 1/n + (obs_n − ō)² / Σ(obs_j − ō)²)
+//   SM_JAC(φ) — Jacobson RTO style; driven by the predictor's error:
+//               v ← v + α·(|obs_n − pred| − v),  sm = φ·v,  α = 1/4
+//   SM_CONST  — fixed value derived offline from QoS requirements (NFD-E).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fdqos::fd {
+
+class SafetyMargin {
+ public:
+  virtual ~SafetyMargin() = default;
+
+  // Called once per received heartbeat, with the observed delay and the
+  // prediction that had been issued for it (i.e. the predictor's forecast
+  // *before* it saw `obs`). Both in milliseconds.
+  virtual void observe(double obs, double prediction_for_obs) = 0;
+
+  // Current margin sm_{k+1} in milliseconds (never negative).
+  virtual double margin() const = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual std::unique_ptr<SafetyMargin> make_fresh() const = 0;
+};
+
+using SafetyMarginFactory = std::function<std::unique_ptr<SafetyMargin>()>;
+
+class CiSafetyMargin final : public SafetyMargin {
+ public:
+  explicit CiSafetyMargin(double gamma, std::string label = {});
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  std::string name_;
+  std::string label_;
+  double gamma_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;       // Σ(obs − mean)²
+  double last_obs_ = 0.0;
+};
+
+class JacobsonSafetyMargin final : public SafetyMargin {
+ public:
+  explicit JacobsonSafetyMargin(double phi, double alpha = 0.25,
+                                std::string label = {});
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override { return phi_ * deviation_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+  double phi() const { return phi_; }
+  double alpha() const { return alpha_; }
+  // The unscaled smoothed |error| (Jacobson's rttvar analogue).
+  double deviation() const { return deviation_; }
+
+ private:
+  std::string name_;
+  std::string label_;
+  double phi_;
+  double alpha_;
+  double deviation_ = 0.0;
+};
+
+// Extension: variance-driven margin — the RMS sibling of SM_JAC. Where
+// Jacobson smooths |err|, this smooths err² and takes the root:
+//   v ← v + α·(err² − v),   sm = γ·sqrt(v)
+// i.e. γ standard deviations of the recent prediction error. Penalizes
+// occasional large misses more than SM_JAC (a squared-loss vs absolute-loss
+// choice), which matters for predictors like LAST whose errors are small
+// except at spikes.
+class RmsSafetyMargin final : public SafetyMargin {
+ public:
+  explicit RmsSafetyMargin(double gamma, double alpha = 0.25,
+                           std::string label = {});
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+  double gamma() const { return gamma_; }
+  double alpha() const { return alpha_; }
+  // Smoothed squared error (the EWMA variance estimate).
+  double error_variance() const { return variance_; }
+
+ private:
+  std::string name_;
+  std::string label_;
+  double gamma_;
+  double alpha_;
+  double variance_ = 0.0;
+};
+
+// Extension: SM_CI computed over a sliding window of the last N
+// observations instead of the full history. The paper's SM_CI hardens as n
+// grows (the 1/n and deviation terms vanish, σ̂ converges on the global
+// mixture), so after hours it no longer tracks regime changes; the
+// windowed variant trades some estimator noise for adaptivity.
+class WindowedCiSafetyMargin final : public SafetyMargin {
+ public:
+  WindowedCiSafetyMargin(double gamma, std::size_t window,
+                         std::string label = {});
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+  double gamma() const { return gamma_; }
+  std::size_t window() const { return capacity_; }
+
+ private:
+  std::string name_;
+  std::string label_;
+  double gamma_;
+  std::size_t capacity_;
+  std::vector<double> ring_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double last_obs_ = 0.0;
+};
+
+// Extension beyond the paper (its §6 asks how the CI/JAC trade-off
+// generalizes): the pointwise maximum of two margins — e.g. CI ∨ JAC covers
+// both network-level variance and predictor error, paying the larger
+// timeout of the two at each instant.
+class MaxSafetyMargin final : public SafetyMargin {
+ public:
+  MaxSafetyMargin(std::unique_ptr<SafetyMargin> first,
+                  std::unique_ptr<SafetyMargin> second);
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SafetyMargin> first_;
+  std::unique_ptr<SafetyMargin> second_;
+};
+
+class ConstantSafetyMargin final : public SafetyMargin {
+ public:
+  explicit ConstantSafetyMargin(double margin_ms);
+
+  void observe(double obs, double prediction_for_obs) override;
+  double margin() const override { return margin_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<SafetyMargin> make_fresh() const override;
+
+ private:
+  std::string name_;
+  double margin_;
+};
+
+}  // namespace fdqos::fd

@@ -1,0 +1,100 @@
+#include "fd/suite.hpp"
+
+#include "common/assert.hpp"
+#include "forecast/basic_predictors.hpp"
+
+namespace fdqos::fd {
+
+std::vector<std::string> paper_predictor_labels() {
+  return {"Arima", "Last", "LPF", "Mean", "WinMean"};
+}
+
+std::vector<std::string> paper_margin_labels() {
+  return {"CI_low", "CI_med", "CI_high", "JAC_low", "JAC_med", "JAC_high"};
+}
+
+forecast::PredictorFactory make_paper_predictor(const std::string& label,
+                                                const PaperParams& params) {
+  if (label == "Arima") {
+    return [order = params.arima_order, refit = params.n_arima] {
+      forecast::ArimaPredictorConfig config;
+      config.refit_every = refit;
+      return std::make_unique<forecast::ArimaPredictor>(order, config);
+    };
+  }
+  if (label == "Last") {
+    return [] { return std::make_unique<forecast::LastPredictor>(); };
+  }
+  if (label == "LPF") {
+    return [beta = params.lpf_beta] {
+      return std::make_unique<forecast::LpfPredictor>(beta);
+    };
+  }
+  if (label == "Mean") {
+    return [] { return std::make_unique<forecast::MeanPredictor>(); };
+  }
+  if (label == "WinMean") {
+    return [window = params.winmean_window] {
+      return std::make_unique<forecast::WinMeanPredictor>(window);
+    };
+  }
+  FDQOS_REQUIRE(!"unknown predictor label");
+  return {};
+}
+
+SafetyMarginFactory make_paper_margin(const std::string& label,
+                                      const PaperParams& params) {
+  static const char* kLevels[3] = {"low", "med", "high"};
+  for (int i = 0; i < 3; ++i) {
+    if (label == std::string("CI_") + kLevels[i]) {
+      return [gamma = params.gammas[static_cast<std::size_t>(i)],
+              lvl = std::string(kLevels[i])] {
+        return std::make_unique<CiSafetyMargin>(gamma, lvl);
+      };
+    }
+    if (label == std::string("JAC_") + kLevels[i]) {
+      return [phi = params.phis[static_cast<std::size_t>(i)],
+              alpha = params.jacobson_alpha, lvl = std::string(kLevels[i])] {
+        return std::make_unique<JacobsonSafetyMargin>(phi, alpha, lvl);
+      };
+    }
+  }
+  FDQOS_REQUIRE(!"unknown margin label");
+  return {};
+}
+
+std::vector<FdSpec> make_paper_suite(const PaperParams& params) {
+  std::vector<FdSpec> suite;
+  for (const auto& pred : paper_predictor_labels()) {
+    for (const auto& margin : paper_margin_labels()) {
+      FdSpec spec;
+      spec.name = pred + "+" + margin;
+      spec.predictor_label = pred;
+      spec.margin_label = margin;
+      spec.make_predictor = make_paper_predictor(pred, params);
+      spec.make_margin = make_paper_margin(margin, params);
+      suite.push_back(std::move(spec));
+    }
+  }
+  FDQOS_ASSERT(suite.size() == 30);
+  return suite;
+}
+
+std::vector<FdSpec> make_constant_margin_suite(double margin_ms,
+                                               const PaperParams& params) {
+  std::vector<FdSpec> suite;
+  for (const auto& pred : paper_predictor_labels()) {
+    FdSpec spec;
+    spec.name = pred + "+CONST";
+    spec.predictor_label = pred;
+    spec.margin_label = "CONST";
+    spec.make_predictor = make_paper_predictor(pred, params);
+    spec.make_margin = [margin_ms] {
+      return std::make_unique<ConstantSafetyMargin>(margin_ms);
+    };
+    suite.push_back(std::move(spec));
+  }
+  return suite;
+}
+
+}  // namespace fdqos::fd

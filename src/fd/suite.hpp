@@ -1,0 +1,56 @@
+// The paper's failure-detector family: 5 predictors × 6 safety margins
+// (Tables 1 and 2), plus the NFD-E constant-margin baseline of Chen et al.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fd/safety_margin.hpp"
+#include "forecast/arima/arima_predictor.hpp"
+#include "forecast/predictor.hpp"
+
+namespace fdqos::fd {
+
+// Paper parameter choices.
+struct PaperParams {
+  // Table 1 — safety margins.
+  std::array<double, 3> gammas{1.0, 2.0, 3.31};  // SM_CI: low, med, high
+  std::array<double, 3> phis{1.0, 2.0, 4.0};     // SM_JAC: low, med, high
+  double jacobson_alpha = 0.25;                  // α = 1/4 (Jacobson [13])
+  // Table 2 — predictors.
+  std::size_t winmean_window = 10;
+  double lpf_beta = 0.125;  // β = 1/8
+  forecast::ArimaOrder arima_order{2, 1, 1};
+  std::size_t n_arima = 1000;  // refit cadence
+};
+
+struct FdSpec {
+  std::string name;             // e.g. "Arima+CI_low"
+  std::string predictor_label;  // e.g. "Arima" (figure series label)
+  std::string margin_label;     // e.g. "CI_low" (figure x-axis label)
+  forecast::PredictorFactory make_predictor;
+  SafetyMarginFactory make_margin;
+};
+
+// Figure ordering used throughout the benches (matches the paper's plots).
+std::vector<std::string> paper_predictor_labels();  // Arima, Last, LPF, Mean, WinMean
+std::vector<std::string> paper_margin_labels();     // CI_low..JAC_high
+
+// One factory per paper predictor, keyed by its figure label.
+forecast::PredictorFactory make_paper_predictor(const std::string& label,
+                                                const PaperParams& params = {});
+// One factory per paper margin, keyed by its figure label.
+SafetyMarginFactory make_paper_margin(const std::string& label,
+                                      const PaperParams& params = {});
+
+// The full 30-detector suite, predictor-major in figure order.
+std::vector<FdSpec> make_paper_suite(const PaperParams& params = {});
+
+// NFD-E-style baselines: constant safety margin (value from offline QoS
+// computation) under each paper predictor. Chen et al.'s NFD-E is the
+// MEAN + constant entry.
+std::vector<FdSpec> make_constant_margin_suite(double margin_ms,
+                                               const PaperParams& params = {});
+
+}  // namespace fdqos::fd

@@ -1,0 +1,21 @@
+#include "forecast/arima/acf.hpp"
+
+#include "common/assert.hpp"
+#include "forecast/arima/levinson.hpp"
+#include "stats/autocorrelation.hpp"
+
+namespace fdqos::forecast {
+
+std::vector<double> sample_acf(std::span<const double> series,
+                               std::size_t max_lag) {
+  return stats::acf(series, max_lag);
+}
+
+std::vector<double> sample_pacf(std::span<const double> series,
+                                std::size_t max_lag) {
+  FDQOS_REQUIRE(max_lag >= 1);
+  const ArFit fit = fit_ar_yule_walker(series, max_lag);
+  return fit.reflection;
+}
+
+}  // namespace fdqos::forecast

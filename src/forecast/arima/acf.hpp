@@ -1,0 +1,21 @@
+// Autocorrelation / partial autocorrelation for model identification.
+//
+// Thin façade over stats::acf plus the PACF (computed from the Levinson–
+// Durbin recursion), used by order selection and by diagnostics in the
+// experiment reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdqos::forecast {
+
+// Autocorrelations rho_0..rho_max_lag (rho_0 = 1).
+std::vector<double> sample_acf(std::span<const double> series,
+                               std::size_t max_lag);
+
+// Partial autocorrelations pacf_1..pacf_max_lag.
+std::vector<double> sample_pacf(std::span<const double> series,
+                                std::size_t max_lag);
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,88 @@
+#include "forecast/arima/arima_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::forecast {
+
+std::string ArimaOrder::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ARIMA(%zu,%zu,%zu)", p, d, q);
+  return buf;
+}
+
+ArimaModel::ArimaModel(ArimaOrder order, ArimaCoefficients coeffs)
+    : order_(order),
+      coeffs_(std::move(coeffs)),
+      diff_(order.d),
+      recent_w_(order.p > 0 ? order.p : 1, 0.0),
+      recent_a_(order.q > 0 ? order.q : 1, 0.0) {
+  FDQOS_REQUIRE(coeffs_.ar.size() == order_.p);
+  FDQOS_REQUIRE(coeffs_.ma.size() == order_.q);
+}
+
+void ArimaModel::prime(std::span<const double> history) {
+  diff_.reset();
+  w_count_ = 0;
+  a_count_ = 0;
+  has_pending_forecast_ = false;
+  pending_w_forecast_ = 0.0;
+  last_z_ = 0.0;
+  for (double z : history) observe(z);
+}
+
+double ArimaModel::forecast_differenced() const {
+  double w_hat = coeffs_.intercept;
+  // Lag i: the i-th most recent W value; missing lags (warmup) contribute 0,
+  // which is the unconditional mean of a differenced series.
+  for (std::size_t i = 1; i <= order_.p; ++i) {
+    if (i > w_count_) break;
+    const std::size_t idx = (w_count_ - i) % recent_w_.size();
+    w_hat += coeffs_.ar[i - 1] * recent_w_[idx];
+  }
+  for (std::size_t j = 1; j <= order_.q; ++j) {
+    if (j > a_count_) break;
+    const std::size_t idx = (a_count_ - j) % recent_a_.size();
+    w_hat += coeffs_.ma[j - 1] * recent_a_[idx];
+  }
+  return w_hat;
+}
+
+void ArimaModel::observe(double z) {
+  last_z_ = z;
+  const double w = diff_.push(z);
+  if (!diff_.ready()) return;
+
+  // Residual of the forecast issued for this W. For the very first
+  // differenced point no forecast was outstanding; the unconditional
+  // forecast (the intercept — empty AR/MA history) plays that role, as in
+  // conditional maximum likelihood.
+  const double a = has_pending_forecast_ ? w - pending_w_forecast_
+                                         : w - coeffs_.intercept;
+
+  if (order_.p > 0) {
+    recent_w_[w_count_ % recent_w_.size()] = w;
+  }
+  ++w_count_;
+  if (order_.q > 0) {
+    recent_a_[a_count_ % recent_a_.size()] = a;
+  }
+  ++a_count_;
+
+  pending_w_forecast_ = forecast_differenced();
+  has_pending_forecast_ = true;
+}
+
+double ArimaModel::forecast() const {
+  if (!diff_.ready() || !has_pending_forecast_) {
+    // Not enough history to difference: fall back to persistence.
+    return last_z_;
+  }
+  const double z_hat = diff_.integrate_forecast(pending_w_forecast_);
+  if (!std::isfinite(z_hat)) return last_z_;
+  return z_hat;
+}
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,48 @@
+// Differencing operators for the "I" in ARIMA.
+//
+// ∇Z_t = Z_t − Z_{t−1}; ∇^d applies d times. Forecasts of the differenced
+// series are mapped back to the original scale by integrating against the
+// most recent values at each differencing level (see DifferenceState).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fdqos::forecast {
+
+// Returns ∇^d(series); the result has series.size() - d elements.
+std::vector<double> difference(std::span<const double> series, std::size_t d);
+
+// Incremental differencing / integration state.
+//
+// Maintains the latest value at each differencing level 0..d. Pushing a new
+// raw observation yields the new d-th difference; integrating a forecast of
+// the d-th difference yields a forecast on the original scale.
+class DifferenceState {
+ public:
+  explicit DifferenceState(std::size_t d);
+
+  std::size_t order() const { return last_.size() - 1; }
+  // Number of raw observations pushed so far.
+  std::size_t count() const { return n_; }
+  // True once enough observations have been pushed to form a d-th
+  // difference (count() > d).
+  bool ready() const { return n_ > order(); }
+
+  // Push a raw observation; returns the new d-th difference when ready()
+  // becomes/is true, otherwise 0 (callers must check ready()).
+  double push(double z);
+
+  // Map a one-step forecast of the d-th difference back to the original
+  // scale: ẑ = ŵ + last_[d−1] + ... + last_[0] chain.
+  double integrate_forecast(double w_hat) const;
+
+  void reset();
+
+ private:
+  std::vector<double> last_;  // last_[k] = latest value of ∇^k Z
+  std::size_t n_ = 0;
+};
+
+}  // namespace fdqos::forecast

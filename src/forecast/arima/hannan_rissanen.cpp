@@ -1,0 +1,103 @@
+#include "forecast/arima/hannan_rissanen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "forecast/arima/difference.hpp"
+#include "forecast/arima/levinson.hpp"
+#include "forecast/arima/linalg.hpp"
+#include "stats/autocorrelation.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+// Pure-mean "ARMA(0,0)" fit.
+ArmaFitResult fit_constant(std::span<const double> w) {
+  ArmaFitResult result;
+  result.ok = !w.empty();
+  result.coeffs.intercept = stats::mean(w);
+  result.residual_variance = stats::variance(w);
+  result.rows = w.size();
+  return result;
+}
+
+}  // namespace
+
+ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
+                                       std::size_t p, std::size_t q) {
+  if (p == 0 && q == 0) return fit_constant(w);
+
+  ArmaFitResult result;
+  const std::size_t n = w.size();
+
+  // Stage 1: long AR for innovation estimates. The long order must dominate
+  // both p and q but stay small relative to n.
+  const std::size_t want_m = std::max<std::size_t>(20, p + q + 10);
+  if (n < 4 * (p + q + 1) || n / 4 == 0) return result;  // too short
+  const std::size_t m = std::min(want_m, n / 4);
+  if (m == 0 || n <= m + q + p + 2) return result;
+
+  const double mu = stats::mean(w);
+  std::vector<double> x(w.begin(), w.end());
+  for (auto& v : x) v -= mu;
+
+  const ArFit long_ar = fit_ar_yule_walker(x, m);
+
+  // Residuals â_t for t in [m, n).
+  std::vector<double> a(n, 0.0);
+  for (std::size_t t = m; t < n; ++t) {
+    double pred = 0.0;
+    for (std::size_t i = 1; i <= m; ++i) pred += long_ar.phi[i - 1] * x[t - i];
+    a[t] = x[t] - pred;
+  }
+
+  // Stage 2: OLS of w_t on [1, w_{t-1..t-p}, â_{t-1..t-q}] for t where every
+  // regressor is defined: t ≥ m + q (residuals) and t ≥ p (lags; m ≥ p here
+  // only if m ≥ p — enforce with start).
+  const std::size_t start = std::max(m + q, p);
+  if (n <= start) return result;
+  const std::size_t rows = n - start;
+  const std::size_t k = 1 + p + q;
+  if (rows < k + 2) return result;
+
+  Matrix design(rows, k);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = start + r;
+    y[r] = w[t];
+    design.at(r, 0) = 1.0;
+    for (std::size_t i = 1; i <= p; ++i) design.at(r, i) = w[t - i];
+    for (std::size_t j = 1; j <= q; ++j) design.at(r, p + j) = a[t - j];
+  }
+
+  std::vector<double> beta;
+  if (!least_squares(design, y, beta)) return result;
+
+  result.coeffs.intercept = beta[0];
+  result.coeffs.ar.assign(beta.begin() + 1, beta.begin() + 1 + p);
+  result.coeffs.ma.assign(beta.begin() + 1 + p, beta.end());
+  for (double b : beta) {
+    if (!std::isfinite(b)) return result;
+  }
+
+  // In-sample residual variance of the stage-2 fit.
+  double ss = 0.0;
+  const std::vector<double> fitted = design * beta;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double e = y[r] - fitted[r];
+    ss += e * e;
+  }
+  result.residual_variance = ss / static_cast<double>(rows);
+  result.rows = rows;
+  result.ok = true;
+  return result;
+}
+
+ArmaFitResult fit_arima(std::span<const double> z, const ArimaOrder& order) {
+  if (z.size() <= order.d) return {};
+  const std::vector<double> w = difference(z, order.d);
+  return fit_arma_hannan_rissanen(w, order.p, order.q);
+}
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,31 @@
+// Hannan–Rissanen two-stage ARMA estimation.
+//
+// Stage 1 fits a long autoregression (Levinson–Durbin on the sample ACF)
+// whose residuals estimate the unobservable innovations. Stage 2 regresses
+// the series on its own lags and the lagged residual estimates — ordinary
+// least squares, giving the ARMA coefficients in regression form (see
+// arima_model.hpp for the sign convention).
+#pragma once
+
+#include <span>
+
+#include "forecast/arima/arima_model.hpp"
+
+namespace fdqos::forecast {
+
+struct ArmaFitResult {
+  bool ok = false;
+  ArimaCoefficients coeffs;
+  double residual_variance = 0.0;  // stage-2 in-sample residual variance
+  std::size_t rows = 0;            // regression rows used
+};
+
+// Fits ARMA(p, q) to `w` (already differenced / stationary).
+// Fails (ok = false) when the series is too short for the requested order.
+ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
+                                       std::size_t p, std::size_t q);
+
+// Differences `z` d times, then fits ARMA(p, q) to the result.
+ArmaFitResult fit_arima(std::span<const double> z, const ArimaOrder& order);
+
+}  // namespace fdqos::forecast

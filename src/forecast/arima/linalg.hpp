@@ -1,0 +1,47 @@
+// Small dense linear algebra for ARMA estimation.
+//
+// Problem sizes here are tiny (normal equations of order p+q+1 ≤ ~25), so a
+// plain row-major matrix with Cholesky solves is both sufficient and easy to
+// verify.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fdqos::forecast {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix identity(std::size_t n);
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A·x = b for symmetric positive-definite A via Cholesky.
+// Returns false (x unspecified) if A is not positive definite.
+bool cholesky_solve(const Matrix& a, std::span<const double> b,
+                    std::vector<double>& x);
+
+// Ordinary least squares: minimizes ‖X·beta − y‖². Solves the normal
+// equations with a small ridge term (relative to trace(XᵀX)) for numerical
+// robustness against collinear regressors. Returns false on failure.
+bool least_squares(const Matrix& x, std::span<const double> y,
+                   std::vector<double>& beta);
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,65 @@
+#include "forecast/arima/order_selection.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "forecast/arima/hannan_rissanen.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+// One-step msqerr on the holdout: prime on train, then score each holdout
+// point before observing it.
+double holdout_msqerr(ArimaModel model, std::span<const double> train,
+                      std::span<const double> test) {
+  model.prime(train);
+  double ss = 0.0;
+  for (double z : test) {
+    const double err = z - model.forecast();
+    ss += err * err;
+    model.observe(z);
+  }
+  if (test.empty()) return std::numeric_limits<double>::infinity();
+  const double msq = ss / static_cast<double>(test.size());
+  return std::isfinite(msq) ? msq : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+OrderSelectionResult select_arima_order(std::span<const double> series,
+                                        const OrderSelectionConfig& config) {
+  FDQOS_REQUIRE(series.size() >= 32);
+  FDQOS_REQUIRE(config.train_fraction > 0.0 && config.train_fraction < 1.0);
+
+  const auto split = static_cast<std::size_t>(
+      static_cast<double>(series.size()) * config.train_fraction);
+  const std::span<const double> train = series.subspan(0, split);
+  const std::span<const double> test = series.subspan(split);
+
+  OrderSelectionResult result;
+  result.best_msqerr = std::numeric_limits<double>::infinity();
+
+  for (std::size_t p = 0; p <= config.max_order.p; ++p) {
+    for (std::size_t d = 0; d <= config.max_order.d; ++d) {
+      for (std::size_t q = 0; q <= config.max_order.q; ++q) {
+        OrderCandidate cand;
+        cand.order = ArimaOrder{p, d, q};
+        const ArmaFitResult fit = fit_arima(train, cand.order);
+        if (fit.ok) {
+          cand.fitted = true;
+          cand.holdout_msqerr =
+              holdout_msqerr(ArimaModel(cand.order, fit.coeffs), train, test);
+          if (cand.holdout_msqerr < result.best_msqerr) {
+            result.best_msqerr = cand.holdout_msqerr;
+            result.best = cand.order;
+          }
+        }
+        result.candidates.push_back(cand);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fdqos::forecast

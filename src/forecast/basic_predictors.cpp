@@ -1,0 +1,83 @@
+#include "forecast/basic_predictors.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::forecast {
+
+void LastPredictor::observe(double obs) {
+  last_ = obs;
+  ++n_;
+}
+
+const std::string& LastPredictor::name() const {
+  static const std::string kName = "LAST";
+  return kName;
+}
+
+std::unique_ptr<Predictor> LastPredictor::make_fresh() const {
+  return std::make_unique<LastPredictor>();
+}
+
+void MeanPredictor::observe(double obs) {
+  ++n_;
+  mean_ += (obs - mean_) / static_cast<double>(n_);
+}
+
+const std::string& MeanPredictor::name() const {
+  static const std::string kName = "MEAN";
+  return kName;
+}
+
+std::unique_ptr<Predictor> MeanPredictor::make_fresh() const {
+  return std::make_unique<MeanPredictor>();
+}
+
+WinMeanPredictor::WinMeanPredictor(std::size_t window) : ring_(window, 0.0) {
+  FDQOS_REQUIRE(window > 0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "WINMEAN(%zu)", window);
+  name_ = buf;
+}
+
+void WinMeanPredictor::observe(double obs) {
+  const std::size_t slot = n_ % ring_.size();
+  if (n_ >= ring_.size()) window_sum_ -= ring_[slot];
+  ring_[slot] = obs;
+  window_sum_ += obs;
+  ++n_;
+}
+
+double WinMeanPredictor::predict() const {
+  if (n_ == 0) return 0.0;
+  const std::size_t filled = n_ < ring_.size() ? n_ : ring_.size();
+  return window_sum_ / static_cast<double>(filled);
+}
+
+std::unique_ptr<Predictor> WinMeanPredictor::make_fresh() const {
+  return std::make_unique<WinMeanPredictor>(ring_.size());
+}
+
+LpfPredictor::LpfPredictor(double beta) : beta_(beta) {
+  FDQOS_REQUIRE(beta > 0.0 && beta <= 1.0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "LPF(%g)", beta);
+  name_ = buf;
+}
+
+void LpfPredictor::observe(double obs) {
+  if (n_ == 0) {
+    pred_ = obs;
+  } else {
+    // (1-β)·pred + β·obs — the paper's form; exactly LAST when β = 1.
+    pred_ = (1.0 - beta_) * pred_ + beta_ * obs;
+  }
+  ++n_;
+}
+
+std::unique_ptr<Predictor> LpfPredictor::make_fresh() const {
+  return std::make_unique<LpfPredictor>(beta_);
+}
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,83 @@
+// The four closed-form predictors from paper §3.1: LAST, MEAN, WINMEAN(N)
+// and LPF(β). All have O(1) update and O(1) forecast cost (§5.3 measures
+// exactly this property — see bench_overhead_microbench).
+#pragma once
+
+#include <vector>
+
+#include "forecast/predictor.hpp"
+
+namespace fdqos::forecast {
+
+// pred_{k+1} = obs_n — the most recent observation.
+class LastPredictor final : public Predictor {
+ public:
+  void observe(double obs) override;
+  double predict() const override { return last_; }
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override;
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+ private:
+  double last_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+// pred_{k+1} = (Σ obs_j) / n — running mean of all observations.
+class MeanPredictor final : public Predictor {
+ public:
+  void observe(double obs) override;
+  double predict() const override { return n_ > 0 ? mean_ : 0.0; }
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override;
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+ private:
+  double mean_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+// pred_{k+1} = mean of the last N observations; equals MEAN while n < N
+// (per the paper's definition).
+class WinMeanPredictor final : public Predictor {
+ public:
+  explicit WinMeanPredictor(std::size_t window);
+
+  void observe(double obs) override;
+  double predict() const override;
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  std::size_t window() const { return ring_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<double> ring_;   // circular buffer of the last `window` obs
+  std::size_t n_ = 0;          // total observations seen
+  double window_sum_ = 0.0;    // sum of the values currently in the ring
+};
+
+// Exponential smoothing (low-pass filter):
+//   pred_{k+1} = (1-β)·pred_k + β·obs_n, with pred after the first
+// observation initialized to that observation.
+class LpfPredictor final : public Predictor {
+ public:
+  explicit LpfPredictor(double beta);
+
+  void observe(double obs) override;
+  double predict() const override { return n_ > 0 ? pred_ : 0.0; }
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  double beta() const { return beta_; }
+
+ private:
+  std::string name_;
+  double beta_;
+  double pred_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,79 @@
+#include "forecast/extended_predictors.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::forecast {
+
+HoltPredictor::HoltPredictor(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  FDQOS_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  FDQOS_REQUIRE(beta >= 0.0 && beta <= 1.0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "HOLT(%g,%g)", alpha_, beta_);
+  name_ = buf;
+}
+
+void HoltPredictor::observe(double obs) {
+  if (n_ == 0) {
+    level_ = obs;
+    trend_ = 0.0;
+  } else if (n_ == 1) {
+    trend_ = obs - level_;
+    level_ = obs;
+  } else {
+    const double prev_level = level_;
+    level_ = alpha_ * obs + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  ++n_;
+}
+
+double HoltPredictor::predict() const {
+  if (n_ == 0) return 0.0;
+  return level_ + trend_;
+}
+
+std::unique_ptr<Predictor> HoltPredictor::make_fresh() const {
+  return std::make_unique<HoltPredictor>(alpha_, beta_);
+}
+
+WinMedianPredictor::WinMedianPredictor(std::size_t window)
+    : capacity_(window) {
+  FDQOS_REQUIRE(window > 0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "WINMEDIAN(%zu)", window);
+  name_ = buf;
+  ring_.reserve(window);
+  sorted_.reserve(window);
+}
+
+void WinMedianPredictor::observe(double obs) {
+  if (ring_.size() == capacity_) {
+    // Evict the oldest value from both structures.
+    const double oldest = ring_[n_ % capacity_];
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), oldest);
+    FDQOS_ASSERT(it != sorted_.end());
+    sorted_.erase(it);
+    ring_[n_ % capacity_] = obs;
+  } else {
+    ring_.push_back(obs);
+  }
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), obs), obs);
+  ++n_;
+}
+
+double WinMedianPredictor::predict() const {
+  if (sorted_.empty()) return 0.0;
+  const std::size_t m = sorted_.size();
+  if (m % 2 == 1) return sorted_[m / 2];
+  return 0.5 * (sorted_[m / 2 - 1] + sorted_[m / 2]);
+}
+
+std::unique_ptr<Predictor> WinMedianPredictor::make_fresh() const {
+  return std::make_unique<WinMedianPredictor>(capacity_);
+}
+
+}  // namespace fdqos::forecast

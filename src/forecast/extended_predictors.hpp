@@ -1,0 +1,67 @@
+// Predictors beyond the paper's five — the "further experiments" direction
+// of its §6. All remain O(1)–O(log N) per update so the §5.3 overhead
+// comparison stays meaningful.
+//
+//   HOLT(α, β)   — double exponential smoothing (level + trend): tracks a
+//                  drifting delay level with an explicit slope term, where
+//                  LPF systematically lags any ramp.
+//   WINMEDIAN(N) — median of the last N observations: immune to the rare
+//                  heavy spikes that inflate mean-based forecasts.
+#pragma once
+
+#include <vector>
+
+#include "forecast/predictor.hpp"
+
+namespace fdqos::forecast {
+
+// Holt's linear method:
+//   level_k = α·obs + (1-α)·(level_{k-1} + trend_{k-1})
+//   trend_k = β·(level_k − level_{k-1}) + (1-β)·trend_{k-1}
+//   pred    = level_k + trend_k
+class HoltPredictor final : public Predictor {
+ public:
+  HoltPredictor(double alpha, double beta);
+
+  void observe(double obs) override;
+  double predict() const override;
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+
+ private:
+  std::string name_;
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+// Median of the last N observations (equals the median of all observations
+// while n < N). O(N) per update via an ordered insert into a small window —
+// N is ~10 in practice, so this is still "constant" in the paper's sense.
+class WinMedianPredictor final : public Predictor {
+ public:
+  explicit WinMedianPredictor(std::size_t window);
+
+  void observe(double obs) override;
+  double predict() const override;
+  std::size_t observation_count() const override { return n_; }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  std::size_t window() const { return capacity_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<double> ring_;    // arrival order, for eviction
+  std::vector<double> sorted_;  // same values, kept ordered
+  std::size_t n_ = 0;
+};
+
+}  // namespace fdqos::forecast

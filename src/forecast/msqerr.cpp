@@ -1,0 +1,32 @@
+#include "forecast/msqerr.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fdqos::forecast {
+
+AccuracyResult evaluate_accuracy(Predictor& predictor,
+                                 std::span<const double> series,
+                                 std::size_t warmup) {
+  FDQOS_REQUIRE(predictor.observation_count() == 0);
+  AccuracyResult result;
+  double sq_sum = 0.0;
+  double abs_sum = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i >= warmup) {
+      const double err = series[i] - predictor.predict();
+      sq_sum += err * err;
+      abs_sum += std::fabs(err);
+      ++result.evaluated;
+    }
+    predictor.observe(series[i]);
+  }
+  if (result.evaluated > 0) {
+    result.msqerr = sq_sum / static_cast<double>(result.evaluated);
+    result.mean_abs_err = abs_sum / static_cast<double>(result.evaluated);
+  }
+  return result;
+}
+
+}  // namespace fdqos::forecast

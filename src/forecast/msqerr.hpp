@@ -1,0 +1,28 @@
+// Predictor accuracy evaluation (paper §5.1, Table 3).
+//
+// Feeds a delay series to a predictor one observation at a time and
+// accumulates the squared one-step-ahead prediction errors. Smaller msqerr
+// means a more accurate predictor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "forecast/predictor.hpp"
+
+namespace fdqos::forecast {
+
+struct AccuracyResult {
+  double msqerr = 0.0;       // mean of squared one-step errors
+  double mean_abs_err = 0.0; // mean |error| — extra diagnostic
+  std::size_t evaluated = 0; // number of (prediction, observation) pairs
+};
+
+// Evaluates one-step-ahead accuracy over `series`. The first `warmup`
+// observations prime the predictor without being scored (the paper scores
+// from the second observation on; warmup = 1 reproduces that).
+AccuracyResult evaluate_accuracy(Predictor& predictor,
+                                 std::span<const double> series,
+                                 std::size_t warmup = 1);
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,3 @@
+#include "forecast/predictor.hpp"
+
+// Interface anchor: keeps the vtable in one translation unit.

@@ -1,0 +1,39 @@
+// One-step-ahead delay predictors (paper §3.1).
+//
+// A predictor consumes the stream `obs = [obs_1 .. obs_n]` of observed
+// heartbeat transmission delays (in milliseconds, in *arrival* order — the
+// list is not ordered by sequence number because heartbeats can be lost and
+// reordered) and forecasts the delay of the next heartbeat. The failure
+// detector adds a safety margin to this forecast to form its timeout.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fdqos::forecast {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  // Record a newly observed transmission delay.
+  virtual void observe(double obs) = 0;
+
+  // Forecast of the next delay given everything observed so far.
+  // Contract: callable at any time; returns 0 before the first observation
+  // (the detector's safety margin covers the cold-start window).
+  virtual double predict() const = 0;
+
+  virtual std::size_t observation_count() const = 0;
+
+  virtual const std::string& name() const = 0;
+
+  // Fresh instance with identical parameters and no observations.
+  virtual std::unique_ptr<Predictor> make_fresh() const = 0;
+};
+
+using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
+}  // namespace fdqos::forecast

@@ -1,0 +1,68 @@
+#include "membership/view_manager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::membership {
+
+net::NodeId View::coordinator() const {
+  FDQOS_REQUIRE(!members.empty());
+  return *members.begin();
+}
+
+std::string View::to_string() const {
+  std::string out = "view#" + std::to_string(id) + "{";
+  bool first = true;
+  for (net::NodeId m : members) {
+    if (!first) out += ",";
+    out += std::to_string(m);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+ViewManager::ViewManager(net::NodeId self, std::vector<net::NodeId> members)
+    : self_(self) {
+  FDQOS_REQUIRE(std::find(members.begin(), members.end(), self) !=
+                members.end());
+  view_.id = 1;
+  view_.members.insert(members.begin(), members.end());
+}
+
+void ViewManager::install(std::set<net::NodeId> members, TimePoint when) {
+  FDQOS_ASSERT(members.count(self_) == 1);
+  if (members == view_.members) return;
+  const net::NodeId old_coordinator = view_.coordinator();
+  durations_.add((when - view_since_).to_millis_double());
+  view_.members = std::move(members);
+  ++view_.id;
+  view_since_ = when;
+  const bool coordinator_changed = view_.coordinator() != old_coordinator;
+  if (coordinator_changed) ++coordinator_changes_;
+  if (observer_) observer_(view_, when, coordinator_changed);
+}
+
+void ViewManager::peer_suspected(net::NodeId peer, TimePoint when) {
+  FDQOS_REQUIRE(peer != self_);
+  if (!view_.contains(peer)) return;
+  std::set<net::NodeId> members = view_.members;
+  members.erase(peer);
+  install(std::move(members), when);
+}
+
+void ViewManager::peer_trusted(net::NodeId peer, TimePoint when) {
+  FDQOS_REQUIRE(peer != self_);
+  if (view_.contains(peer)) return;
+  std::set<net::NodeId> members = view_.members;
+  members.insert(peer);
+  install(std::move(members), when);
+}
+
+void ViewManager::finalize(TimePoint end) {
+  durations_.add((end - view_since_).to_millis_double());
+}
+
+}  // namespace fdqos::membership

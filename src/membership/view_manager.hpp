@@ -1,0 +1,71 @@
+// View-based group membership over failure detectors (paper §2.1's
+// motivating application: "the use of a failure detector as low level
+// service of group membership applications implies that the most important
+// metrics are those related to accuracy — a false positive detection of
+// the current coordinator triggers the election of a new coordinator").
+//
+// A ViewManager consumes one node's per-peer suspicion transitions and
+// maintains its local membership view: the set of members it currently
+// trusts (itself always included). Every change installs a new numbered
+// view; the coordinator of a view is its smallest member. The QoS of the
+// underlying detectors surfaces directly as view churn and wrongful
+// evictions — measured by bench_membership_churn.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/message.hpp"
+#include "stats/running_stats.hpp"
+
+namespace fdqos::membership {
+
+struct View {
+  std::uint64_t id = 0;
+  std::set<net::NodeId> members;
+
+  net::NodeId coordinator() const;  // smallest member
+  bool contains(net::NodeId node) const { return members.count(node) > 0; }
+  std::string to_string() const;   // "view#3{0,2,5}"
+
+  bool operator==(const View&) const = default;
+};
+
+class ViewManager {
+ public:
+  // observer(new view, install time, previous coordinator changed?)
+  using ViewObserver = std::function<void(const View&, TimePoint, bool)>;
+
+  ViewManager(net::NodeId self, std::vector<net::NodeId> members);
+
+  void set_observer(ViewObserver observer) { observer_ = std::move(observer); }
+
+  // Wire these to the per-peer failure detectors' transitions.
+  void peer_suspected(net::NodeId peer, TimePoint when);
+  void peer_trusted(net::NodeId peer, TimePoint when);
+
+  const View& view() const { return view_; }
+  net::NodeId self() const { return self_; }
+
+  // Stability accounting.
+  std::uint64_t views_installed() const { return view_.id; }
+  std::uint64_t coordinator_changes() const { return coordinator_changes_; }
+  // Durations (ms) of completed views; finalize() closes the current one.
+  const stats::RunningStats& view_duration_ms() const { return durations_; }
+  void finalize(TimePoint end);
+
+ private:
+  void install(std::set<net::NodeId> members, TimePoint when);
+
+  net::NodeId self_;
+  ViewObserver observer_;
+  View view_;
+  TimePoint view_since_ = TimePoint::origin();
+  std::uint64_t coordinator_changes_ = 0;
+  stats::RunningStats durations_;
+};
+
+}  // namespace fdqos::membership

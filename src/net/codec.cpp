@@ -1,0 +1,118 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace fdqos::net {
+namespace {
+constexpr std::uint32_t kMagic = 0x31514446;  // "FDQ1" little-endian
+}
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (!take(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (!take(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (!take(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::optional<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<double> ByteReader::f64() {
+  auto bits = u64();
+  if (!bits) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*bits, sizeof v);
+  return v;
+}
+
+std::optional<std::vector<std::uint8_t>> ByteReader::bytes() {
+  auto len = u32();
+  if (!len || !take(*len)) return std::nullopt;
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(static_cast<std::uint32_t>(msg.from));
+  w.u32(static_cast<std::uint32_t>(msg.to));
+  w.u32(static_cast<std::uint32_t>(msg.type));
+  w.i64(msg.seq);
+  w.i64(msg.send_time.count_nanos());
+  w.bytes(msg.payload);
+  return w.take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const auto magic = r.u32();
+  if (!magic || *magic != kMagic) return std::nullopt;
+  Message msg;
+  const auto from = r.u32();
+  const auto to = r.u32();
+  const auto type = r.u32();
+  const auto seq = r.i64();
+  const auto send_ns = r.i64();
+  auto payload = r.bytes();
+  if (!from || !to || !type || !seq || !send_ns || !payload || !r.exhausted()) {
+    return std::nullopt;
+  }
+  msg.from = static_cast<NodeId>(*from);
+  msg.to = static_cast<NodeId>(*to);
+  msg.type = static_cast<MessageType>(*type);
+  msg.seq = *seq;
+  msg.send_time = TimePoint::from_nanos(*send_ns);
+  msg.payload = std::move(*payload);
+  return msg;
+}
+
+}  // namespace fdqos::net

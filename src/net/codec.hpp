@@ -1,0 +1,59 @@
+// Portable binary codec for Message (little-endian, length-prefixed).
+//
+// Used by the real UDP transport; the simulated transport passes Message
+// objects directly, so simulation results are codec-independent while the
+// wire format stays round-trip tested.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace fdqos::net {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void bytes(std::span<const std::uint8_t> data);  // u32 length prefix
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  // Each read returns nullopt on truncation; the reader then stays failed.
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  std::optional<double> f64();
+  std::optional<std::vector<std::uint8_t>> bytes();
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  bool failed() const { return failed_; }
+
+ private:
+  bool take(std::size_t n);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// Message wire format: magic "FDQ1", from, to, type, seq, send_time, payload.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+std::optional<Message> decode_message(std::span<const std::uint8_t> wire);
+
+}  // namespace fdqos::net

@@ -1,0 +1,25 @@
+#include "net/message.hpp"
+
+#include <cstdio>
+
+namespace fdqos::net {
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+    case MessageType::kUser: return "user";
+  }
+  return "unknown";
+}
+
+std::string Message::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s #%lld %d->%d sent@%.6fs (%zuB)",
+                message_type_name(type), static_cast<long long>(seq), from, to,
+                send_time.to_seconds_double(), payload.size());
+  return buf;
+}
+
+}  // namespace fdqos::net

@@ -1,0 +1,32 @@
+// Transport abstraction — the Neko property.
+//
+// Layer stacks (runtime/) are written against this interface only, so the
+// same failure-detector code runs over the simulated WAN (SimTransport) and
+// over real UDP sockets (UdpTransport) without modification, exactly as
+// Neko applications run on simulated or real networks from one codebase.
+#pragma once
+
+#include <functional>
+
+#include "net/message.hpp"
+
+namespace fdqos::net {
+
+class Transport {
+ public:
+  using DeliverFn = std::function<void(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  // Register the receive callback for `node`. One receiver per node.
+  virtual void bind(NodeId node, DeliverFn deliver) = 0;
+
+  // Fire-and-forget send; the transport may drop, delay, and reorder.
+  virtual void send(Message msg) = 0;
+
+  // Current time on the transport's timeline (virtual for the simulator,
+  // wall-clock for UDP). Layers use this instead of any global clock.
+  virtual TimePoint now() const = 0;
+};
+
+}  // namespace fdqos::net

@@ -1,0 +1,169 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fdqos::net {
+namespace {
+
+bool to_sockaddr(const UdpEndpoint& ep, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(ep.port);
+  return inet_pton(AF_INET, ep.host.c_str(), &out.sin_addr) == 1;
+}
+
+TimePoint wall_now() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return TimePoint::from_nanos(ns);
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(sim::Simulator& simulator, NodeId self,
+                           std::map<NodeId, UdpEndpoint> peers)
+    : simulator_(simulator), self_(self), peers_(std::move(peers)) {
+  auto it = peers_.find(self_);
+  if (it == peers_.end()) {
+    FDQOS_LOG_ERROR("udp: self node %d missing from peer map", self_);
+    return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    FDQOS_LOG_ERROR("udp: socket() failed: %s", std::strerror(errno));
+    return;
+  }
+  sockaddr_in addr;
+  if (!to_sockaddr(it->second, addr)) {
+    FDQOS_LOG_ERROR("udp: bad self address %s", it->second.host.c_str());
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    FDQOS_LOG_ERROR("udp: bind(%s:%u) failed: %s", it->second.host.c_str(),
+                    it->second.port, std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::bind(NodeId node, DeliverFn deliver) {
+  FDQOS_REQUIRE(node == self_);
+  deliver_ = std::move(deliver);
+}
+
+void UdpTransport::send(Message msg) {
+  if (fd_ < 0) return;
+  auto it = peers_.find(msg.to);
+  if (it == peers_.end()) {
+    FDQOS_LOG_WARN("udp: unknown destination node %d", msg.to);
+    return;
+  }
+  sockaddr_in addr;
+  if (!to_sockaddr(it->second, addr)) return;
+  const std::vector<std::uint8_t> wire = encode_message(msg);
+  const ssize_t rc =
+      ::sendto(fd_, wire.data(), wire.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc < 0) {
+    // UDP is fire-and-forget; treat send errors as loss (fair-lossy link).
+    FDQOS_LOG_DEBUG("udp: sendto failed: %s", std::strerror(errno));
+    return;
+  }
+  ++sent_;
+}
+
+std::size_t UdpTransport::drain() {
+  if (fd_ < 0) return 0;
+  std::size_t delivered = 0;
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, buf, sizeof buf, 0);
+    if (rc < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      FDQOS_LOG_DEBUG("udp: recv failed: %s", std::strerror(errno));
+      break;
+    }
+    auto msg = decode_message({buf, static_cast<std::size_t>(rc)});
+    if (!msg) {
+      ++decode_failures_;
+      continue;
+    }
+    ++received_;
+    if (deliver_) {
+      deliver_(*msg);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+RealTimeDriver::RealTimeDriver(sim::Simulator& simulator,
+                               UdpTransport& transport)
+    : simulator_(simulator), transport_(transport) {}
+
+std::uint64_t RealTimeDriver::run_for(Duration duration) {
+  FDQOS_REQUIRE(duration >= Duration::zero());
+  stopped_ = false;
+  const TimePoint virtual_start = simulator_.now();
+  const TimePoint wall_start = wall_now();
+  const TimePoint deadline = virtual_start + duration;
+  std::uint64_t executed = 0;
+
+  auto to_virtual = [&](TimePoint wall) {
+    return virtual_start + (wall - wall_start);
+  };
+
+  while (!stopped_) {
+    const TimePoint v_now = to_virtual(wall_now());
+    if (v_now >= deadline) break;
+
+    // Fire everything due by the current wall instant.
+    executed += simulator_.run_until(v_now);
+    transport_.drain();
+    if (stopped_) break;
+
+    // Sleep in poll() until the next event or new data, capped at deadline.
+    const TimePoint next = std::min(simulator_.next_event_time(), deadline);
+    const Duration wait = next - to_virtual(wall_now());
+    int timeout_ms = 0;
+    if (wait > Duration::zero()) {
+      timeout_ms = static_cast<int>(wait.count_nanos() / 1'000'000) + 1;
+    }
+    pollfd pfd{transport_.fd(), POLLIN, 0};
+    ::poll(&pfd, transport_.fd() >= 0 ? 1u : 0u, timeout_ms);
+    // Datagrams are drained at the top of the next iteration, after the
+    // simulator clock has been advanced to the current wall instant, so
+    // receivers always observe a fresh now().
+  }
+
+  // Final catch-up to the deadline — unless a callback stopped the run, in
+  // which case pending events must stay pending.
+  if (!stopped_) executed += simulator_.run_until(deadline);
+  return executed;
+}
+
+}  // namespace fdqos::net

@@ -1,0 +1,85 @@
+// Real UDP transport + real-time driver.
+//
+// Runs the same layer stacks used in simulation over actual UDP sockets:
+// the RealTimeDriver executes a Simulator's event queue against the wall
+// clock (virtual time == elapsed real time) and pumps received datagrams
+// into the bound receivers. This is the deployment path — e.g. monitoring a
+// live process across a real WAN — and the mechanism for recording real
+// delay traces to replay through the experiment harness.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::net {
+
+struct UdpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  // `self` must appear in `peers`; its endpoint's port is bound locally.
+  // Time is read from `simulator` (driven in real time by RealTimeDriver).
+  UdpTransport(sim::Simulator& simulator, NodeId self,
+               std::map<NodeId, UdpEndpoint> peers);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // True when the socket was created and bound successfully.
+  bool ok() const { return fd_ >= 0; }
+  // Port actually bound (resolves port 0 to the kernel-assigned one).
+  std::uint16_t local_port() const { return local_port_; }
+
+  void bind(NodeId node, DeliverFn deliver) override;
+  void send(Message msg) override;
+  TimePoint now() const override { return simulator_.now(); }
+
+  int fd() const { return fd_; }
+  // Read every pending datagram and deliver decoded messages. Returns the
+  // number of messages delivered.
+  std::size_t drain();
+
+  std::uint64_t sent_count() const { return sent_; }
+  std::uint64_t received_count() const { return received_; }
+  std::uint64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  sim::Simulator& simulator_;
+  NodeId self_;
+  std::map<NodeId, UdpEndpoint> peers_;
+  DeliverFn deliver_;
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t decode_failures_ = 0;
+};
+
+// Executes a Simulator in real time: events fire when the wall clock
+// reaches their virtual timestamp, and UDP datagrams are delivered as they
+// arrive. Virtual time starts at the simulator's current now().
+class RealTimeDriver {
+ public:
+  RealTimeDriver(sim::Simulator& simulator, UdpTransport& transport);
+
+  // Runs until virtual time reaches `deadline` (or stop() is called from a
+  // callback). Returns the number of simulator events executed.
+  std::uint64_t run_for(Duration duration);
+
+  void stop() { stopped_ = true; }
+
+ private:
+  sim::Simulator& simulator_;
+  UdpTransport& transport_;
+  bool stopped_ = false;
+};
+
+}  // namespace fdqos::net

@@ -1,0 +1,33 @@
+#include "runtime/heartbeater.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::runtime {
+
+HeartbeaterLayer::HeartbeaterLayer(sim::Simulator& simulator, Config config)
+    : simulator_(simulator), config_(config) {
+  FDQOS_REQUIRE(config_.eta > Duration::zero());
+}
+
+void HeartbeaterLayer::start() { schedule_next(); }
+
+void HeartbeaterLayer::schedule_next() {
+  if (config_.max_cycles > 0 && next_seq_ > config_.max_cycles) return;
+  const TimePoint when = config_.epoch + config_.eta * next_seq_;
+  FDQOS_ASSERT(when >= simulator_.now());
+  simulator_.schedule_at(when, [this] { send_heartbeat(); });
+}
+
+void HeartbeaterLayer::send_heartbeat() {
+  net::Message msg;
+  msg.from = config_.self;
+  msg.to = config_.monitor;
+  msg.type = net::MessageType::kHeartbeat;
+  msg.seq = next_seq_;
+  msg.send_time = simulator_.now();
+  ++next_seq_;
+  send_down(std::move(msg));
+  schedule_next();
+}
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,43 @@
+// HeartbeaterLayer — the monitored process q (paper §2.3).
+//
+// q is cyclic: every η time units it sends heartbeat m_i with sequence
+// number i, at σ_i = i·η on the global timeline. Sends are scheduled at
+// absolute multiples of η (no accumulation drift), matching the paper's
+// constant sending interval.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::runtime {
+
+class HeartbeaterLayer final : public Layer {
+ public:
+  struct Config {
+    Duration eta = Duration::seconds(1);  // sending period η
+    net::NodeId self = 0;
+    net::NodeId monitor = 1;
+    // σ_i = epoch + i·η; the paper uses epoch = 0 on the global timeline.
+    TimePoint epoch = TimePoint::origin();
+    std::int64_t max_cycles = 0;  // 0 = unbounded
+  };
+
+  HeartbeaterLayer(sim::Simulator& simulator, Config config);
+
+  void start() override;
+
+  std::int64_t cycles_sent() const { return next_seq_ - 1; }
+  const Config& config() const { return config_; }
+
+ private:
+  void send_heartbeat();
+  void schedule_next();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  std::int64_t next_seq_ = 1;
+};
+
+}  // namespace fdqos::runtime

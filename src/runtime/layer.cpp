@@ -1,0 +1,18 @@
+#include "runtime/layer.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::runtime {
+
+void Layer::stack(Layer& lower, Layer& upper) {
+  FDQOS_REQUIRE(upper.below_ == nullptr);
+  upper.below_ = &lower;
+  lower.above_.push_back(&upper);
+}
+
+void Layer::send_down(net::Message msg) {
+  FDQOS_REQUIRE(below_ != nullptr);
+  below_->handle_down(std::move(msg));
+}
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,52 @@
+// Layered protocol stacks (the Neko architecture, DESIGN.md §2).
+//
+// A ProcessNode is a vertical stack of Layers over a Transport. Messages
+// travel up (network → application) via handle_up and down via handle_down;
+// a layer may consume, transform, drop, or forward. Layers are written once
+// and run unchanged over the simulated or the real transport — the property
+// the paper's experimental architecture (Figure 3) relies on to compare 30
+// failure detectors under identical conditions.
+//
+// Threading: the whole stack is single-threaded under its driver (virtual-
+// time simulator or RealTimeDriver), as in Neko's per-process event loop.
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace fdqos::runtime {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Called once when the node starts, bottom-up. Layers arm timers here.
+  virtual void start() {}
+
+  // A message arriving from the layer below. Default: forward to every
+  // layer stacked above.
+  virtual void handle_up(const net::Message& msg) { deliver_up(msg); }
+
+  // A message being sent by the layer above. Default: forward below.
+  virtual void handle_down(net::Message msg) { send_down(std::move(msg)); }
+
+  // Stack `upper` on top of `lower` (a lower layer may carry several upper
+  // layers; each upper has exactly one lower).
+  static void stack(Layer& lower, Layer& upper);
+
+  const std::vector<Layer*>& layers_above() const { return above_; }
+  Layer* layer_below() const { return below_; }
+
+ protected:
+  void deliver_up(const net::Message& msg) {
+    for (Layer* layer : above_) layer->handle_up(msg);
+  }
+  void send_down(net::Message msg);
+
+ private:
+  Layer* below_ = nullptr;
+  std::vector<Layer*> above_;
+};
+
+}  // namespace fdqos::runtime

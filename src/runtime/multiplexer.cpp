@@ -1,0 +1,10 @@
+#include "runtime/multiplexer.hpp"
+
+namespace fdqos::runtime {
+
+void MultiPlexerLayer::handle_up(const net::Message& msg) {
+  ++seen_;
+  deliver_up(msg);
+}
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,26 @@
+// MultiPlexerLayer — fair fan-out (paper §4).
+//
+// Forwards every message arriving from the network to *all* layers stacked
+// above it, immediately and in stacking order. All 30 failure detectors sit
+// on one MultiPlexer so they perceive the identical message arrival
+// process — the basis of the paper's fair QoS comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/layer.hpp"
+
+namespace fdqos::runtime {
+
+class MultiPlexerLayer final : public Layer {
+ public:
+  void handle_up(const net::Message& msg) override;
+
+  std::uint64_t messages_seen() const { return seen_; }
+  std::size_t fan_out() const { return layers_above().size(); }
+
+ private:
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,35 @@
+#include "runtime/ping_responder.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::runtime {
+
+PingResponderLayer::PingResponderLayer(sim::Simulator& simulator,
+                                       net::NodeId self, Duration processing)
+    : simulator_(simulator), self_(self), processing_(processing) {
+  FDQOS_REQUIRE(processing >= Duration::zero());
+}
+
+void PingResponderLayer::handle_up(const net::Message& msg) {
+  if (msg.type != net::MessageType::kPing || msg.to != self_) {
+    deliver_up(msg);
+    return;
+  }
+  ++answered_;
+  net::Message pong;
+  pong.from = self_;
+  pong.to = msg.from;
+  pong.type = net::MessageType::kPong;
+  pong.seq = msg.seq;
+  if (processing_ == Duration::zero()) {
+    pong.send_time = simulator_.now();
+    send_down(std::move(pong));
+    return;
+  }
+  simulator_.schedule_after(processing_, [this, pong]() mutable {
+    pong.send_time = simulator_.now();
+    send_down(std::move(pong));
+  });
+}
+
+}  // namespace fdqos::runtime

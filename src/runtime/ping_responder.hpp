@@ -1,0 +1,31 @@
+// PingResponderLayer — the monitored side of a pull-style failure detector
+// (paper §2.2): answers every kPing with a kPong carrying the same sequence
+// number. Stacked above SimCrashLayer, it goes silent while "crashed",
+// exactly like the Heartbeater.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::runtime {
+
+class PingResponderLayer final : public Layer {
+ public:
+  // `processing` models the server-side turnaround before the pong leaves.
+  PingResponderLayer(sim::Simulator& simulator, net::NodeId self,
+                     Duration processing = Duration::zero());
+
+  void handle_up(const net::Message& msg) override;
+
+  std::uint64_t pings_answered() const { return answered_; }
+
+ private:
+  sim::Simulator& simulator_;
+  net::NodeId self_;
+  Duration processing_;
+  std::uint64_t answered_ = 0;
+};
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,23 @@
+#include "runtime/process_node.hpp"
+
+namespace fdqos::runtime {
+
+TransportLayer::TransportLayer(net::Transport& transport, net::NodeId node)
+    : transport_(transport) {
+  transport_.bind(node, [this](const net::Message& msg) { deliver_up(msg); });
+}
+
+void TransportLayer::handle_down(net::Message msg) {
+  transport_.send(std::move(msg));
+}
+
+ProcessNode::ProcessNode(net::Transport& transport, net::NodeId id)
+    : id_(id), transport_layer_(transport, id), top_(&transport_layer_) {
+  start_order_.push_back(&transport_layer_);
+}
+
+void ProcessNode::start() {
+  for (Layer* layer : start_order_) layer->start();
+}
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,71 @@
+// ProcessNode: a Neko-style process — a node id, a transport binding, and
+// an owned stack of layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "runtime/layer.hpp"
+
+namespace fdqos::runtime {
+
+// Bottom-of-stack adapter: sends go to the transport, received messages
+// enter the stack.
+class TransportLayer final : public Layer {
+ public:
+  TransportLayer(net::Transport& transport, net::NodeId node);
+
+  void handle_down(net::Message msg) override;
+
+ private:
+  net::Transport& transport_;
+};
+
+class ProcessNode {
+ public:
+  ProcessNode(net::Transport& transport, net::NodeId id);
+
+  net::NodeId id() const { return id_; }
+
+  // Take ownership of `layer` and stack it on the current top. Returns a
+  // reference usable for wiring observers.
+  template <typename L>
+  L& push(std::unique_ptr<L> layer) {
+    L& ref = *layer;
+    Layer::stack(*top_, ref);
+    top_ = &ref;
+    start_order_.push_back(&ref);
+    owned_.push_back(std::move(layer));
+    return ref;
+  }
+
+  // Stack `layer` (not owned) on the current top.
+  void push_unowned(Layer& layer) {
+    Layer::stack(*top_, layer);
+    top_ = &layer;
+    start_order_.push_back(&layer);
+  }
+
+  // Stack `layer` (not owned) on an explicit lower layer — used to fan
+  // multiple detectors out over one MultiPlexer.
+  void attach_unowned(Layer& lower, Layer& layer) {
+    Layer::stack(lower, layer);
+    start_order_.push_back(&layer);
+  }
+
+  Layer& top() { return *top_; }
+  Layer& bottom() { return transport_layer_; }
+
+  // Start every layer, bottom-up in stacking order.
+  void start();
+
+ private:
+  net::NodeId id_;
+  TransportLayer transport_layer_;
+  Layer* top_;
+  std::vector<std::unique_ptr<Layer>> owned_;
+  std::vector<Layer*> start_order_;
+};
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,49 @@
+#include "runtime/scripted_crash.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::runtime {
+
+ScriptedCrashLayer::ScriptedCrashLayer(sim::Simulator& simulator,
+                                       std::vector<DownPeriod> schedule)
+    : simulator_(simulator), schedule_(std::move(schedule)) {
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    FDQOS_REQUIRE(schedule_[i].restore > schedule_[i].crash);
+    if (i > 0) FDQOS_REQUIRE(schedule_[i].crash > schedule_[i - 1].restore);
+  }
+}
+
+void ScriptedCrashLayer::start() {
+  for (const auto& period : schedule_) {
+    simulator_.schedule_at(period.crash, [this] {
+      FDQOS_ASSERT(!crashed_);
+      crashed_ = true;
+      if (observer_) observer_(simulator_.now(), true);
+    });
+    if (period.restore < TimePoint::max()) {
+      simulator_.schedule_at(period.restore, [this] {
+        FDQOS_ASSERT(crashed_);
+        crashed_ = false;
+        if (observer_) observer_(simulator_.now(), false);
+      });
+    }
+  }
+}
+
+void ScriptedCrashLayer::handle_up(const net::Message& msg) {
+  if (crashed_) {
+    ++dropped_;
+    return;
+  }
+  deliver_up(msg);
+}
+
+void ScriptedCrashLayer::handle_down(net::Message msg) {
+  if (crashed_) {
+    ++dropped_;
+    return;
+  }
+  send_down(std::move(msg));
+}
+
+}  // namespace fdqos::runtime

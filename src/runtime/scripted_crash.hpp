@@ -1,0 +1,46 @@
+// ScriptedCrashLayer — deterministic fault injection.
+//
+// Same drop-everything-while-down semantics as SimCrashLayer, but crash and
+// restore instants come from an explicit script instead of the MTTC/TTR
+// process. Used by consensus experiments ("crash the round-2 coordinator at
+// t = 12 s") and by any test that needs a reproducible fault pattern.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::runtime {
+
+class ScriptedCrashLayer final : public Layer {
+ public:
+  struct DownPeriod {
+    TimePoint crash;
+    TimePoint restore;  // TimePoint::max() = never restored
+  };
+
+  // Periods must be disjoint and sorted by crash time.
+  ScriptedCrashLayer(sim::Simulator& simulator,
+                     std::vector<DownPeriod> schedule);
+
+  using Observer = std::function<void(TimePoint, bool)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  void start() override;
+  void handle_up(const net::Message& msg) override;
+  void handle_down(net::Message msg) override;
+
+  bool crashed() const { return crashed_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  sim::Simulator& simulator_;
+  std::vector<DownPeriod> schedule_;
+  Observer observer_;
+  bool crashed_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,57 @@
+#include "runtime/sim_crash.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::runtime {
+
+SimCrashLayer::SimCrashLayer(sim::Simulator& simulator, Config config, Rng rng)
+    : simulator_(simulator), config_(config), rng_(rng) {
+  FDQOS_REQUIRE(config_.mttc > Duration::zero());
+  FDQOS_REQUIRE(config_.ttr >= Duration::zero());
+}
+
+void SimCrashLayer::start() { schedule_crash(); }
+
+Duration SimCrashLayer::sample_time_to_crash() {
+  // Uniform in [MTTC/2, 3·MTTC/2] per the paper's SimCrash definition.
+  const std::int64_t lo = config_.mttc.count_nanos() / 2;
+  const std::int64_t hi = config_.mttc.count_nanos() * 3 / 2;
+  return Duration::nanos(rng_.uniform_int(lo, hi));
+}
+
+void SimCrashLayer::schedule_crash() {
+  simulator_.schedule_after(sample_time_to_crash(), [this] { on_crash(); });
+}
+
+void SimCrashLayer::on_crash() {
+  FDQOS_ASSERT(!crashed_);
+  crashed_ = true;
+  ++crashes_;
+  if (observer_) observer_(simulator_.now(), true);
+  simulator_.schedule_after(config_.ttr, [this] { on_restore(); });
+}
+
+void SimCrashLayer::on_restore() {
+  FDQOS_ASSERT(crashed_);
+  crashed_ = false;
+  if (observer_) observer_(simulator_.now(), false);
+  schedule_crash();
+}
+
+void SimCrashLayer::handle_up(const net::Message& msg) {
+  if (crashed_) {
+    ++dropped_;
+    return;
+  }
+  deliver_up(msg);
+}
+
+void SimCrashLayer::handle_down(net::Message msg) {
+  if (crashed_) {
+    ++dropped_;
+    return;
+  }
+  send_down(std::move(msg));
+}
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,60 @@
+// SimCrashLayer — crash injection (paper §4).
+//
+// Sits between the monitored application layers and the network. During a
+// crash period it silently drops every message in both directions, so the
+// layers above appear crashed to the rest of the system; in good periods it
+// forwards transparently. The cycle is:
+//
+//   up for U[MTTC/2, 3·MTTC/2]  →  crashed for TTR (constant)  →  repeat
+//
+// Crash/restore instants are reported to an observer with their global
+// timestamps — the T_D metric is the distance from a crash instant to the
+// detector's permanent-suspicion start.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::runtime {
+
+class SimCrashLayer final : public Layer {
+ public:
+  struct Config {
+    Duration mttc = Duration::seconds(300);  // mean time to crash
+    Duration ttr = Duration::seconds(30);    // constant time to repair
+  };
+
+  // observer(time, crashed): crashed = true at crash, false at restore.
+  using Observer = std::function<void(TimePoint, bool)>;
+
+  SimCrashLayer(sim::Simulator& simulator, Config config, Rng rng);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  void start() override;
+  void handle_up(const net::Message& msg) override;
+  void handle_down(net::Message msg) override;
+
+  bool crashed() const { return crashed_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  Duration sample_time_to_crash();
+  void schedule_crash();
+  void on_crash();
+  void on_restore();
+
+  sim::Simulator& simulator_;
+  Config config_;
+  Rng rng_;
+  Observer observer_;
+  bool crashed_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace fdqos::runtime

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::sim {
+
+EventHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
+  FDQOS_REQUIRE(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(Duration delay, EventFn fn) {
+  FDQOS_REQUIRE(delay >= Duration::zero());
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++executed_;
+    ++count;
+  }
+  // Advance the clock to the deadline even if no event lands exactly there,
+  // so consecutive run_until calls observe monotonic time.
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace fdqos::sim

@@ -1,0 +1,64 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fdqos::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double autocovariance(std::span<const double> xs, std::size_t lag) {
+  FDQOS_REQUIRE(lag < xs.size());
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (std::size_t t = lag; t < xs.size(); ++t) {
+    sum += (xs[t] - m) * (xs[t - lag] - m);
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const double g0 = autocovariance(xs, 0);
+  if (g0 == 0.0) return lag == 0 ? 1.0 : 0.0;
+  return autocovariance(xs, lag) / g0;
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  FDQOS_REQUIRE(max_lag < xs.size());
+  std::vector<double> out(max_lag + 1);
+  const double m = mean(xs);
+  double g0 = 0.0;
+  for (double x : xs) g0 += (x - m) * (x - m);
+  g0 /= static_cast<double>(xs.size());
+  out[0] = 1.0;
+  if (g0 == 0.0) {
+    for (std::size_t k = 1; k <= max_lag; ++k) out[k] = 0.0;
+    return out;
+  }
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double sum = 0.0;
+    for (std::size_t t = k; t < xs.size(); ++t) {
+      sum += (xs[t] - m) * (xs[t - k] - m);
+    }
+    out[k] = sum / static_cast<double>(xs.size()) / g0;
+  }
+  return out;
+}
+
+}  // namespace fdqos::stats

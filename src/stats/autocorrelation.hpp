@@ -1,0 +1,28 @@
+// Sample moments and autocorrelation over in-memory series.
+//
+// The forecasting substrate (Yule–Walker, order selection) consumes the ACF;
+// WAN-model validation compares generated-trace autocorrelation against the
+// target process.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fdqos::stats {
+
+double mean(std::span<const double> xs);
+// Sample variance (n-1 denominator); zero for fewer than two points.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+// Autocovariance at `lag` (biased, 1/n normalization — the standard choice
+// for Yule–Walker, it keeps the autocovariance matrix positive definite).
+double autocovariance(std::span<const double> xs, std::size_t lag);
+
+// Autocorrelation at `lag` (gamma(lag)/gamma(0)).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+// Autocorrelations for lags 0..max_lag inclusive.
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag);
+
+}  // namespace fdqos::stats

@@ -1,0 +1,147 @@
+#include "stats/event_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+namespace fdqos::stats {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSent: return "sent";
+    case EventKind::kReceived: return "received";
+    case EventKind::kStartSuspect: return "start_suspect";
+    case EventKind::kEndSuspect: return "end_suspect";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRestore: return "restore";
+  }
+  return "?";
+}
+
+void EventLog::record(TimePoint time, EventKind kind, std::int32_t subject,
+                      std::int64_t seq) {
+  events_.push_back({time, kind, subject, seq});
+}
+
+std::vector<Event> EventLog::filter(EventKind kind) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::filter(EventKind kind,
+                                    std::int32_t subject) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.subject == subject) out.push_back(e);
+  }
+  return out;
+}
+
+std::string EventLog::to_csv() const {
+  std::string out = "time_s,event,subject,seq\n";
+  char line[96];
+  for (const auto& e : events_) {
+    std::snprintf(line, sizeof line, "%.9f,%s,%d,%lld\n",
+                  e.time.to_seconds_double(), event_kind_name(e.kind),
+                  e.subject, static_cast<long long>(e.seq));
+    out += line;
+  }
+  return out;
+}
+
+bool EventLog::save_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+LogDerivedQos derive_qos(const EventLog& log, std::int32_t detector,
+                         TimePoint warmup_end) {
+  LogDerivedQos out;
+
+  bool up = true;
+  bool suspecting = false;
+  std::optional<TimePoint> crash_time;
+  std::optional<TimePoint> active_down_start;
+  std::optional<TimePoint> mistake_start;
+  std::optional<TimePoint> last_mistake_start;
+  const auto recordable = [&](TimePoint t) { return t >= warmup_end; };
+
+  for (const Event& e : log.events()) {
+    switch (e.kind) {
+      case EventKind::kSent:
+      case EventKind::kReceived:
+        break;
+      case EventKind::kCrash:
+        up = false;
+        ++out.crashes;
+        crash_time = e.time;
+        if (suspecting) {
+          if (mistake_start.has_value()) {
+            const TimePoint start = *mistake_start;
+            if (recordable(start)) {
+              out.mistake_durations_ms.push_back(
+                  (e.time - start).to_millis_double());
+            }
+          }
+          mistake_start.reset();
+          active_down_start = e.time;
+        } else {
+          active_down_start.reset();
+        }
+        break;
+      case EventKind::kRestore:
+        up = true;
+        if (active_down_start && crash_time) {
+          if (recordable(e.time)) {
+            out.detection_times_ms.push_back(
+                (*active_down_start - *crash_time).to_millis_double());
+          }
+        } else {
+          ++out.missed_detections;
+        }
+        crash_time.reset();
+        active_down_start.reset();
+        break;
+      case EventKind::kStartSuspect:
+        if (e.subject != detector) break;
+        suspecting = true;
+        if (up) {
+          mistake_start = e.time;
+          if (last_mistake_start && recordable(e.time) &&
+              recordable(*last_mistake_start)) {
+            out.mistake_recurrences_ms.push_back(
+                (e.time - *last_mistake_start).to_millis_double());
+          }
+          last_mistake_start = e.time;
+        } else {
+          active_down_start = e.time;
+        }
+        break;
+      case EventKind::kEndSuspect:
+        if (e.subject != detector) break;
+        suspecting = false;
+        if (up) {
+          if (mistake_start.has_value()) {
+            const TimePoint start = *mistake_start;
+            if (recordable(start)) {
+              out.mistake_durations_ms.push_back(
+                  (e.time - start).to_millis_double());
+            }
+            mistake_start.reset();
+          }
+        } else {
+          active_down_start.reset();
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fdqos::stats

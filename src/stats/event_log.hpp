@@ -1,0 +1,78 @@
+// NekoStat-style event collection (paper §4).
+//
+// NekoStat turns distributed events — Sent(m_i), Received(m_i),
+// StartSuspect, EndSuspect, Crash — into quantities of interest via a
+// StatHandler, either online or after the run. This module is that
+// pipeline: layers append typed events to an EventLog; handlers derive
+// metrics from the recorded stream. Unlike the online QosTracker, a log
+// supports post-hoc analysis (different warmups, per-interval breakdowns)
+// and CSV export of the raw experiment record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace fdqos::stats {
+
+enum class EventKind : std::uint8_t {
+  kSent,          // heartbeat m_seq left the monitored process
+  kReceived,      // heartbeat m_seq reached a detector
+  kStartSuspect,  // detector transitioned to suspicion
+  kEndSuspect,    // detector transitioned back to trust
+  kCrash,         // injector crashed the process
+  kRestore,       // injector restored the process
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  TimePoint time;
+  EventKind kind;
+  std::int32_t subject = 0;  // detector id (suspicion events), else 0
+  std::int64_t seq = 0;      // heartbeat sequence (send/receive), else 0
+
+  bool operator==(const Event&) const = default;
+};
+
+class EventLog {
+ public:
+  void record(TimePoint time, EventKind kind, std::int32_t subject = 0,
+              std::int64_t seq = 0);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  std::span<const Event> events() const { return events_; }
+  const Event& operator[](std::size_t i) const { return events_[i]; }
+
+  // Events of one kind (optionally restricted to one subject).
+  std::vector<Event> filter(EventKind kind) const;
+  std::vector<Event> filter(EventKind kind, std::int32_t subject) const;
+
+  std::string to_csv() const;
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+// Derived per-detector QoS quantities, extracted from a recorded log the
+// way NekoStat's FD StatHandler extracts T_M, T_MR, T_D from events.
+struct LogDerivedQos {
+  std::vector<double> detection_times_ms;    // T_D samples
+  std::vector<double> mistake_durations_ms;  // T_M samples
+  std::vector<double> mistake_recurrences_ms;  // T_MR samples
+  std::uint64_t crashes = 0;
+  std::uint64_t missed_detections = 0;
+};
+
+// Replays the log for `detector` through the same classification rules as
+// the online QosTracker (see fd/qos_tracker.hpp); events before
+// `warmup_end` update state but yield no samples.
+LogDerivedQos derive_qos(const EventLog& log, std::int32_t detector,
+                         TimePoint warmup_end = TimePoint::origin());
+
+}  // namespace fdqos::stats

@@ -1,0 +1,97 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  FDQOS_REQUIRE(hi > lo);
+  FDQOS_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  std::uint64_t below = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double upper = bin_lower(i) + width_;
+    if (x >= upper) {
+      below += counts_[i];
+      continue;
+    }
+    const double frac = (x - bin_lower(i)) / width_;
+    return (static_cast<double>(below) +
+            frac * static_cast<double>(counts_[i])) /
+           static_cast<double>(total_);
+  }
+  return static_cast<double>(total_ - overflow_) / static_cast<double>(total_) +
+         (x >= hi_ ? static_cast<double>(overflow_) / static_cast<double>(total_) : 0.0);
+}
+
+double Histogram::quantile(double q) const {
+  FDQOS_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) * static_cast<double>(max_bar_width)));
+    std::snprintf(line, sizeof line, "[%10.3f, %10.3f) %8llu ", bin_lower(i),
+                  bin_lower(i) + width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    std::snprintf(line, sizeof line, "underflow=%llu overflow=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fdqos::stats

@@ -1,0 +1,50 @@
+// Fixed-bin histogram with under/overflow buckets and ASCII rendering.
+//
+// Used to characterize delay distributions (Table 4 experiment) and to
+// inspect detection-time distributions beyond the mean/max the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdqos::stats {
+
+class Histogram {
+ public:
+  // [lo, hi) split into `bins` equal-width buckets.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  // Lower edge of bin i.
+  double bin_lower(std::size_t i) const;
+  double bin_width() const { return width_; }
+
+  // Fraction of samples at or below x (linear interpolation inside a bin).
+  double cdf(double x) const;
+  // Approximate quantile from the binned data, q in [0, 1].
+  double quantile(double q) const;
+
+  // Multi-line ASCII bar rendering (for experiment logs).
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fdqos::stats

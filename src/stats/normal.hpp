@@ -1,0 +1,18 @@
+// Normal distribution functions for the φ-accrual detector and for
+// confidence computations: CDF, tail, and inverse CDF (Acklam's rational
+// approximation, |relative error| < 1.15e-9 — far below any experimental
+// noise here).
+#pragma once
+
+namespace fdqos::stats {
+
+// P(X ≤ x) for X ~ N(0,1).
+double normal_cdf(double x);
+
+// P(X > x) for X ~ N(0,1), accurate in the far tail (uses erfc).
+double normal_tail(double x);
+
+// Quantile function: z such that P(X ≤ z) = p, p ∈ (0, 1).
+double inverse_normal_cdf(double p);
+
+}  // namespace fdqos::stats

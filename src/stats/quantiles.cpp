@@ -1,0 +1,118 @@
+#include "stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fdqos::stats {
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleSet::quantile(double q) const {
+  FDQOS_REQUIRE(q >= 0.0 && q <= 1.0);
+  FDQOS_REQUIRE(!samples_.empty());
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  FDQOS_REQUIRE(q > 0.0 && q < 1.0);
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q_;
+  desired_[2] = 1 + 4 * q_;
+  desired_[3] = 3 + 2 * q_;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q_ / 2;
+  increments_[2] = q_;
+  increments_[3] = (1 + q_) / 2;
+  increments_[4] = 1;
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = positions_[i + 1];
+  const double nm = positions_[i - 1];
+  const double n = positions_[i];
+  return heights_[i] +
+         d / (np - nm) *
+             ((n - nm + d) * (heights_[i + 1] - heights_[i]) / (np - n) +
+              (np - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_total_ < 5) {
+    heights_[n_total_] = x;
+    ++n_total_;
+    if (n_total_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++n_total_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double step = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_total_ == 0) return std::nan("");
+  if (n_total_ < 5) {
+    // Exact small-sample quantile over the buffered values.
+    double tmp[5];
+    std::copy(heights_, heights_ + n_total_, tmp);
+    std::sort(tmp, tmp + n_total_);
+    const double pos = q_ * static_cast<double>(n_total_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= n_total_) return tmp[n_total_ - 1];
+    return tmp[lo] * (1.0 - frac) + tmp[lo + 1] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace fdqos::stats

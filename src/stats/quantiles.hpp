@@ -1,0 +1,59 @@
+// Quantile estimation: exact (stored samples) and streaming (P² algorithm).
+//
+// Exact quantiles back the experiment reports (sample counts there are
+// modest); the P² estimator serves long-running monitors where storing every
+// sample is not acceptable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fdqos::stats {
+
+// Stores all samples; quantile() sorts lazily. Suitable for experiment-sized
+// data (up to a few million doubles).
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact q-quantile with linear interpolation; q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Jain & Chlamtac's P² streaming quantile estimator: O(1) memory, O(1)
+// update, no stored samples.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  std::size_t count() const { return n_total_; }
+  // Current estimate; exact while fewer than five samples have been seen.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::size_t n_total_ = 0;
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+};
+
+}  // namespace fdqos::stats

@@ -1,0 +1,75 @@
+#include "stats/running_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fdqos::stats {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::population_variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::min() const {
+  return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStats::max() const {
+  return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+Summary RunningStats::summary() const {
+  Summary s;
+  s.count = n_;
+  s.mean = mean();
+  s.variance = variance();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  s.sum = sum_;
+  return s;
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace fdqos::stats

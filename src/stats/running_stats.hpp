@@ -1,0 +1,59 @@
+// Single-pass summary statistics (Welford's algorithm).
+//
+// Used everywhere an unbounded stream must be summarized without storing it:
+// QoS metric accumulation, WAN link characterization, predictor-error
+// tracking. Numerically stable for long runs (the QoS experiment feeds
+// hundreds of thousands of samples).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fdqos::stats {
+
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1 denominator)
+  double stddev = 0.0;
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+};
+
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1). Zero when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Population variance (n). Zero when empty.
+  double population_variance() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  // Sum of squared deviations from the mean: Σ(x_i - x̄)².
+  double sum_squared_deviations() const { return m2_; }
+
+  Summary summary() const;
+
+  // Half-width of the (approximately) 95% normal confidence interval of the
+  // mean. Zero when fewer than two samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fdqos::stats

@@ -1,0 +1,110 @@
+#include "stats/table_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::stats {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+TableWriter::TableWriter(std::string title) : title_(std::move(title)) {}
+
+void TableWriter::set_columns(std::vector<std::string> names) {
+  columns_ = std::move(names);
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  FDQOS_REQUIRE(columns_.empty() || cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::add_row(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TableWriter::to_ascii() const {
+  // Column widths from header + data.
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    widths.resize(std::max(widths.size(), row.size()), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto append_cell = [&](const std::string& s, std::size_t w, bool last) {
+    out += s;
+    if (!last) out.append(w - s.size() + 2, ' ');
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+    out.append(std::max(total, title_.size()), '=');
+    out += '\n';
+  }
+  if (!columns_.empty()) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      append_cell(columns_[c], widths[c], c + 1 == columns_.size());
+    }
+    out += '\n';
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      append_cell(row[c], widths[c], c + 1 == row.size());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TableWriter::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string esc = "\"";
+    for (char ch : s) {
+      if (ch == '"') esc += "\"\"";
+      else esc += ch;
+    }
+    esc += '"';
+    return esc;
+  };
+  std::string out;
+  if (!columns_.empty()) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(columns_[c]);
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fdqos::stats

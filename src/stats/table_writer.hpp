@@ -1,0 +1,37 @@
+// ASCII/CSV table formatting for experiment reports.
+//
+// Every bench binary prints its paper table/figure through this writer so
+// the harness output is uniform and machine-diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fdqos::stats {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = {});
+
+  void set_columns(std::vector<std::string> names);
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Fixed-width ASCII rendering with a title rule and a header rule.
+  std::string to_ascii() const;
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format helper: fixed precision, trimmed trailing zeros kept (plain %.*f).
+std::string format_double(double v, int precision = 3);
+
+}  // namespace fdqos::stats

@@ -1,0 +1,46 @@
+#include "stats/time_series.hpp"
+
+#include <cstdio>
+
+namespace fdqos::stats {
+
+void TimeSeries::add(TimePoint t, double value) { points_.push_back({t, value}); }
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.value);
+  return out;
+}
+
+Summary TimeSeries::summarize() const {
+  RunningStats rs;
+  for (const auto& p : points_) rs.add(p.value);
+  return rs.summary();
+}
+
+std::string TimeSeries::to_csv(bool header) const {
+  std::string out;
+  char line[96];
+  if (header) {
+    out += "time_s,";
+    out += name_.empty() ? "value" : name_;
+    out += '\n';
+  }
+  for (const auto& p : points_) {
+    std::snprintf(line, sizeof line, "%.9f,%.9g\n", p.time.to_seconds_double(),
+                  p.value);
+    out += line;
+  }
+  return out;
+}
+
+bool TimeSeries::save_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace fdqos::stats

@@ -1,0 +1,50 @@
+// Timestamped sample series with CSV export.
+//
+// The NekoStat-analog observers append (time, value) points here; experiment
+// reports and the trace tooling consume them.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "stats/running_stats.hpp"
+
+namespace fdqos::stats {
+
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint time;
+    double value;
+  };
+
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(TimePoint t, double value);
+  void reserve(std::size_t n) { points_.reserve(n); }
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& operator[](std::size_t i) const { return points_[i]; }
+  std::span<const Point> points() const { return points_; }
+
+  // Values only, in insertion order.
+  std::vector<double> values() const;
+
+  Summary summarize() const;
+
+  // "time_s,value" lines; `header` controls the leading column-name row.
+  std::string to_csv(bool header = true) const;
+  // Append to a file (creates it if missing); returns false on I/O error.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace fdqos::stats

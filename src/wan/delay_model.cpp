@@ -1,0 +1,108 @@
+#include "wan/delay_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::wan {
+
+ConstantDelay::ConstantDelay(Duration d) : delay_(d) {
+  FDQOS_REQUIRE(d >= Duration::zero());
+  name_ = "const(" + d.to_string() + ")";
+}
+
+Duration ConstantDelay::sample(Rng&, TimePoint) { return delay_; }
+
+std::unique_ptr<DelayModel> ConstantDelay::make_fresh() const {
+  return std::make_unique<ConstantDelay>(delay_);
+}
+
+UniformDelay::UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+  FDQOS_REQUIRE(Duration::zero() <= lo && lo <= hi);
+  name_ = "uniform(" + lo.to_string() + "," + hi.to_string() + ")";
+}
+
+Duration UniformDelay::sample(Rng& rng, TimePoint) {
+  return Duration::nanos(rng.uniform_int(lo_.count_nanos(), hi_.count_nanos()));
+}
+
+std::unique_ptr<DelayModel> UniformDelay::make_fresh() const {
+  return std::make_unique<UniformDelay>(lo_, hi_);
+}
+
+ShiftedLognormalDelay::ShiftedLognormalDelay(Duration shift, double mu_log_ms,
+                                             double sigma_log)
+    : shift_(shift), mu_(mu_log_ms), sigma_(sigma_log) {
+  FDQOS_REQUIRE(shift >= Duration::zero());
+  FDQOS_REQUIRE(sigma_log >= 0.0);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "lognormal(shift=%s,mu=%.3f,sigma=%.3f)",
+                shift.to_string().c_str(), mu_, sigma_);
+  name_ = buf;
+}
+
+Duration ShiftedLognormalDelay::sample(Rng& rng, TimePoint) {
+  return shift_ + Duration::from_millis_double(rng.lognormal(mu_, sigma_));
+}
+
+std::unique_ptr<DelayModel> ShiftedLognormalDelay::make_fresh() const {
+  return std::make_unique<ShiftedLognormalDelay>(shift_, mu_, sigma_);
+}
+
+ShiftedGammaDelay::ShiftedGammaDelay(Duration shift, double shape,
+                                     double scale_ms)
+    : shift_(shift), shape_(shape), scale_ms_(scale_ms) {
+  FDQOS_REQUIRE(shift >= Duration::zero());
+  FDQOS_REQUIRE(shape > 0.0 && scale_ms > 0.0);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "gamma(shift=%s,k=%.3f,theta=%.3fms)",
+                shift.to_string().c_str(), shape_, scale_ms_);
+  name_ = buf;
+}
+
+Duration ShiftedGammaDelay::sample(Rng& rng, TimePoint) {
+  return shift_ + Duration::from_millis_double(rng.gamma(shape_, scale_ms_));
+}
+
+std::unique_ptr<DelayModel> ShiftedGammaDelay::make_fresh() const {
+  return std::make_unique<ShiftedGammaDelay>(shift_, shape_, scale_ms_);
+}
+
+SpikeMixtureDelay::SpikeMixtureDelay(std::unique_ptr<DelayModel> base,
+                                     double spike_prob, Duration spike_scale,
+                                     double spike_shape, Duration spike_cap)
+    : base_(std::move(base)),
+      spike_prob_(spike_prob),
+      spike_scale_(spike_scale),
+      spike_shape_(spike_shape),
+      spike_cap_(spike_cap) {
+  FDQOS_REQUIRE(base_ != nullptr);
+  FDQOS_REQUIRE(spike_prob >= 0.0 && spike_prob <= 1.0);
+  FDQOS_REQUIRE(spike_shape > 0.0);
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "spikes(p=%.4f,scale=%s,alpha=%.2f)+%s",
+                spike_prob_, spike_scale_.to_string().c_str(), spike_shape_,
+                base_->name().c_str());
+  name_ = buf;
+}
+
+Duration SpikeMixtureDelay::sample(Rng& rng, TimePoint send_time) {
+  Duration d = base_->sample(rng, send_time);
+  if (spike_prob_ > 0.0 && rng.bernoulli(spike_prob_)) {
+    const double spike_ms =
+        rng.pareto(spike_scale_.to_millis_double(), spike_shape_);
+    d += Duration::from_millis_double(spike_ms);
+  }
+  // The cap bounds the whole mixture (body tails included): it models the
+  // worst delay ever observed on the path (Table 4's 340 ms maximum).
+  return std::min(d, spike_cap_);
+}
+
+std::unique_ptr<DelayModel> SpikeMixtureDelay::make_fresh() const {
+  return std::make_unique<SpikeMixtureDelay>(base_->make_fresh(), spike_prob_,
+                                             spike_scale_, spike_shape_,
+                                             spike_cap_);
+}
+
+}  // namespace fdqos::wan

@@ -1,0 +1,55 @@
+#include "wan/loss_model.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::wan {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  FDQOS_REQUIRE(p >= 0.0 && p <= 1.0);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "bernoulli(%.4f)", p_);
+  name_ = buf;
+}
+
+bool BernoulliLoss::drop(Rng& rng, TimePoint) { return rng.bernoulli(p_); }
+
+std::unique_ptr<LossModel> BernoulliLoss::make_fresh() const {
+  return std::make_unique<BernoulliLoss>(p_);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(Params params) : params_(params) {
+  FDQOS_REQUIRE(params.p_good_to_bad >= 0.0 && params.p_good_to_bad <= 1.0);
+  FDQOS_REQUIRE(params.p_bad_to_good >= 0.0 && params.p_bad_to_good <= 1.0);
+  FDQOS_REQUIRE(params.loss_good >= 0.0 && params.loss_good <= 1.0);
+  FDQOS_REQUIRE(params.loss_bad >= 0.0 && params.loss_bad <= 1.0);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "gilbert-elliott(gb=%.4g,bg=%.4g,lg=%.4g,lb=%.4g)",
+                params.p_good_to_bad, params.p_bad_to_good, params.loss_good,
+                params.loss_bad);
+  name_ = buf;
+}
+
+bool GilbertElliottLoss::drop(Rng& rng, TimePoint) {
+  // Evolve the chain one step per message, then roll loss for the new state.
+  if (bad_) {
+    if (rng.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliottLoss::stationary_loss() const {
+  const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  if (denom == 0.0) return bad_ ? params_.loss_bad : params_.loss_good;
+  const double pi_bad = params_.p_good_to_bad / denom;
+  return pi_bad * params_.loss_bad + (1.0 - pi_bad) * params_.loss_good;
+}
+
+std::unique_ptr<LossModel> GilbertElliottLoss::make_fresh() const {
+  return std::make_unique<GilbertElliottLoss>(params_);
+}
+
+}  // namespace fdqos::wan

@@ -1,0 +1,68 @@
+// Message-loss processes for the fair-lossy link.
+//
+// Fair-lossy per the paper (§2.2): the link may drop messages but never
+// creates, corrupts, or duplicates them — UDP semantics. Loss models decide
+// per-message drops; burstiness comes from the Gilbert–Elliott two-state
+// chain, which matches measured WAN loss far better than independent drops.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace fdqos::wan {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  // True when the message sent at `send_time` must be dropped.
+  virtual bool drop(Rng& rng, TimePoint send_time) = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual std::unique_ptr<LossModel> make_fresh() const = 0;
+};
+
+// Independent drops with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool drop(Rng& rng, TimePoint send_time) override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<LossModel> make_fresh() const override;
+
+  double probability() const { return p_; }
+
+ private:
+  std::string name_;
+  double p_;
+};
+
+// Gilbert–Elliott: a two-state (Good/Bad) Markov chain evaluated per
+// message; each state has its own loss probability. Produces loss bursts.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.0005;
+    double p_bad_to_good = 0.05;
+    double loss_good = 0.001;
+    double loss_bad = 0.3;
+  };
+  explicit GilbertElliottLoss(Params params);
+  bool drop(Rng& rng, TimePoint send_time) override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<LossModel> make_fresh() const override;
+
+  bool in_bad_state() const { return bad_; }
+  // Stationary loss probability implied by the chain parameters.
+  double stationary_loss() const;
+
+ private:
+  std::string name_;
+  Params params_;
+  bool bad_ = false;
+};
+
+}  // namespace fdqos::wan

@@ -1,0 +1,79 @@
+#include "wan/regime.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace fdqos::wan {
+
+RegimeSwitchingDelay::RegimeSwitchingDelay(
+    std::vector<Regime> regimes, std::vector<std::vector<double>> transition,
+    std::size_t initial_regime)
+    : regimes_(std::move(regimes)),
+      transition_(std::move(transition)),
+      initial_(initial_regime),
+      current_(initial_regime) {
+  FDQOS_REQUIRE(!regimes_.empty());
+  FDQOS_REQUIRE(initial_regime < regimes_.size());
+  FDQOS_REQUIRE(transition_.size() == regimes_.size());
+  for (const auto& row : transition_) {
+    FDQOS_REQUIRE(row.size() == regimes_.size());
+    double sum = 0.0;
+    for (double p : row) {
+      FDQOS_REQUIRE(p >= 0.0);
+      sum += p;
+    }
+    FDQOS_REQUIRE(std::fabs(sum - 1.0) < 1e-9);
+  }
+  for (const auto& r : regimes_) {
+    FDQOS_REQUIRE(r.model != nullptr);
+    FDQOS_REQUIRE(r.mean_dwell > Duration::zero());
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "regimes(%zu)", regimes_.size());
+  name_ = buf;
+}
+
+void RegimeSwitchingDelay::maybe_switch(Rng& rng, TimePoint now) {
+  if (!dwell_armed_) {
+    regime_end_ = now + Duration::from_seconds_double(rng.exponential(
+                            regimes_[current_].mean_dwell.to_seconds_double()));
+    dwell_armed_ = true;
+    return;
+  }
+  // Possibly several regime changes elapsed between messages.
+  while (now >= regime_end_) {
+    const double u = rng.next_double();
+    double cum = 0.0;
+    std::size_t next = current_;
+    for (std::size_t j = 0; j < transition_[current_].size(); ++j) {
+      cum += transition_[current_][j];
+      if (u < cum) {
+        next = j;
+        break;
+      }
+    }
+    current_ = next;
+    regime_end_ =
+        regime_end_ + Duration::from_seconds_double(rng.exponential(
+                          regimes_[current_].mean_dwell.to_seconds_double()));
+  }
+}
+
+Duration RegimeSwitchingDelay::sample(Rng& rng, TimePoint send_time) {
+  maybe_switch(rng, send_time);
+  return regimes_[current_].model->sample(rng, send_time);
+}
+
+std::unique_ptr<DelayModel> RegimeSwitchingDelay::make_fresh() const {
+  std::vector<Regime> regimes;
+  regimes.reserve(regimes_.size());
+  for (const auto& r : regimes_) {
+    regimes.push_back({r.model->make_fresh(), r.mean_dwell});
+  }
+  return std::make_unique<RegimeSwitchingDelay>(std::move(regimes), transition_,
+                                                initial_);
+}
+
+}  // namespace fdqos::wan

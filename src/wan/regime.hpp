@@ -1,0 +1,51 @@
+// Regime-switching delay process.
+//
+// WAN behaviour changes over time — congestion in peak hours, quiet
+// weekends (paper §2.2). A RegimeSwitchingDelay holds several regimes, each
+// a (delay model, mean dwell time) pair; it stays in a regime for an
+// exponentially distributed dwell and then jumps according to a transition
+// matrix. This is the non-stationarity that adaptive detectors exist for,
+// and what the ARIMA refit cadence (N_Arima = 1000) is meant to track.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wan/delay_model.hpp"
+
+namespace fdqos::wan {
+
+class RegimeSwitchingDelay final : public DelayModel {
+ public:
+  struct Regime {
+    std::unique_ptr<DelayModel> model;
+    Duration mean_dwell;
+  };
+
+  // `transition[i][j]` = probability of jumping from regime i to regime j
+  // when i's dwell expires; rows must sum to 1 (self-loops allowed).
+  RegimeSwitchingDelay(std::vector<Regime> regimes,
+                       std::vector<std::vector<double>> transition,
+                       std::size_t initial_regime = 0);
+
+  Duration sample(Rng& rng, TimePoint send_time) override;
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<DelayModel> make_fresh() const override;
+
+  std::size_t current_regime() const { return current_; }
+  std::size_t regime_count() const { return regimes_.size(); }
+
+ private:
+  void maybe_switch(Rng& rng, TimePoint now);
+
+  std::string name_;
+  std::vector<Regime> regimes_;
+  std::vector<std::vector<double>> transition_;
+  std::size_t initial_;
+  std::size_t current_;
+  TimePoint regime_end_ = TimePoint::origin();
+  bool dwell_armed_ = false;
+};
+
+}  // namespace fdqos::wan

@@ -1,0 +1,100 @@
+#include "wan/trace.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fdqos::wan {
+
+void TraceRecorder::record(TimePoint send_time, Duration delay) {
+  send_times_.push_back(send_time);
+  delays_.push_back(delay);
+}
+
+std::vector<double> TraceRecorder::delays_ms() const {
+  std::vector<double> out;
+  out.reserve(delays_.size());
+  for (Duration d : delays_) out.push_back(d.to_millis_double());
+  return out;
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("send_time_ns,delay_ns\n", f);
+  bool ok = true;
+  for (std::size_t i = 0; i < delays_.size(); ++i) {
+    ok = ok && std::fprintf(f, "%lld,%lld\n",
+                            static_cast<long long>(send_times_[i].count_nanos()),
+                            static_cast<long long>(delays_[i].count_nanos())) > 0;
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+RecordingDelay::RecordingDelay(std::unique_ptr<DelayModel> inner,
+                               TraceRecorder& recorder)
+    : inner_(std::move(inner)), recorder_(recorder) {
+  FDQOS_REQUIRE(inner_ != nullptr);
+  name_ = "recording(" + inner_->name() + ")";
+}
+
+Duration RecordingDelay::sample(Rng& rng, TimePoint send_time) {
+  const Duration d = inner_->sample(rng, send_time);
+  recorder_.record(send_time, d);
+  return d;
+}
+
+std::unique_ptr<DelayModel> RecordingDelay::make_fresh() const {
+  return std::make_unique<RecordingDelay>(inner_->make_fresh(), recorder_);
+}
+
+TraceReplayDelay::TraceReplayDelay(std::vector<Duration> delays)
+    : delays_(std::move(delays)) {
+  FDQOS_REQUIRE(!delays_.empty());
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "trace(%zu)", delays_.size());
+  name_ = buf;
+}
+
+std::unique_ptr<TraceReplayDelay> TraceReplayDelay::load(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return nullptr;
+  char line[128];
+  std::vector<Duration> delays;
+  bool first = true;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    long long send_ns = 0;
+    long long delay_ns = 0;
+    if (std::sscanf(line, "%lld,%lld", &send_ns, &delay_ns) != 2) {
+      std::fclose(f);
+      return nullptr;
+    }
+    delays.push_back(Duration::nanos(delay_ns));
+  }
+  std::fclose(f);
+  if (delays.empty()) return nullptr;
+  return std::make_unique<TraceReplayDelay>(std::move(delays));
+}
+
+Duration TraceReplayDelay::sample(Rng&, TimePoint) {
+  if (next_ >= delays_.size()) {
+    if (!warned_wrap_) {
+      FDQOS_LOG_WARN("trace replay wrapped after %zu samples", delays_.size());
+      warned_wrap_ = true;
+    }
+    next_ = 0;
+  }
+  return delays_[next_++];
+}
+
+std::unique_ptr<DelayModel> TraceReplayDelay::make_fresh() const {
+  return std::make_unique<TraceReplayDelay>(delays_);
+}
+
+}  // namespace fdqos::wan

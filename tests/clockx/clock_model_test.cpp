@@ -1,0 +1,76 @@
+#include "clockx/clock_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos::clockx {
+namespace {
+
+TEST(ClockModelTest, PerfectClockIsIdentity) {
+  ClockModel clock;
+  const TimePoint t = TimePoint::origin() + Duration::seconds(100);
+  EXPECT_EQ(clock.to_local(t), t);
+  EXPECT_EQ(clock.to_global(t), t);
+  EXPECT_EQ(clock.error_at(t), Duration::zero());
+}
+
+TEST(ClockModelTest, PureOffset) {
+  ClockModel clock(Duration::millis(50), 0.0);
+  const TimePoint t = TimePoint::origin() + Duration::seconds(10);
+  EXPECT_EQ(clock.to_local(t), t + Duration::millis(50));
+  EXPECT_EQ(clock.error_at(t), Duration::millis(50));
+}
+
+TEST(ClockModelTest, DriftGrowsLinearly) {
+  // 100 ppm = 100 µs per second.
+  ClockModel clock(Duration::zero(), 100.0);
+  const TimePoint t1 = TimePoint::origin() + Duration::seconds(1);
+  const TimePoint t100 = TimePoint::origin() + Duration::seconds(100);
+  EXPECT_EQ(clock.error_at(t1), Duration::micros(100));
+  EXPECT_EQ(clock.error_at(t100), Duration::micros(10000));
+}
+
+TEST(ClockModelTest, ToGlobalInvertsToLocal) {
+  ClockModel clock(Duration::millis(-30), 250.0,
+                   TimePoint::origin() + Duration::seconds(5));
+  for (int s : {0, 10, 1000, 86400}) {
+    const TimePoint t = TimePoint::origin() + Duration::seconds(s);
+    const TimePoint round_trip = clock.to_global(clock.to_local(t));
+    EXPECT_LE((round_trip - t).count_nanos(), 1);
+    EXPECT_GE((round_trip - t).count_nanos(), -1);
+  }
+}
+
+TEST(ClockModelTest, EpochShiftsDriftOrigin) {
+  const TimePoint epoch = TimePoint::origin() + Duration::seconds(50);
+  ClockModel clock(Duration::zero(), 1000.0, epoch);
+  EXPECT_EQ(clock.error_at(epoch), Duration::zero());
+  EXPECT_EQ(clock.error_at(epoch + Duration::seconds(1)), Duration::millis(1));
+}
+
+TEST(DisciplinedClockTest, PerfectCorrectionZeroesResidual) {
+  ClockModel raw(Duration::millis(25), 0.0);
+  DisciplinedClock disciplined(raw);
+  disciplined.apply_correction(Duration::millis(25));
+  const TimePoint t = TimePoint::origin() + Duration::seconds(42);
+  EXPECT_EQ(disciplined.residual_at(t), Duration::zero());
+}
+
+TEST(DisciplinedClockTest, ResidualReflectsCorrectionError) {
+  ClockModel raw(Duration::millis(25), 0.0);
+  DisciplinedClock disciplined(raw);
+  disciplined.apply_correction(Duration::millis(20));  // 5 ms short
+  const TimePoint t = TimePoint::origin() + Duration::seconds(1);
+  EXPECT_EQ(disciplined.residual_at(t), Duration::millis(5));
+}
+
+TEST(DisciplinedClockTest, DriftLeaksBetweenCorrections) {
+  ClockModel raw(Duration::zero(), 100.0);
+  DisciplinedClock disciplined(raw);
+  disciplined.apply_correction(Duration::zero());
+  // After 1000 s of 100 ppm drift the residual is 100 ms.
+  const TimePoint t = TimePoint::origin() + Duration::seconds(1000);
+  EXPECT_EQ(disciplined.residual_at(t), Duration::millis(100));
+}
+
+}  // namespace
+}  // namespace fdqos::clockx

@@ -1,0 +1,96 @@
+#include "clockx/ntp_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clockx/clock_model.hpp"
+#include "common/rng.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos::clockx {
+namespace {
+
+// Build an exchange through a server whose clock is `offset` ahead, with
+// the given one-way delays.
+NtpExchange make_exchange(TimePoint t_send, Duration offset, Duration fwd,
+                          Duration bwd,
+                          Duration processing = Duration::millis(1)) {
+  NtpExchange e;
+  e.t1 = t_send;
+  e.t2 = t_send + fwd + offset;
+  e.t3 = e.t2 + processing;
+  e.t4 = t_send + fwd + processing + bwd;
+  return e;
+}
+
+TEST(NtpSampleTest, SymmetricDelaysGiveExactOffset) {
+  const auto e = make_exchange(TimePoint::origin(), Duration::millis(30),
+                               Duration::millis(100), Duration::millis(100));
+  const NtpSample s = compute_ntp_sample(e);
+  EXPECT_EQ(s.offset, Duration::millis(30));
+  EXPECT_EQ(s.rtt, Duration::millis(200));
+}
+
+TEST(NtpSampleTest, AsymmetryBiasesOffsetByHalfTheDifference) {
+  const auto e = make_exchange(TimePoint::origin(), Duration::zero(),
+                               Duration::millis(120), Duration::millis(80));
+  const NtpSample s = compute_ntp_sample(e);
+  EXPECT_EQ(s.offset, Duration::millis(20));  // (120-80)/2
+  EXPECT_EQ(s.rtt, Duration::millis(200));
+}
+
+TEST(NtpSampleTest, NegativeOffset) {
+  const auto e = make_exchange(TimePoint::origin(), Duration::millis(-45),
+                               Duration::millis(90), Duration::millis(90));
+  EXPECT_EQ(compute_ntp_sample(e).offset, Duration::millis(-45));
+}
+
+TEST(NtpEstimatorTest, EmptyHasNoEstimate) {
+  NtpEstimator est;
+  EXPECT_FALSE(est.offset().has_value());
+  EXPECT_FALSE(est.best_rtt().has_value());
+}
+
+TEST(NtpEstimatorTest, PicksMinimumRttSample) {
+  NtpEstimator est(4);
+  // Noisy sample: asymmetric, big rtt, wrong offset.
+  est.add_exchange(make_exchange(TimePoint::origin(), Duration::millis(10),
+                                 Duration::millis(300), Duration::millis(100)));
+  // Clean sample: symmetric, small rtt, true offset.
+  est.add_exchange(make_exchange(TimePoint::origin() + Duration::seconds(1),
+                                 Duration::millis(10), Duration::millis(95),
+                                 Duration::millis(95)));
+  EXPECT_EQ(est.offset().value(), Duration::millis(10));
+  EXPECT_EQ(est.best_rtt().value(), Duration::millis(190));
+}
+
+TEST(NtpEstimatorTest, WindowEvictsOldSamples) {
+  NtpEstimator est(2);
+  est.add_sample({Duration::millis(999), Duration::millis(1)});  // best rtt
+  est.add_sample({Duration::millis(1), Duration::millis(50)});
+  est.add_sample({Duration::millis(2), Duration::millis(60)});
+  // The rtt=1 sample fell out of the window.
+  EXPECT_EQ(est.sample_count(), 2u);
+  EXPECT_EQ(est.offset().value(), Duration::millis(1));
+}
+
+TEST(NtpEstimatorTest, ResidualUnderWanDelaysIsSmall) {
+  // End-to-end: exchanges over the Italy–Japan delay model, server clock
+  // 37 ms ahead. The min-RTT filter must recover the offset well within the
+  // delay jitter — the quantitative backing of the paper's NTP assumption.
+  const Duration true_offset = Duration::millis(37);
+  auto delay = wan::make_italy_japan_delay();
+  Rng rng(9);
+  NtpEstimator est(16);
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 64; ++i, t += Duration::seconds(16)) {
+    const Duration fwd = delay->sample(rng, t);
+    const Duration bwd = delay->sample(rng, t + fwd);
+    est.add_exchange(make_exchange(t, true_offset, fwd, bwd));
+  }
+  const Duration err = est.offset().value() - true_offset;
+  EXPECT_LT(err, Duration::millis(10));
+  EXPECT_GT(err, Duration::millis(-10));
+}
+
+}  // namespace
+}  // namespace fdqos::clockx

@@ -1,0 +1,75 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, SpaceSeparatedValues) {
+  const auto args = parse({"--runs", "13", "--seed", "42"});
+  EXPECT_EQ(args.get_int("--runs", 0), 13);
+  EXPECT_EQ(args.get_int("--seed", 0), 42);
+  EXPECT_EQ(args.get_int("--missing", 7), 7);
+}
+
+TEST(ArgParserTest, EqualsSeparatedValues) {
+  const auto args = parse({"--eta-ms=250", "--gamma=3.31"});
+  EXPECT_EQ(args.get_int("--eta-ms", 0), 250);
+  EXPECT_DOUBLE_EQ(args.get_double("--gamma", 0.0), 3.31);
+}
+
+TEST(ArgParserTest, BareFlags) {
+  const auto args = parse({"--baselines", "--csv", "out.csv"});
+  EXPECT_TRUE(args.get_flag("--baselines"));
+  EXPECT_FALSE(args.get_flag("--pareto"));
+  EXPECT_EQ(args.get_string("--csv", ""), "out.csv");
+}
+
+TEST(ArgParserTest, ExplicitBooleanValues) {
+  const auto args = parse({"--a=true", "--b=false", "--c=0", "--d=1"});
+  EXPECT_TRUE(args.get_flag("--a"));
+  EXPECT_FALSE(args.get_flag("--b"));
+  EXPECT_FALSE(args.get_flag("--c"));
+  EXPECT_TRUE(args.get_flag("--d"));
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const auto args = parse({"qos", "--runs", "3", "extra"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"qos", "extra"}));
+}
+
+TEST(ArgParserTest, FlagFollowedByFlagDoesNotEatIt) {
+  const auto args = parse({"--pareto", "--runs", "5"});
+  EXPECT_TRUE(args.get_flag("--pareto"));
+  EXPECT_EQ(args.get_int("--runs", 0), 5);
+}
+
+TEST(ArgParserTest, UnknownKeysReported) {
+  const auto args = parse({"--runs", "3", "--tpyo", "7"});
+  EXPECT_EQ(args.get_int("--runs", 0), 3);
+  const auto unknown = args.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "--tpyo");
+}
+
+TEST(ArgParserTest, HasMarksQueried) {
+  const auto args = parse({"--x", "1"});
+  EXPECT_TRUE(args.has("--x"));
+  EXPECT_TRUE(args.unknown_keys().empty());
+}
+
+TEST(ArgParserTest, EmptyCommandLine) {
+  const auto args = parse({});
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_EQ(args.get_string("--anything", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace fdqos

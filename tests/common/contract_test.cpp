@@ -1,0 +1,84 @@
+// Contract checks: FDQOS_REQUIRE/ASSERT abort on precondition violations —
+// in a simulator, continuing past a broken invariant corrupts every
+// downstream measurement, so the library fails fast. These death tests pin
+// the contracts of the most misuse-prone constructors and calls.
+#include <gtest/gtest.h>
+
+// Older gtest: set the death-test style once, process-wide.
+static const bool kDeathStyle = [] {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  return true;
+}();
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "fd/safety_margin.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantiles.hpp"
+#include "wan/delay_model.hpp"
+
+namespace fdqos {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, SchedulingInThePastAborts) {
+  sim::Simulator sim;
+  sim.run_until(TimePoint::origin() + Duration::seconds(10));
+  EXPECT_DEATH(sim.schedule_at(TimePoint::origin() + Duration::seconds(5), [] {}),
+               "precondition");
+}
+
+TEST(ContractDeathTest, NegativeDelayAborts) {
+  sim::Simulator sim;
+  EXPECT_DEATH(sim.schedule_after(Duration::millis(-1), [] {}), "precondition");
+}
+
+TEST(ContractDeathTest, InvalidUniformBoundsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.uniform(5.0, 1.0), "");
+  EXPECT_DEATH(rng.uniform_int(10, 2), "");
+}
+
+TEST(ContractDeathTest, ZeroWindowPredictorAborts) {
+  EXPECT_DEATH(forecast::WinMeanPredictor{0}, "precondition");
+}
+
+TEST(ContractDeathTest, InvalidLpfBetaAborts) {
+  EXPECT_DEATH(forecast::LpfPredictor{0.0}, "precondition");
+  EXPECT_DEATH(forecast::LpfPredictor{1.5}, "precondition");
+}
+
+TEST(ContractDeathTest, NonPositiveGammaAborts) {
+  EXPECT_DEATH(fd::CiSafetyMargin{0.0}, "precondition");
+  EXPECT_DEATH(fd::CiSafetyMargin{-2.0}, "precondition");
+}
+
+TEST(ContractDeathTest, InvalidJacobsonAlphaAborts) {
+  EXPECT_DEATH((fd::JacobsonSafetyMargin{2.0, 0.0}), "precondition");
+  EXPECT_DEATH((fd::JacobsonSafetyMargin{2.0, 1.5}), "precondition");
+}
+
+TEST(ContractDeathTest, DegenerateHistogramAborts) {
+  EXPECT_DEATH((stats::Histogram{5.0, 5.0, 10}), "precondition");
+  EXPECT_DEATH((stats::Histogram{0.0, 1.0, 0}), "precondition");
+}
+
+TEST(ContractDeathTest, QuantileOutOfRangeAborts) {
+  stats::SampleSet s;
+  s.add(1.0);
+  EXPECT_DEATH(s.quantile(1.5), "precondition");
+  EXPECT_DEATH(stats::P2Quantile{0.0}, "precondition");
+}
+
+TEST(ContractDeathTest, UniformDelayReversedBoundsAbort) {
+  EXPECT_DEATH(
+      (wan::UniformDelay{Duration::millis(100), Duration::millis(50)}),
+      "precondition");
+}
+
+}  // namespace
+}  // namespace fdqos

@@ -1,0 +1,189 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fdqos {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NamedForksAreStable) {
+  const Rng root(7);
+  Rng a = root.fork("delay");
+  Rng b = root.fork("delay");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DistinctForkNamesGiveDistinctStreams) {
+  const Rng root(7);
+  Rng a = root.fork("delay");
+  Rng b = root.fork("loss");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, IndexedForksAreStableAndDistinct) {
+  const Rng root(99);
+  Rng r0 = root.fork(std::uint64_t{0});
+  Rng r0b = root.fork(std::uint64_t{0});
+  Rng r1 = root.fork(std::uint64_t{1});
+  EXPECT_EQ(r0.next_u64(), r0b.next_u64());
+  EXPECT_NE(r0.next_u64(), r1.next_u64());
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  // Forking must not depend on how much of the parent stream was consumed
+  // *after* the fork — but here we check fork before/after parent draws
+  // from the same parent state differ is NOT required; what matters is:
+  // two forks with the same name from the same parent state coincide.
+  Rng root(5);
+  Rng f1 = root.fork("x");
+  Rng f2 = root.fork("x");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(14);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, LognormalMeanMatchesClosedForm) {
+  Rng rng(16);
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  const double expected = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(RngTest, GammaMeanAndVarianceMatch) {
+  Rng rng(17);
+  const double shape = 3.0;
+  const double scale = 2.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);          // 6
+  EXPECT_NEAR(var, shape * scale * scale, 0.35);  // 12
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(18);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(0.5, 1.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScaleFloor) {
+  Rng rng(20);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(21);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(perm.size(), 50u);
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+}  // namespace
+}  // namespace fdqos

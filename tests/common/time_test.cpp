@@ -1,0 +1,86 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos {
+namespace {
+
+TEST(DurationTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).count_nanos(), 1'000);
+  EXPECT_EQ(Duration::seconds(2), Duration::millis(2000));
+}
+
+TEST(DurationTest, FractionalConstructorsRound) {
+  EXPECT_EQ(Duration::from_millis_double(1.5).count_nanos(), 1'500'000);
+  EXPECT_EQ(Duration::from_seconds_double(0.25).count_nanos(), 250'000'000);
+  EXPECT_EQ(Duration::from_millis_double(-3.25).count_nanos(), -3'250'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(300);
+  const Duration b = Duration::millis(200);
+  EXPECT_EQ((a + b), Duration::millis(500));
+  EXPECT_EQ((a - b), Duration::millis(100));
+  EXPECT_EQ((-b), Duration::millis(-200));
+  EXPECT_EQ(a * 3, Duration::millis(900));
+  EXPECT_EQ(a / 3, Duration::millis(100));
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::millis(100);
+  d += Duration::millis(50);
+  EXPECT_EQ(d, Duration::millis(150));
+  d -= Duration::millis(70);
+  EXPECT_EQ(d, Duration::millis(80));
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+}
+
+TEST(DurationTest, ConversionsToDouble) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds_double(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis_double(), 2.5);
+}
+
+TEST(DurationTest, ScaledRoundsToNearestNano) {
+  EXPECT_EQ(Duration::nanos(10).scaled(0.25).count_nanos(), 3);  // 2.5 -> 3
+  EXPECT_EQ(Duration::millis(100).scaled(1.5), Duration::millis(150));
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(Duration::millis(203).to_string(), "203.000ms");
+  EXPECT_EQ(Duration::micros(15).to_string(), "15.000us");
+  EXPECT_EQ(Duration::nanos(7).to_string(), "7ns");
+}
+
+TEST(TimePointTest, OriginAndOffsets) {
+  const TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.count_nanos(), 0);
+  const TimePoint t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ((t1 - t0), Duration::seconds(3));
+  EXPECT_EQ((t1 - Duration::seconds(1)) - t0, Duration::seconds(2));
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a = TimePoint::origin() + Duration::millis(10);
+  const TimePoint b = TimePoint::origin() + Duration::millis(20);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint::from_nanos(10'000'000));
+  EXPECT_LT(a, TimePoint::max());
+}
+
+TEST(TimePointTest, CompoundAdvance) {
+  TimePoint t = TimePoint::origin();
+  t += Duration::seconds(5);
+  EXPECT_DOUBLE_EQ(t.to_seconds_double(), 5.0);
+  EXPECT_DOUBLE_EQ(t.to_millis_double(), 5000.0);
+}
+
+}  // namespace
+}  // namespace fdqos

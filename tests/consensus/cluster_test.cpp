@@ -1,0 +1,85 @@
+#include "consensus/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wan/delay_model.hpp"
+
+namespace fdqos::consensus {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+ConsensusCluster::LinkFactory fast_links() {
+  return [](net::NodeId, net::NodeId) {
+    net::SimTransport::LinkConfig link;
+    link.delay = std::make_unique<wan::ShiftedLognormalDelay>(
+        Duration::millis(30), 0.8, 0.4);
+    return link;
+  };
+}
+
+TEST(ConsensusClusterTest, FailureFreeDecides) {
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  ConsensusCluster cluster(config, fast_links());
+  cluster.propose_all(at_s(2.0), {7, 8, 9});
+  ASSERT_TRUE(cluster.run_until_decided(at_s(60.0)));
+  const auto d0 = cluster.decision(0);
+  ASSERT_TRUE(d0.has_value());
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(cluster.decision(i), d0);
+  }
+  EXPECT_TRUE(*d0 == 7 || *d0 == 8 || *d0 == 9);
+}
+
+TEST(ConsensusClusterTest, ReportsRoundAndMessageCounts) {
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  ConsensusCluster cluster(config, fast_links());
+  cluster.propose_all(at_s(2.0), {1, 2, 3});
+  ASSERT_TRUE(cluster.run_until_decided(at_s(60.0)));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(cluster.rounds_entered(i), 1u);
+    EXPECT_GT(cluster.consensus_messages(i), 0u);
+    EXPECT_LE(cluster.decision_time(i).to_seconds_double(), 10.0);
+  }
+}
+
+TEST(ConsensusClusterTest, CrashedNodeDoesNotBlockDecision) {
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  config.crash_schedules[2] = {{at_s(0.5), TimePoint::max()}};
+  ConsensusCluster cluster(config, fast_links());
+  cluster.propose_all(at_s(2.0), {5, 6, 7});
+  ASSERT_TRUE(cluster.run_until_decided(at_s(90.0)));
+  EXPECT_FALSE(cluster.node_up(2));
+  EXPECT_FALSE(cluster.decision(2).has_value());
+  ASSERT_TRUE(cluster.decision(0).has_value());
+  EXPECT_EQ(cluster.decision(0), cluster.decision(1));
+  // Node 2 never proposed: its value cannot win.
+  EXPECT_NE(cluster.decision(0), std::optional<std::int64_t>(7));
+}
+
+TEST(ConsensusClusterTest, DeadlineExpiryReportsFalse) {
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  ConsensusCluster cluster(config, fast_links());
+  cluster.propose_all(at_s(2.0), {1, 2, 3});
+  // Deadline before the proposals even fire.
+  EXPECT_FALSE(cluster.run_until_decided(at_s(1.0)));
+}
+
+TEST(ConsensusClusterTest, DetectorConfigurationIsHonored) {
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  config.predictor_label = "Mean";
+  config.margin_label = "CI_high";
+  ConsensusCluster cluster(config, fast_links());
+  cluster.propose_all(at_s(2.0), {4, 5, 6});
+  EXPECT_TRUE(cluster.run_until_decided(at_s(60.0)));
+}
+
+}  // namespace
+}  // namespace fdqos::consensus

@@ -1,0 +1,272 @@
+// Chandra–Toueg consensus over real failure detectors: safety (agreement,
+// validity) and termination under crashes and message loss.
+#include "consensus/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fd/freshness_detector.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/scripted_crash.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos::consensus {
+namespace {
+
+constexpr Duration kEta = Duration::millis(200);
+
+struct ConsensusNode {
+  std::unique_ptr<runtime::ProcessNode> process;
+  runtime::ScriptedCrashLayer* crash = nullptr;
+  std::vector<std::unique_ptr<runtime::HeartbeaterLayer>> heartbeaters;
+  std::map<net::NodeId, std::unique_ptr<fd::FreshnessDetector>> detectors;
+  std::unique_ptr<ConsensusProcess> consensus_owner;
+  ConsensusProcess* consensus = nullptr;
+  std::optional<std::int64_t> decision;
+  TimePoint decision_time;
+};
+
+struct Cluster {
+  sim::Simulator simulator;
+  std::unique_ptr<net::SimTransport> transport;
+  std::vector<ConsensusNode> nodes;
+
+  // schedules[i]: down periods for node i. link_factory makes each
+  // directional link's delay/loss.
+  void build(
+      int n,
+      const std::map<int, std::vector<runtime::ScriptedCrashLayer::DownPeriod>>&
+          schedules,
+      std::uint64_t seed = 1, double loss = 0.0) {
+    transport = std::make_unique<net::SimTransport>(simulator, Rng(seed));
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        net::SimTransport::LinkConfig link;
+        link.delay = std::make_unique<wan::ShiftedLognormalDelay>(
+            Duration::millis(40), 1.0, 0.5);
+        if (loss > 0.0) link.loss = std::make_unique<wan::BernoulliLoss>(loss);
+        transport->set_link(a, b, std::move(link));
+      }
+    }
+
+    std::vector<net::NodeId> members;
+    for (int i = 0; i < n; ++i) members.push_back(i);
+
+    nodes.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ConsensusNode& node = nodes[static_cast<std::size_t>(i)];
+      node.process = std::make_unique<runtime::ProcessNode>(*transport, i);
+      auto it = schedules.find(i);
+      node.crash = &node.process->push(
+          std::make_unique<runtime::ScriptedCrashLayer>(
+              simulator, it != schedules.end()
+                             ? it->second
+                             : std::vector<
+                                   runtime::ScriptedCrashLayer::DownPeriod>{}));
+
+      for (int peer = 0; peer < n; ++peer) {
+        if (peer == i) continue;
+        runtime::HeartbeaterLayer::Config hb;
+        hb.eta = kEta;
+        hb.self = i;
+        hb.monitor = peer;
+        auto beater =
+            std::make_unique<runtime::HeartbeaterLayer>(simulator, hb);
+        node.process->attach_unowned(*node.crash, *beater);
+        node.heartbeaters.push_back(std::move(beater));
+
+        fd::FreshnessDetector::Config config;
+        config.eta = kEta;
+        config.monitored = peer;
+        config.cold_start_timeout = Duration::millis(500);
+        auto detector = std::make_unique<fd::FreshnessDetector>(
+            simulator, config, std::make_unique<forecast::LastPredictor>(),
+            std::make_unique<fd::JacobsonSafetyMargin>(4.0));
+        node.process->attach_unowned(*node.crash, *detector);
+        node.detectors.emplace(peer, std::move(detector));
+      }
+
+      ConsensusProcess::Config config;
+      config.self = i;
+      config.members = members;
+      config.retransmit_interval = Duration::millis(300);
+      auto* detectors = &node.detectors;
+      node.consensus_owner = std::make_unique<ConsensusProcess>(
+          simulator, config, [detectors](net::NodeId peer) {
+            auto it = detectors->find(peer);
+            return it != detectors->end() && it->second->suspecting();
+          });
+      node.consensus = node.consensus_owner.get();
+      node.process->attach_unowned(*node.crash, *node.consensus);
+      node.consensus->set_decision_observer(
+          [&node, this](std::int64_t value, TimePoint t, std::uint32_t) {
+            node.decision = value;
+            node.decision_time = t;
+          });
+      // Prompt NACKs on suspicion transitions.
+      for (auto& [peer, det] : node.detectors) {
+        ConsensusProcess* consensus = node.consensus;
+        det->set_observer([consensus](TimePoint, bool) {
+          consensus->on_suspicion_change();
+        });
+      }
+      node.process->start();
+    }
+  }
+
+  void propose_all(TimePoint when, const std::vector<std::int64_t>& values) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ConsensusNode* node = &nodes[i];
+      const std::int64_t value = values[i];
+      // Crash state is evaluated at fire time: a node that is down when the
+      // client request arrives never proposes.
+      simulator.schedule_at(when, [node, value] {
+        if (!node->crash->crashed()) node->consensus->propose(value);
+      });
+    }
+  }
+
+  void check_agreement_validity(const std::vector<std::int64_t>& proposals,
+                                const std::vector<bool>& must_decide) {
+    std::optional<std::int64_t> agreed;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!must_decide[i]) continue;
+      ASSERT_TRUE(nodes[i].decision.has_value()) << "node " << i;
+      if (!agreed) agreed = nodes[i].decision;
+      EXPECT_EQ(nodes[i].decision, agreed) << "agreement violated at " << i;
+    }
+    if (agreed) {
+      bool valid = false;
+      for (std::int64_t p : proposals) {
+        if (p == *agreed) valid = true;
+      }
+      EXPECT_TRUE(valid) << "decided value " << *agreed
+                         << " was never proposed";
+    }
+  }
+};
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+TEST(ConsensusTest, FailureFreeRunDecidesQuickly) {
+  Cluster cluster;
+  cluster.build(3, {});
+  const std::vector<std::int64_t> proposals{10, 20, 30};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(30.0));
+
+  cluster.check_agreement_validity(proposals, {true, true, true});
+  for (const auto& node : cluster.nodes) {
+    // Failure-free: the first coordinator succeeds, within a few RTTs.
+    EXPECT_LT((node.decision_time - at_s(2.0)).to_seconds_double(), 3.0);
+    EXPECT_LE(node.consensus->rounds_entered(), 4u);
+  }
+}
+
+TEST(ConsensusTest, InitiallyDeadCoordinatorIsSkipped) {
+  // Node 0 coordinates round 1 but is down from the start; the others must
+  // suspect it and decide via coordinator 1.
+  Cluster cluster;
+  cluster.build(3, {{0, {{at_s(0.0), TimePoint::max()}}}});
+  const std::vector<std::int64_t> proposals{0, 21, 33};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(60.0));
+
+  cluster.check_agreement_validity(proposals, {false, true, true});
+  EXPECT_FALSE(cluster.nodes[0].decision.has_value());
+  for (int i : {1, 2}) {
+    const auto& node = cluster.nodes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(node.decision, std::optional<std::int64_t>(21));  // 0 never proposed
+    EXPECT_GE(node.consensus->rounds_entered(), 2u);
+  }
+}
+
+TEST(ConsensusTest, CoordinatorCrashMidInstanceStillTerminates) {
+  // Node 0 crashes 150 ms after proposals start — possibly mid-round-1.
+  Cluster cluster;
+  cluster.build(3, {{0, {{at_s(2.15), TimePoint::max()}}}});
+  const std::vector<std::int64_t> proposals{11, 22, 33};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(60.0));
+  cluster.check_agreement_validity(proposals, {false, true, true});
+}
+
+TEST(ConsensusTest, FiveNodesTwoCrashesStillMajority) {
+  Cluster cluster;
+  cluster.build(5, {{1, {{at_s(0.0), TimePoint::max()}}},
+                    {3, {{at_s(2.3), TimePoint::max()}}}});
+  const std::vector<std::int64_t> proposals{100, 0, 300, 400, 500};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(90.0));
+  cluster.check_agreement_validity(proposals,
+                                   {true, false, true, false, true});
+}
+
+TEST(ConsensusTest, SurvivesHeavyMessageLoss) {
+  Cluster cluster;
+  cluster.build(3, {}, /*seed=*/9, /*loss=*/0.15);
+  const std::vector<std::int64_t> proposals{-1, -2, -3};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(120.0));
+  cluster.check_agreement_validity(proposals, {true, true, true});
+}
+
+TEST(ConsensusTest, LateProposerIsPulledToDecision) {
+  // Node 2 proposes 5 s after the others; by then a decision may exist —
+  // stubborn DECIDE replies must still bring node 2 to the same value.
+  Cluster cluster;
+  cluster.build(3, {});
+  for (int i : {0, 1}) {
+    ConsensusProcess* consensus = cluster.nodes[static_cast<std::size_t>(i)].consensus;
+    const std::int64_t value = (i + 1) * 7;
+    cluster.simulator.schedule_at(at_s(2.0), [consensus, value] {
+      consensus->propose(value);
+    });
+  }
+  ConsensusProcess* late = cluster.nodes[2].consensus;
+  cluster.simulator.schedule_at(at_s(7.0), [late] { late->propose(999); });
+  cluster.simulator.run_until(at_s(60.0));
+
+  ASSERT_TRUE(cluster.nodes[0].decision.has_value());
+  ASSERT_TRUE(cluster.nodes[2].decision.has_value());
+  EXPECT_EQ(cluster.nodes[2].decision, cluster.nodes[0].decision);
+  EXPECT_NE(cluster.nodes[2].decision, std::optional<std::int64_t>(999));
+}
+
+class ConsensusPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsensusPropertyTest, SafetyUnderRandomLossAndOneCrash) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const double loss = rng.uniform(0.0, 0.2);
+  // Crash one random non-zero... any node; crash time in [1.5, 6] s.
+  const int victim = static_cast<int>(rng.uniform_int(0, 4));
+  const double crash_time = rng.uniform(1.5, 6.0);
+
+  Cluster cluster;
+  cluster.build(5, {{victim, {{at_s(crash_time), TimePoint::max()}}}},
+                seed * 13 + 1, loss);
+  const std::vector<std::int64_t> proposals{1, 2, 3, 4, 5};
+  cluster.propose_all(at_s(2.0), proposals);
+  cluster.simulator.run_until(at_s(180.0));
+
+  std::vector<bool> must_decide(5, true);
+  must_decide[static_cast<std::size_t>(victim)] = false;
+  cluster.check_agreement_validity(proposals, must_decide);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace fdqos::consensus

@@ -1,0 +1,77 @@
+#include "consensus/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos::consensus {
+namespace {
+
+TEST(ConsensusMessagesTest, WrapUnwrapRoundTrip) {
+  ConsensusMsg msg;
+  msg.kind = MsgKind::kProposal;
+  msg.instance = 42;
+  msg.round = 7;
+  msg.value = -123456789;
+  msg.ts = 5;
+
+  const net::Message wire = wrap(msg, 2, 3, TimePoint::from_nanos(1000));
+  EXPECT_EQ(wire.from, 2);
+  EXPECT_EQ(wire.to, 3);
+  EXPECT_EQ(wire.type, net::MessageType::kUser);
+
+  const auto decoded = unwrap(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ConsensusMessagesTest, AllKindsRoundTrip) {
+  for (MsgKind kind : {MsgKind::kEstimate, MsgKind::kProposal, MsgKind::kAck,
+                       MsgKind::kNack, MsgKind::kDecide}) {
+    ConsensusMsg msg;
+    msg.kind = kind;
+    msg.instance = 1;
+    msg.round = 3;
+    msg.value = 99;
+    msg.ts = 2;
+    const auto decoded = unwrap(wrap(msg, 0, 1, TimePoint::origin()));
+    ASSERT_TRUE(decoded.has_value()) << msg_kind_name(kind);
+    EXPECT_EQ(decoded->kind, kind);
+  }
+}
+
+TEST(ConsensusMessagesTest, RejectsNonUserMessages) {
+  net::Message hb;
+  hb.type = net::MessageType::kHeartbeat;
+  hb.seq = 1;
+  EXPECT_FALSE(unwrap(hb).has_value());
+}
+
+TEST(ConsensusMessagesTest, RejectsForeignUserPayloads) {
+  net::Message user;
+  user.type = net::MessageType::kUser;
+  user.payload = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(unwrap(user).has_value());
+}
+
+TEST(ConsensusMessagesTest, RejectsTruncatedPayload) {
+  ConsensusMsg msg;
+  msg.kind = MsgKind::kAck;
+  net::Message wire = wrap(msg, 0, 1, TimePoint::origin());
+  wire.payload.pop_back();
+  EXPECT_FALSE(unwrap(wire).has_value());
+}
+
+TEST(ConsensusMessagesTest, RejectsInvalidKind) {
+  ConsensusMsg msg;
+  msg.kind = MsgKind::kDecide;
+  net::Message wire = wrap(msg, 0, 1, TimePoint::origin());
+  wire.payload[1] = 0x77;  // kind byte out of range
+  EXPECT_FALSE(unwrap(wire).has_value());
+}
+
+TEST(ConsensusMessagesTest, KindNames) {
+  EXPECT_STREQ(msg_kind_name(MsgKind::kEstimate), "estimate");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kDecide), "decide");
+}
+
+}  // namespace
+}  // namespace fdqos::consensus

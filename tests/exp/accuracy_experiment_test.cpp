@@ -1,0 +1,71 @@
+#include "exp/accuracy_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos::exp {
+namespace {
+
+AccuracyExperimentConfig small_config() {
+  AccuracyExperimentConfig config;
+  config.n_oneway = 8000;  // fast test-sized run
+  config.seed = 7;
+  return config;
+}
+
+TEST(AccuracyExperimentTest, GeneratesSeriesWithLoss) {
+  const auto config = small_config();
+  const auto series = generate_delay_series(config);
+  EXPECT_LT(series.size(), config.n_oneway);      // some heartbeats lost
+  EXPECT_GT(series.size(), config.n_oneway * 9 / 10);
+  for (double d : series) {
+    EXPECT_GE(d, 192.0);
+    EXPECT_LE(d, 340.0);
+  }
+}
+
+TEST(AccuracyExperimentTest, SeriesIsSeedDeterministic) {
+  const auto a = generate_delay_series(small_config());
+  const auto b = generate_delay_series(small_config());
+  EXPECT_EQ(a, b);
+  AccuracyExperimentConfig other = small_config();
+  other.seed = 8;
+  EXPECT_NE(generate_delay_series(other), a);
+}
+
+TEST(AccuracyExperimentTest, ScoresAllFivePredictors) {
+  const auto report = run_accuracy_experiment(small_config());
+  ASSERT_EQ(report.rows.size(), 5u);
+  EXPECT_EQ(report.heartbeats_sent, 8000u);
+  EXPECT_GT(report.delays_collected, 0u);
+  for (const auto& row : report.rows) {
+    EXPECT_GT(row.msqerr, 0.0) << row.predictor;
+    EXPECT_GT(row.mean_abs_err, 0.0) << row.predictor;
+  }
+}
+
+TEST(AccuracyExperimentTest, RowsSortedByAccuracy) {
+  const auto report = run_accuracy_experiment(small_config());
+  for (std::size_t i = 1; i < report.rows.size(); ++i) {
+    EXPECT_LE(report.rows[i - 1].msqerr, report.rows[i].msqerr);
+  }
+}
+
+TEST(AccuracyExperimentTest, DelaySummaryMatchesTable4Envelope) {
+  const auto report = run_accuracy_experiment(small_config());
+  EXPECT_NEAR(report.delays_ms.mean, 200.0, 5.0);
+  EXPECT_GE(report.delays_ms.min, 192.0);
+  EXPECT_LE(report.delays_ms.max, 340.0);
+}
+
+TEST(AccuracyExperimentTest, MsqerrValuesInPlausibleRange) {
+  // The paper's Table 3 msqerr values are tens of ms² on a link with
+  // σ = 7.6 ms; ours must be the same order of magnitude.
+  const auto report = run_accuracy_experiment(small_config());
+  for (const auto& row : report.rows) {
+    EXPECT_LT(row.msqerr, 500.0) << row.predictor;
+    EXPECT_GT(row.msqerr, 1.0) << row.predictor;
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -1,0 +1,178 @@
+#include "exp/qos_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "wan/trace.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+// Small but statistically meaningful configuration: 2 runs × 2000 cycles
+// gives ~12 crashes — enough to check structure, not paper-grade stats.
+QosExperimentConfig small_config() {
+  QosExperimentConfig config;
+  config.runs = 2;
+  config.num_cycles = 2000;
+  config.seed = 11;
+  return config;
+}
+
+class QosExperimentTest : public ::testing::Test {
+ protected:
+  static const QosReport& report() {
+    static const QosReport kReport = run_qos_experiment(small_config());
+    return kReport;
+  }
+};
+
+TEST_F(QosExperimentTest, ProducesThirtyResults) {
+  EXPECT_EQ(report().results.size(), 30u);
+}
+
+TEST_F(QosExperimentTest, CrashesInjectedAtExpectedRate) {
+  // ~2000 s per run, MTTC+TTR = 330 s -> ~6 crashes per run.
+  const auto crashes_per_run =
+      static_cast<double>(report().total_crashes) / 2.0;
+  EXPECT_GT(crashes_per_run, 3.0);
+  EXPECT_LT(crashes_per_run, 9.0);
+}
+
+TEST_F(QosExperimentTest, EveryDetectorDetectsEveryCrash) {
+  // TTR = 30 s >> any timeout here, so no detector may miss a crash.
+  for (const auto& result : report().results) {
+    EXPECT_EQ(result.metrics.missed_detections, 0u) << result.name;
+    EXPECT_GT(result.metrics.detections, 0u) << result.name;
+  }
+}
+
+TEST_F(QosExperimentTest, DetectionTimesAreInPlausibleBand) {
+  // T_D is bounded below by the post-crash residual of the current cycle
+  // and above by η + δ; with η = 1 s and δ ≈ 0.2–1 s the mean must fall
+  // in (200 ms, 2.5 s).
+  for (const auto& result : report().results) {
+    const double td = result.metrics.detection_time_ms.mean;
+    EXPECT_GT(td, 200.0) << result.name;
+    EXPECT_LT(td, 2500.0) << result.name;
+  }
+}
+
+TEST_F(QosExperimentTest, AvailabilityIsHighForAllDetectors) {
+  for (const auto& result : report().results) {
+    EXPECT_GT(result.metrics.availability, 0.9) << result.name;
+    EXPECT_LE(result.metrics.availability, 1.0) << result.name;
+    EXPECT_GE(result.metrics.query_accuracy, 0.0) << result.name;
+    EXPECT_LE(result.metrics.query_accuracy, 1.0) << result.name;
+  }
+}
+
+TEST_F(QosExperimentTest, HeartbeatsFlowed) {
+  EXPECT_GT(report().heartbeats_sent, 3000u);
+  EXPECT_GT(report().heartbeats_delivered, 3000u);
+  EXPECT_LE(report().heartbeats_delivered, report().heartbeats_sent);
+}
+
+TEST_F(QosExperimentTest, FindResultLookup) {
+  EXPECT_NE(find_result(report(), "Last+JAC_low"), nullptr);
+  EXPECT_NE(find_result(report(), "Arima+CI_high"), nullptr);
+  EXPECT_EQ(find_result(report(), "NoSuch+FD"), nullptr);
+}
+
+TEST_F(QosExperimentTest, HigherGammaNeverSpeedsDetection) {
+  // Within a predictor, CI_high has a strictly larger margin than CI_low,
+  // so its detection time cannot be smaller.
+  for (const char* pred : {"Arima", "Last", "LPF", "Mean", "WinMean"}) {
+    const auto* low = find_result(report(), std::string(pred) + "+CI_low");
+    const auto* high = find_result(report(), std::string(pred) + "+CI_high");
+    ASSERT_NE(low, nullptr);
+    ASSERT_NE(high, nullptr);
+    EXPECT_GE(high->metrics.detection_time_ms.mean,
+              low->metrics.detection_time_ms.mean - 1.0)
+        << pred;
+  }
+}
+
+TEST_F(QosExperimentTest, HigherGammaImprovesOrMaintainsAccuracy) {
+  for (const char* pred : {"Arima", "Last", "LPF", "Mean", "WinMean"}) {
+    const auto* low = find_result(report(), std::string(pred) + "+CI_low");
+    const auto* high = find_result(report(), std::string(pred) + "+CI_high");
+    EXPECT_GE(high->metrics.availability, low->metrics.availability - 1e-3)
+        << pred;
+  }
+}
+
+TEST_F(QosExperimentTest, PerRunStatsCoverEveryRun) {
+  for (const auto& result : report().results) {
+    EXPECT_EQ(result.per_run_td_mean_ms.count, 2u) << result.name;
+    EXPECT_EQ(result.per_run_availability.count, 2u) << result.name;
+    // The pooled mean must lie within the per-run spread.
+    EXPECT_GE(result.metrics.detection_time_ms.mean,
+              result.per_run_td_mean_ms.min - 1e-9);
+    EXPECT_LE(result.metrics.detection_time_ms.mean,
+              result.per_run_td_mean_ms.max + 1e-9);
+  }
+}
+
+TEST(QosExperimentDeterminismTest, SameSeedSameResults) {
+  QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 600;
+  config.seed = 3;
+  const QosReport a = run_qos_experiment(config);
+  const QosReport b = run_qos_experiment(config);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.results[i].metrics.detection_time_ms.mean,
+                     b.results[i].metrics.detection_time_ms.mean);
+    EXPECT_DOUBLE_EQ(a.results[i].metrics.availability,
+                     b.results[i].metrics.availability);
+  }
+}
+
+TEST(QosExperimentTraceTest, RunsOnRecordedTrace) {
+  // Record a short trace from the synthetic link, then drive the whole
+  // experiment from it: same architecture, replayed delays, no loss model.
+  wan::TraceRecorder recorder;
+  {
+    wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
+    Rng rng(5);
+    TimePoint t = TimePoint::origin();
+    for (int i = 0; i < 1500; ++i, t += Duration::seconds(1)) {
+      model.sample(rng, t);
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/fdqos_qos_trace.csv";
+  ASSERT_TRUE(recorder.save(path));
+
+  QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 1200;
+  config.seed = 9;
+  config.trace_path = path;
+  const QosReport report = run_qos_experiment(config);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(report.results.size(), 30u);
+  // No loss model on the replayed link: every sent heartbeat that predates
+  // the crash windows is delivered.
+  EXPECT_EQ(report.heartbeats_delivered, report.heartbeats_sent);
+  for (const auto& result : report.results) {
+    EXPECT_GT(result.metrics.detections, 0u) << result.name;
+  }
+}
+
+TEST(QosExperimentBaselineTest, ConstantBaselineAppended) {
+  QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 600;
+  config.seed = 5;
+  config.include_constant_baseline = true;
+  config.baseline_margin_ms = 100.0;
+  const QosReport report = run_qos_experiment(config);
+  EXPECT_EQ(report.results.size(), 35u);
+  EXPECT_NE(find_result(report, "Mean+CONST"), nullptr);  // NFD-E
+}
+
+}  // namespace
+}  // namespace fdqos::exp

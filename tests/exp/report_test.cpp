@@ -1,0 +1,177 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fdqos::exp {
+namespace {
+
+QosReport fake_report() {
+  QosReport report;
+  int k = 0;
+  for (const auto& pred : fd::paper_predictor_labels()) {
+    for (const auto& margin : fd::paper_margin_labels()) {
+      FdQosResult result;
+      result.name = pred + "+" + margin;
+      result.predictor_label = pred;
+      result.margin_label = margin;
+      result.metrics.detection_time_ms.mean = 1000.0 + k;
+      result.metrics.detection_time_ms.max = 2000.0 + k;
+      result.metrics.mistake_duration_ms.mean = 300.0 + k;
+      result.metrics.mistake_recurrence_ms.mean = 30000.0 + k;
+      result.metrics.query_accuracy = 0.99;
+      report.results.push_back(result);
+      ++k;
+    }
+  }
+  return report;
+}
+
+TEST(ReportTest, MetricValueSelectsRightField) {
+  const auto report = fake_report();
+  const auto& r = report.results[0];
+  EXPECT_DOUBLE_EQ(metric_value(r, QosMetricKind::kTd), 1000.0);
+  EXPECT_DOUBLE_EQ(metric_value(r, QosMetricKind::kTdU), 2000.0);
+  EXPECT_DOUBLE_EQ(metric_value(r, QosMetricKind::kTm), 300.0);
+  EXPECT_DOUBLE_EQ(metric_value(r, QosMetricKind::kTmr), 30000.0);
+  EXPECT_DOUBLE_EQ(metric_value(r, QosMetricKind::kPa), 0.99);
+}
+
+TEST(ReportTest, MetricMetadata) {
+  EXPECT_STREQ(metric_figure(QosMetricKind::kTd), "Figure 4");
+  EXPECT_STREQ(metric_figure(QosMetricKind::kPa), "Figure 8");
+  EXPECT_TRUE(metric_smaller_is_better(QosMetricKind::kTm));
+  EXPECT_FALSE(metric_smaller_is_better(QosMetricKind::kPa));
+  EXPECT_STREQ(metric_unit(QosMetricKind::kTd), "ms");
+  EXPECT_STREQ(metric_unit(QosMetricKind::kPa), "");
+}
+
+TEST(ReportTest, QosTableHasMarginRowsAndPredictorColumns) {
+  const auto table = qos_metric_table(fake_report(), QosMetricKind::kTd);
+  const std::string ascii = table.to_ascii();
+  for (const auto& margin : fd::paper_margin_labels()) {
+    EXPECT_NE(ascii.find(margin), std::string::npos) << margin;
+  }
+  for (const auto& pred : fd::paper_predictor_labels()) {
+    EXPECT_NE(ascii.find(pred), std::string::npos) << pred;
+  }
+  EXPECT_NE(ascii.find("Figure 4"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 6u);
+}
+
+TEST(ReportTest, QosTableCellsMatchResults) {
+  const auto report = fake_report();
+  const auto csv = qos_metric_table(report, QosMetricKind::kTd).to_csv();
+  // First result is Arima+CI_low with T_D = 1000.0.
+  EXPECT_NE(csv.find("CI_low,1000.0"), std::string::npos);
+}
+
+TEST(ReportTest, AccuracyTableListsPredictors) {
+  AccuracyReport acc;
+  acc.rows.push_back({"ARIMA(2,1,1)", 10.0, 2.0});
+  acc.rows.push_back({"MEAN", 30.0, 4.0});
+  const std::string ascii = accuracy_table(acc).to_ascii();
+  EXPECT_NE(ascii.find("ARIMA(2,1,1)"), std::string::npos);
+  EXPECT_NE(ascii.find("Table 3"), std::string::npos);
+  EXPECT_NE(ascii.find("10.000"), std::string::npos);
+}
+
+TEST(ReportTest, LinkTableEchoesCharacteristics) {
+  wan::LinkCharacteristics link;
+  link.delay_ms.mean = 201.5;
+  link.delay_ms.stddev = 7.6;
+  link.delay_ms.min = 192.0;
+  link.delay_ms.max = 338.0;
+  link.loss_probability = 0.005;
+  const std::string ascii = link_table(link).to_ascii();
+  EXPECT_NE(ascii.find("201.5"), std::string::npos);
+  EXPECT_NE(ascii.find("7.6"), std::string::npos);
+  EXPECT_NE(ascii.find("0.50 %"), std::string::npos);
+  EXPECT_NE(ascii.find("18"), std::string::npos);  // modelled hop count
+}
+
+TEST(ParetoFrontTest, DominatedResultsExcluded) {
+  QosReport report;
+  auto add = [&](const char* name, double td, double pa) {
+    FdQosResult r;
+    r.name = name;
+    r.metrics.detection_time_ms.mean = td;
+    r.metrics.query_accuracy = pa;
+    report.results.push_back(r);
+  };
+  add("fast-sloppy", 600.0, 0.990);
+  add("slow-accurate", 800.0, 0.999);
+  add("balanced", 700.0, 0.995);
+  add("dominated", 750.0, 0.992);   // worse than balanced on both
+  add("duplicate-worse", 900.0, 0.990);  // dominated by everyone useful
+
+  const auto front =
+      pareto_front(report, QosMetricKind::kTd, QosMetricKind::kPa);
+  std::vector<std::string> names;
+  for (const auto* r : front) names.push_back(r->name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"fast-sloppy", "balanced",
+                                      "slow-accurate"}));
+}
+
+TEST(ParetoFrontTest, SingleResultIsItsOwnFront) {
+  QosReport report;
+  FdQosResult r;
+  r.name = "only";
+  report.results.push_back(r);
+  EXPECT_EQ(pareto_front(report, QosMetricKind::kTd, QosMetricKind::kPa).size(),
+            1u);
+}
+
+TEST(ParetoFrontTest, TableListsFrontMembers) {
+  const auto report = fake_report();
+  const auto table = pareto_table(report);
+  EXPECT_GE(table.row_count(), 1u);
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("Pareto front"), std::string::npos);
+}
+
+TEST(ParetoFrontTest, PaperSuiteFrontIsNotASingleton) {
+  // The paper's §5.3 claim: no detector is best at both speed and
+  // accuracy. Verified on a real (small) experiment.
+  exp::QosExperimentConfig config;
+  config.runs = 2;
+  config.num_cycles = 2000;
+  config.seed = 11;
+  const auto report = run_qos_experiment(config);
+  const auto front =
+      pareto_front(report, QosMetricKind::kTd, QosMetricKind::kPa);
+  EXPECT_GE(front.size(), 2u) << "a single detector dominated the grid";
+  EXPECT_LT(front.size(), report.results.size());
+}
+
+TEST(ReportTest, VariabilityTableShowsPerRunSpread) {
+  QosReport report;
+  FdQosResult r;
+  r.name = "Last+JAC_low";
+  r.per_run_td_mean_ms.count = 3;
+  r.per_run_td_mean_ms.mean = 680.0;
+  r.per_run_td_mean_ms.stddev = 12.5;
+  r.per_run_availability.count = 3;
+  r.per_run_availability.mean = 0.995;
+  r.per_run_availability.stddev = 0.0002;
+  report.results.push_back(r);
+  const std::string ascii = qos_variability_table(report).to_ascii();
+  EXPECT_NE(ascii.find("680.0 ± 12.5"), std::string::npos);
+  EXPECT_NE(ascii.find("0.995000 ± 0.000200"), std::string::npos);
+  EXPECT_NE(ascii.find("Last+JAC_low"), std::string::npos);
+}
+
+TEST(ReportTest, ConfigSummaryMentionsPaperParameters) {
+  QosExperimentConfig config;
+  const std::string s = qos_config_summary(config);
+  EXPECT_NE(s.find("runs=13"), std::string::npos);
+  EXPECT_NE(s.find("NumCycles=10000"), std::string::npos);
+  EXPECT_NE(s.find("MTTC=300"), std::string::npos);
+  EXPECT_NE(s.find("TTR=30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -1,0 +1,110 @@
+// Regression pins on the *reproduction itself*: the paper's headline
+// qualitative findings must keep holding when anyone touches the link
+// model, the detectors, or the experiment harness. Runs a mid-scale QoS
+// experiment (3 × 4000 cycles, fixed seed — deterministic) and asserts the
+// orderings EXPERIMENTS.md reports.
+#include <gtest/gtest.h>
+
+#include "exp/accuracy_experiment.hpp"
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+class ReproductionShapeTest : public ::testing::Test {
+ protected:
+  static const QosReport& report() {
+    static const QosReport kReport = [] {
+      QosExperimentConfig config;
+      config.runs = 3;
+      config.num_cycles = 4000;
+      config.seed = 42;
+      return run_qos_experiment(config);
+    }();
+    return kReport;
+  }
+};
+
+TEST_F(ReproductionShapeTest, MeanHasTheLongestDetectionTimeEverywhere) {
+  // Paper Figures 4/5: MEAN is the worst predictor with every margin.
+  for (const auto& margin : fd::paper_margin_labels()) {
+    const auto* mean = find_result(report(), "Mean+" + margin);
+    ASSERT_NE(mean, nullptr);
+    for (const auto& pred : fd::paper_predictor_labels()) {
+      if (pred == "Mean") continue;
+      const auto* other = find_result(report(), pred + "+" + margin);
+      ASSERT_NE(other, nullptr);
+      EXPECT_GT(mean->metrics.detection_time_ms.mean,
+                other->metrics.detection_time_ms.mean)
+          << "Mean vs " << pred << " at " << margin;
+    }
+  }
+}
+
+TEST_F(ReproductionShapeTest, AccuracyIsBoughtWithDetectionTime) {
+  // Paper Figures 6/7: within a margin family, raising the parameter
+  // raises both T_MR (good) and T_D (the price).
+  for (const auto& pred : fd::paper_predictor_labels()) {
+    const auto* ci_low = find_result(report(), pred + "+CI_low");
+    const auto* ci_high = find_result(report(), pred + "+CI_high");
+    EXPECT_GT(ci_high->metrics.mistake_recurrence_ms.mean,
+              ci_low->metrics.mistake_recurrence_ms.mean)
+        << pred;
+    EXPECT_GT(ci_high->metrics.detection_time_ms.mean,
+              ci_low->metrics.detection_time_ms.mean)
+        << pred;
+    const auto* jac_low = find_result(report(), pred + "+JAC_low");
+    const auto* jac_high = find_result(report(), pred + "+JAC_high");
+    EXPECT_GT(jac_high->metrics.mistake_recurrence_ms.mean,
+              jac_low->metrics.mistake_recurrence_ms.mean)
+        << pred;
+  }
+}
+
+TEST_F(ReproductionShapeTest, AccuratePredictorsAreInaccurateUnderJac) {
+  // Paper §5.2/§6: the most accurate predictors (ARIMA, LAST here) get the
+  // smallest error-driven margins, hence the *worst* accuracy under SM_JAC
+  // — "a better predictor does not imply a better detector".
+  const auto* arima = find_result(report(), "Arima+JAC_high");
+  const auto* last = find_result(report(), "Last+JAC_high");
+  const auto* mean = find_result(report(), "Mean+JAC_high");
+  EXPECT_LT(arima->metrics.mistake_recurrence_ms.mean,
+            mean->metrics.mistake_recurrence_ms.mean / 2.0);
+  EXPECT_LT(last->metrics.mistake_recurrence_ms.mean,
+            mean->metrics.mistake_recurrence_ms.mean / 2.0);
+}
+
+TEST_F(ReproductionShapeTest, LastJacIsTheFastestFamily) {
+  // Paper §5.3: LAST+SM_JAC offers the best delay; its T_MR is the price.
+  const auto* last_jac = find_result(report(), "Last+JAC_low");
+  for (const auto& result : report().results) {
+    EXPECT_GE(result.metrics.detection_time_ms.mean,
+              last_jac->metrics.detection_time_ms.mean - 3.0)
+        << result.name;
+  }
+}
+
+TEST_F(ReproductionShapeTest, EveryCrashDetectedNoMistakesMissed) {
+  for (const auto& result : report().results) {
+    EXPECT_EQ(result.metrics.missed_detections, 0u) << result.name;
+    EXPECT_GT(result.metrics.query_accuracy, 0.97) << result.name;
+  }
+}
+
+TEST(ReproductionAccuracyShapeTest, ArimaIsTheMostAccuratePredictor) {
+  // Paper Table 3's headline.
+  AccuracyExperimentConfig config;
+  config.n_oneway = 30000;
+  config.seed = 42;
+  const auto acc = run_accuracy_experiment(config);
+  ASSERT_FALSE(acc.rows.empty());
+  EXPECT_EQ(acc.rows.front().predictor, "ARIMA(2,1,1)");
+  // MEAN and LAST trail the windowed predictors on this link.
+  EXPECT_EQ(acc.rows.back().predictor == "MEAN" ||
+                acc.rows.back().predictor == "LAST",
+            true);
+}
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -1,0 +1,266 @@
+#include "fd/freshness_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+struct Transition {
+  double time_s;
+  bool suspect;
+};
+
+struct Harness {
+  sim::Simulator simulator;
+  std::unique_ptr<net::SimTransport> transport;
+  std::unique_ptr<runtime::ProcessNode> sender;
+  std::unique_ptr<runtime::ProcessNode> monitor;
+  FreshnessDetector* detector = nullptr;
+  std::vector<Transition> transitions;
+
+  // eta = 1 s; the heartbeat link uses the given delay model.
+  void build(std::unique_ptr<wan::DelayModel> delay,
+             std::unique_ptr<SafetyMargin> margin,
+             std::unique_ptr<forecast::Predictor> predictor,
+             std::int64_t max_cycles = 0) {
+    transport = std::make_unique<net::SimTransport>(simulator, Rng(1));
+    net::SimTransport::LinkConfig link;
+    link.delay = std::move(delay);
+    transport->set_link(0, 1, std::move(link));
+
+    sender = std::make_unique<runtime::ProcessNode>(*transport, 0);
+    runtime::HeartbeaterLayer::Config hb;
+    hb.eta = Duration::seconds(1);
+    hb.max_cycles = max_cycles;
+    sender->push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+    monitor = std::make_unique<runtime::ProcessNode>(*transport, 1);
+    FreshnessDetector::Config config;
+    config.eta = Duration::seconds(1);
+    config.monitored = 0;
+    config.cold_start_timeout = Duration::seconds(1);
+    auto det = std::make_unique<FreshnessDetector>(
+        simulator, config, std::move(predictor), std::move(margin));
+    det->set_observer([this](TimePoint t, bool suspect) {
+      transitions.push_back({t.to_seconds_double(), suspect});
+    });
+    detector = &monitor->push(std::move(det));
+
+    sender->start();
+    monitor->start();
+  }
+
+  void run_for(Duration d) {
+    simulator.run_until(TimePoint::origin() + d);
+  }
+};
+
+TEST(FreshnessDetectorTest, NoSuspicionUnderStableDelays) {
+  Harness h;
+  h.build(std::make_unique<wan::ConstantDelay>(Duration::millis(200)),
+          std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>());
+  h.run_for(Duration::seconds(100));
+  EXPECT_TRUE(h.transitions.empty());
+  EXPECT_FALSE(h.detector->suspecting());
+  EXPECT_EQ(h.detector->max_seq(), 99);  // heartbeat 100 in flight at t=100
+  EXPECT_EQ(h.detector->observations(), 99u);
+}
+
+TEST(FreshnessDetectorTest, PermanentSuspicionWhenHeartbeatsStop) {
+  Harness h;
+  h.build(std::make_unique<wan::ConstantDelay>(Duration::millis(200)),
+          std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>(),
+          /*max_cycles=*/10);  // process "crashes" after cycle 10
+  h.run_for(Duration::seconds(60));
+  ASSERT_EQ(h.transitions.size(), 1u);
+  EXPECT_TRUE(h.transitions[0].suspect);
+  // Last heartbeat sent at t=10; the freshness point for cycle 11 is at
+  // 11 + delta, with delta ≈ 0.2 s + margin.
+  EXPECT_GT(h.transitions[0].time_s, 11.0);
+  EXPECT_LT(h.transitions[0].time_s, 12.5);
+  EXPECT_TRUE(h.detector->suspecting());
+}
+
+TEST(FreshnessDetectorTest, DelaySpikesCauseMistakeThenRecovery) {
+  // Constant 100 ms delay with one 900 ms spike at cycle 50: τ_50 passes
+  // before m_50 arrives -> brief suspicion corrected by the late arrival.
+  class SpikeAtFifty final : public wan::DelayModel {
+   public:
+    Duration sample(Rng&, TimePoint) override {
+      ++count_;
+      return count_ == 50 ? Duration::millis(900) : Duration::millis(100);
+    }
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<wan::DelayModel> make_fresh() const override {
+      return std::make_unique<SpikeAtFifty>();
+    }
+
+   private:
+    std::string name_ = "spike@50";
+    int count_ = 0;
+  };
+
+  Harness h;
+  h.build(std::make_unique<SpikeAtFifty>(),
+          std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>());
+  h.run_for(Duration::seconds(100));
+  ASSERT_EQ(h.transitions.size(), 2u);
+  EXPECT_TRUE(h.transitions[0].suspect);
+  EXPECT_FALSE(h.transitions[1].suspect);
+  // Suspicion starts at τ_50 ≈ 50 + 0.1 + margin, ends at arrival 50.9.
+  EXPECT_GT(h.transitions[0].time_s, 50.1);
+  EXPECT_LT(h.transitions[0].time_s, 50.9);
+  EXPECT_NEAR(h.transitions[1].time_s, 50.9, 1e-6);
+}
+
+TEST(FreshnessDetectorTest, LostHeartbeatRecoveredByNextOne) {
+  // Drop exactly heartbeat 30; the detector suspects at τ_30 and trusts
+  // again when m_31 arrives (seq 31 ≥ window index).
+  class DropThirty final : public wan::LossModel {
+   public:
+    bool drop(Rng&, TimePoint) override { return ++count_ == 30; }
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<wan::LossModel> make_fresh() const override {
+      return std::make_unique<DropThirty>();
+    }
+
+   private:
+    std::string name_ = "drop@30";
+    int count_ = 0;
+  };
+
+  Harness h;
+  h.transport = nullptr;  // rebuilt below with loss
+  h.transport = std::make_unique<net::SimTransport>(h.simulator, Rng(2));
+  net::SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(100));
+  link.loss = std::make_unique<DropThirty>();
+  h.transport->set_link(0, 1, std::move(link));
+
+  h.sender = std::make_unique<runtime::ProcessNode>(*h.transport, 0);
+  runtime::HeartbeaterLayer::Config hb;
+  hb.eta = Duration::seconds(1);
+  h.sender->push(std::make_unique<runtime::HeartbeaterLayer>(h.simulator, hb));
+
+  h.monitor = std::make_unique<runtime::ProcessNode>(*h.transport, 1);
+  FreshnessDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.monitored = 0;
+  auto det = std::make_unique<FreshnessDetector>(
+      h.simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<CiSafetyMargin>(2.0));
+  det->set_observer([&h](TimePoint t, bool suspect) {
+    h.transitions.push_back({t.to_seconds_double(), suspect});
+  });
+  h.detector = &h.monitor->push(std::move(det));
+  h.sender->start();
+  h.monitor->start();
+  h.run_for(Duration::seconds(60));
+
+  ASSERT_EQ(h.transitions.size(), 2u);
+  EXPECT_TRUE(h.transitions[0].suspect);
+  EXPECT_GT(h.transitions[0].time_s, 30.0);
+  EXPECT_FALSE(h.transitions[1].suspect);
+  EXPECT_NEAR(h.transitions[1].time_s, 31.1, 1e-6);  // arrival of m_31
+}
+
+TEST(FreshnessDetectorTest, StaleHeartbeatDoesNotRestoreTrust) {
+  // Heartbeats 20..22 are hugely delayed so they arrive during suspicion
+  // with sequence numbers below the current window: trust must NOT return
+  // until a sufficiently fresh heartbeat arrives.
+  class LateWindow final : public wan::DelayModel {
+   public:
+    Duration sample(Rng&, TimePoint) override {
+      ++count_;
+      if (count_ >= 20 && count_ <= 22) return Duration::seconds(10);
+      return Duration::millis(100);
+    }
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<wan::DelayModel> make_fresh() const override {
+      return std::make_unique<LateWindow>();
+    }
+
+   private:
+    std::string name_ = "late20-22";
+    int count_ = 0;
+  };
+
+  Harness h;
+  h.build(std::make_unique<LateWindow>(), std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>());
+  h.run_for(Duration::seconds(60));
+
+  // Suspicion starts shortly after t=20 (m_20 missing). m_20 arrives at
+  // t=30 with seq 20 while the window is ~29: stale, no trust. m_23 arrives
+  // at 23.1 — that's the first fresh one, restoring trust.
+  ASSERT_GE(h.transitions.size(), 2u);
+  EXPECT_TRUE(h.transitions[0].suspect);
+  EXPECT_GT(h.transitions[0].time_s, 20.0);
+  EXPECT_FALSE(h.transitions[1].suspect);
+  EXPECT_NEAR(h.transitions[1].time_s, 23.1, 1e-6);
+}
+
+TEST(FreshnessDetectorTest, ColdStartTimeoutCoversFirstCycle) {
+  // With a 1 s cold-start timeout and 200 ms delay, τ_1 = 2.0 > first
+  // arrival 1.2: no false suspicion at startup.
+  Harness h;
+  h.build(std::make_unique<wan::ConstantDelay>(Duration::millis(200)),
+          std::make_unique<CiSafetyMargin>(1.0),
+          std::make_unique<forecast::LastPredictor>());
+  h.run_for(Duration::seconds(5));
+  EXPECT_TRUE(h.transitions.empty());
+}
+
+TEST(FreshnessDetectorTest, DeltaTracksPredictorPlusMargin) {
+  Harness h;
+  h.build(std::make_unique<wan::ConstantDelay>(Duration::millis(250)),
+          std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>());
+  h.run_for(Duration::seconds(20));
+  // Constant delays: predictor = 250, margin ≈ 0 (zero variance).
+  EXPECT_NEAR(h.detector->current_delta_ms(), 250.0, 1.0);
+}
+
+TEST(FreshnessDetectorTest, NameDefaultsToComponents) {
+  sim::Simulator simulator;
+  FreshnessDetector det(simulator, {}, std::make_unique<forecast::LastPredictor>(),
+                        std::make_unique<CiSafetyMargin>(2.0));
+  EXPECT_EQ(det.name(), "LAST+CI(2)");
+}
+
+TEST(FreshnessDetectorTest, IgnoresForeignMessages) {
+  Harness h;
+  h.build(std::make_unique<wan::ConstantDelay>(Duration::millis(100)),
+          std::make_unique<CiSafetyMargin>(2.0),
+          std::make_unique<forecast::LastPredictor>());
+  // Inject a heartbeat from a different node and a non-heartbeat message.
+  net::Message foreign;
+  foreign.from = 5;
+  foreign.to = 1;
+  foreign.type = net::MessageType::kHeartbeat;
+  foreign.seq = 1000;
+  h.transport->send(foreign);
+  net::Message ping;
+  ping.from = 0;
+  ping.to = 1;
+  ping.type = net::MessageType::kPing;
+  ping.seq = 1;
+  h.transport->send(ping);
+  h.run_for(Duration::seconds(5));
+  EXPECT_EQ(h.detector->max_seq(), 4);  // only real heartbeats counted
+  EXPECT_EQ(h.detector->observations(), 4u);
+}
+
+}  // namespace
+}  // namespace fdqos::fd

@@ -1,0 +1,156 @@
+#include "fd/nfd_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/qos_experiment.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+LinkCharacterization paper_link() {
+  // The Italy–Japan model's characterization (Table 4).
+  LinkCharacterization link;
+  link.loss_probability = 0.006;
+  link.delay_mean_ms = 200.0;
+  link.delay_var_ms2 = 45.0;
+  return link;
+}
+
+TEST(NfdMissProbabilityTest, CantelliBoundBasics) {
+  const auto link = paper_link();
+  // At the mean or below, the bound is vacuous.
+  EXPECT_DOUBLE_EQ(nfd_miss_probability(link, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(nfd_miss_probability(link, 100.0), 1.0);
+  // Far above the mean it approaches the loss floor.
+  EXPECT_NEAR(nfd_miss_probability(link, 1200.0), 0.006, 0.001);
+  // Monotone decreasing in alpha.
+  double prev = 1.0;
+  for (double alpha = 201.0; alpha < 400.0; alpha += 10.0) {
+    const double p = nfd_miss_probability(link, alpha);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NfdMissProbabilityTest, LossFloorIsRespected) {
+  LinkCharacterization link;
+  link.loss_probability = 0.05;
+  link.delay_mean_ms = 10.0;
+  link.delay_var_ms2 = 1.0;
+  EXPECT_GE(nfd_miss_probability(link, 1000.0), 0.05);
+}
+
+TEST(ConfigureNfdETest, FeasibleRequirementsProduceValidPair) {
+  QosRequirements req;
+  req.max_detection_time = Duration::seconds(2);
+  req.min_mistake_recurrence = Duration::seconds(60);
+  req.max_mistake_duration = Duration::seconds(2);
+  const auto config = configure_nfd_e(req, paper_link());
+  ASSERT_TRUE(config.has_value());
+  // The constraints the configurator promises:
+  EXPECT_LE(config->eta + config->alpha, req.max_detection_time);
+  EXPECT_GE(config->mistake_recurrence_bound, req.min_mistake_recurrence);
+  EXPECT_GT(config->alpha.to_millis_double(), 200.0);  // > E[D]
+  EXPECT_GT(config->eta, Duration::zero());
+  EXPECT_NEAR(config->margin_ms, config->alpha.to_millis_double() - 200.0,
+              1e-3);  // alpha is rounded to whole nanoseconds
+}
+
+TEST(ConfigureNfdETest, TighterRecurrenceNeedsBiggerMargin) {
+  QosRequirements loose;
+  loose.max_detection_time = Duration::seconds(3);
+  loose.min_mistake_recurrence = Duration::seconds(30);
+  loose.max_mistake_duration = Duration::seconds(3);
+  QosRequirements tight = loose;
+  // Note: the loss floor caps reachable recurrence at roughly η/p_L; 120 s
+  // is demanding but feasible on this link, 3000 s would not be.
+  tight.min_mistake_recurrence = Duration::seconds(120);
+
+  const auto a = configure_nfd_e(loose, paper_link());
+  const auto b = configure_nfd_e(tight, paper_link());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GT(b->alpha, a->alpha);
+  EXPECT_LE(b->miss_probability, a->miss_probability);
+}
+
+TEST(ConfigureNfdETest, ImpossibleRequirementsReturnNullopt) {
+  QosRequirements req;
+  // Detection faster than the link's mean delay is impossible (α ≤ E[D]).
+  req.max_detection_time = Duration::millis(150);
+  req.min_mistake_recurrence = Duration::seconds(10);
+  req.max_mistake_duration = Duration::seconds(10);
+  EXPECT_FALSE(configure_nfd_e(req, paper_link()).has_value());
+}
+
+TEST(ConfigureNfdETest, LossyLinkCanMakeRecurrenceUnreachable) {
+  LinkCharacterization lossy = paper_link();
+  lossy.loss_probability = 0.2;  // every 5th heartbeat lost
+  QosRequirements req;
+  req.max_detection_time = Duration::seconds(2);
+  req.min_mistake_recurrence = Duration::seconds(600);  // needs p_miss < eta/600s
+  req.max_mistake_duration = Duration::seconds(2);
+  // p_miss ≥ 0.2 but eta/T_MR^L ≤ 2s/600s = 0.0033: infeasible.
+  EXPECT_FALSE(configure_nfd_e(req, lossy).has_value());
+}
+
+TEST(ConfigureNfdETest, PrefersLargestFeasibleEta) {
+  QosRequirements req;
+  req.max_detection_time = Duration::seconds(4);
+  req.min_mistake_recurrence = Duration::seconds(20);
+  req.max_mistake_duration = Duration::seconds(60);
+  const auto config = configure_nfd_e(req, paper_link());
+  ASSERT_TRUE(config.has_value());
+  // With loose accuracy requirements the period should be a large fraction
+  // of the detection budget (message-optimal).
+  EXPECT_GT(config->eta.to_seconds_double(), 1.0);
+}
+
+TEST(NfdESpecTest, SpecBuildsConfiguredDetector) {
+  QosRequirements req;
+  req.max_detection_time = Duration::seconds(2);
+  req.min_mistake_recurrence = Duration::seconds(60);
+  req.max_mistake_duration = Duration::seconds(2);
+  const auto config = configure_nfd_e(req, paper_link());
+  ASSERT_TRUE(config.has_value());
+  const FdSpec spec = make_nfd_e_spec(*config);
+  EXPECT_EQ(spec.name, "NFD-E");
+  auto margin = spec.make_margin();
+  EXPECT_DOUBLE_EQ(margin->margin(), config->margin_ms);
+  auto predictor = spec.make_predictor();
+  EXPECT_EQ(predictor->name(), "MEAN");
+}
+
+TEST(NfdEEndToEndTest, ConfiguredDetectorMeetsRequirementsEmpirically) {
+  // Configure for the paper link, run it in the QoS experiment, and check
+  // the achieved metrics against the requirements (the bounds are
+  // conservative, so the measured values should clear them with room).
+  QosRequirements req;
+  req.max_detection_time = Duration::seconds(2);
+  req.min_mistake_recurrence = Duration::seconds(30);
+  req.max_mistake_duration = Duration::seconds(2);
+  const auto config = configure_nfd_e(req, paper_link());
+  ASSERT_TRUE(config.has_value());
+
+  exp::QosExperimentConfig experiment;
+  experiment.runs = 2;
+  experiment.num_cycles = 2500;
+  experiment.seed = 21;
+  experiment.eta = config->eta;
+  experiment.include_paper_suite = false;
+  experiment.extra_specs.push_back(make_nfd_e_spec(*config));
+  const auto report = exp::run_qos_experiment(experiment);
+  ASSERT_EQ(report.results.size(), 1u);
+  const auto& m = report.results[0].metrics;
+
+  EXPECT_GT(m.detections, 0u);
+  EXPECT_LE(m.detection_time_ms.max,
+            req.max_detection_time.to_millis_double() * 1.05);
+  if (m.mistake_recurrence_ms.count > 0) {
+    EXPECT_GE(m.mistake_recurrence_ms.mean,
+              req.min_mistake_recurrence.to_millis_double() * 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::fd

@@ -1,0 +1,259 @@
+#include "fd/phi_accrual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+struct PhiHarness {
+  sim::Simulator simulator;
+  std::unique_ptr<net::SimTransport> transport;
+  std::unique_ptr<runtime::ProcessNode> sender;
+  std::unique_ptr<runtime::ProcessNode> monitor;
+  PhiAccrualDetector* detector = nullptr;
+  std::vector<std::pair<double, bool>> transitions;
+
+  void build(PhiAccrualDetector::Config config,
+             std::unique_ptr<wan::DelayModel> delay, std::int64_t max_cycles) {
+    transport = std::make_unique<net::SimTransport>(simulator, Rng(1));
+    net::SimTransport::LinkConfig link;
+    link.delay = std::move(delay);
+    transport->set_link(0, 1, std::move(link));
+
+    sender = std::make_unique<runtime::ProcessNode>(*transport, 0);
+    runtime::HeartbeaterLayer::Config hb;
+    hb.eta = Duration::seconds(1);
+    hb.max_cycles = max_cycles;
+    sender->push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+    monitor = std::make_unique<runtime::ProcessNode>(*transport, 1);
+    auto det = std::make_unique<PhiAccrualDetector>(simulator, config);
+    det->set_observer([this](TimePoint t, bool suspect) {
+      transitions.push_back({t.to_seconds_double(), suspect});
+    });
+    detector = &monitor->push(std::move(det));
+    sender->start();
+    monitor->start();
+  }
+};
+
+TEST(PhiAccrualTest, NameAndColdState) {
+  sim::Simulator simulator;
+  PhiAccrualDetector det(simulator, {});
+  EXPECT_EQ(det.name(), "PHI(8)");
+  EXPECT_DOUBLE_EQ(det.phi(), 0.0);
+  EXPECT_FALSE(det.suspecting());
+}
+
+TEST(PhiAccrualTest, SteadyHeartbeatsNeverSuspect) {
+  PhiHarness h;
+  PhiAccrualDetector::Config config;
+  config.threshold = 3.0;
+  h.build(config, std::make_unique<wan::ConstantDelay>(Duration::millis(200)),
+          /*max_cycles=*/0);
+  h.simulator.run_until(TimePoint::origin() + Duration::seconds(200));
+  EXPECT_TRUE(h.transitions.empty());
+  EXPECT_FALSE(h.detector->suspecting());
+  EXPECT_NEAR(h.detector->interval_mean_ms(), 1000.0, 1.0);
+}
+
+TEST(PhiAccrualTest, DetectsSilencePermanently) {
+  PhiHarness h;
+  PhiAccrualDetector::Config config;
+  config.threshold = 3.0;
+  h.build(config, std::make_unique<wan::ConstantDelay>(Duration::millis(200)),
+          /*max_cycles=*/20);
+  h.simulator.run_until(TimePoint::origin() + Duration::seconds(120));
+  ASSERT_EQ(h.transitions.size(), 1u);
+  EXPECT_TRUE(h.transitions[0].second);
+  // Last arrival at 20.2 s; with exactly-1 s intervals and the 2 ms σ
+  // floor, the crossing lands near 20.2 + 1.0 + z(10⁻³)·σ ≈ 21.2 s.
+  EXPECT_GT(h.transitions[0].first, 21.0);
+  EXPECT_LT(h.transitions[0].first, 22.0);
+  EXPECT_TRUE(h.detector->suspecting());
+}
+
+TEST(PhiAccrualTest, PhiGrowsDuringSilence) {
+  PhiHarness h;
+  PhiAccrualDetector::Config config;
+  config.threshold = 12.0;  // high, so we can watch phi rise pre-detection
+  h.build(config,
+          std::make_unique<wan::UniformDelay>(Duration::millis(150),
+                                              Duration::millis(250)),
+          /*max_cycles=*/30);
+  // Last heartbeat ~30.2 s; φ ramps steeply over the following ~300 ms
+  // (inter-arrival σ ≈ 41 ms here) before saturating.
+  h.simulator.run_until(TimePoint::origin() + Duration::millis(31100));
+  const double phi_early = h.detector->phi();
+  h.simulator.run_until(TimePoint::origin() + Duration::millis(31300));
+  const double phi_mid = h.detector->phi();
+  h.simulator.run_until(TimePoint::origin() + Duration::millis(31500));
+  const double phi_late = h.detector->phi();
+  EXPECT_LT(phi_early, phi_mid);
+  EXPECT_LT(phi_mid, phi_late);
+  EXPECT_GT(phi_late, 5.0);
+  EXPECT_LT(phi_late, 40.0);  // not yet saturated
+}
+
+TEST(PhiAccrualTest, HigherThresholdDetectsLater) {
+  auto detection_time = [](double threshold) {
+    PhiHarness h;
+    PhiAccrualDetector::Config config;
+    config.threshold = threshold;
+    h.build(config,
+            std::make_unique<wan::UniformDelay>(Duration::millis(150),
+                                                Duration::millis(250)),
+            /*max_cycles=*/20);
+    h.simulator.run_until(TimePoint::origin() + Duration::seconds(120));
+    EXPECT_FALSE(h.transitions.empty());
+    return h.transitions.front().first;
+  };
+  const double t1 = detection_time(1.0);
+  const double t3 = detection_time(3.0);
+  const double t8 = detection_time(8.0);
+  EXPECT_LT(t1, t3);
+  EXPECT_LT(t3, t8);
+}
+
+TEST(PhiAccrualTest, RecoverseAfterLateHeartbeat) {
+  // One heartbeat hugely delayed: suspect then trust again on arrival.
+  class LateAtTen final : public wan::DelayModel {
+   public:
+    Duration sample(Rng&, TimePoint) override {
+      ++count_;
+      return count_ == 10 ? Duration::seconds(5) : Duration::millis(100);
+    }
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<wan::DelayModel> make_fresh() const override {
+      return std::make_unique<LateAtTen>();
+    }
+
+   private:
+    std::string name_ = "late@10";
+    int count_ = 0;
+  };
+
+  PhiHarness h;
+  PhiAccrualDetector::Config config;
+  config.threshold = 3.0;
+  h.build(config, std::make_unique<LateAtTen>(), /*max_cycles=*/0);
+  h.simulator.run_until(TimePoint::origin() + Duration::seconds(60));
+  ASSERT_GE(h.transitions.size(), 2u);
+  EXPECT_TRUE(h.transitions[0].second);
+  EXPECT_FALSE(h.transitions[1].second);
+  // Suspicion starts soon after m_10's expected arrival (~10.2 s). m_10
+  // itself is still in flight until 15 s, but m_11 overtakes it and lands
+  // at 11.1 s — any arrival restores trust in the accrual scheme.
+  EXPECT_GT(h.transitions[0].first, 10.1);
+  EXPECT_LT(h.transitions[0].first, 11.1);
+  EXPECT_NEAR(h.transitions[1].first, 11.1, 1e-6);
+  EXPECT_FALSE(h.detector->suspecting());
+}
+
+TEST(PhiAccrualTest, ColdStartTimeoutFiresWithoutHeartbeats) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  runtime::ProcessNode monitor(transport, 1);
+  PhiAccrualDetector::Config config;
+  config.cold_start_timeout = Duration::seconds(2);
+  auto det = std::make_unique<PhiAccrualDetector>(simulator, config);
+  std::vector<double> suspect_times;
+  det->set_observer([&](TimePoint t, bool s) {
+    if (s) suspect_times.push_back(t.to_seconds_double());
+  });
+  auto& ref = monitor.push(std::move(det));
+  monitor.start();
+  simulator.run_until(TimePoint::origin() + Duration::seconds(10));
+  ASSERT_EQ(suspect_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(suspect_times[0], 2.0);
+  EXPECT_TRUE(ref.suspecting());
+}
+
+TEST(PhiAccrualTest, CrashGapDoesNotPoisonTheWindow) {
+  // 20 heartbeats, a 30 s silence (detected), then heartbeats resume. The
+  // gap interval must not enter the window: detection of a *second*
+  // silence right after recovery must be as fast as the first.
+  class GapInjector final : public wan::DelayModel {
+   public:
+    Duration sample(Rng&, TimePoint) override { return Duration::millis(100); }
+    const std::string& name() const override { return name_; }
+    std::unique_ptr<wan::DelayModel> make_fresh() const override {
+      return std::make_unique<GapInjector>();
+    }
+
+   private:
+    std::string name_ = "const100";
+  };
+
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(3));
+  net::SimTransport::LinkConfig link;
+  link.delay = std::make_unique<GapInjector>();
+  transport.set_link(0, 1, std::move(link));
+
+  // Hand-drive two heartbeat bursts with a 30 s hole between them.
+  runtime::ProcessNode monitor(transport, 1);
+  PhiAccrualDetector::Config config;
+  config.threshold = 3.0;
+  auto det = std::make_unique<PhiAccrualDetector>(simulator, config);
+  std::vector<std::pair<double, bool>> transitions;
+  det->set_observer([&](TimePoint t, bool s) {
+    transitions.push_back({t.to_seconds_double(), s});
+  });
+  auto& detector = monitor.push(std::move(det));
+  monitor.start();
+
+  auto send_hb = [&](std::int64_t seq, double at_s) {
+    simulator.schedule_at(TimePoint::origin() + Duration::from_seconds_double(at_s),
+                          [&transport, seq, &simulator] {
+                            net::Message m;
+                            m.from = 0;
+                            m.to = 1;
+                            m.type = net::MessageType::kHeartbeat;
+                            m.seq = seq;
+                            m.send_time = simulator.now();
+                            transport.send(m);
+                          });
+  };
+  for (int i = 1; i <= 20; ++i) send_hb(i, i);          // burst 1: 1..20 s
+  for (int i = 21; i <= 40; ++i) send_hb(i, 30.0 + i);  // burst 2: 51..70 s
+  simulator.run_until(TimePoint::origin() + Duration::seconds(80));
+
+  // Burst-1 silence detected ~21.2 s; recovery at 51.1; the second silence
+  // (after 70.1) detected ~71.2 — i.e. again ~1.1 s after the last arrival,
+  // proving the 31 s gap never entered the interval window.
+  ASSERT_GE(transitions.size(), 3u);
+  EXPECT_TRUE(transitions[0].second);
+  EXPECT_NEAR(transitions[0].first, 21.2, 0.3);
+  EXPECT_FALSE(transitions[1].second);
+  EXPECT_NEAR(transitions[1].first, 51.1, 0.01);
+  EXPECT_TRUE(transitions[2].second);
+  EXPECT_NEAR(transitions[2].first, 71.2, 0.3);
+  EXPECT_NEAR(detector.interval_mean_ms(), 1000.0, 50.0);
+}
+
+TEST(PhiAccrualTest, WindowSlidesAndBoundsMemory) {
+  PhiHarness h;
+  PhiAccrualDetector::Config config;
+  config.threshold = 3.0;
+  config.window = 16;
+  h.build(config,
+          std::make_unique<wan::UniformDelay>(Duration::millis(100),
+                                              Duration::millis(300)),
+          /*max_cycles=*/0);
+  h.simulator.run_until(TimePoint::origin() + Duration::seconds(500));
+  EXPECT_EQ(h.detector->heartbeats_seen(), 499u);
+  // Window of 16 recent inter-arrivals; mean stays near eta.
+  EXPECT_NEAR(h.detector->interval_mean_ms(), 1000.0, 100.0);
+  EXPECT_GT(h.detector->interval_stddev_ms(), 2.0);
+}
+
+}  // namespace
+}  // namespace fdqos::fd

@@ -1,0 +1,200 @@
+#include "fd/pull_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/ping_responder.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/sim_crash.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+struct Transition {
+  double time_s;
+  bool suspect;
+};
+
+struct PullHarness {
+  sim::Simulator simulator;
+  std::unique_ptr<net::SimTransport> transport;
+  std::unique_ptr<runtime::ProcessNode> target;
+  std::unique_ptr<runtime::ProcessNode> monitor;
+  runtime::PingResponderLayer* responder = nullptr;
+  runtime::SimCrashLayer* crash = nullptr;
+  PullDetector* detector = nullptr;
+  std::vector<Transition> transitions;
+
+  // eta = 1 s; symmetric links with the given one-way delay model.
+  void build(Duration one_way, Duration mttc = Duration::seconds(1000000),
+             Duration ttr = Duration::seconds(10)) {
+    transport = std::make_unique<net::SimTransport>(simulator, Rng(1));
+    for (auto [from, to] : {std::pair<int, int>{0, 1}, {1, 0}}) {
+      net::SimTransport::LinkConfig link;
+      link.delay = std::make_unique<wan::ConstantDelay>(one_way);
+      transport->set_link(from, to, std::move(link));
+    }
+
+    target = std::make_unique<runtime::ProcessNode>(*transport, 0);
+    crash = &target->push(std::make_unique<runtime::SimCrashLayer>(
+        simulator, runtime::SimCrashLayer::Config{mttc, ttr}, Rng(2)));
+    responder = &target->push(
+        std::make_unique<runtime::PingResponderLayer>(simulator, 0));
+
+    monitor = std::make_unique<runtime::ProcessNode>(*transport, 1);
+    PullDetector::Config config;
+    config.eta = Duration::seconds(1);
+    config.self = 1;
+    config.monitored = 0;
+    config.cold_start_timeout = Duration::seconds(1);
+    auto det = std::make_unique<PullDetector>(
+        simulator, config, std::make_unique<forecast::LastPredictor>(),
+        std::make_unique<CiSafetyMargin>(2.0));
+    det->set_observer([this](TimePoint t, bool suspect) {
+      transitions.push_back({t.to_seconds_double(), suspect});
+    });
+    detector = &monitor->push(std::move(det));
+
+    target->start();
+    monitor->start();
+  }
+
+  void run_for(Duration d) { simulator.run_until(TimePoint::origin() + d); }
+};
+
+TEST(PullDetectorTest, NoSuspicionWhileResponderAlive) {
+  PullHarness h;
+  h.build(Duration::millis(100));
+  h.run_for(Duration::seconds(100));
+  EXPECT_TRUE(h.transitions.empty());
+  EXPECT_FALSE(h.detector->suspecting());
+  EXPECT_EQ(h.detector->pings_sent(), 100);
+  EXPECT_EQ(h.responder->pings_answered(), 99u);  // ping 100 still in flight
+  // RTT observations = 200 ms each.
+  EXPECT_NEAR(h.detector->predictor().predict(), 200.0, 1e-9);
+}
+
+TEST(PullDetectorTest, DetectsCrashPermanently) {
+  PullHarness h;
+  h.build(Duration::millis(100), /*mttc=*/Duration::seconds(40),
+          /*ttr=*/Duration::seconds(20));
+  h.run_for(Duration::seconds(200));
+  ASSERT_FALSE(h.transitions.empty());
+  EXPECT_TRUE(h.transitions[0].suspect);
+  // Suspicions and corrections alternate with the crash/restore cycle.
+  for (std::size_t i = 0; i < h.transitions.size(); ++i) {
+    EXPECT_EQ(h.transitions[i].suspect, i % 2 == 0) << i;
+  }
+  EXPECT_GE(h.crash->crash_count(), 2u);
+}
+
+TEST(PullDetectorTest, UsesTwoMessagesPerCycle) {
+  PullHarness h;
+  h.build(Duration::millis(50));
+  h.run_for(Duration::seconds(50));
+  const auto& ping_stats = h.transport->link_stats(1, 0);
+  const auto& pong_stats = h.transport->link_stats(0, 1);
+  EXPECT_EQ(ping_stats.sent, 50u);
+  EXPECT_EQ(pong_stats.sent, 49u);  // last pong still pending at t=50
+}
+
+TEST(PullDetectorTest, RttNeedsNoRemoteClock) {
+  // Shift the target's schedule: pings/pongs carry no timestamps that the
+  // detector reads; RTT comes purely from the monitor's own clock. A large
+  // asymmetry (unequal one-way delays) must not break detection.
+  PullHarness h;
+  h.transport = std::make_unique<net::SimTransport>(h.simulator, Rng(3));
+  net::SimTransport::LinkConfig fwd;
+  fwd.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(30));
+  h.transport->set_link(1, 0, std::move(fwd));
+  net::SimTransport::LinkConfig bwd;
+  bwd.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(170));
+  h.transport->set_link(0, 1, std::move(bwd));
+
+  h.target = std::make_unique<runtime::ProcessNode>(*h.transport, 0);
+  h.responder = &h.target->push(
+      std::make_unique<runtime::PingResponderLayer>(h.simulator, 0));
+  h.monitor = std::make_unique<runtime::ProcessNode>(*h.transport, 1);
+  PullDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.self = 1;
+  config.monitored = 0;
+  auto det = std::make_unique<PullDetector>(
+      h.simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<CiSafetyMargin>(2.0));
+  h.detector = &h.monitor->push(std::move(det));
+  h.target->start();
+  h.monitor->start();
+  h.run_for(Duration::seconds(30));
+  EXPECT_FALSE(h.detector->suspecting());
+  EXPECT_NEAR(h.detector->predictor().predict(), 200.0, 1e-9);
+}
+
+TEST(PullDetectorTest, ResponderProcessingDelayAddsToRtt) {
+  PullHarness h;
+  h.transport = std::make_unique<net::SimTransport>(h.simulator, Rng(4));
+  for (auto [from, to] : {std::pair<int, int>{0, 1}, {1, 0}}) {
+    net::SimTransport::LinkConfig link;
+    link.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(100));
+    h.transport->set_link(from, to, std::move(link));
+  }
+  h.target = std::make_unique<runtime::ProcessNode>(*h.transport, 0);
+  h.responder = &h.target->push(std::make_unique<runtime::PingResponderLayer>(
+      h.simulator, 0, /*processing=*/Duration::millis(25)));
+  h.monitor = std::make_unique<runtime::ProcessNode>(*h.transport, 1);
+  PullDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.self = 1;
+  config.monitored = 0;
+  auto det = std::make_unique<PullDetector>(
+      h.simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<CiSafetyMargin>(2.0));
+  h.detector = &h.monitor->push(std::move(det));
+  h.target->start();
+  h.monitor->start();
+  h.run_for(Duration::seconds(20));
+  EXPECT_NEAR(h.detector->predictor().predict(), 225.0, 1e-9);
+}
+
+TEST(PullDetectorTest, MaxCyclesStopsPinging) {
+  PullHarness h;
+  h.transport = std::make_unique<net::SimTransport>(h.simulator, Rng(5));
+  h.target = std::make_unique<runtime::ProcessNode>(*h.transport, 0);
+  h.responder = &h.target->push(
+      std::make_unique<runtime::PingResponderLayer>(h.simulator, 0));
+  h.monitor = std::make_unique<runtime::ProcessNode>(*h.transport, 1);
+  PullDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.self = 1;
+  config.monitored = 0;
+  config.max_cycles = 5;
+  auto det = std::make_unique<PullDetector>(
+      h.simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<CiSafetyMargin>(2.0));
+  det->set_observer([&h](TimePoint t, bool suspect) {
+    h.transitions.push_back({t.to_seconds_double(), suspect});
+  });
+  h.detector = &h.monitor->push(std::move(det));
+  h.target->start();
+  h.monitor->start();
+  h.run_for(Duration::seconds(30));
+  EXPECT_EQ(h.detector->pings_sent(), 5);
+  // After pings stop, the detector suspects and never recovers.
+  ASSERT_FALSE(h.transitions.empty());
+  EXPECT_TRUE(h.transitions.back().suspect);
+  EXPECT_TRUE(h.detector->suspecting());
+}
+
+TEST(PullDetectorTest, DefaultNameDescribesStyle) {
+  sim::Simulator simulator;
+  PullDetector det(simulator, {}, std::make_unique<forecast::LastPredictor>(),
+                   std::make_unique<JacobsonSafetyMargin>(2.0));
+  EXPECT_EQ(det.name(), "pull:LAST+JAC(2)");
+}
+
+}  // namespace
+}  // namespace fdqos::fd

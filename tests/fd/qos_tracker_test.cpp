@@ -1,0 +1,234 @@
+#include "fd/qos_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+TEST(QosTrackerTest, CleanDetectionYieldsTd) {
+  QosTracker tracker;
+  tracker.process_crashed(at_s(100.0));
+  tracker.suspect_started(at_s(101.3));
+  tracker.process_restored(at_s(130.0));
+  tracker.suspect_ended(at_s(130.4));  // detection tail, not a mistake
+  tracker.finalize(at_s(200.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.detections, 1u);
+  EXPECT_EQ(m.crashes_observed, 1u);
+  EXPECT_EQ(m.missed_detections, 0u);
+  EXPECT_EQ(m.detection_time_ms.count, 1u);
+  EXPECT_NEAR(m.detection_time_ms.mean, 1300.0, 1e-6);
+  EXPECT_EQ(m.mistakes, 0u);
+  EXPECT_DOUBLE_EQ(m.availability, 1.0);
+}
+
+TEST(QosTrackerTest, MistakeDurationAndRecurrence) {
+  QosTracker tracker;
+  tracker.suspect_started(at_s(10.0));
+  tracker.suspect_ended(at_s(10.5));
+  tracker.suspect_started(at_s(40.0));
+  tracker.suspect_ended(at_s(41.0));
+  tracker.finalize(at_s(100.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.mistakes, 2u);
+  EXPECT_NEAR(m.mistake_duration_ms.mean, 750.0, 1e-6);   // (500+1000)/2
+  EXPECT_EQ(m.mistake_recurrence_ms.count, 1u);
+  EXPECT_NEAR(m.mistake_recurrence_ms.mean, 30000.0, 1e-6);
+  // P_A = (30000 - 750)/30000.
+  EXPECT_NEAR(m.query_accuracy, 0.975, 1e-9);
+  // availability = 1 - 1.5/100.
+  EXPECT_NEAR(m.availability, 0.985, 1e-9);
+}
+
+TEST(QosTrackerTest, SuspicionAtCrashGivesZeroTd) {
+  QosTracker tracker;
+  tracker.suspect_started(at_s(50.0));  // mistake begins
+  tracker.process_crashed(at_s(52.0));  // ...but then q actually crashes
+  tracker.process_restored(at_s(80.0));
+  tracker.finalize(at_s(100.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.detections, 1u);
+  EXPECT_NEAR(m.detection_time_ms.mean, 0.0, 1e-9);
+  // The open mistake was clipped at the crash: T_M = 2 s.
+  EXPECT_EQ(m.mistakes, 1u);
+  EXPECT_NEAR(m.mistake_duration_ms.mean, 2000.0, 1e-6);
+}
+
+TEST(QosTrackerTest, InFlightHeartbeatResetsPermanence) {
+  // Crash at 100; a heartbeat sent pre-crash un-suspects the FD at 100.8;
+  // it re-suspects at 102.1 — the permanent start is 102.1.
+  QosTracker tracker;
+  tracker.process_crashed(at_s(100.0));
+  tracker.suspect_started(at_s(100.4));
+  tracker.suspect_ended(at_s(100.8));
+  tracker.suspect_started(at_s(102.1));
+  tracker.process_restored(at_s(130.0));
+  tracker.finalize(at_s(200.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.detections, 1u);
+  EXPECT_NEAR(m.detection_time_ms.mean, 2100.0, 1e-6);
+  EXPECT_EQ(m.mistakes, 0u);
+}
+
+TEST(QosTrackerTest, MissedDetectionCounted) {
+  QosTracker tracker;
+  tracker.process_crashed(at_s(10.0));
+  tracker.process_restored(at_s(12.0));  // detector never suspected
+  tracker.finalize(at_s(20.0));
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.detections, 0u);
+  EXPECT_EQ(m.missed_detections, 1u);
+  EXPECT_EQ(m.detection_time_ms.count, 0u);
+}
+
+TEST(QosTrackerTest, TdUIsMaxOfSamples) {
+  QosTracker tracker;
+  for (double base : {100.0, 500.0, 900.0}) {
+    tracker.process_crashed(at_s(base));
+    tracker.suspect_started(at_s(base + base / 1000.0));  // 0.1/0.5/0.9 s
+    tracker.process_restored(at_s(base + 30.0));
+    tracker.suspect_ended(at_s(base + 30.2));
+  }
+  tracker.finalize(at_s(1000.0));
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.detection_time_ms.count, 3u);
+  EXPECT_NEAR(m.detection_time_ms.max, 900.0, 1e-6);
+  EXPECT_NEAR(m.detection_time_ms.min, 100.0, 1e-6);
+}
+
+TEST(QosTrackerTest, WarmupExcludesEarlySamples) {
+  QosTracker tracker(at_s(60.0));
+  // Mistake entirely inside warmup: not recorded.
+  tracker.suspect_started(at_s(10.0));
+  tracker.suspect_ended(at_s(11.0));
+  // Crash inside warmup: detection not recorded (restore in warmup too).
+  tracker.process_crashed(at_s(20.0));
+  tracker.suspect_started(at_s(21.0));
+  tracker.process_restored(at_s(50.0));
+  tracker.suspect_ended(at_s(50.1));
+  // Post-warmup mistake: recorded.
+  tracker.suspect_started(at_s(70.0));
+  tracker.suspect_ended(at_s(71.0));
+  tracker.finalize(at_s(100.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.mistakes, 1u);
+  EXPECT_EQ(m.detection_time_ms.count, 0u);
+  EXPECT_NEAR(m.mistake_duration_ms.mean, 1000.0, 1e-6);
+}
+
+TEST(QosTrackerTest, CensoredMistakeCountsForAvailabilityOnly) {
+  QosTracker tracker;
+  tracker.suspect_started(at_s(90.0));
+  tracker.finalize(at_s(100.0));  // still suspecting at the end
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.mistakes, 0u);  // no T_M sample
+  EXPECT_NEAR(m.availability, 0.9, 1e-9);
+}
+
+TEST(QosTrackerTest, PaFallsBackToAvailabilityWithoutRecurrence) {
+  QosTracker tracker;
+  tracker.suspect_started(at_s(10.0));
+  tracker.suspect_ended(at_s(20.0));
+  tracker.finalize(at_s(110.0));
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.mistake_recurrence_ms.count, 0u);
+  EXPECT_NEAR(m.query_accuracy, m.availability, 1e-12);
+  EXPECT_NEAR(m.availability, 1.0 - 10.0 / 110.0, 1e-9);
+}
+
+TEST(QosTrackerTest, MultipleCrashCyclesAccumulate) {
+  QosTracker tracker;
+  double t = 100.0;
+  for (int i = 0; i < 5; ++i) {
+    tracker.process_crashed(at_s(t));
+    tracker.suspect_started(at_s(t + 1.0));
+    tracker.process_restored(at_s(t + 30.0));
+    tracker.suspect_ended(at_s(t + 30.3));
+    t += 300.0;
+  }
+  tracker.finalize(at_s(t));
+  const QosMetrics m = tracker.metrics();
+  EXPECT_EQ(m.crashes_observed, 5u);
+  EXPECT_EQ(m.detections, 5u);
+  EXPECT_NEAR(m.detection_time_ms.mean, 1000.0, 1e-6);
+}
+
+// Fuzz: arbitrary interleavings of valid detector/injector event sequences
+// must keep every derived quantity inside its physical bounds.
+class QosTrackerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QosTrackerFuzzTest, InvariantsUnderRandomEventStreams) {
+  Rng rng(GetParam());
+  QosTracker tracker(at_s(rng.uniform(0.0, 50.0)));
+  bool up = true;
+  bool suspecting = false;
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    t += rng.exponential(3.0);
+    // Pick a random *valid* next event for the current state.
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // toggle process state
+        if (up) {
+          tracker.process_crashed(at_s(t));
+          up = false;
+        } else {
+          tracker.process_restored(at_s(t));
+          up = true;
+        }
+        break;
+      default:  // toggle suspicion (down periods allow both directions too:
+                // in-flight heartbeats can end suspicion while down)
+        if (suspecting) {
+          tracker.suspect_ended(at_s(t));
+          suspecting = false;
+        } else {
+          tracker.suspect_started(at_s(t));
+          suspecting = true;
+        }
+        break;
+    }
+  }
+  if (!up) tracker.process_restored(at_s(t + 1.0));
+  tracker.finalize(at_s(t + 2.0));
+
+  const QosMetrics m = tracker.metrics();
+  EXPECT_GE(m.availability, 0.0);
+  EXPECT_LE(m.availability, 1.0 + 1e-12);
+  EXPECT_GE(m.query_accuracy, 0.0);
+  EXPECT_LE(m.query_accuracy, 1.0 + 1e-12);
+  EXPECT_LE(m.detections + m.missed_detections, m.crashes_observed + 1);
+  if (m.detection_time_ms.count > 0) {
+    EXPECT_GE(m.detection_time_ms.min, 0.0);
+  }
+  if (m.mistake_duration_ms.count > 0) {
+    EXPECT_GE(m.mistake_duration_ms.min, 0.0);
+  }
+  EXPECT_GE(tracker.observed_up_time(), tracker.wrong_suspicion_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosTrackerFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(QosTrackerTest, StateQueries) {
+  QosTracker tracker;
+  EXPECT_TRUE(tracker.process_up());
+  EXPECT_FALSE(tracker.detector_suspecting());
+  tracker.process_crashed(at_s(1.0));
+  EXPECT_FALSE(tracker.process_up());
+  tracker.suspect_started(at_s(2.0));
+  EXPECT_TRUE(tracker.detector_suspecting());
+}
+
+}  // namespace
+}  // namespace fdqos::fd

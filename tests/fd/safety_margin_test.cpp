@@ -1,0 +1,299 @@
+#include "fd/safety_margin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+TEST(CiSafetyMarginTest, ZeroBeforeTwoObservations) {
+  CiSafetyMargin sm(2.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), 0.0);
+  sm.observe(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), 0.0);
+}
+
+TEST(CiSafetyMarginTest, MatchesClosedFormOnSmallSample) {
+  // obs = {10, 14}: mean 12, sigma = sqrt(8), m2 = 8, last dev = 2.
+  CiSafetyMargin sm(1.0);
+  sm.observe(10.0, 0.0);
+  sm.observe(14.0, 0.0);
+  const double sigma = std::sqrt(8.0);
+  const double expected = sigma * std::sqrt(1.0 + 0.5 + 4.0 / 8.0);
+  EXPECT_NEAR(sm.margin(), expected, 1e-12);
+}
+
+TEST(CiSafetyMarginTest, ScalesLinearlyWithGamma) {
+  CiSafetyMargin lo(1.0);
+  CiSafetyMargin hi(3.31);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double obs = rng.normal(200.0, 5.0);
+    lo.observe(obs, 0.0);
+    hi.observe(obs, 0.0);
+  }
+  EXPECT_NEAR(hi.margin(), 3.31 * lo.margin(), 1e-9);
+}
+
+TEST(CiSafetyMarginTest, IndependentOfPrediction) {
+  // The CI margin must ignore the predictor entirely (paper §3.2).
+  CiSafetyMargin a(2.0);
+  CiSafetyMargin b(2.0);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const double obs = rng.uniform(100.0, 120.0);
+    a.observe(obs, 0.0);
+    b.observe(obs, 99999.0);
+  }
+  EXPECT_DOUBLE_EQ(a.margin(), b.margin());
+}
+
+TEST(CiSafetyMarginTest, GrowsWithOutlierObservation) {
+  CiSafetyMargin sm(1.0);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) sm.observe(rng.normal(200.0, 2.0), 0.0);
+  const double calm = sm.margin();
+  sm.observe(400.0, 0.0);  // outlier inflates both sigma and the dev term
+  EXPECT_GT(sm.margin(), 2.0 * calm);
+}
+
+TEST(CiSafetyMarginTest, ConvergesForStationaryInput) {
+  // As n grows the inflation term approaches 1 and the margin approaches
+  // gamma·sigma (modulated by the last deviation).
+  CiSafetyMargin sm(2.0);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) sm.observe(rng.normal(100.0, 3.0), 0.0);
+  EXPECT_NEAR(sm.margin(), 2.0 * 3.0, 3.0);
+  EXPECT_GT(sm.margin(), 3.0);
+}
+
+TEST(JacobsonSafetyMarginTest, StartsAtZero) {
+  JacobsonSafetyMargin sm(4.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), 0.0);
+}
+
+TEST(JacobsonSafetyMarginTest, EwmaRecursion) {
+  // v <- v + 0.25(|err| - v); margin = phi·v.
+  JacobsonSafetyMargin sm(2.0, 0.25);
+  sm.observe(110.0, 100.0);  // |err| = 10 -> v = 2.5
+  EXPECT_DOUBLE_EQ(sm.deviation(), 2.5);
+  EXPECT_DOUBLE_EQ(sm.margin(), 5.0);
+  sm.observe(100.0, 102.5);  // |err| = 2.5 -> v = 2.5
+  EXPECT_DOUBLE_EQ(sm.deviation(), 2.5);
+}
+
+TEST(JacobsonSafetyMarginTest, ConvergesToMeanAbsError) {
+  JacobsonSafetyMargin sm(1.0, 0.25);
+  for (int i = 0; i < 500; ++i) sm.observe(107.0, 100.0);  // |err| = 7 always
+  EXPECT_NEAR(sm.deviation(), 7.0, 1e-6);
+}
+
+TEST(JacobsonSafetyMarginTest, DoesNotDivergeWithHighPhi) {
+  // The phi = 4 configuration must stay bounded under bounded errors — the
+  // reason the scaling sits outside the recursion (see DESIGN.md).
+  JacobsonSafetyMargin sm(4.0, 0.25);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    sm.observe(rng.normal(200.0, 5.0), 200.0);
+  }
+  EXPECT_LT(sm.margin(), 4.0 * 20.0);
+  EXPECT_GT(sm.margin(), 0.0);
+}
+
+TEST(JacobsonSafetyMarginTest, AccuratePredictorGivesSmallMargin) {
+  // The JAC margin tracks predictor error: a perfect predictor yields a
+  // vanishing margin, a bad one a large margin (paper: phi matters only
+  // with less accurate predictors).
+  JacobsonSafetyMargin good(4.0);
+  JacobsonSafetyMargin bad(4.0);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double obs = rng.normal(200.0, 5.0);
+    good.observe(obs, obs);          // zero error
+    bad.observe(obs, obs + 50.0);    // systematic 50 ms error
+  }
+  EXPECT_NEAR(good.margin(), 0.0, 1e-9);
+  EXPECT_NEAR(bad.margin(), 4.0 * 50.0, 10.0);
+}
+
+TEST(RmsMarginTest, ConvergesToGammaSigmaOfErrors) {
+  RmsSafetyMargin sm(2.0, 0.05);
+  Rng rng(71);
+  for (int i = 0; i < 20000; ++i) {
+    sm.observe(200.0 + rng.normal(0.0, 3.0), 200.0);  // err ~ N(0, 3)
+  }
+  EXPECT_NEAR(sm.margin(), 2.0 * 3.0, 0.8);
+  EXPECT_NEAR(sm.error_variance(), 9.0, 2.0);
+}
+
+TEST(RmsMarginTest, ConstantErrorClosedForm) {
+  RmsSafetyMargin sm(1.0, 0.25);
+  sm.observe(110.0, 100.0);  // err 10 -> v = 25
+  EXPECT_DOUBLE_EQ(sm.error_variance(), 25.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), 5.0);
+  for (int i = 0; i < 200; ++i) sm.observe(110.0, 100.0);
+  EXPECT_NEAR(sm.margin(), 10.0, 1e-6);  // v -> 100
+}
+
+TEST(RmsMarginTest, PenalizesSpikesHarderThanJacobson) {
+  // Same error stream: tiny errors plus rare 100 ms misses. RMS weights the
+  // misses quadratically, producing the larger margin.
+  RmsSafetyMargin rms(1.0, 0.25);
+  JacobsonSafetyMargin jac(1.0, 0.25);
+  Rng rng(72);
+  for (int i = 0; i < 20000; ++i) {
+    const double err = rng.bernoulli(0.02) ? 100.0 : 1.0;
+    rms.observe(200.0 + err, 200.0);
+    jac.observe(200.0 + err, 200.0);
+  }
+  EXPECT_GT(rms.margin(), 2.0 * jac.margin());
+}
+
+TEST(RmsMarginTest, NameAndFresh) {
+  RmsSafetyMargin sm(3.0, 0.25, "med");
+  EXPECT_EQ(sm.name(), "RMS_med");
+  sm.observe(50.0, 0.0);
+  auto fresh = sm.make_fresh();
+  EXPECT_DOUBLE_EQ(fresh->margin(), 0.0);
+}
+
+TEST(WindowedCiMarginTest, MatchesFullCiWhileWindowUnfilled) {
+  CiSafetyMargin full(2.0);
+  WindowedCiSafetyMargin windowed(2.0, 100);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const double obs = rng.normal(200.0, 5.0);
+    full.observe(obs, 0.0);
+    windowed.observe(obs, 0.0);
+    EXPECT_NEAR(windowed.margin(), full.margin(), 1e-6) << i;
+  }
+}
+
+TEST(WindowedCiMarginTest, AdaptsToRegimeDropWhereFullCiDoesNot) {
+  // 5000 samples at sd 20, then the link calms to sd 2: the windowed margin
+  // shrinks toward the new regime; the full-history margin stays inflated.
+  CiSafetyMargin full(2.0);
+  WindowedCiSafetyMargin windowed(2.0, 50);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double obs = rng.normal(200.0, 20.0);
+    full.observe(obs, 0.0);
+    windowed.observe(obs, 0.0);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double obs = rng.normal(200.0, 2.0);
+    full.observe(obs, 0.0);
+    windowed.observe(obs, 0.0);
+  }
+  EXPECT_LT(windowed.margin(), full.margin() / 2.0);
+  EXPECT_NEAR(windowed.margin(), 2.0 * 2.0, 3.0);
+}
+
+TEST(WindowedCiMarginTest, EvictionKeepsMomentsExact) {
+  WindowedCiSafetyMargin windowed(1.0, 4);
+  // Window after all observes: {10, 10, 14, 14} -> mean 12, m2 = 16,
+  // sigma = sqrt(16/3), dev = 2.
+  for (double obs : {100.0, 100.0, 10.0, 10.0, 14.0, 14.0}) {
+    windowed.observe(obs, 0.0);
+  }
+  const double sigma = std::sqrt(16.0 / 3.0);
+  const double expected = sigma * std::sqrt(1.0 + 0.25 + 4.0 / 16.0);
+  EXPECT_NEAR(windowed.margin(), expected, 1e-9);
+}
+
+TEST(WindowedCiMarginTest, NameVariants) {
+  WindowedCiSafetyMargin a(3.31, 64);
+  EXPECT_EQ(a.name(), "WCI(3.31,64)");
+  WindowedCiSafetyMargin b(2.0, 64, "med");
+  EXPECT_EQ(b.name(), "WCI_med");
+  EXPECT_EQ(b.window(), 64u);
+}
+
+TEST(MaxSafetyMarginTest, TracksTheLargerComponent) {
+  MaxSafetyMargin sm(std::make_unique<ConstantSafetyMargin>(10.0),
+                     std::make_unique<JacobsonSafetyMargin>(1.0, 0.25));
+  // JAC starts at 0: the constant dominates.
+  EXPECT_DOUBLE_EQ(sm.margin(), 10.0);
+  // Grow JAC above the constant: |err| = 100 repeatedly.
+  for (int i = 0; i < 50; ++i) sm.observe(300.0, 200.0);
+  EXPECT_NEAR(sm.margin(), 100.0, 1.0);
+}
+
+TEST(MaxSafetyMarginTest, FeedsBothComponents) {
+  auto ci = std::make_unique<CiSafetyMargin>(2.0);
+  auto* ci_raw = ci.get();
+  MaxSafetyMargin sm(std::move(ci),
+                     std::make_unique<ConstantSafetyMargin>(0.0));
+  Rng rng(88);
+  for (int i = 0; i < 100; ++i) sm.observe(rng.normal(200.0, 5.0), 200.0);
+  EXPECT_GT(ci_raw->margin(), 0.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), ci_raw->margin());
+}
+
+TEST(MaxSafetyMarginTest, NameAndFreshCopy) {
+  MaxSafetyMargin sm(std::make_unique<CiSafetyMargin>(1.0, "low"),
+                     std::make_unique<JacobsonSafetyMargin>(2.0, 0.25, "med"));
+  EXPECT_EQ(sm.name(), "MAX(CI_low,JAC_med)");
+  sm.observe(100.0, 90.0);
+  auto fresh = sm.make_fresh();
+  EXPECT_DOUBLE_EQ(fresh->margin(), 0.0);
+  EXPECT_EQ(fresh->name(), sm.name());
+}
+
+TEST(ConstantSafetyMarginTest, NeverChanges) {
+  ConstantSafetyMargin sm(123.0);
+  EXPECT_DOUBLE_EQ(sm.margin(), 123.0);
+  sm.observe(1e9, -1e9);
+  EXPECT_DOUBLE_EQ(sm.margin(), 123.0);
+}
+
+TEST(SafetyMarginTest, NamesAndFreshCopies) {
+  CiSafetyMargin ci(3.31, "high");
+  EXPECT_EQ(ci.name(), "CI_high");
+  JacobsonSafetyMargin jac(2.0, 0.25, "med");
+  EXPECT_EQ(jac.name(), "JAC_med");
+  ConstantSafetyMargin c(10.0);
+  EXPECT_NE(c.name().find("CONST"), std::string::npos);
+
+  ci.observe(5.0, 0.0);
+  ci.observe(6.0, 0.0);
+  auto fresh = ci.make_fresh();
+  EXPECT_DOUBLE_EQ(fresh->margin(), 0.0);
+  EXPECT_EQ(fresh->name(), ci.name());
+}
+
+// Property sweep: margins are always non-negative and finite under mixed
+// workloads, for every paper configuration.
+class MarginPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MarginPropertyTest, NonNegativeAndFinite) {
+  const auto [family, param] = GetParam();
+  std::unique_ptr<SafetyMargin> sm;
+  if (family == 0) {
+    sm = std::make_unique<CiSafetyMargin>(param);
+  } else {
+    sm = std::make_unique<JacobsonSafetyMargin>(param);
+  }
+  Rng rng(77);
+  double pred = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double obs = rng.lognormal(5.3, 0.03) + (rng.bernoulli(0.01) ? 120.0 : 0.0);
+    sm->observe(obs, pred);
+    pred = obs;  // LAST-style prediction
+    EXPECT_GE(sm->margin(), 0.0);
+    EXPECT_TRUE(std::isfinite(sm->margin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigurations, MarginPropertyTest,
+    ::testing::Values(std::make_tuple(0, 1.0), std::make_tuple(0, 2.0),
+                      std::make_tuple(0, 3.31), std::make_tuple(1, 1.0),
+                      std::make_tuple(1, 2.0), std::make_tuple(1, 4.0)));
+
+}  // namespace
+}  // namespace fdqos::fd

@@ -1,0 +1,108 @@
+#include "fd/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fdqos::fd {
+namespace {
+
+TEST(SuiteTest, ThirtyDistinctDetectors) {
+  const auto suite = make_paper_suite();
+  EXPECT_EQ(suite.size(), 30u);
+  std::set<std::string> names;
+  for (const auto& spec : suite) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 30u);
+}
+
+TEST(SuiteTest, CoversFullCartesianProduct) {
+  const auto suite = make_paper_suite();
+  const auto predictors = paper_predictor_labels();
+  const auto margins = paper_margin_labels();
+  EXPECT_EQ(predictors.size(), 5u);
+  EXPECT_EQ(margins.size(), 6u);
+  for (const auto& p : predictors) {
+    for (const auto& m : margins) {
+      bool found = false;
+      for (const auto& spec : suite) {
+        if (spec.predictor_label == p && spec.margin_label == m) found = true;
+      }
+      EXPECT_TRUE(found) << p << "+" << m;
+    }
+  }
+}
+
+TEST(SuiteTest, FactoriesProduceWorkingComponents) {
+  const auto suite = make_paper_suite();
+  for (const auto& spec : suite) {
+    auto predictor = spec.make_predictor();
+    auto margin = spec.make_margin();
+    ASSERT_NE(predictor, nullptr) << spec.name;
+    ASSERT_NE(margin, nullptr) << spec.name;
+    predictor->observe(100.0);
+    margin->observe(100.0, 95.0);
+    EXPECT_GE(margin->margin(), 0.0) << spec.name;
+    EXPECT_EQ(predictor->observation_count(), 1u);
+  }
+}
+
+TEST(SuiteTest, FactoriesAreIndependent) {
+  const auto suite = make_paper_suite();
+  auto p1 = suite[0].make_predictor();
+  auto p2 = suite[0].make_predictor();
+  p1->observe(50.0);
+  EXPECT_EQ(p2->observation_count(), 0u);
+}
+
+TEST(SuiteTest, PaperParameterDefaultsMatchTables) {
+  const PaperParams params;
+  // Table 1.
+  EXPECT_DOUBLE_EQ(params.gammas[0], 1.0);
+  EXPECT_DOUBLE_EQ(params.gammas[1], 2.0);
+  EXPECT_DOUBLE_EQ(params.gammas[2], 3.31);
+  EXPECT_DOUBLE_EQ(params.phis[0], 1.0);
+  EXPECT_DOUBLE_EQ(params.phis[1], 2.0);
+  EXPECT_DOUBLE_EQ(params.phis[2], 4.0);
+  EXPECT_DOUBLE_EQ(params.jacobson_alpha, 0.25);
+  // Table 2.
+  EXPECT_EQ(params.winmean_window, 10u);
+  EXPECT_DOUBLE_EQ(params.lpf_beta, 0.125);
+  EXPECT_EQ(params.arima_order, (forecast::ArimaOrder{2, 1, 1}));
+  EXPECT_EQ(params.n_arima, 1000u);
+}
+
+TEST(SuiteTest, PredictorLabelsMapToRightTypes) {
+  const PaperParams params;
+  EXPECT_EQ(make_paper_predictor("Arima", params)()->name(), "ARIMA(2,1,1)");
+  EXPECT_EQ(make_paper_predictor("Last", params)()->name(), "LAST");
+  EXPECT_EQ(make_paper_predictor("LPF", params)()->name(), "LPF(0.125)");
+  EXPECT_EQ(make_paper_predictor("Mean", params)()->name(), "MEAN");
+  EXPECT_EQ(make_paper_predictor("WinMean", params)()->name(), "WINMEAN(10)");
+}
+
+TEST(SuiteTest, MarginLabelsMapToRightParameters) {
+  const PaperParams params;
+  auto ci_high = make_paper_margin("CI_high", params)();
+  auto* ci = dynamic_cast<CiSafetyMargin*>(ci_high.get());
+  ASSERT_NE(ci, nullptr);
+  EXPECT_DOUBLE_EQ(ci->gamma(), 3.31);
+
+  auto jac_med = make_paper_margin("JAC_med", params)();
+  auto* jac = dynamic_cast<JacobsonSafetyMargin*>(jac_med.get());
+  ASSERT_NE(jac, nullptr);
+  EXPECT_DOUBLE_EQ(jac->phi(), 2.0);
+  EXPECT_DOUBLE_EQ(jac->alpha(), 0.25);
+}
+
+TEST(SuiteTest, ConstantMarginBaselines) {
+  const auto baselines = make_constant_margin_suite(150.0);
+  EXPECT_EQ(baselines.size(), 5u);
+  for (const auto& spec : baselines) {
+    EXPECT_EQ(spec.margin_label, "CONST");
+    auto margin = spec.make_margin();
+    EXPECT_DOUBLE_EQ(margin->margin(), 150.0);
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::fd

@@ -1,0 +1,143 @@
+#include "forecast/arima/arima_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(ArimaOrderTest, ToString) {
+  EXPECT_EQ((ArimaOrder{2, 1, 1}.to_string()), "ARIMA(2,1,1)");
+  EXPECT_EQ((ArimaOrder{0, 0, 0}.to_string()), "ARIMA(0,0,0)");
+}
+
+TEST(ArimaModelTest, ConstantModelForecastsIntercept) {
+  ArimaCoefficients coeffs;
+  coeffs.intercept = 5.0;
+  ArimaModel model(ArimaOrder{0, 0, 0}, coeffs);
+  model.observe(1.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 5.0);
+  model.observe(100.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 5.0);
+}
+
+TEST(ArimaModelTest, Ar1ForecastRecursion) {
+  // w_t = 0.5 w_{t-1} + a_t; forecast after seeing w_n is 0.5·w_n.
+  ArimaCoefficients coeffs;
+  coeffs.ar = {0.5};
+  ArimaModel model(ArimaOrder{1, 0, 0}, coeffs);
+  model.observe(8.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 4.0);
+  model.observe(4.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 2.0);
+}
+
+TEST(ArimaModelTest, Ma1UsesResiduals) {
+  // w_t = ma·a_{t-1} + a_t. Feed w_1 = 2: residual a_1 = 2 (first forecast
+  // was 0). Forecast w_2 = 0.5·2 = 1. Feed w_2 = 1: residual 0 -> forecast 0.
+  ArimaCoefficients coeffs;
+  coeffs.ma = {0.5};
+  ArimaModel model(ArimaOrder{0, 0, 1}, coeffs);
+  model.observe(2.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 1.0);
+  model.observe(1.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 0.0);
+}
+
+TEST(ArimaModelTest, RandomWalkModelIsLast) {
+  // ARIMA(0,1,0) with zero intercept forecasts z_{t+1} = z_t.
+  ArimaModel model(ArimaOrder{0, 1, 0}, ArimaCoefficients{});
+  model.observe(10.0);
+  model.observe(13.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 13.0);
+  model.observe(7.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 7.0);
+}
+
+TEST(ArimaModelTest, DriftModelExtrapolatesTrend) {
+  // ARIMA(0,1,0) with intercept c forecasts z_t + c.
+  ArimaCoefficients coeffs;
+  coeffs.intercept = 3.0;
+  ArimaModel model(ArimaOrder{0, 1, 0}, coeffs);
+  model.observe(10.0);
+  model.observe(13.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 16.0);
+}
+
+TEST(ArimaModelTest, FallsBackToPersistenceBeforeDifferencable) {
+  ArimaModel model(ArimaOrder{1, 1, 0}, ArimaCoefficients{{0.5}, {}, 0.0});
+  EXPECT_DOUBLE_EQ(model.forecast(), 0.0);  // nothing seen
+  model.observe(9.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), 9.0);  // cannot difference yet
+}
+
+TEST(ArimaModelTest, PrimeReplaysHistory) {
+  ArimaCoefficients coeffs;
+  coeffs.ar = {0.5};
+  ArimaModel incremental(ArimaOrder{1, 1, 0}, coeffs);
+  ArimaModel primed(ArimaOrder{1, 1, 0}, coeffs);
+  const std::vector<double> history{4.0, 6.0, 5.0, 9.0, 11.0};
+  for (double z : history) incremental.observe(z);
+  primed.prime(history);
+  EXPECT_DOUBLE_EQ(primed.forecast(), incremental.forecast());
+  EXPECT_EQ(primed.observation_count(), incremental.observation_count());
+}
+
+TEST(ArimaModelTest, PrimeResetsPreviousState) {
+  ArimaCoefficients coeffs;
+  coeffs.ar = {0.9};
+  ArimaModel model(ArimaOrder{1, 0, 0}, coeffs);
+  model.observe(1000.0);
+  model.prime(std::vector<double>{1.0, 2.0});
+  ArimaModel fresh(ArimaOrder{1, 0, 0}, coeffs);
+  fresh.observe(1.0);
+  fresh.observe(2.0);
+  EXPECT_DOUBLE_EQ(model.forecast(), fresh.forecast());
+}
+
+TEST(ArimaModelTest, Arima211ForecastIsAccurateOnItsOwnProcess) {
+  // Simulate the regression-form ARIMA(2,1,1) process and check the model's
+  // one-step msqerr approaches the innovation variance.
+  const ArimaCoefficients truth{{0.4, 0.2}, {0.3}, 0.0};
+  ArimaModel generator_state(ArimaOrder{2, 1, 1}, truth);
+  Rng rng(20);
+  std::vector<double> z;
+  {
+    // Generate with explicit recursion.
+    std::vector<double> w;
+    std::vector<double> a;
+    double level = 500.0;
+    for (int t = 0; t < 30000; ++t) {
+      const double noise = rng.normal();
+      double v = noise;
+      for (std::size_t i = 0; i < 2 && i < w.size(); ++i) {
+        v += truth.ar[i] * w[w.size() - 1 - i];
+      }
+      if (!a.empty()) v += truth.ma[0] * a.back();
+      w.push_back(v);
+      a.push_back(noise);
+      level += v;
+      z.push_back(level);
+    }
+  }
+  ArimaModel model(ArimaOrder{2, 1, 1}, truth);
+  double ss = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (i >= 10) {
+      const double err = z[i] - model.forecast();
+      ss += err * err;
+      ++n;
+    }
+    model.observe(z[i]);
+  }
+  const double msq = ss / static_cast<double>(n);
+  EXPECT_NEAR(msq, 1.0, 0.1);  // innovation variance
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

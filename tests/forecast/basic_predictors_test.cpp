@@ -1,0 +1,132 @@
+#include "forecast/basic_predictors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(LastPredictorTest, TracksLastObservation) {
+  LastPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);  // cold start
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  EXPECT_EQ(p.observation_count(), 2u);
+  EXPECT_EQ(p.name(), "LAST");
+}
+
+TEST(MeanPredictorTest, RunningMean) {
+  MeanPredictor p;
+  p.observe(2.0);
+  p.observe(4.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+  EXPECT_EQ(p.name(), "MEAN");
+}
+
+TEST(WinMeanPredictorTest, EqualsMeanBeforeWindowFills) {
+  // Paper: if n < N, WINMEAN(N) = MEAN.
+  WinMeanPredictor w(5);
+  MeanPredictor m;
+  for (double x : {1.0, 7.0, 4.0}) {
+    w.observe(x);
+    m.observe(x);
+    EXPECT_DOUBLE_EQ(w.predict(), m.predict());
+  }
+}
+
+TEST(WinMeanPredictorTest, SlidesOverWindow) {
+  WinMeanPredictor w(3);
+  for (double x : {1.0, 2.0, 3.0}) w.observe(x);
+  EXPECT_DOUBLE_EQ(w.predict(), 2.0);
+  w.observe(10.0);  // window now {2, 3, 10}
+  EXPECT_DOUBLE_EQ(w.predict(), 5.0);
+  w.observe(14.0);  // window now {3, 10, 14}
+  EXPECT_DOUBLE_EQ(w.predict(), 9.0);
+}
+
+TEST(WinMeanPredictorTest, NameIncludesWindow) {
+  WinMeanPredictor w(10);
+  EXPECT_EQ(w.name(), "WINMEAN(10)");
+  EXPECT_EQ(w.window(), 10u);
+}
+
+TEST(LpfPredictorTest, FirstObservationInitializes) {
+  LpfPredictor p(0.125);
+  p.observe(80.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 80.0);
+}
+
+TEST(LpfPredictorTest, ExponentialSmoothingRecursion) {
+  // pred_{k+1} = (1-beta) pred_k + beta obs.
+  LpfPredictor p(0.5);
+  p.observe(10.0);
+  p.observe(20.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 15.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(LpfPredictorTest, ConvergesToConstantInput) {
+  LpfPredictor p(0.125);
+  for (int i = 0; i < 500; ++i) p.observe(42.0);
+  EXPECT_NEAR(p.predict(), 42.0, 1e-9);
+}
+
+TEST(LpfPredictorTest, BetaOneIsLast) {
+  LpfPredictor lpf(1.0);
+  LastPredictor last;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    lpf.observe(x);
+    last.observe(x);
+    EXPECT_DOUBLE_EQ(lpf.predict(), last.predict());
+  }
+}
+
+TEST(BasicPredictorsTest, MakeFreshResetsState) {
+  WinMeanPredictor w(4);
+  w.observe(100.0);
+  auto fresh = w.make_fresh();
+  EXPECT_EQ(fresh->observation_count(), 0u);
+  EXPECT_DOUBLE_EQ(fresh->predict(), 0.0);
+  EXPECT_EQ(fresh->name(), w.name());
+}
+
+// Parameterized property: every basic predictor's forecast lies within the
+// range of observations seen so far (they are all averages/selections).
+class RangePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangePropertyTest, PredictionWithinObservedRange) {
+  std::unique_ptr<Predictor> p;
+  switch (GetParam()) {
+    case 0: p = std::make_unique<LastPredictor>(); break;
+    case 1: p = std::make_unique<MeanPredictor>(); break;
+    case 2: p = std::make_unique<WinMeanPredictor>(7); break;
+    default: p = std::make_unique<LpfPredictor>(0.3); break;
+  }
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.lognormal(2.0, 0.7);
+    p->observe(x);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    EXPECT_GE(p->predict(), lo - 1e-9);
+    EXPECT_LE(p->predict(), hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBasicPredictors, RangePropertyTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace fdqos::forecast

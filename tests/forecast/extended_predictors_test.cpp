@@ -1,0 +1,130 @@
+#include "forecast/extended_predictors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "forecast/msqerr.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(HoltPredictorTest, ColdStartBehaviour) {
+  HoltPredictor p(0.5, 0.3);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);  // level = obs, no trend yet
+}
+
+TEST(HoltPredictorTest, LearnsLinearTrendExactly) {
+  // On a noiseless ramp, Holt converges to zero one-step error.
+  HoltPredictor p(0.5, 0.5);
+  double err = 1e9;
+  for (int i = 0; i < 200; ++i) {
+    const double obs = 100.0 + 3.0 * i;
+    if (i > 150) err = obs - p.predict();
+    p.observe(obs);
+  }
+  EXPECT_NEAR(err, 0.0, 1e-6);
+  EXPECT_NEAR(p.trend(), 3.0, 1e-6);
+}
+
+TEST(HoltPredictorTest, BeatsLpfOnRamp) {
+  // LPF lags a ramp by roughly slope/beta; Holt tracks it.
+  std::vector<double> ramp;
+  for (int i = 0; i < 2000; ++i) ramp.push_back(50.0 + 0.5 * i);
+  HoltPredictor holt(0.125, 0.125);
+  LpfPredictor lpf(0.125);
+  const double holt_err = evaluate_accuracy(holt, ramp).msqerr;
+  LpfPredictor lpf_fresh(0.125);
+  const double lpf_err = evaluate_accuracy(lpf_fresh, ramp).msqerr;
+  (void)lpf;
+  EXPECT_LT(holt_err, lpf_err / 4.0);
+}
+
+TEST(HoltPredictorTest, StableOnStationaryNoise) {
+  HoltPredictor p(0.125, 0.05);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) p.observe(rng.normal(200.0, 3.0));
+  EXPECT_NEAR(p.predict(), 200.0, 3.0);
+  EXPECT_NEAR(p.trend(), 0.0, 0.5);
+}
+
+TEST(WinMedianPredictorTest, MedianOfPartialWindow) {
+  WinMedianPredictor p(5);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);  // even count: midpoint
+  p.observe(1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+}
+
+TEST(WinMedianPredictorTest, SlidingEviction) {
+  WinMedianPredictor p(3);
+  for (double x : {1.0, 2.0, 3.0}) p.observe(x);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  p.observe(100.0);  // window {2, 3, 100}
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(101.0);  // window {3, 100, 101}
+  EXPECT_DOUBLE_EQ(p.predict(), 100.0);
+}
+
+TEST(WinMedianPredictorTest, DuplicateValuesEvictCorrectly) {
+  WinMedianPredictor p(3);
+  for (double x : {5.0, 5.0, 5.0, 7.0, 7.0, 7.0}) p.observe(x);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+  EXPECT_EQ(p.observation_count(), 6u);
+}
+
+TEST(WinMedianPredictorTest, RobustToSpikesWhereMeanIsNot) {
+  // 10% huge spikes: the window median ignores them, the window mean moves.
+  Rng rng(2);
+  WinMedianPredictor median(11);
+  WinMeanPredictor mean(11);
+  std::vector<double> series;
+  for (int i = 0; i < 5000; ++i) {
+    series.push_back(rng.bernoulli(0.1) ? 1000.0 : rng.normal(200.0, 2.0));
+  }
+  const double median_err = evaluate_accuracy(median, series).mean_abs_err;
+  WinMeanPredictor mean_fresh(11);
+  const double mean_err = evaluate_accuracy(mean_fresh, series).mean_abs_err;
+  (void)mean;
+  EXPECT_LT(median_err, mean_err);
+}
+
+TEST(WinMedianPredictorTest, AgreesWithBruteForceMedian) {
+  Rng rng(3);
+  WinMedianPredictor p(7);
+  std::vector<double> history;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    p.observe(x);
+    history.push_back(x);
+    std::vector<double> window(
+        history.end() - std::min<std::size_t>(history.size(), 7),
+        history.end());
+    std::sort(window.begin(), window.end());
+    const std::size_t m = window.size();
+    const double expected = m % 2 == 1
+                                ? window[m / 2]
+                                : 0.5 * (window[m / 2 - 1] + window[m / 2]);
+    ASSERT_DOUBLE_EQ(p.predict(), expected) << "step " << i;
+  }
+}
+
+TEST(ExtendedPredictorsTest, NamesAndFreshCopies) {
+  HoltPredictor holt(0.25, 0.125);
+  EXPECT_EQ(holt.name(), "HOLT(0.25,0.125)");
+  WinMedianPredictor median(9);
+  EXPECT_EQ(median.name(), "WINMEDIAN(9)");
+  holt.observe(5.0);
+  auto fresh = holt.make_fresh();
+  EXPECT_EQ(fresh->observation_count(), 0u);
+  EXPECT_EQ(fresh->name(), holt.name());
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

@@ -1,0 +1,131 @@
+#include "forecast/arima/hannan_rissanen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+// Simulate ARMA in regression form: w_t = c + Σ ar·w_lag + Σ ma·a_lag + a_t.
+std::vector<double> simulate_arma(double c, std::span<const double> ar,
+                                  std::span<const double> ma, std::size_t n,
+                                  std::uint64_t seed, double noise_sd = 1.0) {
+  Rng rng(seed);
+  std::vector<double> w(n, 0.0);
+  std::vector<double> a(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    a[t] = rng.normal(0.0, noise_sd);
+    double v = c + a[t];
+    for (std::size_t i = 0; i < ar.size() && i < t; ++i) {
+      v += ar[i] * w[t - 1 - i];
+    }
+    for (std::size_t j = 0; j < ma.size() && j < t; ++j) {
+      v += ma[j] * a[t - 1 - j];
+    }
+    w[t] = v;
+  }
+  return w;
+}
+
+TEST(HannanRissanenTest, PureMeanModel) {
+  Rng rng(11);
+  std::vector<double> w;
+  for (int i = 0; i < 1000; ++i) w.push_back(rng.normal(7.0, 0.5));
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 0, 0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.intercept, 7.0, 0.1);
+  EXPECT_TRUE(fit.coeffs.ar.empty());
+  EXPECT_TRUE(fit.coeffs.ma.empty());
+  EXPECT_NEAR(fit.residual_variance, 0.25, 0.05);
+}
+
+TEST(HannanRissanenTest, RecoversAr1) {
+  const auto w = simulate_arma(0.0, std::vector<double>{0.7}, {}, 40000, 12);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 1, 0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.ar[0], 0.7, 0.03);
+  EXPECT_NEAR(fit.residual_variance, 1.0, 0.05);
+}
+
+TEST(HannanRissanenTest, RecoversMa1) {
+  const auto w = simulate_arma(0.0, {}, std::vector<double>{0.5}, 60000, 13);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 0, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.ma[0], 0.5, 0.05);
+}
+
+TEST(HannanRissanenTest, RecoversArma11) {
+  const auto w = simulate_arma(0.5, std::vector<double>{0.6},
+                               std::vector<double>{0.3}, 80000, 14);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 1, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.ar[0], 0.6, 0.05);
+  EXPECT_NEAR(fit.coeffs.ma[0], 0.3, 0.07);
+  // Implied process mean: c/(1-ar) = 0.5/0.4 = 1.25.
+  EXPECT_NEAR(fit.coeffs.intercept / (1.0 - fit.coeffs.ar[0]), 1.25, 0.1);
+}
+
+TEST(HannanRissanenTest, RecoversAr2) {
+  const auto w =
+      simulate_arma(0.0, std::vector<double>{0.5, 0.25}, {}, 80000, 15);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 2, 0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.ar[0], 0.5, 0.04);
+  EXPECT_NEAR(fit.coeffs.ar[1], 0.25, 0.04);
+}
+
+TEST(HannanRissanenTest, TooShortSeriesFails) {
+  const std::vector<double> w(10, 1.0);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 2, 1);
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(HannanRissanenTest, ReportsRegressionRows) {
+  const auto w = simulate_arma(0.0, std::vector<double>{0.4}, {}, 2000, 16);
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 1, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GT(fit.rows, 1500u);
+  EXPECT_LT(fit.rows, 2000u);
+}
+
+TEST(FitArimaTest, DifferencesBeforeFitting) {
+  // Random walk with AR(1) increments: ARIMA(1,1,0).
+  Rng rng(17);
+  std::vector<double> z;
+  double level = 100.0;
+  double w = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    w = 0.6 * w + rng.normal();
+    level += w;
+    z.push_back(level);
+  }
+  const ArmaFitResult fit = fit_arima(z, ArimaOrder{1, 1, 0});
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coeffs.ar[0], 0.6, 0.04);
+}
+
+TEST(FitArimaTest, FailsWhenSeriesShorterThanD) {
+  const std::vector<double> z{1.0, 2.0};
+  EXPECT_FALSE(fit_arima(z, ArimaOrder{0, 3, 0}).ok);
+}
+
+TEST(HannanRissanenTest, CoefficientsAreFinite) {
+  // Adversarial input: long stretches of identical values plus jumps.
+  std::vector<double> w;
+  for (int i = 0; i < 3000; ++i) {
+    w.push_back(i % 500 == 0 ? 100.0 : 1.0);
+  }
+  const ArmaFitResult fit = fit_arma_hannan_rissanen(w, 2, 1);
+  if (fit.ok) {
+    for (double v : fit.coeffs.ar) EXPECT_TRUE(std::isfinite(v));
+    for (double v : fit.coeffs.ma) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_TRUE(std::isfinite(fit.coeffs.intercept));
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

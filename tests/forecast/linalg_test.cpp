@@ -1,0 +1,169 @@
+#include "forecast/arima/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const Matrix i = Matrix::identity(2);
+  const Matrix ai = a * i;
+  EXPECT_DOUBLE_EQ(ai.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ai.at(1, 0), 3.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 1);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = v++;
+  b.at(0, 0) = 1.0;
+  b.at(1, 0) = 0.0;
+  b.at(2, 0) = -1.0;
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab.at(0, 0), 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(ab.at(1, 0), 4.0 - 6.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a.at(0, 2) = 9.0;
+  a.at(1, 0) = -4.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 9.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), -4.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 0.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> x{1.0, 2.0};
+  const auto y = a * std::span<const double>(x);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, std::vector<double>{6.0, 5.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3 and -1
+  std::vector<double> x;
+  EXPECT_FALSE(cholesky_solve(a, std::vector<double>{1.0, 1.0}, x));
+}
+
+TEST(CholeskySolveTest, RandomSpdRoundTrip) {
+  Rng rng(3);
+  const std::size_t n = 6;
+  // A = B·Bᵀ + I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b.at(r, c) = rng.normal();
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) += 1.0;
+  std::vector<double> truth(n);
+  for (auto& v : truth) v = rng.uniform(-2.0, 2.0);
+  const auto rhs = a * std::span<const double>(truth);
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, rhs, x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(LeastSquaresTest, ExactFitWhenConsistent) {
+  // y = 2 + 3x fit from noiseless data.
+  const int n = 20;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    design.at(i, 0) = 1.0;
+    design.at(i, 1) = i;
+    y[static_cast<std::size_t>(i)] = 2.0 + 3.0 * i;
+  }
+  std::vector<double> beta;
+  ASSERT_TRUE(least_squares(design, y, beta));
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, RecoversCoefficientsUnderNoise) {
+  Rng rng(4);
+  const int n = 5000;
+  Matrix design(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double x1 = rng.normal();
+    const double x2 = rng.normal();
+    design.at(i, 0) = 1.0;
+    design.at(i, 1) = x1;
+    design.at(i, 2) = x2;
+    y[static_cast<std::size_t>(i)] =
+        1.0 - 2.0 * x1 + 0.5 * x2 + rng.normal(0.0, 0.1);
+  }
+  std::vector<double> beta;
+  ASSERT_TRUE(least_squares(design, y, beta));
+  EXPECT_NEAR(beta[0], 1.0, 0.02);
+  EXPECT_NEAR(beta[1], -2.0, 0.02);
+  EXPECT_NEAR(beta[2], 0.5, 0.02);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedFails) {
+  Matrix design(1, 2, 1.0);
+  std::vector<double> beta;
+  EXPECT_FALSE(least_squares(design, std::vector<double>{1.0}, beta));
+}
+
+TEST(LeastSquaresTest, SurvivesCollinearRegressors) {
+  // Two identical columns: the ridge keeps the normal equations solvable.
+  const int n = 50;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    design.at(i, 0) = i;
+    design.at(i, 1) = i;
+    y[static_cast<std::size_t>(i)] = 2.0 * i;
+  }
+  std::vector<double> beta;
+  ASSERT_TRUE(least_squares(design, y, beta));
+  EXPECT_NEAR(beta[0] + beta[1], 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

@@ -1,0 +1,83 @@
+#include "forecast/msqerr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "forecast/basic_predictors.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(MsqerrTest, PerfectPredictorOnConstantSeries) {
+  const std::vector<double> series(100, 5.0);
+  LastPredictor p;
+  const AccuracyResult r = evaluate_accuracy(p, series);
+  EXPECT_DOUBLE_EQ(r.msqerr, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_abs_err, 0.0);
+  EXPECT_EQ(r.evaluated, 99u);
+}
+
+TEST(MsqerrTest, KnownErrorsOnAlternatingSeries) {
+  // Series 0,2,0,2,...: LAST always errs by exactly 2 after warmup.
+  std::vector<double> series;
+  for (int i = 0; i < 10; ++i) series.push_back(i % 2 == 0 ? 0.0 : 2.0);
+  LastPredictor p;
+  const AccuracyResult r = evaluate_accuracy(p, series);
+  EXPECT_DOUBLE_EQ(r.msqerr, 4.0);
+  EXPECT_DOUBLE_EQ(r.mean_abs_err, 2.0);
+}
+
+TEST(MsqerrTest, WarmupSkipsScoring) {
+  std::vector<double> series{100.0, 1.0, 1.0, 1.0};
+  LastPredictor p1;
+  const AccuracyResult with_warmup = evaluate_accuracy(p1, series, 2);
+  // Scored pairs: predict before series[2] (=1, after seeing 100,1 -> LAST=1)
+  // and before series[3].
+  EXPECT_EQ(with_warmup.evaluated, 2u);
+  EXPECT_DOUBLE_EQ(with_warmup.msqerr, 0.0);
+}
+
+TEST(MsqerrTest, EmptySeries) {
+  LastPredictor p;
+  const AccuracyResult r = evaluate_accuracy(p, std::vector<double>{});
+  EXPECT_EQ(r.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(r.msqerr, 0.0);
+}
+
+TEST(MsqerrTest, LastBeatsMeanOnRandomWalk) {
+  // On a random walk the most recent value is the optimal predictor; the
+  // global mean is far worse. (The paper's Table 3 is exactly this kind of
+  // ranking.)
+  Rng rng(1);
+  std::vector<double> series;
+  double x = 100.0;
+  for (int i = 0; i < 20000; ++i) {
+    x += rng.normal(0.0, 1.0);
+    series.push_back(x);
+  }
+  LastPredictor last;
+  MeanPredictor mean;
+  const double last_err = evaluate_accuracy(last, series).msqerr;
+  const double mean_err = evaluate_accuracy(mean, series).msqerr;
+  EXPECT_LT(last_err, mean_err);
+}
+
+TEST(MsqerrTest, MeanBeatsLastOnIidNoise) {
+  // On iid noise around a constant, MEAN converges to the optimum while
+  // LAST keeps the full noise variance (×2).
+  Rng rng(2);
+  std::vector<double> series;
+  for (int i = 0; i < 20000; ++i) series.push_back(rng.normal(50.0, 3.0));
+  LastPredictor last;
+  MeanPredictor mean;
+  const double last_err = evaluate_accuracy(last, series).msqerr;
+  const double mean_err = evaluate_accuracy(mean, series).msqerr;
+  EXPECT_LT(mean_err, last_err);
+  EXPECT_NEAR(mean_err, 9.0, 0.5);
+  EXPECT_NEAR(last_err, 18.0, 1.0);
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

@@ -1,0 +1,94 @@
+#include "forecast/arima/order_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(OrderSelectionTest, GridIsFullyEnumerated) {
+  Rng rng(40);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal());
+  OrderSelectionConfig config;
+  config.max_order = ArimaOrder{2, 1, 2};
+  const auto result = select_arima_order(xs, config);
+  EXPECT_EQ(result.candidates.size(), 3u * 2u * 3u);
+}
+
+TEST(OrderSelectionTest, RandomWalkWinnerTracksTheWalk) {
+  // On a random walk, the winner must achieve close-to-innovation-variance
+  // holdout error (ARIMA(0,1,0) and AR(1) with phi ≈ 1 both qualify), and
+  // must crush the trivial constant model.
+  Rng rng(41);
+  std::vector<double> xs;
+  double level = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    level += rng.normal();
+    xs.push_back(level);
+  }
+  OrderSelectionConfig config;
+  config.max_order = ArimaOrder{1, 1, 1};
+  const auto result = select_arima_order(xs, config);
+  EXPECT_LT(result.best_msqerr, 1.5);  // innovation variance is 1
+  double trivial = 0.0;
+  for (const auto& cand : result.candidates) {
+    if (cand.order == ArimaOrder{0, 0, 0}) trivial = cand.holdout_msqerr;
+  }
+  EXPECT_LT(result.best_msqerr, trivial / 10.0);
+}
+
+TEST(OrderSelectionTest, WhiteNoisePrefersNoDifferencing) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.normal(100.0, 1.0));
+  OrderSelectionConfig config;
+  config.max_order = ArimaOrder{1, 1, 1};
+  const auto result = select_arima_order(xs, config);
+  EXPECT_EQ(result.best.d, 0u);
+}
+
+TEST(OrderSelectionTest, BestMsqerrIsMinimumOverCandidates) {
+  Rng rng(43);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    x = 0.6 * x + rng.normal();
+    xs.push_back(x);
+  }
+  const auto result = select_arima_order(xs, {});
+  for (const auto& cand : result.candidates) {
+    if (cand.fitted) {
+      EXPECT_GE(cand.holdout_msqerr, result.best_msqerr - 1e-12);
+    }
+  }
+}
+
+TEST(OrderSelectionTest, Ar2ProcessSelectsHelpfulOrder) {
+  // The winner must beat the trivial ARIMA(0,0,0) on an AR(2) process.
+  Rng rng(44);
+  std::vector<double> xs;
+  double x1 = 0.0;
+  double x2 = 0.0;
+  for (int i = 0; i < 6000; ++i) {
+    const double v = 0.5 * x1 + 0.3 * x2 + rng.normal();
+    x2 = x1;
+    x1 = v;
+    xs.push_back(v);
+  }
+  OrderSelectionConfig config;
+  config.max_order = ArimaOrder{3, 1, 2};
+  const auto result = select_arima_order(xs, config);
+  double trivial = 0.0;
+  for (const auto& cand : result.candidates) {
+    if (cand.order == ArimaOrder{0, 0, 0}) trivial = cand.holdout_msqerr;
+  }
+  EXPECT_LT(result.best_msqerr, trivial * 0.75);
+  EXPECT_GE(result.best.p + result.best.q + result.best.d, 1u);
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

@@ -1,0 +1,108 @@
+// Differential test: the online QosTracker and the NekoStat-style post-hoc
+// derive_qos() implement the same classification rules independently; on a
+// full randomized run they must produce identical samples.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/freshness_detector.hpp"
+#include "fd/qos_tracker.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/sim_crash.hpp"
+#include "stats/event_log.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos {
+namespace {
+
+class EventLogConsistencyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventLogConsistencyTest, OnlineAndPostHocAgree) {
+  const std::uint64_t seed = GetParam();
+  sim::Simulator simulator;
+  Rng rng(seed);
+  net::SimTransport transport(simulator, rng.fork("net"));
+  net::SimTransport::LinkConfig link;
+  link.delay = wan::make_italy_japan_delay();
+  link.loss = wan::make_italy_japan_loss();
+  transport.set_link(0, 1, std::move(link));
+
+  runtime::ProcessNode monitored(transport, 0);
+  auto& crash = monitored.push(std::make_unique<runtime::SimCrashLayer>(
+      simulator,
+      runtime::SimCrashLayer::Config{Duration::seconds(120),
+                                     Duration::seconds(15)},
+      rng.fork("crash")));
+  runtime::HeartbeaterLayer::Config hb;
+  hb.eta = Duration::seconds(1);
+  monitored.push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+  runtime::ProcessNode monitor(transport, 1);
+  fd::FreshnessDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.monitored = 0;
+  auto& detector = monitor.push(std::make_unique<fd::FreshnessDetector>(
+      simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<fd::JacobsonSafetyMargin>(1.0)));
+
+  const TimePoint warmup = TimePoint::origin() + Duration::seconds(30);
+  fd::QosTracker tracker(warmup);
+  stats::EventLog log;
+
+  crash.set_observer([&](TimePoint t, bool crashed) {
+    log.record(t, crashed ? stats::EventKind::kCrash
+                          : stats::EventKind::kRestore);
+    if (crashed) {
+      tracker.process_crashed(t);
+    } else {
+      tracker.process_restored(t);
+    }
+  });
+  detector.set_observer([&](TimePoint t, bool suspecting) {
+    log.record(t, suspecting ? stats::EventKind::kStartSuspect
+                             : stats::EventKind::kEndSuspect,
+               /*subject=*/1);
+    if (suspecting) {
+      tracker.suspect_started(t);
+    } else {
+      tracker.suspect_ended(t);
+    }
+  });
+
+  monitored.start();
+  monitor.start();
+  const TimePoint end = TimePoint::origin() + Duration::seconds(1500);
+  simulator.run_until(end);
+  tracker.finalize(end);
+
+  const stats::LogDerivedQos derived = stats::derive_qos(log, 1, warmup);
+
+  // Counts agree.
+  EXPECT_EQ(derived.detection_times_ms.size(), tracker.td_stats().count());
+  EXPECT_EQ(derived.mistake_durations_ms.size(), tracker.tm_stats().count());
+  EXPECT_EQ(derived.mistake_recurrences_ms.size(),
+            tracker.tmr_stats().count());
+  EXPECT_EQ(derived.missed_detections, tracker.missed_detection_count());
+
+  // Moments agree (same samples in the same order).
+  stats::RunningStats td;
+  for (double v : derived.detection_times_ms) td.add(v);
+  stats::RunningStats tm;
+  for (double v : derived.mistake_durations_ms) tm.add(v);
+  EXPECT_DOUBLE_EQ(td.mean(), tracker.td_stats().mean());
+  EXPECT_DOUBLE_EQ(td.max(), tracker.td_stats().max());
+  EXPECT_DOUBLE_EQ(tm.mean(), tracker.tm_stats().mean());
+
+  // Sanity: the run actually exercised crashes and mistakes.
+  EXPECT_GE(crash.crash_count(), 5u);
+  EXPECT_GT(tracker.tm_stats().count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventLogConsistencyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace fdqos

@@ -1,0 +1,117 @@
+// Partition vs crash: from the detector's seat they are indistinguishable —
+// the fundamental reason these are *unreliable* failure detectors (hints,
+// not proofs: paper §1/[4]). A partitioned-but-alive process is suspected
+// exactly like a crashed one; only healing reveals the difference.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fd/freshness_detector.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos {
+namespace {
+
+TEST(PartitionTest, PartitionLooksExactlyLikeACrash) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  net::SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(150));
+  transport.set_link(0, 1, std::move(link));
+
+  runtime::ProcessNode sender(transport, 0);
+  runtime::HeartbeaterLayer::Config hb;
+  hb.eta = Duration::seconds(1);
+  auto& beater =
+      sender.push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+  runtime::ProcessNode monitor(transport, 1);
+  fd::FreshnessDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.monitored = 0;
+  auto& detector = monitor.push(std::make_unique<fd::FreshnessDetector>(
+      simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<fd::JacobsonSafetyMargin>(2.0)));
+  std::vector<std::pair<double, bool>> transitions;
+  detector.set_observer([&](TimePoint t, bool s) {
+    transitions.push_back({t.to_seconds_double(), s});
+  });
+
+  sender.start();
+  monitor.start();
+
+  // Cut the link at t = 40 s, heal it at t = 70 s.
+  simulator.schedule_at(TimePoint::origin() + Duration::seconds(40),
+                        [&] { transport.set_partitioned(0, 1, true); });
+  simulator.schedule_at(TimePoint::origin() + Duration::seconds(70),
+                        [&] { transport.set_partitioned(0, 1, false); });
+  simulator.run_until(TimePoint::origin() + Duration::seconds(100));
+
+  // The process stayed alive and kept sending...
+  EXPECT_GE(beater.cycles_sent(), 99);
+  // ...yet the detector suspected it during the partition and recovered
+  // only when heartbeats flowed again.
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_TRUE(transitions[0].second);
+  EXPECT_GT(transitions[0].first, 40.0);
+  EXPECT_LT(transitions[0].first, 42.5);
+  EXPECT_FALSE(transitions[1].second);
+  EXPECT_GT(transitions[1].first, 70.0);
+  EXPECT_LT(transitions[1].first, 72.5);
+  // Message accounting: everything sent during the cut was dropped.
+  const auto& stats = transport.link_stats(0, 1);
+  EXPECT_EQ(stats.dropped, 30u);
+  EXPECT_EQ(stats.sent, static_cast<std::uint64_t>(beater.cycles_sent()));
+}
+
+TEST(PartitionTest, OneWayPartitionOnlyAffectsThatDirection) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  int forward = 0;
+  int backward = 0;
+  transport.bind(1, [&](const net::Message&) { ++forward; });
+  transport.bind(0, [&](const net::Message&) { ++backward; });
+
+  transport.set_link_enabled(0, 1, false);
+  for (int i = 0; i < 5; ++i) {
+    net::Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = net::MessageType::kHeartbeat;
+    m.seq = i;
+    transport.send(m);
+    net::Message r;
+    r.from = 1;
+    r.to = 0;
+    r.type = net::MessageType::kHeartbeat;
+    r.seq = i;
+    transport.send(r);
+  }
+  simulator.run();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(backward, 5);
+}
+
+TEST(PartitionTest, ReenablingRestoresDelivery) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(3));
+  int received = 0;
+  transport.bind(1, [&](const net::Message&) { ++received; });
+  transport.set_link_enabled(0, 1, false);
+  net::Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = net::MessageType::kHeartbeat;
+  transport.send(m);
+  transport.set_link_enabled(0, 1, true);
+  transport.send(m);
+  simulator.run();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace fdqos

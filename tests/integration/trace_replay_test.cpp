@@ -1,0 +1,101 @@
+// Record-then-replay: capturing a link's delay trace and replaying it must
+// reproduce the detector's behaviour exactly — the mechanism for running
+// the 30-detector comparison on delays captured from a real WAN (the
+// paper's §6 "other connections" extension).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fd/freshness_detector.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+#include "wan/italy_japan.hpp"
+#include "wan/trace.hpp"
+
+namespace fdqos {
+namespace {
+
+struct RunResult {
+  std::vector<std::pair<double, bool>> transitions;
+  std::size_t observations = 0;
+  double final_delta_ms = 0.0;
+};
+
+RunResult run_with_delay(std::unique_ptr<wan::DelayModel> delay,
+                         std::uint64_t net_seed) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(net_seed));
+  net::SimTransport::LinkConfig link;
+  link.delay = std::move(delay);
+  transport.set_link(0, 1, std::move(link));
+
+  runtime::ProcessNode monitored(transport, 0);
+  runtime::HeartbeaterLayer::Config hb;
+  hb.eta = Duration::seconds(1);
+  monitored.push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+  runtime::ProcessNode monitor(transport, 1);
+  fd::FreshnessDetector::Config config;
+  config.eta = Duration::seconds(1);
+  config.monitored = 0;
+  auto& detector = monitor.push(std::make_unique<fd::FreshnessDetector>(
+      simulator, config, std::make_unique<forecast::LpfPredictor>(0.125),
+      std::make_unique<fd::JacobsonSafetyMargin>(1.0)));
+
+  RunResult result;
+  detector.set_observer([&](TimePoint t, bool s) {
+    result.transitions.emplace_back(t.to_seconds_double(), s);
+  });
+  monitored.start();
+  monitor.start();
+  simulator.run_until(TimePoint::origin() + Duration::seconds(600));
+  result.observations = detector.observations();
+  result.final_delta_ms = detector.current_delta_ms();
+  return result;
+}
+
+TEST(TraceReplayIntegrationTest, ReplayReproducesDetectorBehaviour) {
+  wan::TraceRecorder recorder;
+  const RunResult original = run_with_delay(
+      std::make_unique<wan::RecordingDelay>(wan::make_italy_japan_delay(),
+                                            recorder),
+      /*net_seed=*/5);
+  ASSERT_GT(recorder.size(), 500u);
+
+  // Replay through a *different* RNG seed: the trace alone must determine
+  // the detector's behaviour (no loss model on this link).
+  const RunResult replayed = run_with_delay(
+      std::make_unique<wan::TraceReplayDelay>(recorder.delays()),
+      /*net_seed=*/999);
+
+  EXPECT_EQ(replayed.observations, original.observations);
+  EXPECT_DOUBLE_EQ(replayed.final_delta_ms, original.final_delta_ms);
+  ASSERT_EQ(replayed.transitions.size(), original.transitions.size());
+  for (std::size_t i = 0; i < original.transitions.size(); ++i) {
+    EXPECT_EQ(replayed.transitions[i], original.transitions[i]) << i;
+  }
+}
+
+TEST(TraceReplayIntegrationTest, RoundTripThroughCsvFile) {
+  wan::TraceRecorder recorder;
+  run_with_delay(std::make_unique<wan::RecordingDelay>(
+                     wan::make_italy_japan_delay(), recorder),
+                 5);
+  const std::string path = ::testing::TempDir() + "/fdqos_replay_trace.csv";
+  ASSERT_TRUE(recorder.save(path));
+  auto loaded = wan::TraceReplayDelay::load(path);
+  std::remove(path.c_str());
+  ASSERT_NE(loaded, nullptr);
+
+  const RunResult a =
+      run_with_delay(std::make_unique<wan::TraceReplayDelay>(recorder.delays()), 1);
+  const RunResult b = run_with_delay(std::move(loaded), 2);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.observations, b.observations);
+}
+
+}  // namespace
+}  // namespace fdqos

@@ -1,0 +1,73 @@
+// Deployment-path integration: the FreshnessDetector over real UDP on
+// loopback, driven in wall-clock time by RealTimeDriver. Mirrors the
+// udp_live_monitor example at test scale (~3 s real time).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fd/freshness_detector.hpp"
+#include "forecast/basic_predictors.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos {
+namespace {
+
+TEST(UdpDetectorIntegrationTest, MonitorsThenDetectsSilence) {
+  const std::uint16_t hb_port = 45721;
+  const std::uint16_t mon_port = 45722;
+
+  sim::Simulator simulator;
+  net::UdpTransport hb_transport(
+      simulator, 0,
+      {{0, {"127.0.0.1", hb_port}}, {1, {"127.0.0.1", mon_port}}});
+  net::UdpTransport mon_transport(simulator, 1,
+                                  {{1, {"127.0.0.1", mon_port}}});
+  ASSERT_TRUE(hb_transport.ok());
+  ASSERT_TRUE(mon_transport.ok());
+
+  runtime::ProcessNode heartbeater(hb_transport, 0);
+  runtime::HeartbeaterLayer::Config hb;
+  hb.eta = Duration::millis(100);
+  hb.self = 0;
+  hb.monitor = 1;
+  hb.max_cycles = 12;  // the "process" dies after ~1.2 s
+  heartbeater.push(std::make_unique<runtime::HeartbeaterLayer>(simulator, hb));
+
+  runtime::ProcessNode monitor(mon_transport, 1);
+  fd::FreshnessDetector::Config config;
+  config.eta = Duration::millis(100);
+  config.monitored = 0;
+  config.cold_start_timeout = Duration::millis(300);
+  auto& detector = monitor.push(std::make_unique<fd::FreshnessDetector>(
+      simulator, config, std::make_unique<forecast::LastPredictor>(),
+      std::make_unique<fd::JacobsonSafetyMargin>(4.0)));
+
+  TimePoint suspect_time;
+  int suspect_events = 0;
+  detector.set_observer([&](TimePoint t, bool suspecting) {
+    if (suspecting) {
+      suspect_time = t;
+      ++suspect_events;
+    }
+  });
+
+  heartbeater.start();
+  monitor.start();
+  net::RealTimeDriver driver(simulator, mon_transport);
+  driver.run_for(Duration::millis(2500));
+
+  // Heartbeats flowed over the real socket...
+  EXPECT_GE(mon_transport.received_count(), 10u);
+  EXPECT_GE(detector.max_seq(), 11);
+  // ...and the silence after cycle 12 was detected, roughly one period
+  // after the last heartbeat (loopback delays are tiny).
+  EXPECT_TRUE(detector.suspecting());
+  EXPECT_GE(suspect_events, 1);
+  EXPECT_GT(suspect_time, TimePoint::origin() + Duration::millis(1200));
+  EXPECT_LT(suspect_time, TimePoint::origin() + Duration::millis(2100));
+}
+
+}  // namespace
+}  // namespace fdqos

@@ -1,0 +1,96 @@
+#include "membership/view_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdqos::membership {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+TEST(ViewTest, CoordinatorIsSmallestMember) {
+  View v;
+  v.members = {5, 2, 9};
+  EXPECT_EQ(v.coordinator(), 2);
+  EXPECT_TRUE(v.contains(9));
+  EXPECT_FALSE(v.contains(1));
+}
+
+TEST(ViewTest, ToStringFormat) {
+  View v;
+  v.id = 3;
+  v.members = {0, 2, 5};
+  EXPECT_EQ(v.to_string(), "view#3{0,2,5}");
+}
+
+TEST(ViewManagerTest, InitialViewContainsEveryone) {
+  ViewManager vm(1, {0, 1, 2, 3});
+  EXPECT_EQ(vm.view().id, 1u);
+  EXPECT_EQ(vm.view().members.size(), 4u);
+  EXPECT_EQ(vm.view().coordinator(), 0);
+}
+
+TEST(ViewManagerTest, SuspicionEvictsAndTrustReadmits) {
+  ViewManager vm(1, {0, 1, 2});
+  std::vector<View> installed;
+  vm.set_observer([&](const View& v, TimePoint, bool) { installed.push_back(v); });
+
+  vm.peer_suspected(2, at_s(10.0));
+  ASSERT_EQ(installed.size(), 1u);
+  EXPECT_EQ(installed[0].id, 2u);
+  EXPECT_FALSE(installed[0].contains(2));
+
+  vm.peer_trusted(2, at_s(12.0));
+  ASSERT_EQ(installed.size(), 2u);
+  EXPECT_TRUE(installed[1].contains(2));
+  EXPECT_EQ(installed[1].id, 3u);
+}
+
+TEST(ViewManagerTest, DuplicateTransitionsAreIdempotent) {
+  ViewManager vm(1, {0, 1, 2});
+  vm.peer_suspected(0, at_s(1.0));
+  const std::uint64_t id = vm.view().id;
+  vm.peer_suspected(0, at_s(2.0));  // already out
+  EXPECT_EQ(vm.view().id, id);
+  vm.peer_trusted(2, at_s(3.0));  // already in
+  EXPECT_EQ(vm.view().id, id);
+}
+
+TEST(ViewManagerTest, CoordinatorChangeTracking) {
+  ViewManager vm(1, {0, 1, 2});
+  bool last_change = false;
+  vm.set_observer([&](const View&, TimePoint, bool changed) {
+    last_change = changed;
+  });
+  vm.peer_suspected(2, at_s(1.0));  // coordinator stays 0
+  EXPECT_FALSE(last_change);
+  EXPECT_EQ(vm.coordinator_changes(), 0u);
+  vm.peer_suspected(0, at_s(2.0));  // coordinator 0 evicted -> 1 leads
+  EXPECT_TRUE(last_change);
+  EXPECT_EQ(vm.coordinator_changes(), 1u);
+  EXPECT_EQ(vm.view().coordinator(), 1);
+}
+
+TEST(ViewManagerTest, SelfIsNeverEvicted) {
+  ViewManager vm(1, {0, 1, 2});
+  vm.peer_suspected(0, at_s(1.0));
+  vm.peer_suspected(2, at_s(2.0));
+  EXPECT_EQ(vm.view().members, (std::set<net::NodeId>{1}));
+  EXPECT_EQ(vm.view().coordinator(), 1);
+}
+
+TEST(ViewManagerTest, ViewDurations) {
+  ViewManager vm(1, {0, 1, 2});
+  vm.peer_suspected(2, at_s(10.0));  // view 1 lasted 10 s
+  vm.peer_trusted(2, at_s(25.0));    // view 2 lasted 15 s
+  vm.finalize(at_s(30.0));           // view 3 lasted 5 s
+  EXPECT_EQ(vm.view_duration_ms().count(), 3u);
+  EXPECT_DOUBLE_EQ(vm.view_duration_ms().mean(), 10000.0);
+  EXPECT_DOUBLE_EQ(vm.view_duration_ms().max(), 15000.0);
+}
+
+}  // namespace
+}  // namespace fdqos::membership

@@ -1,0 +1,151 @@
+#include "net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fdqos::net {
+namespace {
+
+Message sample_message() {
+  Message msg;
+  msg.from = 3;
+  msg.to = 9;
+  msg.type = MessageType::kHeartbeat;
+  msg.seq = 123456789;
+  msg.send_time = TimePoint::from_nanos(987654321012345);
+  msg.payload = {0x01, 0x02, 0xff, 0x00, 0x7f};
+  return msg;
+}
+
+TEST(ByteCodecTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEF);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteCodecTest, BytesRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  w.bytes(data);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.bytes().value(), data);
+}
+
+TEST(ByteCodecTest, EmptyBytes) {
+  ByteWriter w;
+  w.bytes({});
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.bytes().value().size(), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteCodecTest, TruncationFailsAndStaysFailed) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(r.u64().has_value());
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.u8().has_value());  // reader is sticky-failed
+}
+
+TEST(ByteCodecTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.buffer().size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(MessageCodecTest, RoundTrip) {
+  const Message msg = sample_message();
+  const auto wire = encode_message(msg);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->from, msg.from);
+  EXPECT_EQ(decoded->to, msg.to);
+  EXPECT_EQ(decoded->type, msg.type);
+  EXPECT_EQ(decoded->seq, msg.seq);
+  EXPECT_EQ(decoded->send_time, msg.send_time);
+  EXPECT_EQ(decoded->payload, msg.payload);
+}
+
+TEST(MessageCodecTest, EmptyPayloadRoundTrip) {
+  Message msg = sample_message();
+  msg.payload.clear();
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(MessageCodecTest, RejectsBadMagic) {
+  auto wire = encode_message(sample_message());
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(MessageCodecTest, RejectsTruncation) {
+  const auto wire = encode_message(sample_message());
+  for (std::size_t cut = 1; cut < wire.size(); cut += 3) {
+    EXPECT_FALSE(
+        decode_message(std::span(wire.data(), wire.size() - cut)).has_value())
+        << "cut " << cut;
+  }
+}
+
+TEST(MessageCodecTest, RejectsTrailingGarbage) {
+  auto wire = encode_message(sample_message());
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(MessageCodecTest, RejectsOversizedLengthPrefix) {
+  // Corrupt the payload length to exceed the datagram.
+  Message msg = sample_message();
+  auto wire = encode_message(msg);
+  // Payload length is the u32 right before the payload bytes.
+  const std::size_t len_pos = wire.size() - msg.payload.size() - 4;
+  wire[len_pos] = 0xFF;
+  wire[len_pos + 1] = 0xFF;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(MessageCodecTest, FuzzRandomBuffersDoNotCrash) {
+  Rng rng(50);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)decode_message(junk);  // must not crash; result usually nullopt
+  }
+}
+
+TEST(MessageTypeTest, Names) {
+  EXPECT_STREQ(message_type_name(MessageType::kHeartbeat), "heartbeat");
+  EXPECT_STREQ(message_type_name(MessageType::kPing), "ping");
+  EXPECT_STREQ(message_type_name(MessageType::kPong), "pong");
+  EXPECT_STREQ(message_type_name(MessageType::kUser), "user");
+}
+
+TEST(MessageTest, ToStringMentionsKeyFields) {
+  const Message msg = sample_message();
+  const std::string s = msg.to_string();
+  EXPECT_NE(s.find("heartbeat"), std::string::npos);
+  EXPECT_NE(s.find("#123456789"), std::string::npos);
+  EXPECT_NE(s.find("3->9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::net

@@ -1,0 +1,98 @@
+#include "runtime/heartbeater.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::runtime {
+namespace {
+
+struct Arrival {
+  std::int64_t seq;
+  double time_s;
+  double send_time_s;
+};
+
+std::vector<Arrival> run_heartbeater(HeartbeaterLayer::Config config,
+                                     Duration run_for) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  ProcessNode node(transport, config.self);
+  node.push(std::make_unique<HeartbeaterLayer>(simulator, config));
+
+  std::vector<Arrival> arrivals;
+  transport.bind(config.monitor, [&](const net::Message& m) {
+    arrivals.push_back({m.seq, simulator.now().to_seconds_double(),
+                        m.send_time.to_seconds_double()});
+  });
+  node.start();
+  simulator.run_until(TimePoint::origin() + run_for);
+  return arrivals;
+}
+
+TEST(HeartbeaterTest, SendsAtMultiplesOfEta) {
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::seconds(1);
+  const auto arrivals = run_heartbeater(config, Duration::seconds(5));
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].seq, static_cast<std::int64_t>(i) + 1);
+    EXPECT_DOUBLE_EQ(arrivals[i].send_time_s, static_cast<double>(i + 1));
+    // Instant (unconfigured) link: arrival == send.
+    EXPECT_DOUBLE_EQ(arrivals[i].time_s, static_cast<double>(i + 1));
+  }
+}
+
+TEST(HeartbeaterTest, SubSecondPeriod) {
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::millis(250);
+  const auto arrivals = run_heartbeater(config, Duration::seconds(2));
+  EXPECT_EQ(arrivals.size(), 8u);
+  EXPECT_DOUBLE_EQ(arrivals[0].send_time_s, 0.25);
+}
+
+TEST(HeartbeaterTest, MaxCyclesStopsSending) {
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::seconds(1);
+  config.max_cycles = 3;
+  const auto arrivals = run_heartbeater(config, Duration::seconds(100));
+  EXPECT_EQ(arrivals.size(), 3u);
+}
+
+TEST(HeartbeaterTest, EpochOffsetsSchedule) {
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::seconds(1);
+  config.epoch = TimePoint::origin() + Duration::seconds(10);
+  const auto arrivals = run_heartbeater(config, Duration::seconds(13));
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_DOUBLE_EQ(arrivals[0].send_time_s, 11.0);
+}
+
+TEST(HeartbeaterTest, NoDriftOverLongRuns) {
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::millis(333);
+  const auto arrivals = run_heartbeater(config, Duration::seconds(1000));
+  ASSERT_FALSE(arrivals.empty());
+  const auto& last = arrivals.back();
+  // σ_i = i·η exactly, no floating-point accumulation.
+  EXPECT_DOUBLE_EQ(last.send_time_s,
+                   0.333 * static_cast<double>(last.seq));
+}
+
+TEST(HeartbeaterTest, CyclesSentCounter) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  ProcessNode node(transport, 0);
+  HeartbeaterLayer::Config config;
+  config.eta = Duration::seconds(1);
+  auto& hb = node.push(std::make_unique<HeartbeaterLayer>(simulator, config));
+  node.start();
+  simulator.run_until(TimePoint::origin() + Duration::seconds(7));
+  EXPECT_EQ(hb.cycles_sent(), 7);
+}
+
+}  // namespace
+}  // namespace fdqos::runtime

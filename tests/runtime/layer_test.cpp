@@ -1,0 +1,112 @@
+#include "runtime/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::runtime {
+namespace {
+
+// Records everything passing through, both directions.
+class ProbeLayer final : public Layer {
+ public:
+  void handle_up(const net::Message& msg) override {
+    up_seqs.push_back(msg.seq);
+    deliver_up(msg);
+  }
+  void handle_down(net::Message msg) override {
+    down_seqs.push_back(msg.seq);
+    send_down(std::move(msg));
+  }
+  std::vector<std::int64_t> up_seqs;
+  std::vector<std::int64_t> down_seqs;
+};
+
+// Top layer that only records (no further delivery).
+class SinkLayer final : public Layer {
+ public:
+  void handle_up(const net::Message& msg) override { seqs.push_back(msg.seq); }
+  std::vector<std::int64_t> seqs;
+};
+
+net::Message heartbeat(net::NodeId from, net::NodeId to, std::int64_t seq) {
+  net::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = net::MessageType::kHeartbeat;
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(LayerTest, MessagesFlowUpThroughTheStack) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  ProcessNode node(transport, 1);
+  auto& probe = node.push(std::make_unique<ProbeLayer>());
+  auto& sink = node.push(std::make_unique<SinkLayer>());
+  node.start();
+
+  transport.send(heartbeat(0, 1, 5));
+  simulator.run();
+  ASSERT_EQ(probe.up_seqs, (std::vector<std::int64_t>{5}));
+  ASSERT_EQ(sink.seqs, (std::vector<std::int64_t>{5}));
+}
+
+TEST(LayerTest, MessagesFlowDownToTransport) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  ProcessNode sender(transport, 0);
+  auto& probe = sender.push(std::make_unique<ProbeLayer>());
+
+  std::vector<std::int64_t> received;
+  transport.bind(1, [&](const net::Message& m) { received.push_back(m.seq); });
+
+  probe.handle_down(heartbeat(0, 1, 9));
+  simulator.run();
+  EXPECT_EQ(probe.down_seqs, (std::vector<std::int64_t>{9}));
+  EXPECT_EQ(received, (std::vector<std::int64_t>{9}));
+}
+
+TEST(LayerTest, FanOutDeliversToAllUppers) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(3));
+  ProcessNode node(transport, 1);
+  auto& base = node.push(std::make_unique<ProbeLayer>());
+  SinkLayer a;
+  SinkLayer b;
+  SinkLayer c;
+  node.attach_unowned(base, a);
+  node.attach_unowned(base, b);
+  node.attach_unowned(base, c);
+
+  transport.send(heartbeat(0, 1, 3));
+  simulator.run();
+  EXPECT_EQ(a.seqs.size(), 1u);
+  EXPECT_EQ(b.seqs.size(), 1u);
+  EXPECT_EQ(c.seqs.size(), 1u);
+}
+
+TEST(LayerTest, StackReportsTopology) {
+  Layer lower;
+  Layer upper;
+  Layer::stack(lower, upper);
+  EXPECT_EQ(upper.layer_below(), &lower);
+  ASSERT_EQ(lower.layers_above().size(), 1u);
+  EXPECT_EQ(lower.layers_above()[0], &upper);
+}
+
+TEST(ProcessNodeTest, IdAndTopTracking) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(4));
+  ProcessNode node(transport, 7);
+  EXPECT_EQ(node.id(), 7);
+  EXPECT_EQ(&node.top(), &node.bottom());
+  auto& probe = node.push(std::make_unique<ProbeLayer>());
+  EXPECT_EQ(&node.top(), &probe);
+}
+
+}  // namespace
+}  // namespace fdqos::runtime

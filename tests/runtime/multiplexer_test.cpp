@@ -1,0 +1,93 @@
+#include "runtime/multiplexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::runtime {
+namespace {
+
+class RecordingLayer final : public Layer {
+ public:
+  void handle_up(const net::Message& msg) override {
+    log.emplace_back(msg.seq);
+  }
+  std::vector<std::int64_t> log;
+};
+
+net::Message heartbeat(std::int64_t seq) {
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.type = net::MessageType::kHeartbeat;
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(MultiPlexerTest, EveryUpperLayerSeesEveryMessage) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  ProcessNode node(transport, 1);
+  auto& mux = node.push(std::make_unique<MultiPlexerLayer>());
+  std::vector<std::unique_ptr<RecordingLayer>> uppers;
+  for (int i = 0; i < 30; ++i) {
+    uppers.push_back(std::make_unique<RecordingLayer>());
+    node.attach_unowned(mux, *uppers.back());
+  }
+  node.start();
+  for (int i = 1; i <= 100; ++i) transport.send(heartbeat(i));
+  simulator.run();
+
+  EXPECT_EQ(mux.messages_seen(), 100u);
+  EXPECT_EQ(mux.fan_out(), 30u);
+  for (const auto& upper : uppers) {
+    ASSERT_EQ(upper->log.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(upper->log[static_cast<std::size_t>(i)], i + 1);
+    }
+  }
+}
+
+TEST(MultiPlexerTest, IdenticalPerceptionAcrossUppers) {
+  // The fairness property: all uppers receive the same sequence in the same
+  // order (paper §4 — the basis for comparing 30 detectors fairly).
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  net::SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::UniformDelay>(Duration::millis(1),
+                                                   Duration::millis(400));
+  link.loss = std::make_unique<wan::BernoulliLoss>(0.1);
+  transport.set_link(0, 1, std::move(link));
+
+  ProcessNode node(transport, 1);
+  auto& mux = node.push(std::make_unique<MultiPlexerLayer>());
+  RecordingLayer a;
+  RecordingLayer b;
+  node.attach_unowned(mux, a);
+  node.attach_unowned(mux, b);
+  node.start();
+  for (int i = 1; i <= 500; ++i) transport.send(heartbeat(i));
+  simulator.run();
+
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_LT(a.log.size(), 500u);  // some were lost
+  EXPECT_GT(a.log.size(), 350u);
+}
+
+TEST(MultiPlexerTest, NoUppersIsSafe) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(3));
+  ProcessNode node(transport, 1);
+  auto& mux = node.push(std::make_unique<MultiPlexerLayer>());
+  node.start();
+  transport.send(heartbeat(1));
+  simulator.run();
+  EXPECT_EQ(mux.messages_seen(), 1u);
+  EXPECT_EQ(mux.fan_out(), 0u);
+}
+
+}  // namespace
+}  // namespace fdqos::runtime

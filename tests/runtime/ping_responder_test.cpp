@@ -1,0 +1,101 @@
+#include "runtime/ping_responder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/process_node.hpp"
+#include "runtime/sim_crash.hpp"
+
+namespace fdqos::runtime {
+namespace {
+
+net::Message ping(net::NodeId from, net::NodeId to, std::int64_t seq) {
+  net::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = net::MessageType::kPing;
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(PingResponderTest, EchoesSequenceNumbers) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  ProcessNode node(transport, 0);
+  auto& responder = node.push(std::make_unique<PingResponderLayer>(simulator, 0));
+
+  std::vector<std::int64_t> pongs;
+  transport.bind(1, [&](const net::Message& m) {
+    EXPECT_EQ(m.type, net::MessageType::kPong);
+    EXPECT_EQ(m.from, 0);
+    pongs.push_back(m.seq);
+  });
+  node.start();
+  for (int i = 1; i <= 5; ++i) transport.send(ping(1, 0, i));
+  simulator.run();
+  EXPECT_EQ(pongs, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(responder.pings_answered(), 5u);
+}
+
+TEST(PingResponderTest, IgnoresNonPings) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(2));
+  ProcessNode node(transport, 0);
+  auto& responder = node.push(std::make_unique<PingResponderLayer>(simulator, 0));
+  int replies = 0;
+  transport.bind(1, [&](const net::Message&) { ++replies; });
+  node.start();
+  net::Message hb;
+  hb.from = 1;
+  hb.to = 0;
+  hb.type = net::MessageType::kHeartbeat;
+  hb.seq = 7;
+  transport.send(hb);
+  simulator.run();
+  EXPECT_EQ(replies, 0);
+  EXPECT_EQ(responder.pings_answered(), 0u);
+}
+
+TEST(PingResponderTest, ProcessingDelayDefersPong) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(3));
+  ProcessNode node(transport, 0);
+  node.push(std::make_unique<PingResponderLayer>(simulator, 0,
+                                                 Duration::millis(40)));
+  TimePoint pong_time;
+  transport.bind(1, [&](const net::Message& m) {
+    pong_time = simulator.now();
+    EXPECT_EQ(m.send_time, simulator.now());
+  });
+  node.start();
+  transport.send(ping(1, 0, 1));
+  simulator.run();
+  EXPECT_EQ(pong_time, TimePoint::origin() + Duration::millis(40));
+}
+
+TEST(PingResponderTest, SilentWhileCrashed) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(4));
+  ProcessNode node(transport, 0);
+  // Deterministically crash quickly: MTTC tiny, TTR long.
+  auto& crash = node.push(std::make_unique<SimCrashLayer>(
+      simulator,
+      SimCrashLayer::Config{Duration::millis(2), Duration::seconds(1000)},
+      Rng(5)));
+  node.push(std::make_unique<PingResponderLayer>(simulator, 0));
+  int replies = 0;
+  transport.bind(1, [&](const net::Message&) { ++replies; });
+  node.start();
+  // Let the crash fire, then ping.
+  simulator.run_until(TimePoint::origin() + Duration::seconds(1));
+  ASSERT_TRUE(crash.crashed());
+  transport.send(ping(1, 0, 1));
+  simulator.run_until(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_EQ(replies, 0);
+  EXPECT_GT(crash.dropped_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace fdqos::runtime

@@ -1,0 +1,78 @@
+#include "runtime/scripted_crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "runtime/heartbeater.hpp"
+#include "runtime/process_node.hpp"
+
+namespace fdqos::runtime {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+TEST(ScriptedCrashTest, FollowsScheduleExactly) {
+  sim::Simulator simulator;
+  ScriptedCrashLayer crash(simulator, {{at_s(5.0), at_s(8.0)},
+                                       {at_s(20.0), at_s(21.5)}});
+  std::vector<std::pair<double, bool>> transitions;
+  crash.set_observer([&](TimePoint t, bool crashed) {
+    transitions.emplace_back(t.to_seconds_double(), crashed);
+  });
+  crash.start();
+  simulator.run_until(at_s(30.0));
+  ASSERT_EQ(transitions.size(), 4u);
+  EXPECT_EQ(transitions[0], std::make_pair(5.0, true));
+  EXPECT_EQ(transitions[1], std::make_pair(8.0, false));
+  EXPECT_EQ(transitions[2], std::make_pair(20.0, true));
+  EXPECT_EQ(transitions[3], std::make_pair(21.5, false));
+  EXPECT_FALSE(crash.crashed());
+}
+
+TEST(ScriptedCrashTest, PermanentCrashNeverRestores) {
+  sim::Simulator simulator;
+  ScriptedCrashLayer crash(simulator, {{at_s(1.0), TimePoint::max()}});
+  crash.start();
+  simulator.run_until(at_s(1000.0));
+  EXPECT_TRUE(crash.crashed());
+}
+
+TEST(ScriptedCrashTest, EmptyScheduleNeverCrashes) {
+  sim::Simulator simulator;
+  ScriptedCrashLayer crash(simulator, {});
+  crash.start();
+  simulator.run_until(at_s(100.0));
+  EXPECT_FALSE(crash.crashed());
+  EXPECT_EQ(crash.dropped_messages(), 0u);
+}
+
+TEST(ScriptedCrashTest, DropsTrafficExactlyDuringDownPeriods) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(1));
+  ProcessNode node(transport, 0);
+  auto& crash = node.push(std::make_unique<ScriptedCrashLayer>(
+      simulator,
+      std::vector<ScriptedCrashLayer::DownPeriod>{{at_s(3.5), at_s(6.5)}}));
+  HeartbeaterLayer::Config hb;
+  hb.eta = Duration::seconds(1);
+  node.push(std::make_unique<HeartbeaterLayer>(simulator, hb));
+
+  std::vector<double> arrivals;
+  transport.bind(1, [&](const net::Message&) {
+    arrivals.push_back(simulator.now().to_seconds_double());
+  });
+  node.start();
+  simulator.run_until(at_s(10.0));
+
+  // Heartbeats at 1..10 s except 4, 5, 6 (crashed in (3.5, 6.5)).
+  const std::vector<double> expected{1, 2, 3, 7, 8, 9, 10};
+  EXPECT_EQ(arrivals, expected);
+  EXPECT_EQ(crash.dropped_messages(), 3u);
+}
+
+}  // namespace
+}  // namespace fdqos::runtime

@@ -1,0 +1,111 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdqos::sim {
+namespace {
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::origin() + Duration::millis(ms);
+}
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_ms(30), [&] { order.push_back(3); });
+  q.schedule(at_ms(10), [&] { order.push_back(1); });
+  q.schedule(at_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(at_ms(50), [] {});
+  EXPECT_EQ(q.next_time(), at_ms(50));
+  q.schedule(at_ms(20), [] {});
+  EXPECT_EQ(q.next_time(), at_ms(20));
+  q.pop();
+  EXPECT_EQ(q.next_time(), at_ms(50));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.schedule(at_ms(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(10), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, CancelAfterFireIsSafeNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(10), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, CancelledHeadSkippedByPop) {
+  EventQueue q;
+  bool first = false;
+  bool second = false;
+  EventHandle h = q.schedule(at_ms(10), [&] { first = true; });
+  q.schedule(at_ms(20), [&] { second = true; });
+  h.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DefaultConstructedHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  EventHandle a = q.schedule(at_ms(1), [] {});
+  q.schedule(at_ms(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fdqos::sim

@@ -1,0 +1,81 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::stats {
+namespace {
+
+TEST(MomentsTest, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+}
+
+TEST(MomentsTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(AcfTest, ConstantSeriesHasZeroAcf) {
+  const std::vector<double> xs(50, 2.0);
+  const auto rho = acf(xs, 5);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (std::size_t k = 1; k <= 5; ++k) EXPECT_DOUBLE_EQ(rho[k], 0.0);
+}
+
+TEST(AcfTest, WhiteNoiseHasNearZeroAcf) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal());
+  const auto rho = acf(xs, 10);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(rho[k], 0.0, 0.03) << "lag " << k;
+  }
+}
+
+TEST(AcfTest, Ar1SeriesHasGeometricAcf) {
+  // X_t = phi X_{t-1} + eps; rho(k) = phi^k.
+  Rng rng(10);
+  const double phi = 0.7;
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    x = phi * x + rng.normal();
+    xs.push_back(x);
+  }
+  const auto rho = acf(xs, 4);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(rho[k], std::pow(phi, static_cast<double>(k)), 0.03)
+        << "lag " << k;
+  }
+}
+
+TEST(AcfTest, AlternatingSeriesNegativeLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.01);
+}
+
+TEST(AcfTest, AcfMatchesSingleLagCalls) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const auto rho = acf(xs, 6);
+  for (std::size_t k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(rho[k], autocorrelation(xs, k), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -1,0 +1,124 @@
+#include "stats/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace fdqos::stats {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_seconds_double(s);
+}
+
+TEST(EventLogTest, RecordsAndFilters) {
+  EventLog log;
+  log.record(at_s(1.0), EventKind::kSent, 0, 1);
+  log.record(at_s(1.2), EventKind::kReceived, 0, 1);
+  log.record(at_s(5.0), EventKind::kStartSuspect, 3);
+  log.record(at_s(5.5), EventKind::kEndSuspect, 3);
+  log.record(at_s(6.0), EventKind::kStartSuspect, 4);
+
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.filter(EventKind::kSent).size(), 1u);
+  EXPECT_EQ(log.filter(EventKind::kStartSuspect).size(), 2u);
+  EXPECT_EQ(log.filter(EventKind::kStartSuspect, 3).size(), 1u);
+  EXPECT_EQ(log.filter(EventKind::kStartSuspect, 99).size(), 0u);
+}
+
+TEST(EventLogTest, CsvFormat) {
+  EventLog log;
+  log.record(at_s(2.5), EventKind::kCrash);
+  log.record(at_s(3.0), EventKind::kReceived, 7, 42);
+  const std::string csv = log.to_csv();
+  EXPECT_NE(csv.find("time_s,event,subject,seq"), std::string::npos);
+  EXPECT_NE(csv.find("2.500000000,crash,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("3.000000000,received,7,42"), std::string::npos);
+}
+
+TEST(EventLogTest, SaveCsvWritesFile) {
+  EventLog log;
+  log.record(at_s(1.0), EventKind::kRestore);
+  const std::string path = ::testing::TempDir() + "/fdqos_events.csv";
+  ASSERT_TRUE(log.save_csv(path));
+  std::remove(path.c_str());
+}
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(event_kind_name(EventKind::kSent), "sent");
+  EXPECT_STREQ(event_kind_name(EventKind::kCrash), "crash");
+  EXPECT_STREQ(event_kind_name(EventKind::kEndSuspect), "end_suspect");
+}
+
+TEST(DeriveQosTest, DetectionFromEvents) {
+  EventLog log;
+  log.record(at_s(100.0), EventKind::kCrash);
+  log.record(at_s(101.4), EventKind::kStartSuspect, 1);
+  log.record(at_s(130.0), EventKind::kRestore);
+  log.record(at_s(130.3), EventKind::kEndSuspect, 1);
+
+  const LogDerivedQos qos = derive_qos(log, 1);
+  ASSERT_EQ(qos.detection_times_ms.size(), 1u);
+  EXPECT_NEAR(qos.detection_times_ms[0], 1400.0, 1e-6);
+  EXPECT_EQ(qos.crashes, 1u);
+  EXPECT_TRUE(qos.mistake_durations_ms.empty());
+}
+
+TEST(DeriveQosTest, MistakesAndRecurrence) {
+  EventLog log;
+  log.record(at_s(10.0), EventKind::kStartSuspect, 2);
+  log.record(at_s(10.5), EventKind::kEndSuspect, 2);
+  log.record(at_s(40.0), EventKind::kStartSuspect, 2);
+  log.record(at_s(41.0), EventKind::kEndSuspect, 2);
+
+  const LogDerivedQos qos = derive_qos(log, 2);
+  ASSERT_EQ(qos.mistake_durations_ms.size(), 2u);
+  EXPECT_NEAR(qos.mistake_durations_ms[0], 500.0, 1e-6);
+  EXPECT_NEAR(qos.mistake_durations_ms[1], 1000.0, 1e-6);
+  ASSERT_EQ(qos.mistake_recurrences_ms.size(), 1u);
+  EXPECT_NEAR(qos.mistake_recurrences_ms[0], 30000.0, 1e-6);
+}
+
+TEST(DeriveQosTest, IgnoresOtherDetectorsEvents) {
+  EventLog log;
+  log.record(at_s(10.0), EventKind::kStartSuspect, 7);
+  log.record(at_s(11.0), EventKind::kEndSuspect, 7);
+  const LogDerivedQos qos = derive_qos(log, 1);
+  EXPECT_TRUE(qos.mistake_durations_ms.empty());
+}
+
+TEST(DeriveQosTest, MissedDetection) {
+  EventLog log;
+  log.record(at_s(10.0), EventKind::kCrash);
+  log.record(at_s(12.0), EventKind::kRestore);
+  const LogDerivedQos qos = derive_qos(log, 1);
+  EXPECT_EQ(qos.missed_detections, 1u);
+  EXPECT_TRUE(qos.detection_times_ms.empty());
+}
+
+TEST(DeriveQosTest, WarmupSuppressesSamples) {
+  EventLog log;
+  log.record(at_s(10.0), EventKind::kStartSuspect, 1);
+  log.record(at_s(11.0), EventKind::kEndSuspect, 1);
+  log.record(at_s(70.0), EventKind::kStartSuspect, 1);
+  log.record(at_s(71.0), EventKind::kEndSuspect, 1);
+  const LogDerivedQos qos = derive_qos(log, 1, at_s(60.0));
+  ASSERT_EQ(qos.mistake_durations_ms.size(), 1u);
+  EXPECT_NEAR(qos.mistake_durations_ms[0], 1000.0, 1e-6);
+  EXPECT_TRUE(qos.mistake_recurrences_ms.empty());  // first start in warmup
+}
+
+TEST(DeriveQosTest, InFlightUnsuspectDuringDown) {
+  EventLog log;
+  log.record(at_s(100.0), EventKind::kCrash);
+  log.record(at_s(100.4), EventKind::kStartSuspect, 1);
+  log.record(at_s(100.8), EventKind::kEndSuspect, 1);  // in-flight heartbeat
+  log.record(at_s(102.1), EventKind::kStartSuspect, 1);
+  log.record(at_s(130.0), EventKind::kRestore);
+  const LogDerivedQos qos = derive_qos(log, 1);
+  ASSERT_EQ(qos.detection_times_ms.size(), 1u);
+  EXPECT_NEAR(qos.detection_times_ms[0], 2100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -1,0 +1,79 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fdqos::stats {
+namespace {
+
+TEST(HistogramTest, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram h(10.0, 20.0, 2);
+  h.add(9.999);
+  h.add(20.0);  // hi is exclusive
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, CdfMonotoneAndBounded) {
+  Histogram h(0.0, 100.0, 20);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0.0, 100.0));
+  double prev = 0.0;
+  for (double x = 0.0; x <= 100.0; x += 5.0) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf(50.0), 0.5, 0.03);
+}
+
+TEST(HistogramTest, QuantileApproximatesUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsLo) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, RenderMentionsOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(5.0);
+  const std::string text = h.render();
+  EXPECT_NE(text.find("overflow=1"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::stats

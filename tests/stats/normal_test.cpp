@@ -1,0 +1,60 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdqos::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormalTailTest, ComplementsCdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(normal_tail(x), 1.0 - normal_cdf(x), 1e-12) << x;
+  }
+}
+
+TEST(NormalTailTest, FarTailStaysPositive) {
+  // erfc keeps precision where 1-cdf would round to zero.
+  EXPECT_GT(normal_tail(8.0), 0.0);
+  EXPECT_LT(normal_tail(8.0), 1e-14);
+  EXPECT_NEAR(-std::log10(normal_tail(6.0)), 9.0, 1.0);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447460685429), 1.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.001), -3.090232306167813, 1e-7);
+}
+
+TEST(InverseNormalCdfTest, RoundTripsWithCdf) {
+  for (double p = 0.0005; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, DeepTailsRoundTrip) {
+  for (double p : {1e-6, 1e-9, 1.0 - 1e-6, 1.0 - 1e-9}) {
+    const double z = inverse_normal_cdf(p);
+    EXPECT_NEAR(normal_cdf(z), p, std::max(1e-12, p * 1e-4)) << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, Monotone) {
+  double prev = inverse_normal_cdf(0.001);
+  for (double p = 0.002; p < 0.999; p += 0.001) {
+    const double z = inverse_normal_cdf(p);
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::stats

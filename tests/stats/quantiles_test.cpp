@@ -1,0 +1,82 @@
+#include "stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace fdqos::stats {
+namespace {
+
+TEST(SampleSetTest, ExactQuantilesOnSmallSet) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(SampleSetTest, InterpolatesBetweenPoints) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SampleSetTest, AddAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);
+  s.add(3.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(P2QuantileTest, ExactBeforeFiveSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile q(0.5);
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0.0, 1.0));
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+}
+
+TEST(P2QuantileTest, TailQuantileOfUniformStream) {
+  P2Quantile q(0.95);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform(0.0, 1.0));
+  EXPECT_NEAR(q.value(), 0.95, 0.02);
+}
+
+TEST(P2QuantileTest, AgreesWithExactOnSkewedData) {
+  P2Quantile p2(0.9);
+  SampleSet exact;
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(2.0, 0.6);
+    p2.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.quantile(0.9);
+  EXPECT_NEAR(p2.value(), truth, truth * 0.05);
+}
+
+TEST(P2QuantileTest, CountTracksAdds) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 10; ++i) q.add(i);
+  EXPECT_EQ(q.count(), 10u);
+}
+
+}  // namespace
+}  // namespace fdqos::stats

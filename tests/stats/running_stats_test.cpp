@@ -1,0 +1,138 @@
+#include "stats/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fdqos::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(rs.min()));
+  EXPECT_TRUE(std::isnan(rs.max()));
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 42.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MatchesTwoPassComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(100.0, 15.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), ss / (xs.size() - 1), 1e-6);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(2);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  RunningStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(RunningStatsTest, ResetClearsEverything) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(2.0);
+  rs.reset();
+  EXPECT_TRUE(rs.empty());
+  EXPECT_DOUBLE_EQ(rs.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SummaryMirrorsAccessors) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(3.0);
+  const Summary s = rs.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, rs.stddev());
+  EXPECT_DOUBLE_EQ(s.sum, 4.0);
+}
+
+TEST(RunningStatsTest, Ci95ShrinksWithSamples) {
+  Rng rng(3);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 / std::sqrt(10000.0), 0.005);
+}
+
+TEST(RunningStatsTest, StableUnderLargeOffset) {
+  // Welford should not lose precision with a large common offset.
+  RunningStats rs;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) rs.add(offset + x);
+  EXPECT_NEAR(rs.variance(), 5.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -1,0 +1,68 @@
+#include "stats/table_writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos::stats {
+namespace {
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(TableWriterTest, AsciiContainsTitleHeaderAndCells) {
+  TableWriter t("My Table");
+  t.set_columns({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("My Table"), std::string::npos);
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriterTest, ColumnsAlign) {
+  TableWriter t;
+  t.set_columns({"a", "b"});
+  t.add_row({"longlabel", "1"});
+  t.add_row({"x", "2"});
+  const std::string ascii = t.to_ascii();
+  // Both data rows must place column b at the same offset.
+  const auto lines_start = ascii.find("longlabel");
+  ASSERT_NE(lines_start, std::string::npos);
+  const auto row1_end = ascii.find('\n', lines_start);
+  const std::string row1 = ascii.substr(lines_start, row1_end - lines_start);
+  const auto row2_start = row1_end + 1;
+  const auto row2_end = ascii.find('\n', row2_start);
+  const std::string row2 = ascii.substr(row2_start, row2_end - row2_start);
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TableWriterTest, NumericRowHelper) {
+  TableWriter t;
+  t.set_columns({"label", "v1", "v2"});
+  t.add_row("row", {1.234, 5.678}, 1);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("row,1.2,5.7"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscaping) {
+  TableWriter t;
+  t.set_columns({"a"});
+  t.add_row({std::string("has,comma and \"quote\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma and \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvHeaderRow) {
+  TableWriter t;
+  t.set_columns({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -1,0 +1,73 @@
+#include "stats/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace fdqos::stats {
+namespace {
+
+TEST(TimeSeriesTest, AddAndAccess) {
+  TimeSeries ts("delay");
+  ts.add(TimePoint::origin() + Duration::seconds(1), 10.0);
+  ts.add(TimePoint::origin() + Duration::seconds(2), 20.0);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(ts[1].time.to_seconds_double(), 2.0);
+  EXPECT_EQ(ts.name(), "delay");
+}
+
+TEST(TimeSeriesTest, ValuesInInsertionOrder) {
+  TimeSeries ts;
+  ts.add(TimePoint::origin() + Duration::seconds(2), 5.0);
+  ts.add(TimePoint::origin() + Duration::seconds(1), 7.0);
+  const auto vals = ts.values();
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals[0], 5.0);
+  EXPECT_DOUBLE_EQ(vals[1], 7.0);
+}
+
+TEST(TimeSeriesTest, SummarizeMatchesValues) {
+  TimeSeries ts;
+  for (int i = 1; i <= 4; ++i) {
+    ts.add(TimePoint::origin() + Duration::seconds(i), static_cast<double>(i));
+  }
+  const Summary s = ts.summarize();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(TimeSeriesTest, CsvFormat) {
+  TimeSeries ts("v");
+  ts.add(TimePoint::origin() + Duration::millis(1500), 2.5);
+  const std::string csv = ts.to_csv();
+  EXPECT_NE(csv.find("time_s,v\n"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000000,2.5"), std::string::npos);
+  const std::string no_header = ts.to_csv(false);
+  EXPECT_EQ(no_header.find("time_s"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, SaveCsvRoundTripsThroughFile) {
+  TimeSeries ts("x");
+  ts.add(TimePoint::origin() + Duration::seconds(1), 1.0);
+  const std::string path = ::testing::TempDir() + "/fdqos_ts_test.csv";
+  ASSERT_TRUE(ts.save_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_GT(n, 0u);
+  EXPECT_NE(std::string(buf).find("time_s,x"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, SaveCsvFailsOnBadPath) {
+  TimeSeries ts;
+  EXPECT_FALSE(ts.save_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -1,0 +1,112 @@
+#include "wan/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/running_stats.hpp"
+
+namespace fdqos::wan {
+namespace {
+
+stats::Summary sample_many(DelayModel& model, std::size_t n,
+                           std::uint64_t seed = 1) {
+  Rng rng(seed);
+  stats::RunningStats rs;
+  TimePoint t = TimePoint::origin();
+  for (std::size_t i = 0; i < n; ++i, t += Duration::seconds(1)) {
+    rs.add(model.sample(rng, t).to_millis_double());
+  }
+  return rs.summary();
+}
+
+TEST(ConstantDelayTest, AlwaysSameValue) {
+  ConstantDelay model(Duration::millis(42));
+  const auto s = sample_many(model, 100);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(UniformDelayTest, StaysInRangeWithMatchingMoments) {
+  UniformDelay model(Duration::millis(100), Duration::millis(300));
+  const auto s = sample_many(model, 50000);
+  EXPECT_GE(s.min, 100.0);
+  EXPECT_LT(s.max, 300.0);
+  EXPECT_NEAR(s.mean, 200.0, 2.0);
+  // Var of U(100,300) = 200²/12.
+  EXPECT_NEAR(s.variance, 200.0 * 200.0 / 12.0, 150.0);
+}
+
+TEST(ShiftedLognormalTest, RespectsFloorAndMean) {
+  // Body mean = exp(mu + sigma²/2).
+  const double mu = 2.0;
+  const double sigma = 0.5;
+  ShiftedLognormalDelay model(Duration::millis(192), mu, sigma);
+  const auto s = sample_many(model, 100000);
+  EXPECT_GE(s.min, 192.0);
+  const double body_mean = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(s.mean, 192.0 + body_mean, 0.3);
+}
+
+TEST(ShiftedGammaTest, MomentsMatch) {
+  ShiftedGammaDelay model(Duration::millis(50), 4.0, 2.5);  // body mean 10
+  const auto s = sample_many(model, 100000);
+  EXPECT_GE(s.min, 50.0);
+  EXPECT_NEAR(s.mean, 60.0, 0.3);
+  EXPECT_NEAR(s.variance, 4.0 * 2.5 * 2.5, 2.0);  // k·theta²
+}
+
+TEST(SpikeMixtureTest, SpikesAreRareAndCapped) {
+  auto base = std::make_unique<ConstantDelay>(Duration::millis(200));
+  SpikeMixtureDelay model(std::move(base), 0.01, Duration::millis(50), 1.5,
+                          Duration::millis(340));
+  Rng rng(2);
+  std::size_t spiked = 0;
+  const std::size_t n = 100000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ms = model.sample(rng, TimePoint::origin()).to_millis_double();
+    EXPECT_GE(ms, 200.0);
+    EXPECT_LE(ms, 340.0);
+    if (ms > 200.0) ++spiked;
+  }
+  EXPECT_NEAR(static_cast<double>(spiked) / static_cast<double>(n), 0.01,
+              0.002);
+}
+
+TEST(SpikeMixtureTest, ZeroProbabilityNeverSpikes) {
+  auto base = std::make_unique<ConstantDelay>(Duration::millis(100));
+  SpikeMixtureDelay model(std::move(base), 0.0, Duration::millis(50), 1.5,
+                          Duration::millis(340));
+  const auto s = sample_many(model, 1000);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(DelayModelTest, MakeFreshPreservesDistribution) {
+  ShiftedLognormalDelay original(Duration::millis(10), 1.5, 0.4);
+  auto fresh = original.make_fresh();
+  EXPECT_EQ(fresh->name(), original.name());
+  const auto s1 = sample_many(original, 20000, 7);
+  const auto s2 = sample_many(*fresh, 20000, 7);
+  EXPECT_DOUBLE_EQ(s1.mean, s2.mean);  // identical seed -> identical stream
+}
+
+TEST(DelayModelTest, SamplesAreNonNegative) {
+  UniformDelay u(Duration::zero(), Duration::millis(5));
+  ShiftedGammaDelay g(Duration::zero(), 0.5, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(u.sample(rng, TimePoint::origin()), Duration::zero());
+    EXPECT_GE(g.sample(rng, TimePoint::origin()), Duration::zero());
+  }
+}
+
+TEST(DelayModelTest, NamesDescribeParameters) {
+  ConstantDelay c(Duration::millis(5));
+  EXPECT_NE(c.name().find("const"), std::string::npos);
+  ShiftedLognormalDelay l(Duration::millis(192), 1.7, 0.6);
+  EXPECT_NE(l.name().find("lognormal"), std::string::npos);
+  EXPECT_NE(l.name().find("192"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::wan

@@ -1,0 +1,122 @@
+// Calibration tests: the synthetic Italy–Japan link must stay inside the
+// paper's Table 4 envelope (DESIGN.md §2 substitution).
+#include "wan/italy_japan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/autocorrelation.hpp"
+
+namespace fdqos::wan {
+namespace {
+
+LinkCharacteristics measure(std::uint64_t seed, std::size_t n = 200000) {
+  auto delay = make_italy_japan_delay();
+  auto loss = make_italy_japan_loss();
+  Rng rng(seed);
+  return measure_link(*delay, *loss, n, Duration::seconds(1), rng);
+}
+
+TEST(ItalyJapanTest, MeanNearTwoHundredMs) {
+  const auto link = measure(1);
+  EXPECT_NEAR(link.delay_ms.mean, 200.0, 4.0);
+}
+
+TEST(ItalyJapanTest, StddevNearPaperValue) {
+  // Paper Table 4: 7.6 ms.
+  const auto link = measure(2);
+  EXPECT_GT(link.delay_ms.stddev, 4.0);
+  EXPECT_LT(link.delay_ms.stddev, 12.0);
+}
+
+TEST(ItalyJapanTest, MinimumRespectsPropagationFloor) {
+  const auto link = measure(3);
+  EXPECT_GE(link.delay_ms.min, 192.0);
+  EXPECT_LT(link.delay_ms.min, 196.0);
+}
+
+TEST(ItalyJapanTest, MaximumBoundedByCap) {
+  const auto link = measure(4);
+  EXPECT_LE(link.delay_ms.max, 340.0);
+  EXPECT_GT(link.delay_ms.max, 230.0);  // spikes do occur
+}
+
+TEST(ItalyJapanTest, LossBelowOnePercent) {
+  const auto link = measure(5, 500000);
+  EXPECT_LT(link.loss_probability, 0.01);
+  EXPECT_GT(link.loss_probability, 0.0005);
+}
+
+TEST(ItalyJapanTest, DelaysArePositivelyAutocorrelated) {
+  // Regime switching induces positive short-lag autocorrelation, the
+  // non-stationarity adaptive detectors exploit.
+  auto delay = make_italy_japan_delay();
+  Rng rng(6);
+  std::vector<double> xs;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 100000; ++i, t += Duration::seconds(1)) {
+    xs.push_back(delay->sample(rng, t).to_millis_double());
+  }
+  EXPECT_GT(stats::autocorrelation(xs, 1), 0.05);
+}
+
+TEST(ItalyJapanTest, CustomParamsChangeTheModel) {
+  ItalyJapanParams params;
+  params.floor = Duration::millis(50);
+  params.spike_prob = 0.0;
+  auto delay = make_italy_japan_delay(params);
+  Rng rng(7);
+  stats::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    rs.add(delay->sample(rng, TimePoint::origin()).to_millis_double());
+  }
+  EXPECT_GE(rs.min(), 50.0);
+  EXPECT_LT(rs.mean(), 100.0);
+}
+
+TEST(ItalyJapanTest, StartupTransientCanBeDisabled) {
+  ItalyJapanParams params;
+  params.startup_dwell = Duration::zero();
+  auto delay = make_italy_japan_delay(params);
+  Rng rng(9);
+  stats::RunningStats early;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 200; ++i, t += Duration::seconds(1)) {
+    early.add(delay->sample(rng, t).to_millis_double());
+  }
+  // Without the transient the first minutes already sit at the quiet level
+  // (~198 ms), not the congested ~220 ms.
+  EXPECT_LT(early.mean(), 208.0);
+}
+
+TEST(ItalyJapanTest, StartupTransientElevatesEarlyDelays) {
+  // The startup dwell is exponential (mean 1000 s), so average the
+  // early-vs-late contrast over several independent runs.
+  const Rng base(10);
+  stats::RunningStats early;
+  stats::RunningStats late;
+  for (std::uint64_t run = 0; run < 10; ++run) {
+    auto delay = make_italy_japan_delay();
+    Rng rng = base.fork(run);
+    TimePoint t = TimePoint::origin();
+    for (int i = 0; i < 6000; ++i, t += Duration::seconds(1)) {
+      const double ms = delay->sample(rng, t).to_millis_double();
+      (i < 120 ? early : late).add(ms);
+    }
+  }
+  EXPECT_GT(early.mean(), late.mean() + 8.0);
+}
+
+TEST(MeasureLinkTest, CountsMessagesAndLoss) {
+  auto delay = std::make_unique<ConstantDelay>(Duration::millis(10));
+  BernoulliLoss loss(0.5);
+  Rng rng(8);
+  const auto link = measure_link(*delay, loss, 10000, Duration::seconds(1), rng);
+  EXPECT_EQ(link.messages, 10000u);
+  EXPECT_NEAR(link.loss_probability, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(link.delay_ms.count), 5000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace fdqos::wan

@@ -1,0 +1,106 @@
+#include "wan/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fdqos::wan {
+namespace {
+
+TEST(BernoulliLossTest, ZeroAndOneAreDeterministic) {
+  Rng rng(1);
+  BernoulliLoss never(0.0);
+  BernoulliLoss always(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.drop(rng, TimePoint::origin()));
+    EXPECT_TRUE(always.drop(rng, TimePoint::origin()));
+  }
+}
+
+TEST(BernoulliLossTest, RateMatches) {
+  Rng rng(2);
+  BernoulliLoss loss(0.05);
+  int dropped = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.drop(rng, TimePoint::origin())) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.05, 0.005);
+}
+
+TEST(GilbertElliottTest, StationaryLossFormula) {
+  GilbertElliottLoss::Params p{0.001, 0.099, 0.0, 1.0};
+  GilbertElliottLoss loss(p);
+  // pi_bad = 0.001/0.1 = 0.01 -> stationary loss = 0.01.
+  EXPECT_NEAR(loss.stationary_loss(), 0.01, 1e-12);
+}
+
+TEST(GilbertElliottTest, EmpiricalLossNearStationary) {
+  Rng rng(3);
+  GilbertElliottLoss::Params p{0.002, 0.05, 0.001, 0.4};
+  GilbertElliottLoss loss(p);
+  int dropped = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    if (loss.drop(rng, TimePoint::origin())) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, loss.stationary_loss(),
+              loss.stationary_loss() * 0.25);
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // Compare the probability of a drop immediately following a drop with the
+  // marginal drop rate: the chain must make consecutive drops more likely.
+  Rng rng(4);
+  GilbertElliottLoss::Params p{0.002, 0.05, 0.0005, 0.5};
+  GilbertElliottLoss loss(p);
+  const int n = 500000;
+  std::vector<bool> drops(n);
+  for (int i = 0; i < n; ++i) drops[static_cast<std::size_t>(i)] = loss.drop(rng, TimePoint::origin());
+  int total = 0;
+  int after_drop = 0;
+  int after_drop_total = 0;
+  for (int i = 1; i < n; ++i) {
+    total += drops[static_cast<std::size_t>(i)] ? 1 : 0;
+    if (drops[static_cast<std::size_t>(i - 1)]) {
+      ++after_drop_total;
+      if (drops[static_cast<std::size_t>(i)]) ++after_drop;
+    }
+  }
+  const double marginal = static_cast<double>(total) / (n - 1);
+  const double conditional =
+      static_cast<double>(after_drop) / std::max(after_drop_total, 1);
+  EXPECT_GT(conditional, 3.0 * marginal);
+}
+
+TEST(GilbertElliottTest, DegenerateChainStaysInInitialState) {
+  Rng rng(5);
+  GilbertElliottLoss::Params p{0.0, 0.0, 0.0, 1.0};
+  GilbertElliottLoss loss(p);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(loss.drop(rng, TimePoint::origin()));  // stuck in Good
+  }
+  EXPECT_FALSE(loss.in_bad_state());
+}
+
+TEST(LossModelTest, MakeFreshResetsChainState) {
+  Rng rng(6);
+  GilbertElliottLoss::Params p{1.0, 0.0, 0.0, 1.0};  // jump to Bad instantly
+  GilbertElliottLoss loss(p);
+  loss.drop(rng, TimePoint::origin());
+  EXPECT_TRUE(loss.in_bad_state());
+  auto fresh = loss.make_fresh();
+  auto* ge = dynamic_cast<GilbertElliottLoss*>(fresh.get());
+  ASSERT_NE(ge, nullptr);
+  EXPECT_FALSE(ge->in_bad_state());
+}
+
+TEST(LossModelTest, NamesDescribeParameters) {
+  BernoulliLoss b(0.01);
+  EXPECT_NE(b.name().find("bernoulli"), std::string::npos);
+  GilbertElliottLoss g({0.1, 0.2, 0.3, 0.4});
+  EXPECT_NE(g.name().find("gilbert"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::wan

@@ -1,0 +1,104 @@
+#include "wan/regime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stats/running_stats.hpp"
+
+namespace fdqos::wan {
+namespace {
+
+RegimeSwitchingDelay make_two_regime(Duration dwell_a, Duration dwell_b) {
+  std::vector<RegimeSwitchingDelay::Regime> regimes;
+  regimes.push_back(
+      {std::make_unique<ConstantDelay>(Duration::millis(100)), dwell_a});
+  regimes.push_back(
+      {std::make_unique<ConstantDelay>(Duration::millis(500)), dwell_b});
+  return RegimeSwitchingDelay(std::move(regimes), {{0.0, 1.0}, {1.0, 0.0}}, 0);
+}
+
+TEST(RegimeSwitchingTest, StartsInInitialRegime) {
+  auto model = make_two_regime(Duration::seconds(1000), Duration::seconds(10));
+  Rng rng(1);
+  EXPECT_EQ(model.current_regime(), 0u);
+  EXPECT_EQ(model.sample(rng, TimePoint::origin()), Duration::millis(100));
+}
+
+TEST(RegimeSwitchingTest, SwitchesAfterDwell) {
+  auto model = make_two_regime(Duration::seconds(10), Duration::seconds(10));
+  Rng rng(2);
+  bool saw_a = false;
+  bool saw_b = false;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 1000; ++i, t += Duration::seconds(1)) {
+    const Duration d = model.sample(rng, t);
+    if (d == Duration::millis(100)) saw_a = true;
+    if (d == Duration::millis(500)) saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(RegimeSwitchingTest, TimeShareMatchesDwellRatio) {
+  auto model = make_two_regime(Duration::seconds(80), Duration::seconds(20));
+  Rng rng(3);
+  int in_a = 0;
+  const int n = 200000;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < n; ++i, t += Duration::seconds(1)) {
+    if (model.sample(rng, t) == Duration::millis(100)) ++in_a;
+  }
+  EXPECT_NEAR(static_cast<double>(in_a) / n, 0.8, 0.05);
+}
+
+TEST(RegimeSwitchingTest, HandlesLongGapsBetweenSamples) {
+  // A gap spanning many dwell periods must not get stuck: the chain is
+  // advanced through all elapsed switches.
+  auto model = make_two_regime(Duration::seconds(5), Duration::seconds(5));
+  Rng rng(4);
+  model.sample(rng, TimePoint::origin());
+  // Jump three hours ahead; must still return one of the two regimes and
+  // continue switching afterwards.
+  TimePoint t = TimePoint::origin() + Duration::seconds(10800);
+  int seen_a = 0;
+  int seen_b = 0;
+  for (int i = 0; i < 200; ++i, t += Duration::seconds(1)) {
+    const Duration d = model.sample(rng, t);
+    (d == Duration::millis(100) ? seen_a : seen_b)++;
+  }
+  EXPECT_GT(seen_a, 0);
+  EXPECT_GT(seen_b, 0);
+}
+
+TEST(RegimeSwitchingTest, SelfLoopTransitionStaysPut) {
+  std::vector<RegimeSwitchingDelay::Regime> regimes;
+  regimes.push_back(
+      {std::make_unique<ConstantDelay>(Duration::millis(1)), Duration::seconds(1)});
+  regimes.push_back(
+      {std::make_unique<ConstantDelay>(Duration::millis(2)), Duration::seconds(1)});
+  RegimeSwitchingDelay model(std::move(regimes), {{1.0, 0.0}, {0.0, 1.0}}, 0);
+  Rng rng(5);
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 100; ++i, t += Duration::seconds(10)) {
+    EXPECT_EQ(model.sample(rng, t), Duration::millis(1));
+  }
+}
+
+TEST(RegimeSwitchingTest, MakeFreshStartsInInitialRegime) {
+  auto model = make_two_regime(Duration::seconds(1), Duration::seconds(1000));
+  Rng rng(6);
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 50; ++i, t += Duration::seconds(1)) {
+    model.sample(rng, t);
+  }
+  auto fresh_base = model.make_fresh();
+  auto* fresh = dynamic_cast<RegimeSwitchingDelay*>(fresh_base.get());
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->current_regime(), 0u);
+  EXPECT_EQ(fresh->regime_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fdqos::wan

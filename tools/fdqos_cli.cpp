@@ -1,0 +1,207 @@
+// fdqos — command-line driver for the experiment harness.
+//
+//   fdqos qos        [--runs N] [--cycles N] [--seed S] [--eta-ms MS]
+//                    [--mttc-s S] [--ttr-s S] [--baselines] [--pareto]
+//                    [--metric td|tdu|tm|tmr|pa|all] [--csv FILE]
+//   fdqos accuracy   [--n N] [--seed S] [--csv FILE]
+//   fdqos link       [--n N] [--seed S]
+//   fdqos order-select [--n N] [--seed S] [--pmax P] [--dmax D] [--qmax Q]
+//
+// Everything prints the same paper-layout tables as the bench binaries,
+// with the experiment knobs exposed as flags instead of env vars.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "exp/accuracy_experiment.hpp"
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+#include "forecast/arima/order_selection.hpp"
+#include "wan/italy_japan.hpp"
+#include "wan/trace.hpp"
+
+using namespace fdqos;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fdqos <qos|accuracy|link|order-select|trace> [flags]\n"
+               "  qos          reproduce the Figures 4-8 experiment\n"
+               "               (--trace FILE runs it on a recorded trace)\n"
+               "  accuracy     reproduce the Table 3 experiment\n"
+               "  link         characterize the WAN model (Table 4)\n"
+               "  order-select run the ARIMA order grid search (Table 2)\n"
+               "  trace        export a delay trace CSV for --trace/replay\n"
+               "run `fdqos <command> --help` is not needed: unknown flags "
+               "are listed on error\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+int check_unknown(const ArgParser& args) {
+  const auto unknown = args.unknown_keys();
+  if (unknown.empty()) return 0;
+  for (const auto& key : unknown) {
+    std::fprintf(stderr, "fdqos: unknown flag %s\n", key.c_str());
+  }
+  return 2;
+}
+
+int cmd_qos(const ArgParser& args) {
+  exp::QosExperimentConfig config;
+  config.runs = static_cast<std::size_t>(args.get_int("--runs", 13));
+  config.num_cycles = args.get_int("--cycles", 10000);
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  config.eta = Duration::millis(args.get_int("--eta-ms", 1000));
+  config.mttc = Duration::seconds(args.get_int("--mttc-s", 300));
+  config.ttr = Duration::seconds(args.get_int("--ttr-s", 30));
+  config.include_constant_baseline = args.get_flag("--baselines");
+  config.trace_path = args.get_string("--trace", "");
+  const std::string metric = args.get_string("--metric", "all");
+  const std::string csv = args.get_string("--csv", "");
+  const bool pareto = args.get_flag("--pareto");
+  const bool variability = args.get_flag("--variability");
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  std::fprintf(stderr, "[fdqos] %s\n", exp::qos_config_summary(config).c_str());
+  const exp::QosReport report = exp::run_qos_experiment(config);
+
+  const std::vector<std::pair<std::string, exp::QosMetricKind>> kinds = {
+      {"td", exp::QosMetricKind::kTd},   {"tdu", exp::QosMetricKind::kTdU},
+      {"tm", exp::QosMetricKind::kTm},   {"tmr", exp::QosMetricKind::kTmr},
+      {"pa", exp::QosMetricKind::kPa},
+  };
+  std::string csv_out;
+  bool matched = false;
+  for (const auto& [key, kind] : kinds) {
+    if (metric != "all" && metric != key) continue;
+    matched = true;
+    auto table = exp::qos_metric_table(report, kind);
+    std::printf("%s\n", table.to_ascii().c_str());
+    csv_out += table.to_csv() + "\n";
+  }
+  if (!matched) {
+    std::fprintf(stderr, "fdqos: unknown metric '%s'\n", metric.c_str());
+    return 2;
+  }
+  if (pareto) {
+    std::printf("%s\n", exp::pareto_table(report).to_ascii().c_str());
+  }
+  if (variability) {
+    std::printf("%s\n", exp::qos_variability_table(report).to_ascii().c_str());
+  }
+  if (!csv.empty() && !write_file(csv, csv_out)) {
+    std::fprintf(stderr, "fdqos: cannot write %s\n", csv.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Export a synthetic delay trace in TraceRecorder CSV format — the input
+// format `qos --trace` and `wan::TraceReplayDelay` consume. A trace
+// captured from a real link (e.g. by wiring wan::RecordingDelay into a
+// UDP deployment) drops in identically.
+int cmd_trace(const ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("--n", 100000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  const std::string out = args.get_string("--out", "trace.csv");
+  const auto eta_ms = args.get_int("--eta-ms", 1000);
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  wan::TraceRecorder recorder;
+  wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
+  Rng rng(seed);
+  TimePoint t = TimePoint::origin();
+  for (std::size_t i = 0; i < n; ++i, t += Duration::millis(eta_ms)) {
+    model.sample(rng, t);
+  }
+  if (!recorder.save(out)) {
+    std::fprintf(stderr, "fdqos: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu delays to %s (replay with `fdqos qos --trace %s`)\n",
+              recorder.size(), out.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_accuracy(const ArgParser& args) {
+  exp::AccuracyExperimentConfig config;
+  config.n_oneway = static_cast<std::size_t>(args.get_int("--n", 100000));
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  const std::string csv = args.get_string("--csv", "");
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  const auto report = exp::run_accuracy_experiment(config);
+  auto table = exp::accuracy_table(report);
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("(%zu delays from %zu heartbeats; link mean %.1f ms, sd %.1f ms)\n",
+              report.delays_collected, report.heartbeats_sent,
+              report.delays_ms.mean, report.delays_ms.stddev);
+  if (!csv.empty() && !write_file(csv, table.to_csv())) {
+    std::fprintf(stderr, "fdqos: cannot write %s\n", csv.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_link(const ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("--n", 500000));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("--seed", 42)));
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  auto delay = wan::make_italy_japan_delay();
+  auto loss = wan::make_italy_japan_loss();
+  const auto link =
+      wan::measure_link(*delay, *loss, n, Duration::seconds(1), rng);
+  std::printf("%s", exp::link_table(link).to_ascii().c_str());
+  return 0;
+}
+
+int cmd_order_select(const ArgParser& args) {
+  exp::AccuracyExperimentConfig acc;
+  acc.n_oneway = static_cast<std::size_t>(args.get_int("--n", 20000));
+  acc.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  forecast::OrderSelectionConfig selection;
+  selection.max_order.p = static_cast<std::size_t>(args.get_int("--pmax", 3));
+  selection.max_order.d = static_cast<std::size_t>(args.get_int("--dmax", 2));
+  selection.max_order.q = static_cast<std::size_t>(args.get_int("--qmax", 3));
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  const auto series = exp::generate_delay_series(acc);
+  const auto result = forecast::select_arima_order(series, selection);
+  std::printf("best order on %zu delays: %s (holdout msqerr %.3f ms^2)\n",
+              series.size(), result.best.to_string().c_str(),
+              result.best_msqerr);
+  for (const auto& cand : result.candidates) {
+    if (!cand.fitted) continue;
+    std::printf("  %-14s %10.3f%s\n", cand.order.to_string().c_str(),
+                cand.holdout_msqerr,
+                cand.order == result.best ? "  <- selected" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string command = args.positional()[0];
+  if (command == "qos") return cmd_qos(args);
+  if (command == "accuracy") return cmd_accuracy(args);
+  if (command == "link") return cmd_link(args);
+  if (command == "order-select") return cmd_order_select(args);
+  if (command == "trace") return cmd_trace(args);
+  std::fprintf(stderr, "fdqos: unknown command '%s'\n", command.c_str());
+  return usage();
+}
