@@ -11,6 +11,9 @@
 
 #include "common/rng.hpp"
 #include "fd/suite.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -94,6 +97,41 @@ void BM_SimulatorTimerChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// Instrumentation cost envelope. obs/span_disabled is what every hot path
+// pays when observability is off (the acceptance bar: not measurable next
+// to a predictor update); the enabled variants show the opt-in cost.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::ObsSpan span("bench_disabled");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::set_enabled(true);
+  auto& counter = obs::Registry::global().counter(
+      "fdqos_bench_obs_counter_total", "microbench scratch counter");
+  for (auto _ : state) {
+    if (obs::enabled()) counter.inc();
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  auto& hist = obs::Registry::global().histogram(
+      "fdqos_bench_obs_span_duration_us", "microbench scratch histogram");
+  for (auto _ : state) {
+    obs::ObsSpan span("bench_enabled", &hist);
+    benchmark::DoNotOptimize(span.active());
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +153,9 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("simulator/event_throughput",
                                BM_SimulatorEventThroughput);
   benchmark::RegisterBenchmark("simulator/timer_churn", BM_SimulatorTimerChurn);
+  benchmark::RegisterBenchmark("obs/span_disabled", BM_ObsSpanDisabled);
+  benchmark::RegisterBenchmark("obs/counter_inc", BM_ObsCounterInc);
+  benchmark::RegisterBenchmark("obs/span_enabled", BM_ObsSpanEnabled);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,12 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 
 #include "fd/freshness_detector.hpp"
 #include "fd/safety_margin.hpp"
 #include "forecast/basic_predictors.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/heartbeater.hpp"
 #include "runtime/process_node.hpp"
 
@@ -57,6 +60,7 @@ int run_heartbeater(std::uint16_t my_port, const std::string& peer_host,
 }
 
 int run_monitor(std::uint16_t my_port, Duration run_for) {
+  obs::set_enabled(true);  // live sessions always report metrics
   sim::Simulator simulator;
   net::UdpTransport transport(
       simulator, kMonitor, {{kMonitor, {"0.0.0.0", my_port}}});
@@ -83,6 +87,27 @@ int run_monitor(std::uint16_t my_port, Duration run_for) {
 
   std::printf("monitoring UDP heartbeats on port %u (%s)...\n",
               transport.local_port(), detector.name().c_str());
+
+  // Rolling QoS/metrics line: a repeating (real-time-driven) event that
+  // summarizes the session from the global instruments every 2 s.
+  const Duration status_every = Duration::seconds(2);
+  std::function<void()> status_tick = [&] {
+    const auto& m = obs::instruments();
+    std::printf(
+        "[%9.3fs] hb recv=%llu state=%s delta=%.2f ms "
+        "transitions suspect=%llu trust=%llu decode_err=%llu\n",
+        simulator.now().to_seconds_double(),
+        static_cast<unsigned long long>(transport.received_count()),
+        detector.suspecting() ? "SUSPECT" : "trust",
+        detector.current_delta_ms(),
+        static_cast<unsigned long long>(m.fd_transitions_to_suspect.value()),
+        static_cast<unsigned long long>(m.fd_transitions_to_trust.value()),
+        static_cast<unsigned long long>(m.udp_decode_failures_total.value()));
+    std::fflush(stdout);
+    simulator.schedule_after(status_every, status_tick);
+  };
+  simulator.schedule_after(status_every, status_tick);
+
   net::RealTimeDriver driver(simulator, transport);
   driver.run_for(run_for);
 

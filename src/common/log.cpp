@@ -1,8 +1,11 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 namespace fdqos {
 namespace {
@@ -49,6 +52,31 @@ namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
   std::fprintf(stderr, "[fdqos %-5s] %.*s\n", level_name(level),
                static_cast<int>(msg.size()), msg.data());
+}
+
+void log_fmt(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char buf[1024];
+  const int needed = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof buf) {
+    log_line(level, {buf, static_cast<std::size_t>(needed)});
+  } else {
+    // The stack buffer would truncate; reformat into a heap buffer sized by
+    // the first pass.
+    std::vector<char> heap(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap.data(), heap.size(), fmt, args_copy);
+    log_line(level, {heap.data(), static_cast<std::size_t>(needed)});
+  }
+  va_end(args_copy);
 }
 
 }  // namespace detail

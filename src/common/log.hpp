@@ -6,9 +6,17 @@
 // error|off).
 #pragma once
 
-#include <cstdio>
 #include <string_view>
-#include <utility>
+
+// Portability shim for printf-style format checking: GCC and Clang verify
+// the argument list against the format string at compile time; other
+// compilers compile the annotation away.
+#if defined(__GNUC__) || defined(__clang__)
+#define FDQOS_PRINTF_FORMAT(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define FDQOS_PRINTF_FORMAT(fmt_index, first_arg)
+#endif
 
 namespace fdqos {
 
@@ -20,15 +28,14 @@ void set_log_level(LogLevel level);
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);
 
-template <typename... Args>
-void log_fmt(LogLevel level, const char* fmt, Args&&... args) {
-  if (level < log_level()) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
-  log_line(level, buf);
-}
+// Formats and emits one line if `level` passes the filter. Messages longer
+// than the internal stack buffer fall back to a heap allocation — lines are
+// never truncated.
+void log_fmt(LogLevel level, const char* fmt, ...) FDQOS_PRINTF_FORMAT(2, 3);
 }  // namespace detail
 
+#define FDQOS_LOG_TRACE(...) \
+  ::fdqos::detail::log_fmt(::fdqos::LogLevel::kTrace, __VA_ARGS__)
 #define FDQOS_LOG_DEBUG(...) \
   ::fdqos::detail::log_fmt(::fdqos::LogLevel::kDebug, __VA_ARGS__)
 #define FDQOS_LOG_INFO(...) \

@@ -1,8 +1,10 @@
 #include "exp/accuracy_experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "forecast/msqerr.hpp"
+#include "obs/progress.hpp"
 
 namespace fdqos::exp {
 
@@ -28,17 +30,37 @@ AccuracyReport run_accuracy_experiment(const AccuracyExperimentConfig& config) {
   AccuracyReport report;
   report.heartbeats_sent = config.n_oneway;
 
+  std::unique_ptr<obs::ProgressEmitter> progress;
+  if (config.progress_interval_s > 0.0) {
+    obs::ProgressEmitter::Options opts;
+    opts.interval_s = config.progress_interval_s;
+    opts.prefix = "[fdqos accuracy]";
+    progress = std::make_unique<obs::ProgressEmitter>(std::move(opts));
+  }
+
   const std::vector<double> delays = generate_delay_series(config);
   report.delays_collected = delays.size();
   stats::RunningStats delay_stats;
   for (double d : delays) delay_stats.add(d);
   report.delays_ms = delay_stats.summary();
+  if (progress != nullptr) {
+    progress->emit("collected %zu delays from %zu heartbeats",
+                   report.delays_collected, report.heartbeats_sent);
+  }
 
-  for (const auto& label : fd::paper_predictor_labels()) {
+  const auto labels = fd::paper_predictor_labels();
+  std::size_t scored = 0;
+  for (const auto& label : labels) {
     auto predictor = fd::make_paper_predictor(label, config.params)();
     const forecast::AccuracyResult acc =
         forecast::evaluate_accuracy(*predictor, delays);
     report.rows.push_back({predictor->name(), acc.msqerr, acc.mean_abs_err});
+    ++scored;
+    if (progress != nullptr && (progress->due() || scored == labels.size())) {
+      progress->emit("scored %zu/%zu predictors (last: %s, msqerr %.2f ms^2)",
+                     scored, labels.size(), predictor->name().c_str(),
+                     acc.msqerr);
+    }
   }
   std::sort(report.rows.begin(), report.rows.end(),
             [](const AccuracyRow& a, const AccuracyRow& b) {

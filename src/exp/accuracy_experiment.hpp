@@ -23,6 +23,9 @@ struct AccuracyExperimentConfig {
   std::uint64_t seed = 42;
   wan::ItalyJapanParams link{};
   fd::PaperParams params{};
+  // When > 0, emit a progress line to stderr every this many wall-clock
+  // seconds while collecting delays and scoring predictors.
+  double progress_interval_s = 0.0;
 };
 
 struct AccuracyRow {

@@ -1,10 +1,13 @@
 #include "exp/qos_experiment.hpp"
 
+#include <functional>
 #include <memory>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "fd/freshness_detector.hpp"
+#include "obs/instruments.hpp"
+#include "obs/progress.hpp"
 #include "net/sim_transport.hpp"
 #include "runtime/heartbeater.hpp"
 #include "runtime/multiplexer.hpp"
@@ -83,6 +86,14 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
       TimePoint::origin() + config.eta * config.num_cycles + config.ttr +
       Duration::seconds(5);
 
+  std::unique_ptr<obs::ProgressEmitter> progress;
+  if (config.progress_interval_s > 0.0) {
+    obs::ProgressEmitter::Options opts;
+    opts.interval_s = config.progress_interval_s;
+    opts.prefix = "[fdqos qos]";
+    progress = std::make_unique<obs::ProgressEmitter>(std::move(opts));
+  }
+
   for (std::size_t run = 0; run < config.runs; ++run) {
     Rng run_rng = base_rng.fork(run);
 
@@ -112,7 +123,7 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
     hb_config.self = kMonitored;
     hb_config.monitor = kMonitor;
     hb_config.max_cycles = config.num_cycles;
-    monitored.push(
+    auto& heartbeater = monitored.push(
         std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
 
     // Monitor node: MultiPlexer fanning out to every detector.
@@ -160,6 +171,45 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
 
     monitored.start();
     monitor.start();
+
+    // Telemetry tick: a repeating virtual-time event that emits a status
+    // line whenever enough *wall* time has passed. Virtual runs execute
+    // thousands of simulated seconds per wall second, so the tick is cheap
+    // and the wall-clock rate limiter in ProgressEmitter does the pacing.
+    std::function<void()> progress_tick;
+    if (progress != nullptr) {
+      const Duration tick_every = config.eta * 5;
+      progress_tick = [&, run] {
+        if (progress->due()) {
+          std::size_t suspecting = 0;
+          for (const auto& d : detectors) {
+            if (d->suspecting()) ++suspecting;
+          }
+          const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
+          if (obs::enabled()) {
+            obs::instruments().experiment_run.set(
+                static_cast<double>(run + 1));
+            obs::instruments().fd_suspecting.set(
+                static_cast<double>(suspecting));
+          }
+          progress->emit(
+              "run %zu/%zu t=%.0fs cycles=%lld/%lld crashes=%llu "
+              "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
+              run + 1, config.runs, simulator.now().to_seconds_double(),
+              static_cast<long long>(heartbeater.cycles_sent()),
+              static_cast<long long>(config.num_cycles),
+              static_cast<unsigned long long>(crash_layer.crash_count()),
+              static_cast<unsigned long long>(hb_stats.sent),
+              static_cast<unsigned long long>(hb_stats.delivered),
+              static_cast<unsigned long long>(hb_stats.sent -
+                                              hb_stats.delivered),
+              suspecting, detectors.size());
+        }
+        simulator.schedule_after(tick_every, progress_tick);
+      };
+      simulator.schedule_after(tick_every, progress_tick);
+    }
+
     simulator.run_until(run_end);
 
     for (auto& tracker : trackers) tracker.finalize(run_end);
@@ -187,6 +237,14 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
 
     FDQOS_LOG_INFO("qos run %zu/%zu: %llu crashes", run + 1, config.runs,
                    static_cast<unsigned long long>(crash_layer.crash_count()));
+  }
+
+  if (progress != nullptr) {
+    progress->emit(
+        "done: %zu runs, %llu crashes, %llu heartbeats sent, %llu delivered",
+        config.runs, static_cast<unsigned long long>(report.total_crashes),
+        static_cast<unsigned long long>(report.heartbeats_sent),
+        static_cast<unsigned long long>(report.heartbeats_delivered));
   }
 
   report.results.reserve(suite.size());

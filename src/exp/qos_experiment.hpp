@@ -48,6 +48,10 @@ struct QosExperimentConfig {
   // Replace the 30-detector paper suite entirely (extra_specs still
   // appended) — for focused sweeps that don't need the full grid.
   bool include_paper_suite = true;
+  // When > 0, emit a progress/telemetry line to stderr every this many
+  // wall-clock seconds (run i/N, cycles done, crashes, heartbeat counts,
+  // detectors currently suspecting). See docs/observability.md.
+  double progress_interval_s = 0.0;
 };
 
 struct FdQosResult {

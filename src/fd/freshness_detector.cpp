@@ -1,6 +1,8 @@
 #include "fd/freshness_detector.hpp"
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
+#include "obs/instruments.hpp"
 
 namespace fdqos::fd {
 
@@ -53,6 +55,7 @@ void FreshnessDetector::begin_cycle(std::int64_t k) {
 void FreshnessDetector::freshness_reached(std::int64_t index) {
   // τ_index has passed: the freshness window is now at least [τ_index, ...).
   if (index > freshness_index_) freshness_index_ = index;
+  if (obs::enabled()) obs::instruments().fd_freshness_checks_total.inc();
   update_suspicion();
 }
 
@@ -82,6 +85,14 @@ void FreshnessDetector::update_suspicion() {
   const bool should_suspect = max_seq_ < freshness_index_;
   if (should_suspect == suspecting_) return;
   suspecting_ = should_suspect;
+  if (obs::enabled()) {
+    auto& m = obs::instruments();
+    (suspecting_ ? m.fd_transitions_to_suspect : m.fd_transitions_to_trust)
+        .inc();
+    FDQOS_LOG_TRACE("%s -> %s at %.3f s (delta=%.2f ms)",
+                    config_.name.c_str(), suspecting_ ? "suspect" : "trust",
+                    simulator_.now().to_seconds_double(), current_delta_ms());
+  }
   if (observer_) observer_(simulator_.now(), suspecting_);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/instruments.hpp"
 
 namespace fdqos::fd {
 
@@ -48,6 +49,7 @@ void QosTracker::process_restored(TimePoint t) {
   FDQOS_ASSERT(crash_time_.has_value());
   if (active_down_suspect_start_) {
     ++detections_;
+    if (obs::enabled()) obs::instruments().qos_detections_total.inc();
     if (recordable(t)) {
       t_d_.add((*active_down_suspect_start_ - *crash_time_).to_millis_double());
     }
@@ -83,6 +85,7 @@ void QosTracker::suspect_ended(TimePoint t) {
     if (mistake_start_) {
       if (recordable(*mistake_start_)) {
         t_m_.add((t - *mistake_start_).to_millis_double());
+        if (obs::enabled()) obs::instruments().qos_mistakes_total.inc();
       }
       wrong_suspicion_ += clipped_span(*mistake_start_, t, warmup_end_);
       mistake_start_.reset();

@@ -6,6 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 #include "stats/autocorrelation.hpp"
 
 namespace fdqos::forecast {
@@ -61,10 +63,17 @@ void ArimaPredictor::maybe_refit() {
   }
   const std::span<const double> window = fit_window();
 
+  // Refits are the runtime's known CPU hog (N_Arima-periodic, O(window));
+  // time every one so perf work has numbers to start from.
+  obs::ObsSpan span("arima_refit",
+                    obs::enabled()
+                        ? &obs::instruments().arima_refit_duration_us
+                        : nullptr);
   const ArmaFitResult fit = fit_arima(window, order_);
   ++refits_;
   if (!fit.ok) {
     ++rejections_;
+    if (obs::enabled()) obs::instruments().arima_refits_rejected.inc();
     return;
   }
   ArimaModel candidate(order_, fit.coeffs);
@@ -75,6 +84,7 @@ void ArimaPredictor::maybe_refit() {
   const double naive_msq = std::max(stats::variance(window), 1e-12);
   if (candidate_msq > config_.acceptance_factor * naive_msq) {
     ++rejections_;
+    if (obs::enabled()) obs::instruments().arima_refits_rejected.inc();
     FDQOS_LOG_DEBUG("%s refit rejected: msqerr %.4g vs naive %.4g",
                     name_.c_str(), candidate_msq, naive_msq);
     return;
@@ -82,6 +92,9 @@ void ArimaPredictor::maybe_refit() {
 
   candidate.prime(window);
   model_ = std::move(candidate);
+  if (obs::enabled()) obs::instruments().arima_refits_accepted.inc();
+  FDQOS_LOG_TRACE("%s refit accepted at n=%zu: msqerr %.4g (naive %.4g)",
+                  name_.c_str(), n_, candidate_msq, naive_msq);
 }
 
 double ArimaPredictor::predict() const {

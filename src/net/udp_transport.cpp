@@ -12,6 +12,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/instruments.hpp"
 
 namespace fdqos::net {
 namespace {
@@ -94,6 +95,7 @@ void UdpTransport::send(Message msg) {
     return;
   }
   ++sent_;
+  if (obs::enabled()) obs::instruments().udp_datagrams_sent.inc();
 }
 
 std::size_t UdpTransport::drain() {
@@ -110,9 +112,11 @@ std::size_t UdpTransport::drain() {
     auto msg = decode_message({buf, static_cast<std::size_t>(rc)});
     if (!msg) {
       ++decode_failures_;
+      if (obs::enabled()) obs::instruments().udp_decode_failures_total.inc();
       continue;
     }
     ++received_;
+    if (obs::enabled()) obs::instruments().udp_datagrams_received.inc();
     if (deliver_) {
       deliver_(*msg);
       ++delivered;

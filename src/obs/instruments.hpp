@@ -1,0 +1,60 @@
+// Built-in instrument handles on the global registry.
+//
+// Every instrumented runtime component (MultiPlexer, FreshnessDetector,
+// ArimaPredictor, UdpTransport, SimCrash, QosTracker, Heartbeater) reaches
+// its counters/histograms through this one struct. instruments() registers
+// the whole set on Registry::global() on first use and then returns cached
+// references, so a hot path pays one `obs::enabled()` load plus a relaxed
+// atomic increment — never a registry lookup. Metric names and label
+// conventions are documented in docs/observability.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace fdqos::obs {
+
+struct Instruments {
+  // Heartbeat pipeline. Sent counts heartbeats the monitored process
+  // emits (including those swallowed by an active crash layer below it);
+  // delivered counts heartbeats the monitor's MultiPlexer fans out.
+  Counter& heartbeats_sent;
+  Counter& heartbeats_delivered;
+
+  // MultiPlexer fan-out (all message types).
+  Counter& mux_dispatch_total;
+  Histogram& mux_dispatch_duration_us;
+
+  // FreshnessDetector: freshness-point evaluations and trust<->suspect
+  // transitions (labeled by direction).
+  Counter& fd_freshness_checks_total;
+  Counter& fd_transitions_to_suspect;
+  Counter& fd_transitions_to_trust;
+
+  // ArimaPredictor refits — the known CPU hog (refit_every = N_Arima).
+  Counter& arima_refits_accepted;
+  Counter& arima_refits_rejected;
+  Histogram& arima_refit_duration_us;
+
+  // UdpTransport datagram I/O.
+  Counter& udp_datagrams_sent;
+  Counter& udp_datagrams_received;
+  Counter& udp_decode_failures_total;
+
+  // SimCrash injector.
+  Counter& crash_injections;
+  Counter& crash_restores;
+  Counter& crash_dropped_messages_total;
+
+  // QosTracker sample production (pooled across all detectors).
+  Counter& qos_detections_total;
+  Counter& qos_mistakes_total;
+
+  // Experiment-level gauges, refreshed by the progress emitter.
+  Gauge& experiment_run;      // current run index (1-based)
+  Gauge& fd_suspecting;       // detectors currently suspecting
+};
+
+// The process-wide instrument set (registered on Registry::global()).
+Instruments& instruments();
+
+}  // namespace fdqos::obs

@@ -1,0 +1,41 @@
+#include "obs/progress.hpp"
+
+#include <cstdarg>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace fdqos::obs {
+
+ProgressEmitter::ProgressEmitter() : ProgressEmitter(Options()) {}
+
+ProgressEmitter::ProgressEmitter(Options options)
+    : options_(std::move(options)) {
+  FDQOS_REQUIRE(options_.interval_s > 0.0);
+}
+
+bool ProgressEmitter::due() const {
+  if (!emitted_once_) return true;
+  const std::uint64_t now = clock_now_ns();
+  const auto interval_ns =
+      static_cast<std::uint64_t>(options_.interval_s * 1e9);
+  return now - last_emit_ns_ >= interval_ns;
+}
+
+void ProgressEmitter::emit(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+
+  std::FILE* out = options_.out != nullptr ? options_.out : stderr;
+  std::fprintf(out, "%s %s\n", options_.prefix.c_str(), buf);
+  std::fflush(out);
+
+  last_emit_ns_ = clock_now_ns();
+  emitted_once_ = true;
+  ++emitted_;
+}
+
+}  // namespace fdqos::obs

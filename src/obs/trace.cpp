@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace fdqos::obs {
+namespace {
+
+std::atomic<ClockFn> g_clock{nullptr};
+std::atomic<TraceWriter*> g_trace_writer{nullptr};
+
+}  // namespace
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_clock(ClockFn fn) { g_clock.store(fn, std::memory_order_relaxed); }
+
+std::uint64_t clock_now_ns() {
+  const ClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : steady_now_ns();
+}
+
+TraceWriter::TraceWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ != nullptr) std::fputs("[\n", f_);
+}
+
+TraceWriter::~TraceWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void TraceWriter::write(std::string_view name, std::uint64_t ts_us,
+                        std::uint64_t dur_us, const Labels& labels) {
+  if (f_ == nullptr) return;
+  std::string args = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) args.push_back(',');
+    args += "\"" + labels[i].first + "\":\"" + labels[i].second + "\"";
+  }
+  args.push_back('}');
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(f_,
+               "{\"name\":\"%.*s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+               "\"ts\":%llu,\"dur\":%llu,\"args\":%s},\n",
+               static_cast<int>(name.size()), name.data(),
+               static_cast<unsigned long long>(ts_us),
+               static_cast<unsigned long long>(dur_us), args.c_str());
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+void set_trace_writer(TraceWriter* writer) {
+  g_trace_writer.store(writer, std::memory_order_release);
+}
+
+TraceWriter* trace_writer() {
+  return g_trace_writer.load(std::memory_order_acquire);
+}
+
+ObsSpan::ObsSpan(const char* name, Histogram* hist)
+    : name_(name), hist_(hist), active_(enabled()) {
+  if (active_) start_ns_ = clock_now_ns();
+}
+
+std::uint64_t ObsSpan::elapsed_us() const {
+  if (!active_) return 0;
+  const std::uint64_t now = clock_now_ns();
+  return now > start_ns_ ? (now - start_ns_) / 1000 : 0;
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) return;
+  const std::uint64_t dur_us = elapsed_us();
+  if (hist_ != nullptr) hist_->observe(static_cast<double>(dur_us));
+  if (TraceWriter* writer = trace_writer(); writer != nullptr) {
+    writer->write(name_, start_ns_ / 1000, dur_us);
+  }
+}
+
+}  // namespace fdqos::obs

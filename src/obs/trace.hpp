@@ -1,0 +1,89 @@
+// Scoped tracing: RAII span timers over a swappable monotonic clock, with
+// an optional JSONL trace sink.
+//
+// An ObsSpan measures the wall time of one scope. When instrumentation is
+// enabled it records the duration into a Histogram (microseconds) and, if a
+// global TraceWriter is installed, appends one complete-event line that
+// chrome://tracing and Perfetto load directly. When obs::enabled() is
+// false the constructor is a single relaxed load and nothing else runs.
+//
+// The clock is a plain function pointer so tests can install a fake
+// (deterministic) clock; see tests/obs/trace_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace fdqos::obs {
+
+// Monotonic nanoseconds since an arbitrary origin.
+using ClockFn = std::uint64_t (*)();
+
+std::uint64_t steady_now_ns();
+// Install a replacement clock (tests); nullptr restores the steady clock.
+void set_clock(ClockFn fn);
+std::uint64_t clock_now_ns();
+
+// Streams trace events to a file, one JSON object per line. The file opens
+// with a lone "[" so chrome://tracing's JSON-array reader accepts it as-is
+// (the format explicitly tolerates a missing "]"); every following line is
+// one complete event ending in ",", so line-oriented tools can parse it by
+// stripping the trailing comma. Thread-safe.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::uint64_t events_written() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  // One chrome "ph":"X" (complete) event: span `name` starting at `ts_us`
+  // lasting `dur_us`, with labels rendered into "args".
+  void write(std::string_view name, std::uint64_t ts_us, std::uint64_t dur_us,
+             const Labels& labels = {});
+  void flush();
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::mutex mu_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+// Global sink used by ObsSpan; nullptr (default) disables trace output.
+// The caller keeps ownership and must clear the sink before destroying it.
+void set_trace_writer(TraceWriter* writer);
+TraceWriter* trace_writer();
+
+class ObsSpan {
+ public:
+  // `name` must outlive the span (string literals at every call site).
+  // `hist`, when non-null, receives the duration in microseconds.
+  explicit ObsSpan(const char* name, Histogram* hist = nullptr);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  bool active() const { return active_; }
+  // Microseconds since construction (0 when inactive or if the installed
+  // clock ran backwards — durations never underflow).
+  std::uint64_t elapsed_us() const;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace fdqos::obs

@@ -1,6 +1,7 @@
 #include "runtime/heartbeater.hpp"
 
 #include "common/assert.hpp"
+#include "obs/instruments.hpp"
 
 namespace fdqos::runtime {
 
@@ -26,6 +27,7 @@ void HeartbeaterLayer::send_heartbeat() {
   msg.seq = next_seq_;
   msg.send_time = simulator_.now();
   ++next_seq_;
+  if (obs::enabled()) obs::instruments().heartbeats_sent.inc();
   send_down(std::move(msg));
   schedule_next();
 }

@@ -1,9 +1,20 @@
 #include "runtime/multiplexer.hpp"
 
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
+
 namespace fdqos::runtime {
 
 void MultiPlexerLayer::handle_up(const net::Message& msg) {
   ++seen_;
+  if (!obs::enabled()) {
+    deliver_up(msg);
+    return;
+  }
+  auto& m = obs::instruments();
+  m.mux_dispatch_total.inc();
+  if (msg.type == net::MessageType::kHeartbeat) m.heartbeats_delivered.inc();
+  obs::ObsSpan span("mux_dispatch", &m.mux_dispatch_duration_us);
   deliver_up(msg);
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/sim_crash.hpp"
 
 #include "common/assert.hpp"
+#include "obs/instruments.hpp"
 
 namespace fdqos::runtime {
 
@@ -27,6 +28,7 @@ void SimCrashLayer::on_crash() {
   FDQOS_ASSERT(!crashed_);
   crashed_ = true;
   ++crashes_;
+  if (obs::enabled()) obs::instruments().crash_injections.inc();
   if (observer_) observer_(simulator_.now(), true);
   simulator_.schedule_after(config_.ttr, [this] { on_restore(); });
 }
@@ -34,6 +36,7 @@ void SimCrashLayer::on_crash() {
 void SimCrashLayer::on_restore() {
   FDQOS_ASSERT(crashed_);
   crashed_ = false;
+  if (obs::enabled()) obs::instruments().crash_restores.inc();
   if (observer_) observer_(simulator_.now(), false);
   schedule_crash();
 }
@@ -41,6 +44,7 @@ void SimCrashLayer::on_restore() {
 void SimCrashLayer::handle_up(const net::Message& msg) {
   if (crashed_) {
     ++dropped_;
+    if (obs::enabled()) obs::instruments().crash_dropped_messages_total.inc();
     return;
   }
   deliver_up(msg);
@@ -49,6 +53,7 @@ void SimCrashLayer::handle_up(const net::Message& msg) {
 void SimCrashLayer::handle_down(net::Message msg) {
   if (crashed_) {
     ++dropped_;
+    if (obs::enabled()) obs::instruments().crash_dropped_messages_total.inc();
     return;
   }
   send_down(std::move(msg));

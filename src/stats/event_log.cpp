@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 namespace fdqos::stats {
@@ -58,6 +59,90 @@ bool EventLog::save_csv(const std::string& path) const {
   const std::string csv = to_csv();
   const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
   return std::fclose(f) == 0 && ok;
+}
+
+std::string event_to_json(const Event& event) {
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "{\"t_ns\":%lld,\"event\":\"%s\",\"subject\":%d,"
+                "\"seq\":%lld}",
+                static_cast<long long>(event.time.count_nanos()),
+                event_kind_name(event.kind), event.subject,
+                static_cast<long long>(event.seq));
+  return line;
+}
+
+std::optional<Event> event_from_json(std::string_view line) {
+  char kind_name[24] = {};
+  long long t_ns = 0;
+  long long seq = 0;
+  int subject = 0;
+  const std::string owned(line);
+  if (std::sscanf(owned.c_str(),
+                  " {\"t_ns\":%lld,\"event\":\"%23[^\"]\",\"subject\":%d,"
+                  "\"seq\":%lld}",
+                  &t_ns, kind_name, &subject, &seq) != 4) {
+    return std::nullopt;
+  }
+  for (EventKind kind :
+       {EventKind::kSent, EventKind::kReceived, EventKind::kStartSuspect,
+        EventKind::kEndSuspect, EventKind::kCrash, EventKind::kRestore}) {
+    if (std::strcmp(event_kind_name(kind), kind_name) == 0) {
+      return Event{TimePoint::from_nanos(t_ns), kind, subject, seq};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += event_to_json(e);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool EventLog::save_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string jsonl = to_jsonl();
+  const bool ok =
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f) == jsonl.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+EventLog EventLog::from_jsonl(std::string_view text) {
+  EventLog log;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    const std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text.remove_prefix(eol == std::string_view::npos ? text.size() : eol + 1);
+    if (line.empty()) continue;
+    if (const auto event = event_from_json(line)) log.events_.push_back(*event);
+  }
+  return log;
+}
+
+EventJsonlWriter::EventJsonlWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "w");
+}
+
+EventJsonlWriter::~EventJsonlWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void EventJsonlWriter::write(const Event& event) {
+  if (f_ == nullptr) return;
+  const std::string line = event_to_json(event);
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+  ++written_;
+}
+
+void EventJsonlWriter::flush() {
+  if (f_ != nullptr) std::fflush(f_);
 }
 
 LogDerivedQos derive_qos(const EventLog& log, std::int32_t detector,

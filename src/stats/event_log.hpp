@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.hpp"
@@ -55,8 +58,41 @@ class EventLog {
   std::string to_csv() const;
   bool save_csv(const std::string& path) const;
 
+  // JSONL export: one event object per line, times as exact integer
+  // nanoseconds — the output convention shared with the obs trace/metrics
+  // writers. from_jsonl() inverts to_jsonl() bit-exactly.
+  std::string to_jsonl() const;
+  bool save_jsonl(const std::string& path) const;
+  static EventLog from_jsonl(std::string_view text);
+
  private:
   std::vector<Event> events_;
+};
+
+// One event rendered as a JSONL line (no trailing newline), e.g.
+//   {"t_ns":2500000000,"event":"crash","subject":0,"seq":0}
+std::string event_to_json(const Event& event);
+// Inverse of event_to_json; nullopt on malformed input.
+std::optional<Event> event_from_json(std::string_view line);
+
+// Streams events to a JSONL file as they are recorded — for runs too long
+// (or too crash-prone) to buffer the whole log in memory first.
+class EventJsonlWriter {
+ public:
+  explicit EventJsonlWriter(const std::string& path);
+  ~EventJsonlWriter();
+
+  EventJsonlWriter(const EventJsonlWriter&) = delete;
+  EventJsonlWriter& operator=(const EventJsonlWriter&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  void write(const Event& event);
+  std::size_t written() const { return written_; }
+  void flush();
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::size_t written_ = 0;
 };
 
 // Derived per-detector QoS quantities, extracted from a recorded log the

@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fdqos {
+namespace {
+
+class LogLevelScope {
+ public:
+  explicit LogLevelScope(LogLevel level) : saved_(log_level()) {
+    set_log_level(level);
+  }
+  ~LogLevelScope() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, TraceIsFilteredBelowItsLevel) {
+  LogLevelScope scope(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FDQOS_LOG_TRACE("invisible %d", 1);
+  FDQOS_LOG_DEBUG("also invisible");
+  FDQOS_LOG_INFO("visible %d", 2);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("invisible"), std::string::npos);
+  EXPECT_NE(err.find("[fdqos INFO ] visible 2"), std::string::npos);
+}
+
+TEST(LogTest, TraceEmitsAtTraceLevel) {
+  LogLevelScope scope(LogLevel::kTrace);
+  ::testing::internal::CaptureStderr();
+  FDQOS_LOG_TRACE("freshness %s tau=%.1f", "fd-1", 1.5);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[fdqos TRACE] freshness fd-1 tau=1.5"),
+            std::string::npos);
+}
+
+TEST(LogTest, LongMessagesAreNotTruncated) {
+  LogLevelScope scope(LogLevel::kInfo);
+  // Longer than log_fmt's 1024-byte stack buffer: forces the heap path.
+  const std::string payload(5000, 'x');
+  ::testing::internal::CaptureStderr();
+  FDQOS_LOG_INFO("head %s tail", payload.c_str());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("head " + payload + " tail"), std::string::npos);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelScope scope(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  FDQOS_LOG_ERROR("should not appear");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace fdqos

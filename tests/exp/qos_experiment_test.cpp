@@ -162,6 +162,21 @@ TEST(QosExperimentTraceTest, RunsOnRecordedTrace) {
   }
 }
 
+TEST(QosExperimentProgressTest, EmitsTelemetryLines) {
+  QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 400;
+  config.include_paper_suite = false;
+  config.include_constant_baseline = true;
+  config.progress_interval_s = 0.001;  // every tick is due at this interval
+  ::testing::internal::CaptureStderr();
+  run_qos_experiment(config);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[fdqos qos] run 1/1"), std::string::npos);
+  EXPECT_NE(err.find("suspecting="), std::string::npos);
+  EXPECT_NE(err.find("[fdqos qos] done: 1 runs"), std::string::npos);
+}
+
 TEST(QosExperimentBaselineTest, ConstantBaselineAppended) {
   QosExperimentConfig config;
   config.runs = 1;

@@ -1,0 +1,87 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace fdqos::obs {
+namespace {
+
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns; }
+
+class FakeClockScope {
+ public:
+  FakeClockScope() {
+    g_fake_now_ns = 0;
+    set_clock(&fake_clock);
+  }
+  ~FakeClockScope() { set_clock(nullptr); }
+};
+
+std::string read_all(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  return out;
+}
+
+TEST(ProgressEmitterTest, FirstCallIsAlwaysDue) {
+  FakeClockScope clock;
+  ProgressEmitter emitter;
+  EXPECT_TRUE(emitter.due());
+}
+
+TEST(ProgressEmitterTest, RateLimitsOnWallClock) {
+  FakeClockScope clock;
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  ProgressEmitter::Options opts;
+  opts.interval_s = 5.0;
+  opts.out = out;
+  opts.prefix = "[test]";
+  ProgressEmitter emitter(std::move(opts));
+
+  ASSERT_TRUE(emitter.due());
+  emitter.emit("line %d", 1);
+  EXPECT_FALSE(emitter.due());  // just emitted
+
+  g_fake_now_ns += 4'999'000'000;  // 4.999 s: still below the interval
+  EXPECT_FALSE(emitter.due());
+  g_fake_now_ns += 2'000'000;  // cross 5 s
+  EXPECT_TRUE(emitter.due());
+  emitter.emit("line %d", 2);
+  EXPECT_FALSE(emitter.due());
+  EXPECT_EQ(emitter.lines_emitted(), 2u);
+
+  const std::string text = read_all(out);
+  EXPECT_NE(text.find("[test] line 1\n"), std::string::npos);
+  EXPECT_NE(text.find("[test] line 2\n"), std::string::npos);
+  std::fclose(out);
+}
+
+TEST(ProgressEmitterTest, EmitWithoutDueStillRearms) {
+  FakeClockScope clock;
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  ProgressEmitter::Options opts;
+  opts.interval_s = 1.0;
+  opts.out = out;
+  ProgressEmitter emitter(std::move(opts));
+
+  emitter.emit("final summary");  // callers may force a line (end of run)
+  EXPECT_EQ(emitter.lines_emitted(), 1u);
+  EXPECT_FALSE(emitter.due());
+  g_fake_now_ns += 1'000'000'000;
+  EXPECT_TRUE(emitter.due());
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace fdqos::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fdqos::obs {
+namespace {
+
+// Deterministic clock for span tests: advances only when told to.
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns; }
+
+class FakeClockScope {
+ public:
+  explicit FakeClockScope(std::uint64_t start_ns = 0) {
+    g_fake_now_ns = start_ns;
+    set_clock(&fake_clock);
+  }
+  ~FakeClockScope() { set_clock(nullptr); }
+};
+
+class EnabledScope {
+ public:
+  EnabledScope() : was_(enabled()) { set_enabled(true); }
+  ~EnabledScope() { set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ClockTest, DefaultClockIsMonotone) {
+  const std::uint64_t a = clock_now_ns();
+  const std::uint64_t b = clock_now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ObsSpanTest, DisabledSpanIsInert) {
+  set_enabled(false);
+  Histogram h;
+  {
+    ObsSpan span("inert", &h);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.elapsed_us(), 0u);
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsSpanTest, MeasuresFakeClockDuration) {
+  EnabledScope on;
+  FakeClockScope clock(1000);
+  Histogram h;
+  {
+    ObsSpan span("timed", &h);
+    g_fake_now_ns += 7'000;  // 7 µs
+    EXPECT_EQ(span.elapsed_us(), 7u);
+    g_fake_now_ns += 5'000'000;  // + 5 ms
+  }
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5007.0);
+}
+
+TEST(ObsSpanTest, ElapsedIsMonotoneUnderAdvancingClock) {
+  EnabledScope on;
+  FakeClockScope clock;
+  ObsSpan span("mono");
+  std::uint64_t prev = span.elapsed_us();
+  for (int i = 0; i < 10; ++i) {
+    g_fake_now_ns += 1500;
+    const std::uint64_t cur = span.elapsed_us();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ObsSpanTest, BackwardsClockClampsToZero) {
+  EnabledScope on;
+  FakeClockScope clock(1'000'000);
+  ObsSpan span("backwards");
+  g_fake_now_ns = 0;  // a broken clock must not underflow the duration
+  EXPECT_EQ(span.elapsed_us(), 0u);
+}
+
+TEST(TraceWriterTest, WritesChromeTracingEvents) {
+  EnabledScope on;
+  FakeClockScope clock(2'000'000);  // spans start at ts = 2000 µs
+  const std::string path = ::testing::TempDir() + "/fdqos_trace.json";
+  {
+    TraceWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    set_trace_writer(&writer);
+    {
+      ObsSpan span("unit_span");
+      g_fake_now_ns += 3'000;
+    }
+    writer.write("manual", 10, 20, {{"k", "v"}});
+    set_trace_writer(nullptr);
+    EXPECT_EQ(writer.events_written(), 2u);
+  }
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("[\n", 0), 0u);  // opens as a JSON array
+  EXPECT_NE(text.find("{\"name\":\"unit_span\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":1,\"ts\":2000,\"dur\":3,\"args\":{}},"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"name\":\"manual\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":1,\"ts\":10,\"dur\":20,"
+                      "\"args\":{\"k\":\"v\"}},"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriterTest, UnwritablePathIsNotOk) {
+  TraceWriter writer("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(writer.ok());
+  writer.write("ignored", 0, 0);  // must not crash
+  EXPECT_EQ(writer.events_written(), 0u);
+}
+
+TEST(TraceWriterTest, NoSinkInstalledMeansNoWrite) {
+  EnabledScope on;
+  ASSERT_EQ(trace_writer(), nullptr);
+  ObsSpan span("no_sink");  // dtor must tolerate the null sink
+}
+
+}  // namespace
+}  // namespace fdqos::obs

@@ -44,6 +44,86 @@ TEST(EventLogTest, SaveCsvWritesFile) {
   std::remove(path.c_str());
 }
 
+TEST(EventLogTest, JsonLineFormat) {
+  Event event{at_s(2.5), EventKind::kReceived, 7, 42};
+  EXPECT_EQ(event_to_json(event),
+            "{\"t_ns\":2500000000,\"event\":\"received\","
+            "\"subject\":7,\"seq\":42}");
+  const auto parsed = event_from_json(event_to_json(event));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, event);
+}
+
+TEST(EventLogTest, JsonRejectsMalformedLines) {
+  EXPECT_FALSE(event_from_json("").has_value());
+  EXPECT_FALSE(event_from_json("{\"t_ns\":1}").has_value());
+  EXPECT_FALSE(event_from_json("{\"t_ns\":1,\"event\":\"not_a_kind\","
+                               "\"subject\":0,\"seq\":0}")
+                   .has_value());
+}
+
+TEST(EventLogTest, JsonlRoundtripIsExact) {
+  EventLog log;
+  log.record(at_s(1.0), EventKind::kSent, 0, 1);
+  log.record(at_s(1.2071067), EventKind::kReceived, 0, 1);
+  log.record(at_s(100.0), EventKind::kCrash);
+  log.record(at_s(101.4), EventKind::kStartSuspect, 3);
+  log.record(at_s(130.3), EventKind::kEndSuspect, 3);
+  log.record(at_s(131.0), EventKind::kRestore);
+
+  const EventLog back = EventLog::from_jsonl(log.to_jsonl());
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(back[i], log[i]) << "event " << i;
+  }
+}
+
+TEST(EventLogTest, FromJsonlSkipsMalformedAndBlankLines) {
+  const std::string text =
+      "{\"t_ns\":1000000000,\"event\":\"sent\",\"subject\":0,\"seq\":1}\n"
+      "\n"
+      "garbage line\n"
+      "{\"t_ns\":2000000000,\"event\":\"crash\",\"subject\":0,\"seq\":0}\n";
+  const EventLog log = EventLog::from_jsonl(text);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].kind, EventKind::kSent);
+  EXPECT_EQ(log[1].kind, EventKind::kCrash);
+}
+
+TEST(EventJsonlWriterTest, StreamsAndRoundtrips) {
+  const std::string path = ::testing::TempDir() + "/fdqos_events.jsonl";
+  EventLog log;
+  log.record(at_s(1.0), EventKind::kSent, 0, 1);
+  log.record(at_s(2.0), EventKind::kStartSuspect, 4);
+  {
+    EventJsonlWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    for (const Event& event : log.events()) writer.write(event);
+    EXPECT_EQ(writer.written(), 2u);
+    writer.flush();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[512];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const EventLog back = EventLog::from_jsonl(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], log[0]);
+  EXPECT_EQ(back[1], log[1]);
+}
+
+TEST(EventJsonlWriterTest, UnwritablePathIsNotOk) {
+  EventJsonlWriter writer("/nonexistent-dir/events.jsonl");
+  EXPECT_FALSE(writer.ok());
+  writer.write({at_s(1.0), EventKind::kSent, 0, 0});  // must not crash
+  EXPECT_EQ(writer.written(), 0u);
+}
+
 TEST(EventKindTest, Names) {
   EXPECT_STREQ(event_kind_name(EventKind::kSent), "sent");
   EXPECT_STREQ(event_kind_name(EventKind::kCrash), "crash");

@@ -3,7 +3,10 @@
 //   fdqos qos        [--runs N] [--cycles N] [--seed S] [--eta-ms MS]
 //                    [--mttc-s S] [--ttr-s S] [--baselines] [--pareto]
 //                    [--metric td|tdu|tm|tmr|pa|all] [--csv FILE]
+//                    [--metrics-out FILE] [--metrics-jsonl-out FILE]
+//                    [--trace-out FILE] [--progress SECONDS]
 //   fdqos accuracy   [--n N] [--seed S] [--csv FILE]
+//                    [--metrics-out FILE] [--progress SECONDS]
 //   fdqos link       [--n N] [--seed S]
 //   fdqos order-select [--n N] [--seed S] [--pmax P] [--dmax D] [--qmax Q]
 //
@@ -11,6 +14,7 @@
 // with the experiment knobs exposed as flags instead of env vars.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,8 @@
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
 #include "forecast/arima/order_selection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wan/italy_japan.hpp"
 #include "wan/trace.hpp"
 
@@ -35,6 +41,9 @@ int usage() {
                "  link         characterize the WAN model (Table 4)\n"
                "  order-select run the ARIMA order grid search (Table 2)\n"
                "  trace        export a delay trace CSV for --trace/replay\n"
+               "qos/accuracy also take --metrics-out FILE (Prometheus text),\n"
+               "--metrics-jsonl-out FILE, --trace-out FILE (chrome://tracing)\n"
+               "and --progress SECONDS (periodic telemetry on stderr)\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
   return 2;
@@ -57,6 +66,58 @@ int check_unknown(const ArgParser& args) {
   return 2;
 }
 
+// Shared observability flags (qos + accuracy): --metrics-out FILE,
+// --trace-out FILE, --progress SECONDS. Any of them switches the global
+// instrumentation on; ObsSession tears the trace sink down and writes the
+// metrics file on scope exit.
+struct ObsSession {
+  std::string metrics_out;
+  std::string metrics_jsonl_out;
+  std::unique_ptr<obs::TraceWriter> tracer;
+  double progress_s = 0.0;
+
+  static ObsSession from_args(const ArgParser& args) {
+    ObsSession session;
+    session.metrics_out = args.get_string("--metrics-out", "");
+    session.metrics_jsonl_out = args.get_string("--metrics-jsonl-out", "");
+    const std::string trace_out = args.get_string("--trace-out", "");
+    session.progress_s = args.get_double("--progress", 0.0);
+    if (!session.metrics_out.empty() || !session.metrics_jsonl_out.empty() ||
+        !trace_out.empty() || session.progress_s > 0.0) {
+      obs::set_enabled(true);
+    }
+    if (!trace_out.empty()) {
+      session.tracer = std::make_unique<obs::TraceWriter>(trace_out);
+      if (!session.tracer->ok()) {
+        std::fprintf(stderr, "fdqos: cannot write %s\n", trace_out.c_str());
+        session.tracer.reset();
+      } else {
+        obs::set_trace_writer(session.tracer.get());
+      }
+    }
+    return session;
+  }
+
+  // Returns false if a requested output file could not be written.
+  bool finish() {
+    obs::set_trace_writer(nullptr);
+    if (tracer != nullptr) tracer->flush();
+    bool ok = true;
+    if (!metrics_out.empty() &&
+        !obs::Registry::global().save_prometheus(metrics_out)) {
+      std::fprintf(stderr, "fdqos: cannot write %s\n", metrics_out.c_str());
+      ok = false;
+    }
+    if (!metrics_jsonl_out.empty() &&
+        !obs::Registry::global().save_jsonl(metrics_jsonl_out)) {
+      std::fprintf(stderr, "fdqos: cannot write %s\n",
+                   metrics_jsonl_out.c_str());
+      ok = false;
+    }
+    return ok;
+  }
+};
+
 int cmd_qos(const ArgParser& args) {
   exp::QosExperimentConfig config;
   config.runs = static_cast<std::size_t>(args.get_int("--runs", 13));
@@ -71,10 +132,13 @@ int cmd_qos(const ArgParser& args) {
   const std::string csv = args.get_string("--csv", "");
   const bool pareto = args.get_flag("--pareto");
   const bool variability = args.get_flag("--variability");
+  ObsSession obs_session = ObsSession::from_args(args);
+  config.progress_interval_s = obs_session.progress_s;
   if (const int rc = check_unknown(args); rc != 0) return rc;
 
   std::fprintf(stderr, "[fdqos] %s\n", exp::qos_config_summary(config).c_str());
   const exp::QosReport report = exp::run_qos_experiment(config);
+  if (!obs_session.finish()) return 1;
 
   const std::vector<std::pair<std::string, exp::QosMetricKind>> kinds = {
       {"td", exp::QosMetricKind::kTd},   {"tdu", exp::QosMetricKind::kTdU},
@@ -139,9 +203,12 @@ int cmd_accuracy(const ArgParser& args) {
   config.n_oneway = static_cast<std::size_t>(args.get_int("--n", 100000));
   config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
   const std::string csv = args.get_string("--csv", "");
+  ObsSession obs_session = ObsSession::from_args(args);
+  config.progress_interval_s = obs_session.progress_s;
   if (const int rc = check_unknown(args); rc != 0) return rc;
 
   const auto report = exp::run_accuracy_experiment(config);
+  if (!obs_session.finish()) return 1;
   auto table = exp::accuracy_table(report);
   std::printf("%s", table.to_ascii().c_str());
   std::printf("(%zu delays from %zu heartbeats; link mean %.1f ms, sd %.1f ms)\n",
