@@ -47,12 +47,15 @@ int main() {
       "Ablation — monitor clock offset (detector: Last+JAC_med)");
   table.set_columns({"offset (ms)", "T_D mean (ms)", "T_M mean (ms)", "P_A"});
 
-  for (const int skew_ms : {-100, -20, 0, 20, 100}) {
+  const std::vector<int> skews_ms{-100, -20, 0, 20, 100};
+  const auto rows = bench::run_sweep(skews_ms.size(), [&](std::size_t i) {
+    const int skew_ms = skews_ms[i];
     exp::QosExperimentConfig config;
     config.runs = 2;
     config.num_cycles =
         static_cast<std::int64_t>(bench::env_u64("FDQOS_CYCLES", 10000)) / 2;
     config.seed = bench::env_u64("FDQOS_SEED", 42);
+    config.jobs = 1;  // the sweep owns the parallelism
     config.include_paper_suite = false;
     fd::FdSpec spec;
     spec.name = "Last+JAC_med";
@@ -70,11 +73,13 @@ int main() {
 
     const auto report = exp::run_qos_experiment(config);
     const auto& m = report.results[0].metrics;
-    table.add_row({std::to_string(skew_ms),
-                   stats::format_double(m.detection_time_ms.mean, 1),
-                   stats::format_double(m.mistake_duration_ms.mean, 1),
-                   stats::format_double(m.query_accuracy, 6)});
-  }
+    return std::vector<std::string>{
+        std::to_string(skew_ms),
+        stats::format_double(m.detection_time_ms.mean, 1),
+        stats::format_double(m.mistake_duration_ms.mean, 1),
+        stats::format_double(m.query_accuracy, 6)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_ascii().c_str());
   std::printf("(an adaptive detector absorbs a *constant* offset into its "
               "predictor: T_D shifts by roughly the offset, accuracy is "

@@ -18,12 +18,15 @@ int main() {
 
   stats::TableWriter table("Ablation — WINMEAN window sweep");
   table.set_columns({"N", "msqerr (ms^2)", "mean |err| (ms)"});
-  for (const std::size_t n : {1u, 2u, 5u, 10u, 20u, 50u, 100u, 1000u}) {
-    forecast::WinMeanPredictor predictor(n);
+  const std::vector<std::size_t> windows{1, 2, 5, 10, 20, 50, 100, 1000};
+  const auto rows = bench::run_sweep(windows.size(), [&](std::size_t i) {
+    forecast::WinMeanPredictor predictor(windows[i]);
     const auto acc = forecast::evaluate_accuracy(predictor, series);
-    table.add_row({std::to_string(n), stats::format_double(acc.msqerr, 3),
-                   stats::format_double(acc.mean_abs_err, 3)});
-  }
+    return std::vector<std::string>{std::to_string(windows[i]),
+                                    stats::format_double(acc.msqerr, 3),
+                                    stats::format_double(acc.mean_abs_err, 3)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_ascii().c_str());
   std::printf("(N=1 is LAST; N=inf is MEAN. Small-but-not-tiny windows track "
               "regime shifts while averaging out spikes.)\n");

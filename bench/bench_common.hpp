@@ -7,12 +7,18 @@
 //   FDQOS_CYCLES  — heartbeat cycles per run   (paper: 10000)
 //   FDQOS_NONEWAY — accuracy-experiment length (paper: 100000)
 //   FDQOS_SEED    — experiment seed            (default 42)
+//   FDQOS_JOBS    — sweep parallelism          (default: hardware)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <type_traits>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
 
@@ -29,7 +35,29 @@ inline exp::QosExperimentConfig qos_config_from_env() {
   config.runs = static_cast<std::size_t>(env_u64("FDQOS_RUNS", 13));
   config.num_cycles = static_cast<std::int64_t>(env_u64("FDQOS_CYCLES", 10000));
   config.seed = env_u64("FDQOS_SEED", 42);
+  config.jobs = static_cast<std::size_t>(env_u64("FDQOS_JOBS", 0));
   return config;
+}
+
+// Sweep parallelism from FDQOS_JOBS (0 = hardware concurrency).
+inline std::size_t sweep_jobs() {
+  return static_cast<std::size_t>(env_u64("FDQOS_JOBS", 0));
+}
+
+// Runs fn(i) for every grid point of an ablation sweep on an
+// exec::ThreadPool and returns the results in grid order, so tables print
+// identically at every FDQOS_JOBS value. Grid points that launch their own
+// experiment must run it with jobs = 1 — the sweep owns the parallelism
+// (exec rejects re-entrant use of one pool, and nested pools would only
+// oversubscribe the machine).
+template <typename Fn>
+auto run_sweep(std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  const std::size_t env = sweep_jobs();
+  exec::ThreadPool pool(
+      std::min(env == 0 ? exec::default_jobs() : env, std::max<std::size_t>(n, 1)));
+  return pool.parallel_map<R>(n, std::function<R(std::size_t)>(std::ref(fn)));
 }
 
 // The QoS experiment feeds five figures; run it once per process and share.

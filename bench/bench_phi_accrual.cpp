@@ -55,7 +55,13 @@ int main() {
     entries.push_back(std::move(entry));
   }
 
-  for (std::size_t run = 0; run < runs; ++run) {
+  // Each run is a self-contained seeded simulation; fan the runs across
+  // the pool and merge tracker stats in run order afterwards, so the table
+  // is identical at every FDQOS_JOBS value.
+  struct RunStats {
+    std::vector<stats::RunningStats> td, tm, tmr;
+  };
+  const auto per_run = bench::run_sweep(runs, [&](std::size_t run) {
     sim::Simulator simulator;
     Rng rng = Rng(seed).fork(run);
     net::SimTransport transport(simulator, rng.fork("net"));
@@ -131,11 +137,20 @@ int main() {
     const TimePoint end = TimePoint::origin() + Duration::seconds(cycles) +
                           Duration::seconds(35);
     simulator.run_until(end);
+    RunStats out;
     for (std::size_t i = 0; i < entries.size(); ++i) {
       trackers[i].finalize(end);
-      entries[i].td.merge(trackers[i].td_stats());
-      entries[i].tm.merge(trackers[i].tm_stats());
-      entries[i].tmr.merge(trackers[i].tmr_stats());
+      out.td.push_back(trackers[i].td_stats());
+      out.tm.push_back(trackers[i].tm_stats());
+      out.tmr.push_back(trackers[i].tmr_stats());
+    }
+    return out;
+  });
+  for (const RunStats& out : per_run) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      entries[i].td.merge(out.td[i]);
+      entries[i].tm.merge(out.tm[i]);
+      entries[i].tmr.merge(out.tmr[i]);
     }
   }
 

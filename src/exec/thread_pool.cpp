@@ -1,0 +1,144 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace fdqos::exec {
+namespace {
+
+// The pool whose task the calling thread is currently executing. Used to
+// reject re-entrant dispatch on the same pool while still allowing a task
+// to own and drive a *different* pool.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware_jobs()
+
+struct ScopedCurrentPool {
+  explicit ScopedCurrentPool(const ThreadPool* pool)
+      : saved(t_current_pool) {
+    t_current_pool = pool;
+  }
+  ~ScopedCurrentPool() { t_current_pool = saved; }
+  const ThreadPool* saved;
+};
+
+}  // namespace
+
+std::size_t hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t default_jobs() {
+  const std::size_t n = g_default_jobs.load(std::memory_order_relaxed);
+  return n == 0 ? hardware_jobs() : n;
+}
+
+void set_default_jobs(std::size_t jobs) {
+  g_default_jobs.store(jobs, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_current_pool != nullptr; }
+
+ThreadPool::ThreadPool(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {
+  workers_.reserve(jobs_ - 1);
+  for (std::size_t i = 0; i + 1 < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    {
+      ScopedCurrentPool scope(this);
+      drain();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (t_current_pool == this) {
+    throw std::logic_error(
+        "exec::ThreadPool: nested parallel_for on the same pool");
+  }
+  if (jobs_ == 1 || n == 1) {
+    // The exact serial path: no threads, no atomics, exceptions propagate
+    // directly from the body.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  {
+    ScopedCurrentPool scope(this);
+    drain();
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+    body_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t jobs) {
+  ThreadPool pool(jobs);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace fdqos::exec

@@ -1,0 +1,113 @@
+// Deterministic fork/join parallelism for experiment workloads.
+//
+// Experiments decompose into self-contained tasks (one seeded simulation
+// per run, one candidate fit per ARIMA order, one grid point per bench
+// sweep); the pool fans an index range over a fixed set of threads and the
+// caller merges results *in index order* afterwards, so parallel output is
+// byte-identical to serial. There is deliberately no work stealing and no
+// task graph: an atomic next-index counter is all the scheduling these
+// chunky tasks need, and it keeps the subsystem dependency-free.
+//
+// Contract:
+//   * jobs == 1 runs the body inline on the calling thread — exactly the
+//     serial loop, no threads, no synchronization.
+//   * jobs == 0 means default_jobs() (hardware_concurrency unless
+//     overridden via set_default_jobs / a --jobs flag).
+//   * The first task exception cancels the dispatch: un-started indices
+//     are skipped, already-running tasks finish, and the exception is
+//     rethrown from parallel_for on the calling thread.
+//   * Re-entrant use of the *same* pool from inside one of its tasks
+//     throws std::logic_error (it would corrupt the shared dispatch
+//     state). Using a *different* pool from inside a task is allowed —
+//     each pool owns its threads — but inner work should normally run
+//     with jobs = 1; see docs/parallelism.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdqos::exec {
+
+// max(1, std::thread::hardware_concurrency()).
+std::size_t hardware_jobs();
+
+// Process-wide default parallelism: hardware_jobs() unless overridden.
+// set_default_jobs(0) restores the hardware default.
+std::size_t default_jobs();
+void set_default_jobs(std::size_t jobs);
+
+// True while the calling thread is executing a task of any ThreadPool.
+bool in_parallel_region();
+
+class ThreadPool {
+ public:
+  // `jobs` counts the calling thread: a pool with jobs == N spawns N - 1
+  // workers and the caller participates in every dispatch. jobs == 0
+  // resolves to default_jobs() at construction time.
+  explicit ThreadPool(std::size_t jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t jobs() const { return jobs_; }
+
+  // Runs body(i) for every i in [0, n), blocking until all started tasks
+  // finish. Order of execution across threads is unspecified; callers
+  // that need determinism must write results by index and reduce in index
+  // order after this returns. Empty ranges return immediately.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  // parallel_for that collects fn(i) into a vector indexed by i.
+  // R must be default-constructible.
+  template <typename R>
+  std::vector<R> parallel_map(std::size_t n,
+                              const std::function<R(std::size_t)>& fn) {
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  // Pulls indices until the range drains or a task fails.
+  void drain();
+
+  const std::size_t jobs_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  std::uint64_t generation_ = 0;      // bumped per dispatch
+  std::size_t busy_workers_ = 0;      // workers still in the current dispatch
+  bool stopping_ = false;
+
+  // Per-dispatch state, valid while busy_workers_ > 0 or the caller drains.
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> cancelled_{false};
+  std::exception_ptr error_;  // guarded by mu_
+};
+
+// One-shot helpers: construct a pool, dispatch, join. `jobs` as above.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t jobs = 0);
+
+template <typename R>
+std::vector<R> parallel_map(std::size_t n,
+                            const std::function<R(std::size_t)>& fn,
+                            std::size_t jobs = 0) {
+  ThreadPool pool(jobs);
+  return pool.parallel_map<R>(n, fn);
+}
+
+}  // namespace fdqos::exec

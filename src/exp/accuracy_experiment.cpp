@@ -1,8 +1,10 @@
 #include "exp/accuracy_experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
+#include "exec/thread_pool.hpp"
 #include "forecast/msqerr.hpp"
 #include "obs/progress.hpp"
 
@@ -48,20 +50,29 @@ AccuracyReport run_accuracy_experiment(const AccuracyExperimentConfig& config) {
                    report.delays_collected, report.heartbeats_sent);
   }
 
+  // Each predictor scores the same immutable series independently; rows
+  // are written by label index, so the report is identical at every jobs
+  // value (the final sort sees the same sequence as the serial loop).
   const auto labels = fd::paper_predictor_labels();
-  std::size_t scored = 0;
-  for (const auto& label : labels) {
-    auto predictor = fd::make_paper_predictor(label, config.params)();
-    const forecast::AccuracyResult acc =
-        forecast::evaluate_accuracy(*predictor, delays);
-    report.rows.push_back({predictor->name(), acc.msqerr, acc.mean_abs_err});
-    ++scored;
-    if (progress != nullptr && (progress->due() || scored == labels.size())) {
-      progress->emit("scored %zu/%zu predictors (last: %s, msqerr %.2f ms^2)",
-                     scored, labels.size(), predictor->name().c_str(),
-                     acc.msqerr);
-    }
-  }
+  report.rows.resize(labels.size());
+  std::atomic<std::size_t> scored{0};
+  exec::parallel_for(
+      labels.size(),
+      [&](std::size_t i) {
+        auto predictor = fd::make_paper_predictor(labels[i], config.params)();
+        const forecast::AccuracyResult acc =
+            forecast::evaluate_accuracy(*predictor, delays);
+        report.rows[i] = {predictor->name(), acc.msqerr, acc.mean_abs_err};
+        const std::size_t done =
+            scored.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress != nullptr &&
+            (progress->due() || done == labels.size())) {
+          progress->emit(
+              "scored %zu/%zu predictors (last: %s, msqerr %.2f ms^2)", done,
+              labels.size(), predictor->name().c_str(), acc.msqerr);
+        }
+      },
+      config.jobs);
   std::sort(report.rows.begin(), report.rows.end(),
             [](const AccuracyRow& a, const AccuracyRow& b) {
               return a.msqerr < b.msqerr;

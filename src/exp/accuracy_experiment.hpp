@@ -26,6 +26,11 @@ struct AccuracyExperimentConfig {
   // When > 0, emit a progress line to stderr every this many wall-clock
   // seconds while collecting delays and scoring predictors.
   double progress_interval_s = 0.0;
+  // Worker threads for predictor scoring (each predictor scores the same
+  // immutable delay series independently; rows are written by index, so
+  // the report is identical at every jobs value). 0 = exec::default_jobs(),
+  // 1 = serial.
+  std::size_t jobs = 0;
 };
 
 struct AccuracyRow {

@@ -1,10 +1,14 @@
 #include "exp/qos_experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "exec/thread_pool.hpp"
 #include "fd/freshness_detector.hpp"
 #include "obs/instruments.hpp"
 #include "obs/progress.hpp"
@@ -59,6 +63,184 @@ fd::QosMetrics pooled_metrics(const Pooled& p) {
   return m;
 }
 
+// Telemetry shared by every concurrent run. The emitter's own mutex keeps
+// single calls atomic; `mu` additionally serializes the due()+emit() pair
+// and the gauge refresh so a status line and the gauges it reflects stay
+// consistent with each other.
+struct ProgressState {
+  explicit ProgressState(obs::ProgressEmitter::Options opts)
+      : emitter(std::move(opts)) {}
+
+  obs::ProgressEmitter emitter;
+  std::mutex mu;
+  std::atomic<std::size_t> runs_started{0};
+  std::atomic<std::size_t> runs_done{0};
+  std::atomic<std::uint64_t> crashes_done{0};  // crashes in completed runs
+};
+
+// Everything one run produces, extracted so runs can execute on pool
+// threads and be reduced in run order afterwards.
+struct RunOutput {
+  std::vector<fd::QosTracker> trackers;  // finalized, index-aligned w/ suite
+  std::uint64_t crash_count = 0;
+  std::uint64_t hb_sent = 0;
+  std::uint64_t hb_delivered = 0;
+};
+
+// One self-contained seeded simulation (paper run). Reads only immutable
+// shared state (config, suite, trace data); all mutable state is local.
+RunOutput run_one(const QosExperimentConfig& config,
+                  const std::vector<fd::FdSpec>& suite,
+                  const std::shared_ptr<const std::vector<Duration>>& trace,
+                  std::size_t run, const Rng& base_rng, TimePoint run_end,
+                  ProgressState* progress) {
+  Rng run_rng = base_rng.fork(run);
+  if (progress != nullptr) {
+    progress->runs_started.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, run_rng.fork("net"));
+  net::SimTransport::LinkConfig link;
+  if (trace == nullptr) {
+    link.delay = wan::make_italy_japan_delay(config.link);
+    link.loss = wan::make_italy_japan_loss(config.link);
+  } else {
+    // Each run replays the identical trace (loaded once, shared
+    // immutably; the replay cursor is per-instance); runs differ only in
+    // the crash schedule.
+    link.delay = std::make_unique<wan::TraceReplayDelay>(trace);
+  }
+  transport.set_link(kMonitored, kMonitor, std::move(link));
+
+  // Monitored node: Heartbeater over SimCrash.
+  runtime::ProcessNode monitored(transport, kMonitored);
+  auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
+      simulator,
+      runtime::SimCrashLayer::Config{config.mttc, config.ttr},
+      run_rng.fork("crash")));
+  runtime::HeartbeaterLayer::Config hb_config;
+  hb_config.eta = config.eta;
+  hb_config.self = kMonitored;
+  hb_config.monitor = kMonitor;
+  hb_config.max_cycles = config.num_cycles;
+  auto& heartbeater = monitored.push(
+      std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
+
+  // Monitor node: MultiPlexer fanning out to every detector.
+  runtime::ProcessNode monitor(transport, kMonitor);
+  auto& mux = monitor.push(std::make_unique<runtime::MultiPlexerLayer>());
+
+  const TimePoint warmup_end = TimePoint::origin() + config.warmup;
+  std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;
+  std::vector<fd::QosTracker> trackers;
+  detectors.reserve(suite.size());
+  trackers.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    trackers.emplace_back(warmup_end);
+  }
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    fd::FreshnessDetector::Config fd_config;
+    fd_config.eta = config.eta;
+    fd_config.monitored = kMonitored;
+    fd_config.cold_start_timeout = config.cold_start_timeout;
+    fd_config.name = suite[i].name;
+    auto detector = std::make_unique<fd::FreshnessDetector>(
+        simulator, fd_config, suite[i].make_predictor(),
+        suite[i].make_margin());
+    fd::QosTracker* tracker = &trackers[i];
+    detector->set_observer([tracker](TimePoint t, bool suspecting) {
+      if (suspecting) {
+        tracker->suspect_started(t);
+      } else {
+        tracker->suspect_ended(t);
+      }
+    });
+    monitor.attach_unowned(mux, *detector);
+    detectors.push_back(std::move(detector));
+  }
+
+  crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
+    for (auto& tracker : trackers) {
+      if (crashed) {
+        tracker.process_crashed(t);
+      } else {
+        tracker.process_restored(t);
+      }
+    }
+  });
+
+  monitored.start();
+  monitor.start();
+
+  // Telemetry tick: a repeating virtual-time event that emits a status
+  // line whenever enough *wall* time has passed. Virtual runs execute
+  // thousands of simulated seconds per wall second, so the tick is cheap
+  // and the wall-clock rate limiter in ProgressEmitter does the pacing.
+  std::function<void()> progress_tick;
+  if (progress != nullptr) {
+    const Duration tick_every = config.eta * 5;
+    progress_tick = [&, run] {
+      std::unique_lock<std::mutex> lock(progress->mu, std::try_to_lock);
+      // A tick that loses the race simply skips this line; another run's
+      // tick just emitted one.
+      if (lock.owns_lock() && progress->emitter.due()) {
+        std::size_t suspecting = 0;
+        for (const auto& d : detectors) {
+          if (d->suspecting()) ++suspecting;
+        }
+        const std::size_t started =
+            progress->runs_started.load(std::memory_order_relaxed);
+        const std::size_t done =
+            progress->runs_done.load(std::memory_order_relaxed);
+        const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
+        if (obs::enabled()) {
+          // Aggregated, not per-run, so concurrent runs never fight over
+          // the gauges: runs in flight and completed-run crash totals.
+          obs::instruments().experiment_run.set(static_cast<double>(started));
+          obs::instruments().fd_suspecting.set(
+              static_cast<double>(suspecting));
+        }
+        progress->emitter.emit(
+            "run %zu/%zu (%zu done) t=%.0fs cycles=%lld/%lld crashes=%llu "
+            "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
+            run + 1, config.runs, done,
+            simulator.now().to_seconds_double(),
+            static_cast<long long>(heartbeater.cycles_sent()),
+            static_cast<long long>(config.num_cycles),
+            static_cast<unsigned long long>(crash_layer.crash_count()),
+            static_cast<unsigned long long>(hb_stats.sent),
+            static_cast<unsigned long long>(hb_stats.delivered),
+            static_cast<unsigned long long>(hb_stats.sent -
+                                            hb_stats.delivered),
+            suspecting, detectors.size());
+      }
+      simulator.schedule_after(tick_every, progress_tick);
+    };
+    simulator.schedule_after(tick_every, progress_tick);
+  }
+
+  simulator.run_until(run_end);
+
+  for (auto& tracker : trackers) tracker.finalize(run_end);
+
+  RunOutput out;
+  out.crash_count = crash_layer.crash_count();
+  const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
+  out.hb_sent = hb_stats.sent;
+  out.hb_delivered = hb_stats.delivered;
+  out.trackers = std::move(trackers);
+
+  if (progress != nullptr) {
+    progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+    progress->crashes_done.fetch_add(out.crash_count,
+                                     std::memory_order_relaxed);
+  }
+  FDQOS_LOG_INFO("qos run %zu/%zu: %llu crashes", run + 1, config.runs,
+                 static_cast<unsigned long long>(out.crash_count));
+  return out;
+}
+
 }  // namespace
 
 QosReport run_qos_experiment(const QosExperimentConfig& config) {
@@ -77,7 +259,6 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
   for (const auto& spec : config.extra_specs) suite.push_back(spec);
   FDQOS_REQUIRE(!suite.empty());
 
-  std::vector<Pooled> pooled(suite.size());
   QosReport report;
   report.config = config;
 
@@ -86,161 +267,62 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
       TimePoint::origin() + config.eta * config.num_cycles + config.ttr +
       Duration::seconds(5);
 
-  std::unique_ptr<obs::ProgressEmitter> progress;
+  // Load the replay trace once; every run shares the immutable data.
+  std::shared_ptr<const std::vector<Duration>> trace;
+  if (!config.trace_path.empty()) {
+    trace = wan::TraceReplayDelay::load_trace_data(config.trace_path);
+    FDQOS_REQUIRE(trace != nullptr);
+  }
+
+  std::unique_ptr<ProgressState> progress;
   if (config.progress_interval_s > 0.0) {
     obs::ProgressEmitter::Options opts;
     opts.interval_s = config.progress_interval_s;
     opts.prefix = "[fdqos qos]";
-    progress = std::make_unique<obs::ProgressEmitter>(std::move(opts));
+    progress = std::make_unique<ProgressState>(std::move(opts));
   }
 
+  // Runs are embarrassingly parallel: each forks its RNG from (seed, run)
+  // and owns its whole simulator stack. Outputs land in a run-indexed
+  // vector and are reduced below in run order, so the report bytes do not
+  // depend on the jobs value or on scheduling.
+  const std::size_t jobs = std::min(
+      config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
+  std::vector<RunOutput> outputs(config.runs);
+  exec::ThreadPool pool(jobs);
+  pool.parallel_for(config.runs, [&](std::size_t run) {
+    outputs[run] = run_one(config, suite, trace, run, base_rng, run_end,
+                           progress.get());
+  });
+
+  // Ordered reduction: identical merge sequence as the serial loop.
+  std::vector<Pooled> pooled(suite.size());
   for (std::size_t run = 0; run < config.runs; ++run) {
-    Rng run_rng = base_rng.fork(run);
-
-    sim::Simulator simulator;
-    net::SimTransport transport(simulator, run_rng.fork("net"));
-    net::SimTransport::LinkConfig link;
-    if (config.trace_path.empty()) {
-      link.delay = wan::make_italy_japan_delay(config.link);
-      link.loss = wan::make_italy_japan_loss(config.link);
-    } else {
-      auto replay = wan::TraceReplayDelay::load(config.trace_path);
-      FDQOS_REQUIRE(replay != nullptr);
-      // Each run replays the identical trace; runs differ only in the
-      // crash schedule.
-      link.delay = std::move(replay);
-    }
-    transport.set_link(kMonitored, kMonitor, std::move(link));
-
-    // Monitored node: Heartbeater over SimCrash.
-    runtime::ProcessNode monitored(transport, kMonitored);
-    auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
-        simulator,
-        runtime::SimCrashLayer::Config{config.mttc, config.ttr},
-        run_rng.fork("crash")));
-    runtime::HeartbeaterLayer::Config hb_config;
-    hb_config.eta = config.eta;
-    hb_config.self = kMonitored;
-    hb_config.monitor = kMonitor;
-    hb_config.max_cycles = config.num_cycles;
-    auto& heartbeater = monitored.push(
-        std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
-
-    // Monitor node: MultiPlexer fanning out to every detector.
-    runtime::ProcessNode monitor(transport, kMonitor);
-    auto& mux = monitor.push(std::make_unique<runtime::MultiPlexerLayer>());
-
-    const TimePoint warmup_end = TimePoint::origin() + config.warmup;
-    std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;
-    std::vector<fd::QosTracker> trackers;
-    detectors.reserve(suite.size());
-    trackers.reserve(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      trackers.emplace_back(warmup_end);
-    }
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      fd::FreshnessDetector::Config fd_config;
-      fd_config.eta = config.eta;
-      fd_config.monitored = kMonitored;
-      fd_config.cold_start_timeout = config.cold_start_timeout;
-      fd_config.name = suite[i].name;
-      auto detector = std::make_unique<fd::FreshnessDetector>(
-          simulator, fd_config, suite[i].make_predictor(),
-          suite[i].make_margin());
-      fd::QosTracker* tracker = &trackers[i];
-      detector->set_observer([tracker](TimePoint t, bool suspecting) {
-        if (suspecting) {
-          tracker->suspect_started(t);
-        } else {
-          tracker->suspect_ended(t);
-        }
-      });
-      monitor.attach_unowned(mux, *detector);
-      detectors.push_back(std::move(detector));
-    }
-
-    crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
-      for (auto& tracker : trackers) {
-        if (crashed) {
-          tracker.process_crashed(t);
-        } else {
-          tracker.process_restored(t);
-        }
-      }
-    });
-
-    monitored.start();
-    monitor.start();
-
-    // Telemetry tick: a repeating virtual-time event that emits a status
-    // line whenever enough *wall* time has passed. Virtual runs execute
-    // thousands of simulated seconds per wall second, so the tick is cheap
-    // and the wall-clock rate limiter in ProgressEmitter does the pacing.
-    std::function<void()> progress_tick;
-    if (progress != nullptr) {
-      const Duration tick_every = config.eta * 5;
-      progress_tick = [&, run] {
-        if (progress->due()) {
-          std::size_t suspecting = 0;
-          for (const auto& d : detectors) {
-            if (d->suspecting()) ++suspecting;
-          }
-          const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
-          if (obs::enabled()) {
-            obs::instruments().experiment_run.set(
-                static_cast<double>(run + 1));
-            obs::instruments().fd_suspecting.set(
-                static_cast<double>(suspecting));
-          }
-          progress->emit(
-              "run %zu/%zu t=%.0fs cycles=%lld/%lld crashes=%llu "
-              "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
-              run + 1, config.runs, simulator.now().to_seconds_double(),
-              static_cast<long long>(heartbeater.cycles_sent()),
-              static_cast<long long>(config.num_cycles),
-              static_cast<unsigned long long>(crash_layer.crash_count()),
-              static_cast<unsigned long long>(hb_stats.sent),
-              static_cast<unsigned long long>(hb_stats.delivered),
-              static_cast<unsigned long long>(hb_stats.sent -
-                                              hb_stats.delivered),
-              suspecting, detectors.size());
-        }
-        simulator.schedule_after(tick_every, progress_tick);
-      };
-      simulator.schedule_after(tick_every, progress_tick);
-    }
-
-    simulator.run_until(run_end);
-
-    for (auto& tracker : trackers) tracker.finalize(run_end);
-
+    const RunOutput& out = outputs[run];
     for (std::size_t i = 0; i < suite.size(); ++i) {
       Pooled& p = pooled[i];
-      p.td.merge(trackers[i].td_stats());
-      p.tm.merge(trackers[i].tm_stats());
-      p.tmr.merge(trackers[i].tmr_stats());
-      p.up += trackers[i].observed_up_time();
-      p.wrong += trackers[i].wrong_suspicion_time();
-      p.crashes += trackers[i].crash_count();
-      p.detections += trackers[i].detection_count();
-      p.missed += trackers[i].missed_detection_count();
-      if (trackers[i].td_stats().count() > 0) {
-        p.per_run_td.add(trackers[i].td_stats().mean());
+      const fd::QosTracker& tracker = out.trackers[i];
+      p.td.merge(tracker.td_stats());
+      p.tm.merge(tracker.tm_stats());
+      p.tmr.merge(tracker.tmr_stats());
+      p.up += tracker.observed_up_time();
+      p.wrong += tracker.wrong_suspicion_time();
+      p.crashes += tracker.crash_count();
+      p.detections += tracker.detection_count();
+      p.missed += tracker.missed_detection_count();
+      if (tracker.td_stats().count() > 0) {
+        p.per_run_td.add(tracker.td_stats().mean());
       }
-      const fd::QosMetrics run_metrics = trackers[i].metrics();
+      const fd::QosMetrics run_metrics = tracker.metrics();
       p.per_run_availability.add(run_metrics.availability);
     }
-    report.total_crashes += crash_layer.crash_count();
-    report.heartbeats_sent += transport.link_stats(kMonitored, kMonitor).sent;
-    report.heartbeats_delivered +=
-        transport.link_stats(kMonitored, kMonitor).delivered;
-
-    FDQOS_LOG_INFO("qos run %zu/%zu: %llu crashes", run + 1, config.runs,
-                   static_cast<unsigned long long>(crash_layer.crash_count()));
+    report.total_crashes += out.crash_count;
+    report.heartbeats_sent += out.hb_sent;
+    report.heartbeats_delivered += out.hb_delivered;
   }
 
   if (progress != nullptr) {
-    progress->emit(
+    progress->emitter.emit(
         "done: %zu runs, %llu crashes, %llu heartbeats sent, %llu delivered",
         config.runs, static_cast<unsigned long long>(report.total_crashes),
         static_cast<unsigned long long>(report.heartbeats_sent),

@@ -52,6 +52,12 @@ struct QosExperimentConfig {
   // wall-clock seconds (run i/N, cycles done, crashes, heartbeat counts,
   // detectors currently suspecting). See docs/observability.md.
   double progress_interval_s = 0.0;
+  // Worker threads for the run loop: runs are independent seeded
+  // simulations (base_rng.fork(run)) executed concurrently, with pooled
+  // statistics merged in run order after the join — the report is
+  // byte-identical at every jobs value. 0 = exec::default_jobs()
+  // (hardware concurrency), 1 = fully serial. See docs/parallelism.md.
+  std::size_t jobs = 0;
 };
 
 struct FdQosResult {

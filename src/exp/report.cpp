@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/assert.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace fdqos::exp {
 
@@ -190,12 +191,14 @@ stats::TableWriter link_table(const wan::LinkCharacteristics& link,
 std::string qos_config_summary(const QosExperimentConfig& config) {
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "runs=%zu NumCycles=%lld eta=%s MTTC=%s TTR=%s warmup=%s seed=%llu",
+                "runs=%zu NumCycles=%lld eta=%s MTTC=%s TTR=%s warmup=%s "
+                "seed=%llu jobs=%zu",
                 config.runs, static_cast<long long>(config.num_cycles),
                 config.eta.to_string().c_str(), config.mttc.to_string().c_str(),
                 config.ttr.to_string().c_str(),
                 config.warmup.to_string().c_str(),
-                static_cast<unsigned long long>(config.seed));
+                static_cast<unsigned long long>(config.seed),
+                config.jobs == 0 ? exec::default_jobs() : config.jobs);
   return buf;
 }
 

@@ -16,6 +16,7 @@ namespace {
 ArmaFitResult fit_constant(std::span<const double> w) {
   ArmaFitResult result;
   result.ok = !w.empty();
+  if (!result.ok) result.error = "empty series";
   result.coeffs.intercept = stats::mean(w);
   result.residual_variance = stats::variance(w);
   result.rows = w.size();
@@ -34,7 +35,8 @@ ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
   // Stage 1: long AR for innovation estimates. The long order must dominate
   // both p and q but stay small relative to n.
   const std::size_t want_m = std::max<std::size_t>(20, p + q + 10);
-  if (n < 4 * (p + q + 1) || n / 4 == 0) return result;  // too short
+  result.error = "series too short for long-AR stage";
+  if (n < 4 * (p + q + 1) || n / 4 == 0) return result;
   const std::size_t m = std::min(want_m, n / 4);
   if (m == 0 || n <= m + q + p + 2) return result;
 
@@ -56,6 +58,7 @@ ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
   // regressor is defined: t ≥ m + q (residuals) and t ≥ p (lags; m ≥ p here
   // only if m ≥ p — enforce with start).
   const std::size_t start = std::max(m + q, p);
+  result.error = "too few stage-2 regression rows";
   if (n <= start) return result;
   const std::size_t rows = n - start;
   const std::size_t k = 1 + p + q;
@@ -72,11 +75,13 @@ ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
   }
 
   std::vector<double> beta;
+  result.error = "singular least-squares system";
   if (!least_squares(design, y, beta)) return result;
 
   result.coeffs.intercept = beta[0];
   result.coeffs.ar.assign(beta.begin() + 1, beta.begin() + 1 + p);
   result.coeffs.ma.assign(beta.begin() + 1 + p, beta.end());
+  result.error = "non-finite coefficients";
   for (double b : beta) {
     if (!std::isfinite(b)) return result;
   }
@@ -91,11 +96,16 @@ ArmaFitResult fit_arma_hannan_rissanen(std::span<const double> w,
   result.residual_variance = ss / static_cast<double>(rows);
   result.rows = rows;
   result.ok = true;
+  result.error = nullptr;
   return result;
 }
 
 ArmaFitResult fit_arima(std::span<const double> z, const ArimaOrder& order) {
-  if (z.size() <= order.d) return {};
+  if (z.size() <= order.d) {
+    ArmaFitResult result;
+    result.error = "series shorter than differencing order";
+    return result;
+  }
   const std::vector<double> w = difference(z, order.d);
   return fit_arma_hannan_rissanen(w, order.p, order.q);
 }

@@ -15,6 +15,9 @@ namespace fdqos::forecast {
 
 struct ArmaFitResult {
   bool ok = false;
+  // Static string naming why the fit failed; nullptr when ok. Stored as a
+  // literal so results stay cheap to copy across threads.
+  const char* error = nullptr;
   ArimaCoefficients coeffs;
   double residual_variance = 0.0;  // stage-2 in-sample residual variance
   std::size_t rows = 0;            // regression rows used

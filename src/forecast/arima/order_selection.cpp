@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "exec/thread_pool.hpp"
 #include "forecast/arima/hannan_rissanen.hpp"
 
 namespace fdqos::forecast {
@@ -40,23 +41,38 @@ OrderSelectionResult select_arima_order(std::span<const double> series,
   OrderSelectionResult result;
   result.best_msqerr = std::numeric_limits<double>::infinity();
 
-  for (std::size_t p = 0; p <= config.max_order.p; ++p) {
-    for (std::size_t d = 0; d <= config.max_order.d; ++d) {
-      for (std::size_t q = 0; q <= config.max_order.q; ++q) {
-        OrderCandidate cand;
-        cand.order = ArimaOrder{p, d, q};
+  // The grid is flat-indexed in (p, d, q) scan order so every candidate —
+  // including failed fits — owns one pre-reserved slot and workers never
+  // contend: idx = (p·(d_max+1) + d)·(q_max+1) + q.
+  const std::size_t d_span = config.max_order.d + 1;
+  const std::size_t q_span = config.max_order.q + 1;
+  const std::size_t grid = (config.max_order.p + 1) * d_span * q_span;
+  result.candidates.resize(grid);
+
+  exec::parallel_for(
+      grid,
+      [&](std::size_t idx) {
+        OrderCandidate& cand = result.candidates[idx];
+        cand.order = ArimaOrder{idx / (d_span * q_span),
+                                (idx / q_span) % d_span, idx % q_span};
         const ArmaFitResult fit = fit_arima(train, cand.order);
         if (fit.ok) {
           cand.fitted = true;
           cand.holdout_msqerr =
               holdout_msqerr(ArimaModel(cand.order, fit.coeffs), train, test);
-          if (cand.holdout_msqerr < result.best_msqerr) {
-            result.best_msqerr = cand.holdout_msqerr;
-            result.best = cand.order;
-          }
+        } else {
+          cand.fail_reason = fit.error;
         }
-        result.candidates.push_back(cand);
-      }
+      },
+      config.jobs);
+
+  // Deterministic argmin after the join: the strict `<` over scan order
+  // makes the lowest (p, d, q) win msqerr ties, matching the serial loop
+  // at every jobs value.
+  for (const OrderCandidate& cand : result.candidates) {
+    if (cand.fitted && cand.holdout_msqerr < result.best_msqerr) {
+      result.best_msqerr = cand.holdout_msqerr;
+      result.best = cand.order;
     }
   }
   return result;

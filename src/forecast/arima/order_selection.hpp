@@ -17,6 +17,9 @@ struct OrderCandidate {
   ArimaOrder order;
   double holdout_msqerr = 0.0;
   bool fitted = false;  // false when the fit failed (too short / singular)
+  // Why the fit failed (static string, e.g. "singular least-squares
+  // system"); nullptr when fitted.
+  const char* fail_reason = nullptr;
 };
 
 struct OrderSelectionResult {
@@ -28,6 +31,12 @@ struct OrderSelectionResult {
 struct OrderSelectionConfig {
   ArimaOrder max_order{3, 2, 3};  // inclusive upper corner of the grid
   double train_fraction = 2.0 / 3.0;
+  // Worker threads for the candidate grid: each (p,d,q) fits and scores
+  // independently into its scan-order slot, and the argmin scan after the
+  // join breaks msqerr ties toward the lowest (p,d,q) exactly like the
+  // serial loop — `best` is jobs-independent. 0 = exec::default_jobs(),
+  // 1 = serial.
+  std::size_t jobs = 0;
 };
 
 OrderSelectionResult select_arima_order(std::span<const double> series,

@@ -15,6 +15,7 @@ ProgressEmitter::ProgressEmitter(Options options)
 }
 
 bool ProgressEmitter::due() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!emitted_once_) return true;
   const std::uint64_t now = clock_now_ns();
   const auto interval_ns =
@@ -29,6 +30,7 @@ void ProgressEmitter::emit(const char* fmt, ...) {
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
 
+  std::lock_guard<std::mutex> lock(mu_);
   std::FILE* out = options_.out != nullptr ? options_.out : stderr;
   std::fprintf(out, "%s %s\n", options_.prefix.c_str(), buf);
   std::fflush(out);
@@ -36,6 +38,11 @@ void ProgressEmitter::emit(const char* fmt, ...) {
   last_emit_ns_ = clock_now_ns();
   emitted_once_ = true;
   ++emitted_;
+}
+
+std::uint64_t ProgressEmitter::lines_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
 }
 
 }  // namespace fdqos::obs

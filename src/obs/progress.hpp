@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "common/log.hpp"
@@ -35,10 +36,15 @@ class ProgressEmitter {
   // Formats and writes one prefixed line, flushes, and re-arms the timer.
   void emit(const char* fmt, ...) FDQOS_PRINTF_FORMAT(2, 3);
 
-  std::uint64_t lines_emitted() const { return emitted_; }
+  std::uint64_t lines_emitted() const;
 
  private:
   Options options_;
+  // due()/emit() are called concurrently when experiment runs execute in
+  // parallel (exec::ThreadPool); the mutex keeps the rate-limiter state
+  // and the output line atomic. Callers that must never interleave a
+  // due()+emit() pair serialize it themselves (see exp::ProgressState).
+  mutable std::mutex mu_;
   std::uint64_t last_emit_ns_ = 0;
   bool emitted_once_ = false;
   std::uint64_t emitted_ = 0;

@@ -50,14 +50,26 @@ std::unique_ptr<DelayModel> RecordingDelay::make_fresh() const {
 }
 
 TraceReplayDelay::TraceReplayDelay(std::vector<Duration> delays)
+    : TraceReplayDelay(std::make_shared<const std::vector<Duration>>(
+          std::move(delays))) {}
+
+TraceReplayDelay::TraceReplayDelay(
+    std::shared_ptr<const std::vector<Duration>> delays)
     : delays_(std::move(delays)) {
-  FDQOS_REQUIRE(!delays_.empty());
+  FDQOS_REQUIRE(delays_ != nullptr && !delays_->empty());
   char buf[48];
-  std::snprintf(buf, sizeof buf, "trace(%zu)", delays_.size());
+  std::snprintf(buf, sizeof buf, "trace(%zu)", delays_->size());
   name_ = buf;
 }
 
 std::unique_ptr<TraceReplayDelay> TraceReplayDelay::load(
+    const std::string& path) {
+  auto delays = load_trace_data(path);
+  if (delays == nullptr) return nullptr;
+  return std::make_unique<TraceReplayDelay>(std::move(delays));
+}
+
+std::shared_ptr<const std::vector<Duration>> TraceReplayDelay::load_trace_data(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return nullptr;
@@ -79,18 +91,19 @@ std::unique_ptr<TraceReplayDelay> TraceReplayDelay::load(
   }
   std::fclose(f);
   if (delays.empty()) return nullptr;
-  return std::make_unique<TraceReplayDelay>(std::move(delays));
+  return std::make_shared<const std::vector<Duration>>(std::move(delays));
 }
 
 Duration TraceReplayDelay::sample(Rng&, TimePoint) {
-  if (next_ >= delays_.size()) {
+  if (next_ >= delays_->size()) {
     if (!warned_wrap_) {
-      FDQOS_LOG_WARN("trace replay wrapped after %zu samples", delays_.size());
+      FDQOS_LOG_WARN("trace replay wrapped after %zu samples",
+                     delays_->size());
       warned_wrap_ = true;
     }
     next_ = 0;
   }
-  return delays_[next_++];
+  return (*delays_)[next_++];
 }
 
 std::unique_ptr<DelayModel> TraceReplayDelay::make_fresh() const {

@@ -7,6 +7,7 @@
 // the synthetic models.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,20 +53,28 @@ class RecordingDelay final : public DelayModel {
 class TraceReplayDelay final : public DelayModel {
  public:
   explicit TraceReplayDelay(std::vector<Duration> delays);
+  // Replays shared immutable trace data without copying it. Several
+  // replayers (e.g. one per concurrent experiment run) can share one
+  // loaded trace; the replay cursor is per-instance.
+  explicit TraceReplayDelay(std::shared_ptr<const std::vector<Duration>> delays);
 
   // Loads the CSV produced by TraceRecorder::save. Returns nullptr on
   // I/O or parse failure.
   static std::unique_ptr<TraceReplayDelay> load(const std::string& path);
+  // Loads just the delay column, for sharing across many replayers.
+  // Returns nullptr on I/O or parse failure.
+  static std::shared_ptr<const std::vector<Duration>> load_trace_data(
+      const std::string& path);
 
   Duration sample(Rng& rng, TimePoint send_time) override;
   const std::string& name() const override { return name_; }
   std::unique_ptr<DelayModel> make_fresh() const override;
 
-  std::size_t size() const { return delays_.size(); }
+  std::size_t size() const { return delays_->size(); }
 
  private:
   std::string name_;
-  std::vector<Duration> delays_;
+  std::shared_ptr<const std::vector<Duration>> delays_;
   std::size_t next_ = 0;
   bool warned_wrap_ = false;
 };

@@ -1,0 +1,155 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fdqos::exec {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeReturnsImmediately) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(visits.size(),
+                    [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelMapCollectsInIndexOrder) {
+  ThreadPool pool(8);
+  const auto out = pool.parallel_map<std::size_t>(
+      257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSerialPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionCancelsUnstartedTasks) {
+  // With the failing task planted at index 0, every un-started index is
+  // skipped; far fewer than all tasks may run (racing threads may each
+  // start one), and the pool stays usable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(pool.parallel_for(100000,
+                                 [&](std::size_t i) {
+                                   started.fetch_add(1);
+                                   if (i == 0) {
+                                     throw std::runtime_error("cancel");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(started.load(), 100000);
+
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolTest, NestedUseOfSamePoolThrows) {
+  ThreadPool pool(4);
+  std::atomic<int> rejected{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    try {
+      pool.parallel_for(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 8);
+}
+
+TEST(ThreadPoolTest, DifferentPoolInsideTaskIsAllowed) {
+  // A task may own its own pool (e.g. a bench sweep point running a serial
+  // experiment); only re-entry into the *same* pool is rejected.
+  ThreadPool outer(2);
+  std::atomic<std::size_t> sum{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    ThreadPool inner(2);
+    inner.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
+  });
+  EXPECT_EQ(sum.load(), 4u * 45u);
+}
+
+TEST(ThreadPoolTest, InParallelRegionFlagTracksTasks) {
+  EXPECT_FALSE(in_parallel_region());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    if (in_parallel_region()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 4);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ThreadPoolTest, FreeFunctionsAndDefaults) {
+  EXPECT_GE(hardware_jobs(), 1u);
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3u);
+  ThreadPool pool;  // picks up the default
+  EXPECT_EQ(pool.jobs(), 3u);
+  set_default_jobs(0);  // restore hardware default
+  EXPECT_EQ(default_jobs(), hardware_jobs());
+
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); }, 4);
+  EXPECT_EQ(sum.load(), 4950u);
+
+  const auto mapped = parallel_map<int>(
+      5, [](std::size_t i) { return static_cast<int>(i) + 1; }, 2);
+  EXPECT_EQ(std::accumulate(mapped.begin(), mapped.end(), 0), 15);
+}
+
+}  // namespace
+}  // namespace fdqos::exec

@@ -1,0 +1,188 @@
+// Determinism contract of the parallel experiment engine: every jobs value
+// must produce the same bytes. Runs fork their RNG from (seed, run) and the
+// pooled statistics are merged in run order after the join, so jobs = 1 and
+// jobs = 8 walk the exact same arithmetic (see docs/parallelism.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exp/accuracy_experiment.hpp"
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+#include "forecast/arima/order_selection.hpp"
+#include "wan/italy_japan.hpp"
+#include "wan/trace.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+QosExperimentConfig small_config(std::size_t jobs) {
+  QosExperimentConfig config;
+  config.runs = 4;
+  config.num_cycles = 800;
+  config.seed = 7;
+  config.jobs = jobs;
+  return config;
+}
+
+void expect_identical_summaries(const stats::Summary& a,
+                                const stats::Summary& b,
+                                const std::string& what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  // Bit-identical, not approximately equal: the merge order is fixed.
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.variance, b.variance) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.sum, b.sum) << what;
+  if (a.count > 0) {
+    EXPECT_EQ(a.min, b.min) << what;
+    EXPECT_EQ(a.max, b.max) << what;
+  }
+}
+
+void expect_identical_reports(const QosReport& serial,
+                              const QosReport& parallel) {
+  EXPECT_EQ(serial.total_crashes, parallel.total_crashes);
+  EXPECT_EQ(serial.heartbeats_sent, parallel.heartbeats_sent);
+  EXPECT_EQ(serial.heartbeats_delivered, parallel.heartbeats_delivered);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    const FdQosResult& s = serial.results[i];
+    const FdQosResult& p = parallel.results[i];
+    EXPECT_EQ(s.name, p.name);
+    expect_identical_summaries(s.metrics.detection_time_ms,
+                               p.metrics.detection_time_ms, s.name + " T_D");
+    expect_identical_summaries(s.metrics.mistake_duration_ms,
+                               p.metrics.mistake_duration_ms, s.name + " T_M");
+    expect_identical_summaries(s.metrics.mistake_recurrence_ms,
+                               p.metrics.mistake_recurrence_ms,
+                               s.name + " T_MR");
+    EXPECT_EQ(s.metrics.query_accuracy, p.metrics.query_accuracy) << s.name;
+    EXPECT_EQ(s.metrics.availability, p.metrics.availability) << s.name;
+    EXPECT_EQ(s.metrics.crashes_observed, p.metrics.crashes_observed)
+        << s.name;
+    EXPECT_EQ(s.metrics.detections, p.metrics.detections) << s.name;
+    EXPECT_EQ(s.metrics.missed_detections, p.metrics.missed_detections)
+        << s.name;
+    EXPECT_EQ(s.metrics.mistakes, p.metrics.mistakes) << s.name;
+    expect_identical_summaries(s.per_run_td_mean_ms, p.per_run_td_mean_ms,
+                               s.name + " per-run T_D");
+    expect_identical_summaries(s.per_run_availability, p.per_run_availability,
+                               s.name + " per-run P_A");
+  }
+  // And the user-facing rendering, byte for byte.
+  for (const auto kind :
+       {QosMetricKind::kTd, QosMetricKind::kTdU, QosMetricKind::kTm,
+        QosMetricKind::kTmr, QosMetricKind::kPa}) {
+    EXPECT_EQ(qos_metric_table(serial, kind).to_csv(),
+              qos_metric_table(parallel, kind).to_csv());
+  }
+}
+
+TEST(ParallelDeterminismTest, QosReportIsIdenticalAcrossJobCounts) {
+  const QosReport serial = run_qos_experiment(small_config(1));
+  const QosReport parallel = run_qos_experiment(small_config(8));
+  expect_identical_reports(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, QosTraceReplayIsIdenticalAcrossJobCounts) {
+  // Shared immutable trace data (loaded once, one replay cursor per run)
+  // must not perturb determinism either.
+  const std::string path =
+      ::testing::TempDir() + "/parallel_determinism_trace.csv";
+  {
+    wan::TraceRecorder recorder;
+    wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
+    Rng rng(99);
+    TimePoint t = TimePoint::origin();
+    for (int i = 0; i < 2000; ++i, t += Duration::seconds(1)) {
+      model.sample(rng, t);
+    }
+    ASSERT_TRUE(recorder.save(path));
+  }
+  QosExperimentConfig config = small_config(1);
+  config.runs = 2;
+  config.trace_path = path;
+  const QosReport serial = run_qos_experiment(config);
+  config.jobs = 8;
+  const QosReport parallel = run_qos_experiment(config);
+  expect_identical_reports(serial, parallel);
+  std::remove(path.c_str());
+}
+
+TEST(ParallelDeterminismTest, AccuracyReportIsIdenticalAcrossJobCounts) {
+  AccuracyExperimentConfig config;
+  config.n_oneway = 4000;
+  config.seed = 5;
+  config.jobs = 1;
+  const AccuracyReport serial = run_accuracy_experiment(config);
+  config.jobs = 8;
+  const AccuracyReport parallel = run_accuracy_experiment(config);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].predictor, parallel.rows[i].predictor);
+    EXPECT_EQ(serial.rows[i].msqerr, parallel.rows[i].msqerr);
+    EXPECT_EQ(serial.rows[i].mean_abs_err, parallel.rows[i].mean_abs_err);
+  }
+}
+
+TEST(ParallelDeterminismTest, OrderSelectionBestIsIdenticalAcrossJobCounts) {
+  AccuracyExperimentConfig acc;
+  acc.n_oneway = 3000;
+  acc.seed = 42;
+  const auto series = generate_delay_series(acc);
+
+  forecast::OrderSelectionConfig selection;
+  selection.max_order = forecast::ArimaOrder{2, 1, 2};
+  selection.jobs = 1;
+  const auto serial = forecast::select_arima_order(series, selection);
+  selection.jobs = 8;
+  const auto parallel = forecast::select_arima_order(series, selection);
+
+  EXPECT_TRUE(serial.best == parallel.best)
+      << serial.best.to_string() << " vs " << parallel.best.to_string();
+  EXPECT_EQ(serial.best_msqerr, parallel.best_msqerr);
+  ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+  for (std::size_t i = 0; i < serial.candidates.size(); ++i) {
+    EXPECT_TRUE(serial.candidates[i].order == parallel.candidates[i].order);
+    EXPECT_EQ(serial.candidates[i].fitted, parallel.candidates[i].fitted);
+    EXPECT_EQ(serial.candidates[i].holdout_msqerr,
+              parallel.candidates[i].holdout_msqerr);
+  }
+}
+
+TEST(ParallelDeterminismTest, GridScanOrderAndFailReasonsPreserved) {
+  // The flat-indexed parallel grid must keep the serial loop's (p, d, q)
+  // scan order, and candidates that fail to fit must say why.
+  std::vector<double> tiny;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) tiny.push_back(rng.normal());
+  forecast::OrderSelectionConfig selection;
+  selection.max_order = forecast::ArimaOrder{2, 1, 2};
+  // A 16-point train split cannot support the larger (p, q) fits.
+  selection.train_fraction = 0.4;
+  selection.jobs = 4;
+  const auto result = forecast::select_arima_order(tiny, selection);
+  ASSERT_EQ(result.candidates.size(), 3u * 2u * 3u);
+  std::size_t idx = 0;
+  bool saw_failure = false;
+  for (std::size_t p = 0; p <= 2; ++p) {
+    for (std::size_t d = 0; d <= 1; ++d) {
+      for (std::size_t q = 0; q <= 2; ++q, ++idx) {
+        const auto& cand = result.candidates[idx];
+        EXPECT_TRUE((cand.order == forecast::ArimaOrder{p, d, q}));
+        if (!cand.fitted) {
+          saw_failure = true;
+          EXPECT_NE(cand.fail_reason, nullptr) << cand.order.to_string();
+        } else {
+          EXPECT_EQ(cand.fail_reason, nullptr) << cand.order.to_string();
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+}  // namespace
+}  // namespace fdqos::exp

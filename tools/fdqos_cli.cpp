@@ -4,11 +4,16 @@
 //                    [--mttc-s S] [--ttr-s S] [--baselines] [--pareto]
 //                    [--metric td|tdu|tm|tmr|pa|all] [--csv FILE]
 //                    [--metrics-out FILE] [--metrics-jsonl-out FILE]
-//                    [--trace-out FILE] [--progress SECONDS]
+//                    [--trace-out FILE] [--progress SECONDS] [--jobs N]
 //   fdqos accuracy   [--n N] [--seed S] [--csv FILE]
-//                    [--metrics-out FILE] [--progress SECONDS]
+//                    [--metrics-out FILE] [--progress SECONDS] [--jobs N]
 //   fdqos link       [--n N] [--seed S]
 //   fdqos order-select [--n N] [--seed S] [--pmax P] [--dmax D] [--qmax Q]
+//                    [--jobs N]
+//
+// --jobs N runs independent experiment units (QoS runs, predictors, ARIMA
+// candidates) on N threads; output is byte-identical at every N. Default
+// is the machine's core count; --jobs 1 is the exact serial path.
 //
 // Everything prints the same paper-layout tables as the bench binaries,
 // with the experiment knobs exposed as flags instead of env vars.
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "common/args.hpp"
+#include "exec/thread_pool.hpp"
 #include "exp/accuracy_experiment.hpp"
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
@@ -44,6 +50,8 @@ int usage() {
                "qos/accuracy also take --metrics-out FILE (Prometheus text),\n"
                "--metrics-jsonl-out FILE, --trace-out FILE (chrome://tracing)\n"
                "and --progress SECONDS (periodic telemetry on stderr)\n"
+               "qos/accuracy/order-select take --jobs N (worker threads;\n"
+               "default = cores, 1 = serial, output identical at every N)\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
   return 2;
@@ -128,6 +136,7 @@ int cmd_qos(const ArgParser& args) {
   config.ttr = Duration::seconds(args.get_int("--ttr-s", 30));
   config.include_constant_baseline = args.get_flag("--baselines");
   config.trace_path = args.get_string("--trace", "");
+  config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   const bool pareto = args.get_flag("--pareto");
@@ -202,6 +211,7 @@ int cmd_accuracy(const ArgParser& args) {
   exp::AccuracyExperimentConfig config;
   config.n_oneway = static_cast<std::size_t>(args.get_int("--n", 100000));
   config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
   const std::string csv = args.get_string("--csv", "");
   ObsSession obs_session = ObsSession::from_args(args);
   config.progress_interval_s = obs_session.progress_s;
@@ -242,6 +252,7 @@ int cmd_order_select(const ArgParser& args) {
   selection.max_order.p = static_cast<std::size_t>(args.get_int("--pmax", 3));
   selection.max_order.d = static_cast<std::size_t>(args.get_int("--dmax", 2));
   selection.max_order.q = static_cast<std::size_t>(args.get_int("--qmax", 3));
+  selection.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
   if (const int rc = check_unknown(args); rc != 0) return rc;
 
   const auto series = exp::generate_delay_series(acc);
