@@ -1,8 +1,27 @@
 #include "clockx/clock_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fdqos::clockx {
+
+void StepClock::add_step(TimePoint at, Duration offset) {
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), at,
+      [](TimePoint t, const auto& step) { return t < step.first; });
+  steps_.insert(it, {at, offset});
+}
+
+Duration StepClock::error_at(TimePoint global) const {
+  // Schedules hold a handful of jumps; a linear sum over the time-sorted
+  // raw offsets beats maintaining cumulative state on insert.
+  Duration error = Duration::zero();
+  for (const auto& [at, offset] : steps_) {
+    if (at > global) break;
+    error += offset;
+  }
+  return error;
+}
 
 ClockModel::ClockModel(Duration offset, double drift_ppm, TimePoint epoch)
     : offset_(offset), drift_ppm_(drift_ppm), epoch_(epoch) {}

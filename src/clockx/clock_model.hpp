@@ -9,6 +9,10 @@
 //   local(t) = t + offset + drift_ppm·1e-6·(t − epoch)
 #pragma once
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "common/time.hpp"
 
 namespace fdqos::clockx {
@@ -32,6 +36,32 @@ class ClockModel {
   Duration offset_ = Duration::zero();
   double drift_ppm_ = 0.0;
   TimePoint epoch_ = TimePoint::origin();
+};
+
+// A clock whose error is a piecewise-constant step function: NTP slams, VM
+// migrations, and leap-second smears show up as discrete jumps, not smooth
+// drift. Each step at time t adds `offset` to the clock error from t on;
+// error_at sums every step at or before the queried instant. Used by the
+// faultx chaos layer to inject clock jumps into the monitored node.
+class StepClock {
+ public:
+  // Register a jump of `offset` taking effect at `at` (global timeline).
+  // Steps may be added in any order; queries see them sorted by time.
+  void add_step(TimePoint at, Duration offset);
+
+  // Accumulated clock error local(t) − t at global time t.
+  Duration error_at(TimePoint global) const;
+
+  TimePoint to_local(TimePoint global) const {
+    return global + error_at(global);
+  }
+
+  std::size_t step_count() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+ private:
+  // (time, raw offset of this step), kept sorted by time.
+  std::vector<std::pair<TimePoint, Duration>> steps_;
 };
 
 // A clock disciplined by an externally supplied correction (the output of

@@ -5,10 +5,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "exec/thread_pool.hpp"
+#include "faultx/fault_models.hpp"
+#include "faultx/scenarios.hpp"
 #include "fd/freshness_detector.hpp"
 #include "obs/instruments.hpp"
 #include "obs/progress.hpp"
@@ -85,6 +88,7 @@ struct RunOutput {
   std::uint64_t crash_count = 0;
   std::uint64_t hb_sent = 0;
   std::uint64_t hb_delivered = 0;
+  faultx::FaultyTransport::Stats chaos;  // zero when no scenario active
 };
 
 // One self-contained seeded simulation (paper run). Reads only immutable
@@ -92,6 +96,7 @@ struct RunOutput {
 RunOutput run_one(const QosExperimentConfig& config,
                   const std::vector<fd::FdSpec>& suite,
                   const std::shared_ptr<const std::vector<Duration>>& trace,
+                  const std::shared_ptr<const faultx::FaultSchedule>& faults,
                   std::size_t run, const Rng& base_rng, TimePoint run_end,
                   ProgressState* progress) {
   Rng run_rng = base_rng.fork(run);
@@ -111,10 +116,27 @@ RunOutput run_one(const QosExperimentConfig& config,
     // the crash schedule.
     link.delay = std::make_unique<wan::TraceReplayDelay>(trace);
   }
+  if (faults != nullptr) {
+    // Chaos: the same immutable schedule overlays every run; all per-run
+    // fault state (burst chains, duplication draws) lives in the wrappers.
+    link.delay =
+        std::make_unique<faultx::FaultyDelay>(std::move(link.delay), faults);
+    link.loss =
+        std::make_unique<faultx::FaultyLoss>(std::move(link.loss), faults);
+  }
   transport.set_link(kMonitored, kMonitor, std::move(link));
 
+  // Transport-level faults (partitions, flaps, duplication, clock stamps)
+  // wrap only the monitored node's view of the network.
+  std::optional<faultx::FaultyTransport> chaos_net;
+  net::Transport* monitored_net = &transport;
+  if (faults != nullptr) {
+    chaos_net.emplace(transport, faults, run_rng.fork("faultx"));
+    monitored_net = &*chaos_net;
+  }
+
   // Monitored node: Heartbeater over SimCrash.
-  runtime::ProcessNode monitored(transport, kMonitored);
+  runtime::ProcessNode monitored(*monitored_net, kMonitored);
   auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
       simulator,
       runtime::SimCrashLayer::Config{config.mttc, config.ttr},
@@ -229,6 +251,7 @@ RunOutput run_one(const QosExperimentConfig& config,
   const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
   out.hb_sent = hb_stats.sent;
   out.hb_delivered = hb_stats.delivered;
+  if (chaos_net.has_value()) out.chaos = chaos_net->stats();
   out.trackers = std::move(trackers);
 
   if (progress != nullptr) {
@@ -274,6 +297,18 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
     FDQOS_REQUIRE(trace != nullptr);
   }
 
+  // Build the fault schedule once; every run overlays the same immutable
+  // event timeline (per-run randomness lives in the wrapper models).
+  std::shared_ptr<const faultx::FaultSchedule> faults;
+  if (!config.chaos_scenario.empty()) {
+    FDQOS_REQUIRE(faultx::is_scenario(config.chaos_scenario));
+    faultx::ScenarioParams sp;
+    sp.active_start = TimePoint::origin() + config.warmup;
+    sp.horizon = run_end;
+    faults = std::make_shared<const faultx::FaultSchedule>(
+        faultx::make_scenario(config.chaos_scenario, sp));
+  }
+
   std::unique_ptr<ProgressState> progress;
   if (config.progress_interval_s > 0.0) {
     obs::ProgressEmitter::Options opts;
@@ -291,8 +326,8 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
   std::vector<RunOutput> outputs(config.runs);
   exec::ThreadPool pool(jobs);
   pool.parallel_for(config.runs, [&](std::size_t run) {
-    outputs[run] = run_one(config, suite, trace, run, base_rng, run_end,
-                           progress.get());
+    outputs[run] = run_one(config, suite, trace, faults, run, base_rng,
+                           run_end, progress.get());
   });
 
   // Ordered reduction: identical merge sequence as the serial loop.
@@ -319,6 +354,11 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
     report.total_crashes += out.crash_count;
     report.heartbeats_sent += out.hb_sent;
     report.heartbeats_delivered += out.hb_delivered;
+    if (faults != nullptr) {
+      report.chaos_fault_events += faults->event_count();
+      report.chaos_dropped += out.chaos.fault_dropped;
+      report.chaos_duplicated += out.chaos.duplicated;
+    }
   }
 
   if (progress != nullptr) {

@@ -58,6 +58,13 @@ struct QosExperimentConfig {
   // byte-identical at every jobs value. 0 = exec::default_jobs()
   // (hardware concurrency), 1 = fully serial. See docs/parallelism.md.
   std::size_t jobs = 0;
+  // Chaos injection (faultx): name of a scenario from
+  // faultx::scenario_names(). When set, every run wraps its link models in
+  // FaultyDelay/FaultyLoss and the monitored node's transport in
+  // FaultyTransport, all driven by the same schedule (built once from the
+  // warmup end and run horizon). Empty = nominal network.
+  // See docs/fault_injection.md.
+  std::string chaos_scenario;
 };
 
 struct FdQosResult {
@@ -78,6 +85,10 @@ struct QosReport {
   std::uint64_t total_crashes = 0;      // per run set (same injector for all)
   std::uint64_t heartbeats_delivered = 0;
   std::uint64_t heartbeats_sent = 0;
+  // Chaos accounting (zero when chaos_scenario is empty), summed over runs.
+  std::uint64_t chaos_fault_events = 0;  // scheduled events per run
+  std::uint64_t chaos_dropped = 0;       // eaten by partitions/flaps
+  std::uint64_t chaos_duplicated = 0;    // extra copies injected
 };
 
 QosReport run_qos_experiment(const QosExperimentConfig& config);

@@ -199,7 +199,9 @@ std::string qos_config_summary(const QosExperimentConfig& config) {
                 config.warmup.to_string().c_str(),
                 static_cast<unsigned long long>(config.seed),
                 config.jobs == 0 ? exec::default_jobs() : config.jobs);
-  return buf;
+  std::string line = buf;
+  if (!config.chaos_scenario.empty()) line += " chaos=" + config.chaos_scenario;
+  return line;
 }
 
 }  // namespace fdqos::exp

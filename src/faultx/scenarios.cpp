@@ -1,0 +1,189 @@
+#include "faultx/scenarios.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fdqos::faultx {
+namespace {
+
+// Placement helpers: `at(f)` is the point a fraction f into the active
+// window, `dur(f, cap)` a duration of fraction f of the window bounded by
+// `cap` so short harness runs and long paper runs see events of the same
+// character (brief, recoverable) rather than faults that swallow the run.
+struct Window {
+  TimePoint start;
+  Duration span;
+
+  TimePoint at(double f) const { return start + span.scaled(f); }
+  Duration dur(double f, Duration cap) const {
+    return std::min(span.scaled(f), cap);
+  }
+};
+
+using Builder = FaultSchedule (*)(const Window&);
+
+FaultSchedule spike_storm(const Window& w) {
+  // Escalating congestion plateaus: five spikes, 300 ms → 2 s. The later
+  // ones exceed every adaptive timeout built from the quiet-path history.
+  FaultSchedule s;
+  const Duration len = w.dur(0.04, Duration::seconds(12));
+  s.spike(w.at(0.10), len, Duration::millis(300));
+  s.spike(w.at(0.28), len, Duration::millis(500));
+  s.spike(w.at(0.46), len, Duration::millis(800));
+  s.spike(w.at(0.64), len, Duration::millis(1200));
+  s.spike(w.at(0.82), len, Duration::millis(2000));
+  return s;
+}
+
+FaultSchedule slow_ramp(const Window& w) {
+  // A queue filling over half the run, peaking at +2.5 s — the divergence
+  // trap: every delay observation is stale by the time the timeout built
+  // from it is armed (Jain's retransmission-timeout pathology).
+  FaultSchedule s;
+  s.ramp(w.at(0.20), w.span.scaled(0.5), Duration::millis(2500));
+  return s;
+}
+
+FaultSchedule burst_loss(const Window& w) {
+  // Two Gilbert–Elliott override windows with bad-state loss 0.9/0.95 —
+  // multi-heartbeat gaps indistinguishable (briefly) from a crash.
+  FaultSchedule s;
+  s.burst_loss(w.at(0.20), w.dur(0.10, Duration::seconds(40)),
+               {0.3, 0.1, 0.05, 0.9});
+  s.burst_loss(w.at(0.60), w.dur(0.08, Duration::seconds(30)),
+               {0.5, 0.2, 0.1, 0.95});
+  return s;
+}
+
+FaultSchedule partition_heal(const Window& w) {
+  // Full cuts with heal: a short one the better detectors ride out, and a
+  // longer one every detector must (wrongly but unavoidably) suspect —
+  // the Chandra–Toueg unreliability made concrete.
+  FaultSchedule s;
+  s.partition(w.at(0.30), w.dur(0.04, Duration::seconds(8)));
+  s.partition(w.at(0.68), w.dur(0.08, Duration::seconds(20)));
+  return s;
+}
+
+FaultSchedule reorder_burst(const Window& w) {
+  // 35% of messages held back 1.8 s: heartbeats overtake each other, the
+  // obs-list/sq() stale-sequence handling is exercised hard.
+  FaultSchedule s;
+  const Duration len = w.dur(0.12, Duration::seconds(45));
+  s.reorder(w.at(0.25), len, 0.35, Duration::millis(1800));
+  s.reorder(w.at(0.62), len, 0.35, Duration::millis(1800));
+  return s;
+}
+
+FaultSchedule link_flap(const Window& w) {
+  // Route oscillation: 4 s period, down half of each period, for a third
+  // of the run. Heartbeats arrive in clumps with periodic holes.
+  FaultSchedule s;
+  s.flap(w.at(0.30), w.span.scaled(0.30), Duration::seconds(4), 0.5);
+  return s;
+}
+
+FaultSchedule clock_step(const Window& w) {
+  // The monitored clock steps back 250 ms (every later heartbeat +250 ms
+  // on the wire), then heals — a level shift the NTP assumption of the
+  // paper rules out and real deployments see on every clock slam.
+  FaultSchedule s;
+  s.clock_jump(w.at(0.30), Duration::millis(-250));
+  s.clock_jump(w.at(0.70), Duration::millis(250));
+  return s;
+}
+
+FaultSchedule dup_storm(const Window& w) {
+  // Duplication violates fair-lossy on purpose: 75% of messages sent
+  // twice, plus a mild spike so the copies interleave out of order.
+  FaultSchedule s;
+  s.duplicate(w.at(0.25), w.span.scaled(0.30), 0.75);
+  s.spike(w.at(0.60), w.dur(0.05, Duration::seconds(15)),
+          Duration::millis(150));
+  return s;
+}
+
+FaultSchedule kitchen_sink(const Window& w) {
+  // Everything at once, staggered — the closest thing to a bad day on a
+  // real WAN path. Magnitudes are kept below the single-fault scenarios
+  // so the combination, not any one fault, is the stressor.
+  FaultSchedule s;
+  s.spike(w.at(0.08), w.dur(0.04, Duration::seconds(10)),
+          Duration::millis(400));
+  s.ramp(w.at(0.18), w.span.scaled(0.18), Duration::millis(1200));
+  s.burst_loss(w.at(0.40), w.dur(0.05, Duration::seconds(20)),
+               {0.3, 0.15, 0.05, 0.85});
+  s.reorder(w.at(0.50), w.dur(0.06, Duration::seconds(25)), 0.25,
+            Duration::millis(1200));
+  s.clock_jump(w.at(0.58), Duration::millis(-150));
+  s.partition(w.at(0.68), w.dur(0.03, Duration::seconds(10)));
+  s.duplicate(w.at(0.76), w.dur(0.08, Duration::seconds(30)), 0.5);
+  s.flap(w.at(0.88), w.span.scaled(0.08), Duration::seconds(3), 0.4);
+  s.clock_jump(w.at(0.95), Duration::millis(150));
+  return s;
+}
+
+struct Registered {
+  ScenarioInfo info;
+  Builder build;
+};
+
+const std::vector<Registered>& registry() {
+  static const std::vector<Registered> kScenarios = {
+      {{"spike_storm", "five escalating delay spikes, 300ms to 2s"},
+       spike_storm},
+      {{"slow_ramp", "delay ramps 0 to +2.5s over half the run"}, slow_ramp},
+      {{"burst_loss", "two Gilbert-Elliott bursts, 90-95% bad-state loss"},
+       burst_loss},
+      {{"partition_heal", "full partitions of 8s and 20s, each healing"},
+       partition_heal},
+      {{"reorder_burst", "35% of messages held 1.8s, twice"}, reorder_burst},
+      {{"link_flap", "4s-period up/down flapping for a third of the run"},
+       link_flap},
+      {{"clock_step", "monitored clock steps -250ms, later heals"},
+       clock_step},
+      {{"dup_storm", "75% duplication plus a mild spike"}, dup_storm},
+      {{"kitchen_sink", "all fault types staggered across the run"},
+       kitchen_sink},
+  };
+  return kScenarios;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenario_catalogue() {
+  static const std::vector<ScenarioInfo> kInfos = [] {
+    std::vector<ScenarioInfo> infos;
+    for (const auto& r : registry()) infos.push_back(r.info);
+    return infos;
+  }();
+  return kInfos;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& r : registry()) names.push_back(r.info.name);
+  return names;
+}
+
+bool is_scenario(const std::string& name) {
+  for (const auto& r : registry()) {
+    if (r.info.name == name) return true;
+  }
+  return false;
+}
+
+FaultSchedule make_scenario(const std::string& name,
+                            const ScenarioParams& params) {
+  FDQOS_REQUIRE(params.horizon > params.active_start);
+  for (const auto& r : registry()) {
+    if (r.info.name != name) continue;
+    return r.build(Window{params.active_start,
+                          params.horizon - params.active_start});
+  }
+  FDQOS_REQUIRE(!"unknown chaos scenario");
+  return {};
+}
+
+}  // namespace fdqos::faultx

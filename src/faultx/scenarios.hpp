@@ -1,0 +1,46 @@
+// Named chaos scenarios — the corpus the invariant harness sweeps.
+//
+// Each scenario is a recipe that lays fault events over a run window given
+// only where the detector warmup ends and where the run stops; event
+// placement scales with the window so the same scenario stresses a 400 s
+// harness run and a 10 000 s paper-sized run alike. Absolute magnitudes
+// (spike heights, loss probabilities, jump sizes) are fixed: they are the
+// adversarial regime being modelled, not a function of run length.
+//
+// Adding a scenario: add a builder in scenarios.cpp, register it in
+// kScenarios, document it in docs/fault_injection.md. The invariant
+// harness (tests/integration/chaos_invariants_test.cpp) picks it up
+// automatically via scenario_names().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faultx/fault_schedule.hpp"
+
+namespace fdqos::faultx {
+
+struct ScenarioParams {
+  // Faults are placed inside [active_start, horizon); keep active_start at
+  // or after the experiment's warmup end so every fault lands in the
+  // recorded measurement window.
+  TimePoint active_start = TimePoint::origin() + Duration::seconds(60);
+  TimePoint horizon = TimePoint::origin() + Duration::seconds(10000);
+};
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;  // one line, shown by `fdqos chaos --list`
+};
+
+// Catalogue in registration order.
+const std::vector<ScenarioInfo>& scenario_catalogue();
+std::vector<std::string> scenario_names();
+bool is_scenario(const std::string& name);
+
+// Build the schedule for `name`; aborts (FDQOS_REQUIRE) on unknown names
+// and on a degenerate window — check is_scenario() first for user input.
+FaultSchedule make_scenario(const std::string& name,
+                            const ScenarioParams& params);
+
+}  // namespace fdqos::faultx

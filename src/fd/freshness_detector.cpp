@@ -1,5 +1,7 @@
 #include "fd/freshness_detector.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "obs/instruments.hpp"
@@ -24,9 +26,13 @@ FreshnessDetector::FreshnessDetector(
 
 double FreshnessDetector::current_delta_ms() const {
   if (observations_ == 0) return config_.cold_start_timeout.to_millis_double();
+  const double delta = predictor_->predict() + margin_->margin();
+  // A NaN/Inf forecast (a diverged estimator under adversarial delays)
+  // would silently corrupt every subsequent τ — fail fast instead; the
+  // chaos invariant harness leans on this to catch estimator divergence.
+  FDQOS_ASSERT(std::isfinite(delta));
   // A (pathological) negative forecast would place τ before σ; clamp — a
   // heartbeat cannot arrive before it is sent.
-  const double delta = predictor_->predict() + margin_->margin();
   return delta > 0.0 ? delta : 0.0;
 }
 

@@ -45,6 +45,7 @@ void SimTransport::send(Message msg) {
 
   if (!link.enabled) {
     ++link.stats.dropped;
+    ++link.stats.partition_dropped;
     return;
   }
   if (link.config.loss && link.config.loss->drop(link.rng, simulator_.now())) {

@@ -27,8 +27,11 @@ class SimTransport final : public Transport {
 
   struct LinkStats {
     std::uint64_t sent = 0;
-    std::uint64_t dropped = 0;
+    std::uint64_t dropped = 0;    // all drops: loss model + disabled link
     std::uint64_t delivered = 0;
+    // Subset of `dropped` eaten while the link was disabled — separates
+    // injected partitions from stochastic loss in experiment accounting.
+    std::uint64_t partition_dropped = 0;
   };
 
   SimTransport(sim::Simulator& simulator, Rng rng);

@@ -1,21 +1,42 @@
 #include "runtime/multiplexer.hpp"
 
+#include <exception>
+
+#include "common/log.hpp"
 #include "obs/instruments.hpp"
 #include "obs/trace.hpp"
 
 namespace fdqos::runtime {
 
+void MultiPlexerLayer::fan_out_isolated(const net::Message& msg) {
+  // The fairness contract is that every upper layer perceives the full
+  // arrival stream. A detector callback that throws therefore may not
+  // abort the fan-out: the error is contained to the offending layer,
+  // counted, logged, and the remaining layers still receive the message.
+  for (Layer* layer : layers_above()) {
+    try {
+      layer->handle_up(msg);
+    } catch (const std::exception& e) {
+      ++dispatch_errors_;
+      FDQOS_LOG_WARN("mux: upper layer threw during dispatch: %s", e.what());
+    } catch (...) {
+      ++dispatch_errors_;
+      FDQOS_LOG_WARN("mux: upper layer threw a non-exception during dispatch");
+    }
+  }
+}
+
 void MultiPlexerLayer::handle_up(const net::Message& msg) {
   ++seen_;
   if (!obs::enabled()) {
-    deliver_up(msg);
+    fan_out_isolated(msg);
     return;
   }
   auto& m = obs::instruments();
   m.mux_dispatch_total.inc();
   if (msg.type == net::MessageType::kHeartbeat) m.heartbeats_delivered.inc();
   obs::ObsSpan span("mux_dispatch", &m.mux_dispatch_duration_us);
-  deliver_up(msg);
+  fan_out_isolated(msg);
 }
 
 }  // namespace fdqos::runtime

@@ -18,9 +18,15 @@ class MultiPlexerLayer final : public Layer {
 
   std::uint64_t messages_seen() const { return seen_; }
   std::size_t fan_out() const { return layers_above().size(); }
+  // Exceptions swallowed during fan-out (see handle_up): one faulty
+  // detector must not starve its siblings of the shared arrival stream.
+  std::uint64_t dispatch_errors() const { return dispatch_errors_; }
 
  private:
+  void fan_out_isolated(const net::Message& msg);
+
   std::uint64_t seen_ = 0;
+  std::uint64_t dispatch_errors_ = 0;
 };
 
 }  // namespace fdqos::runtime

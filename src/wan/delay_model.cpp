@@ -80,6 +80,10 @@ SpikeMixtureDelay::SpikeMixtureDelay(std::unique_ptr<DelayModel> base,
   FDQOS_REQUIRE(base_ != nullptr);
   FDQOS_REQUIRE(spike_prob >= 0.0 && spike_prob <= 1.0);
   FDQOS_REQUIRE(spike_shape > 0.0);
+  // A Pareto scale must be strictly positive and the cap must leave room
+  // for at least the scale, or every sample degenerates to the cap.
+  FDQOS_REQUIRE(spike_scale > Duration::zero());
+  FDQOS_REQUIRE(spike_cap >= spike_scale);
   char buf[128];
   std::snprintf(buf, sizeof buf, "spikes(p=%.4f,scale=%s,alpha=%.2f)+%s",
                 spike_prob_, spike_scale_.to_string().c_str(), spike_shape_,

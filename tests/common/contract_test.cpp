@@ -13,12 +13,14 @@ static const bool kDeathStyle = [] {
 #include <memory>
 
 #include "common/rng.hpp"
+#include "faultx/fault_schedule.hpp"
 #include "fd/safety_margin.hpp"
 #include "forecast/basic_predictors.hpp"
 #include "sim/simulator.hpp"
 #include "stats/histogram.hpp"
 #include "stats/quantiles.hpp"
 #include "wan/delay_model.hpp"
+#include "wan/loss_model.hpp"
 
 namespace fdqos {
 namespace {
@@ -78,6 +80,69 @@ TEST(ContractDeathTest, UniformDelayReversedBoundsAbort) {
   EXPECT_DEATH(
       (wan::UniformDelay{Duration::millis(100), Duration::millis(50)}),
       "precondition");
+}
+
+TEST(ContractDeathTest, GilbertElliottRejectsInvalidProbabilities) {
+  wan::GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 1.5;
+  EXPECT_DEATH(wan::GilbertElliottLoss{params}, "precondition");
+  params.p_good_to_bad = 0.1;
+  params.p_bad_to_good = -0.2;
+  EXPECT_DEATH(wan::GilbertElliottLoss{params}, "precondition");
+  params.p_bad_to_good = 0.1;
+  params.loss_good = 2.0;
+  EXPECT_DEATH(wan::GilbertElliottLoss{params}, "precondition");
+  params.loss_good = 0.0;
+  params.loss_bad = -1.0;
+  EXPECT_DEATH(wan::GilbertElliottLoss{params}, "precondition");
+}
+
+TEST(ContractDeathTest, SpikeMixtureRejectsInvalidParams) {
+  auto base = [] {
+    return std::make_unique<wan::ConstantDelay>(Duration::millis(100));
+  };
+  // Null base.
+  EXPECT_DEATH((wan::SpikeMixtureDelay{nullptr, 0.1, Duration::millis(30),
+                                       1.5, Duration::millis(340)}),
+               "precondition");
+  // Probability outside [0, 1].
+  EXPECT_DEATH((wan::SpikeMixtureDelay{base(), 1.2, Duration::millis(30),
+                                       1.5, Duration::millis(340)}),
+               "precondition");
+  // Non-positive Pareto shape.
+  EXPECT_DEATH((wan::SpikeMixtureDelay{base(), 0.1, Duration::millis(30),
+                                       0.0, Duration::millis(340)}),
+               "precondition");
+  // Non-positive scale.
+  EXPECT_DEATH((wan::SpikeMixtureDelay{base(), 0.1, Duration::zero(), 1.5,
+                                       Duration::millis(340)}),
+               "precondition");
+  // Cap below scale (the Pareto support would be empty).
+  EXPECT_DEATH((wan::SpikeMixtureDelay{base(), 0.1, Duration::millis(30),
+                                       1.5, Duration::millis(10)}),
+               "precondition");
+}
+
+TEST(ContractDeathTest, FaultScheduleRejectsNonsenseEvents) {
+  faultx::FaultSchedule s;
+  const TimePoint t = TimePoint::origin() + Duration::seconds(10);
+  EXPECT_DEATH(s.spike(t, Duration::millis(-1), Duration::millis(10)),
+               "precondition");
+  EXPECT_DEATH(s.spike(t, Duration::seconds(1), Duration::millis(-10)),
+               "precondition");
+  EXPECT_DEATH(s.ramp(t, Duration::zero(), Duration::millis(10)),
+               "precondition");
+  EXPECT_DEATH(s.reorder(t, Duration::seconds(1), 1.5, Duration::millis(10)),
+               "precondition");
+  EXPECT_DEATH(s.duplicate(t, Duration::seconds(1), -0.5), "precondition");
+  EXPECT_DEATH(s.flap(t, Duration::seconds(1), Duration::zero(), 0.5),
+               "precondition");
+  EXPECT_DEATH(s.flap(t, Duration::seconds(1), Duration::seconds(1), 2.0),
+               "precondition");
+  wan::GilbertElliottLoss::Params bad_chain;
+  bad_chain.loss_bad = 7.0;
+  EXPECT_DEATH(s.burst_loss(t, Duration::seconds(1), bad_chain),
+               "precondition");
 }
 
 }  // namespace

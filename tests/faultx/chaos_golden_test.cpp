@@ -1,0 +1,80 @@
+// Golden-file regression: the chaos QoS summary for a pinned
+// (scenario, seed, runs, cycles) must reproduce byte-for-byte.
+//
+// This freezes the entire deterministic pipeline — scenario construction,
+// fault wrappers, RNG substream layout, simulator event ordering, QoS
+// tracking, pooling, table formatting. Any refactor that silently changes
+// one of them shows up as a golden diff instead of an unnoticed shift in
+// every published number.
+//
+// Regenerate intentionally with:
+//   FDQOS_UPDATE_GOLDEN=1 ./fdqos_chaos_tests \
+//       --gtest_filter=ChaosGoldenTest.*
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/chaos.hpp"
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+const char* golden_path() {
+  return FDQOS_SOURCE_DIR "/tests/faultx/golden/chaos_spike_storm_seed7.csv";
+}
+
+std::string render_report() {
+  QosExperimentConfig config;
+  config.chaos_scenario = "spike_storm";
+  config.seed = 7;
+  config.runs = 2;
+  config.num_cycles = 300;
+  config.mttc = Duration::seconds(90);
+  config.ttr = Duration::seconds(20);
+  config.warmup = Duration::seconds(60);
+  config.jobs = 2;
+  const QosReport report = run_qos_experiment(config);
+
+  std::string out = chaos_table(report).to_csv() + "\n";
+  for (const auto kind :
+       {QosMetricKind::kTd, QosMetricKind::kTm, QosMetricKind::kPa}) {
+    out += qos_metric_table(report, kind).to_csv() + "\n";
+  }
+  return out;
+}
+
+TEST(ChaosGoldenTest, SpikeStormSeed7MatchesGoldenCsv) {
+  const std::string actual = render_report();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("FDQOS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    out.close();
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << " — generate it with FDQOS_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  EXPECT_EQ(actual, expected.str())
+      << "chaos pipeline output drifted from the golden file; if the "
+         "change is intentional, regenerate with FDQOS_UPDATE_GOLDEN=1 "
+         "and review the diff";
+}
+
+}  // namespace
+}  // namespace fdqos::exp

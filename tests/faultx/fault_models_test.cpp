@@ -1,0 +1,180 @@
+#include "faultx/fault_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "sim/simulator.hpp"
+#include "wan/italy_japan.hpp"
+
+namespace fdqos::faultx {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_millis_double(s * 1000.0);
+}
+
+std::shared_ptr<const FaultSchedule> share(FaultSchedule s) {
+  return std::make_shared<const FaultSchedule>(std::move(s));
+}
+
+net::Message heartbeat(std::int64_t seq, TimePoint sent) {
+  net::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.type = net::MessageType::kHeartbeat;
+  msg.seq = seq;
+  msg.send_time = sent;
+  return msg;
+}
+
+TEST(FaultyDelayTest, AddsSpikeOnTopOfBase) {
+  FaultSchedule s;
+  s.spike(at_s(100), Duration::seconds(10), Duration::millis(500));
+  FaultyDelay model(
+      std::make_unique<wan::ConstantDelay>(Duration::millis(200)), share(s));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(rng, at_s(50)), Duration::millis(200));
+  EXPECT_EQ(model.sample(rng, at_s(105)), Duration::millis(700));
+  EXPECT_EQ(model.sample(rng, at_s(115)), Duration::millis(200));
+}
+
+TEST(FaultyDelayTest, ForwardClockJumpClampsAtZero) {
+  // Clock jumped forward 10 s: heartbeats appear to leave 10 s early. The
+  // physical constraint wins — total delay clamps at zero, never negative.
+  FaultSchedule s;
+  s.clock_jump(at_s(0), Duration::seconds(10));
+  FaultyDelay model(
+      std::make_unique<wan::ConstantDelay>(Duration::millis(200)), share(s));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(rng, at_s(5)), Duration::zero());
+}
+
+TEST(FaultyDelayTest, BackwardClockJumpDelaysHeartbeats) {
+  FaultSchedule s;
+  s.clock_jump(at_s(10), Duration::millis(-250));
+  FaultyDelay model(
+      std::make_unique<wan::ConstantDelay>(Duration::millis(200)), share(s));
+  Rng rng(1);
+  EXPECT_EQ(model.sample(rng, at_s(5)), Duration::millis(200));
+  EXPECT_EQ(model.sample(rng, at_s(15)), Duration::millis(450));
+}
+
+TEST(FaultyDelayTest, IdenticalToBaseOutsideWindowsSameRngStream) {
+  // A chaos run outside every fault window must consume randomness exactly
+  // like the nominal run: same seed, same samples.
+  FaultSchedule s;
+  s.reorder(at_s(5000), Duration::seconds(10), 0.5, Duration::millis(100));
+  auto nominal = wan::make_italy_japan_delay();
+  FaultyDelay faulty(wan::make_italy_japan_delay(), share(s));
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(nominal->sample(a, at_s(i)), faulty.sample(b, at_s(i))) << i;
+  }
+}
+
+TEST(FaultyLossTest, NullBaseDropsOnlyInsideBurstWindows) {
+  FaultSchedule s;
+  // loss 1.0 in both chain states: every message in the window drops.
+  s.burst_loss(at_s(100), Duration::seconds(10), {0.5, 0.5, 1.0, 1.0});
+  FaultyLoss model(nullptr, share(s));
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(model.drop(rng, at_s(i)));
+  }
+  for (int i = 100; i < 110; ++i) {
+    EXPECT_TRUE(model.drop(rng, at_s(i)));
+  }
+  EXPECT_FALSE(model.drop(rng, at_s(110)));
+}
+
+TEST(FaultyLossTest, BaseModelStillAppliesEverywhere) {
+  FaultSchedule s;
+  s.burst_loss(at_s(100), Duration::seconds(5), {0.0, 1.0, 0.0, 0.0});
+  FaultyLoss model(std::make_unique<wan::BernoulliLoss>(1.0), share(s));
+  Rng rng(4);
+  EXPECT_TRUE(model.drop(rng, at_s(1)));
+  EXPECT_TRUE(model.drop(rng, at_s(102)));
+  EXPECT_TRUE(model.drop(rng, at_s(200)));
+}
+
+TEST(FaultyLossTest, MakeFreshResetsBurstChains) {
+  FaultSchedule s;
+  s.burst_loss(at_s(0), Duration::seconds(100), {1.0, 0.0, 0.0, 1.0});
+  FaultyLoss model(nullptr, share(s));
+  auto replay = [](wan::LossModel& m, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 100; ++i) out.push_back(m.drop(rng, at_s(i)));
+    return out;
+  };
+  const auto first = replay(model, 5);
+  auto fresh = model.make_fresh();
+  const auto second = replay(*fresh, 5);
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultyTransportTest, PartitionEatsMessagesAndCountsThem) {
+  sim::Simulator simulator;
+  net::SimTransport inner(simulator, Rng(1));
+  FaultSchedule s;
+  s.partition(at_s(10), Duration::seconds(10));
+  FaultyTransport transport(inner, share(s), Rng(2));
+
+  std::vector<std::int64_t> received;
+  transport.bind(1, [&](const net::Message& m) { received.push_back(m.seq); });
+
+  transport.send(heartbeat(1, simulator.now()));
+  simulator.schedule_at(at_s(15), [&] {
+    transport.send(heartbeat(2, simulator.now()));
+  });
+  simulator.schedule_at(at_s(25), [&] {
+    transport.send(heartbeat(3, simulator.now()));
+  });
+  simulator.run();
+
+  EXPECT_EQ(received, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(transport.stats().sent, 3u);
+  EXPECT_EQ(transport.stats().fault_dropped, 1u);
+  EXPECT_EQ(transport.stats().duplicated, 0u);
+}
+
+TEST(FaultyTransportTest, DuplicationSendsTwoCopies) {
+  sim::Simulator simulator;
+  net::SimTransport inner(simulator, Rng(1));
+  FaultSchedule s;
+  s.duplicate(at_s(0), Duration::seconds(100), 1.0);
+  FaultyTransport transport(inner, share(s), Rng(2));
+
+  int copies = 0;
+  transport.bind(1, [&](const net::Message&) { ++copies; });
+  transport.send(heartbeat(1, simulator.now()));
+  simulator.run();
+
+  EXPECT_EQ(copies, 2);
+  EXPECT_EQ(transport.stats().duplicated, 1u);
+}
+
+TEST(FaultyTransportTest, StampsSendTimeWithJumpedClock) {
+  sim::Simulator simulator;
+  net::SimTransport inner(simulator, Rng(1));
+  FaultSchedule s;
+  s.clock_jump(at_s(0), Duration::millis(-250));
+  FaultyTransport transport(inner, share(s), Rng(2));
+
+  TimePoint stamped;
+  transport.bind(1, [&](const net::Message& m) { stamped = m.send_time; });
+  simulator.schedule_at(at_s(5), [&] {
+    transport.send(heartbeat(1, simulator.now()));
+  });
+  simulator.run();
+
+  EXPECT_EQ(stamped, at_s(5) - Duration::millis(250));
+}
+
+}  // namespace
+}  // namespace fdqos::faultx

@@ -1,0 +1,134 @@
+#include "faultx/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fdqos::faultx {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::from_millis_double(s * 1000.0);
+}
+
+TEST(FaultScheduleTest, EmptyScheduleIsInert) {
+  FaultSchedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.event_count(), 0u);
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(10)), Duration::zero());
+  EXPECT_EQ(s.clock_hold(at_s(10)), Duration::zero());
+  EXPECT_FALSE(s.link_down(at_s(10)));
+  EXPECT_EQ(s.duplicate_prob(at_s(10)), 0.0);
+  Rng rng(1);
+  EXPECT_EQ(s.reorder_extra(rng, at_s(10)), Duration::zero());
+  EXPECT_TRUE(s.describe().empty());
+}
+
+TEST(FaultScheduleTest, SpikeWindowIsHalfOpen) {
+  FaultSchedule s;
+  s.spike(at_s(100), Duration::seconds(10), Duration::millis(500));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(99.999)), Duration::zero());
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(100)), Duration::millis(500));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(109.999)), Duration::millis(500));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(110)), Duration::zero());
+}
+
+TEST(FaultScheduleTest, OverlappingSpikesAdd) {
+  FaultSchedule s;
+  s.spike(at_s(0), Duration::seconds(20), Duration::millis(100))
+      .spike(at_s(10), Duration::seconds(20), Duration::millis(50));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(5)), Duration::millis(100));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(15)), Duration::millis(150));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(25)), Duration::millis(50));
+}
+
+TEST(FaultScheduleTest, RampRisesLinearlyThenVanishes) {
+  FaultSchedule s;
+  s.ramp(at_s(100), Duration::seconds(100), Duration::millis(2000));
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(100)), Duration::zero());
+  EXPECT_NEAR(s.deterministic_extra_delay(at_s(150)).to_millis_double(),
+              1000.0, 1e-6);
+  EXPECT_NEAR(s.deterministic_extra_delay(at_s(175)).to_millis_double(),
+              1500.0, 1e-6);
+  // The window is half-open: at start+duration the queue has drained.
+  EXPECT_EQ(s.deterministic_extra_delay(at_s(200)), Duration::zero());
+}
+
+TEST(FaultScheduleTest, PartitionAndFlapDriveLinkDown) {
+  FaultSchedule s;
+  s.partition(at_s(50), Duration::seconds(10));
+  // Flap: 4 s period, down the first half of each period.
+  s.flap(at_s(100), Duration::seconds(20), Duration::seconds(4), 0.5);
+
+  EXPECT_FALSE(s.link_down(at_s(49.9)));
+  EXPECT_TRUE(s.link_down(at_s(50)));
+  EXPECT_TRUE(s.link_down(at_s(59.9)));
+  EXPECT_FALSE(s.link_down(at_s(60)));
+
+  EXPECT_TRUE(s.link_down(at_s(100.0)));   // phase 0.0 < 0.5
+  EXPECT_TRUE(s.link_down(at_s(101.9)));   // phase 0.475
+  EXPECT_FALSE(s.link_down(at_s(102.0)));  // phase 0.5: up half
+  EXPECT_FALSE(s.link_down(at_s(103.9)));
+  EXPECT_TRUE(s.link_down(at_s(104.1)));   // next period, down again
+  EXPECT_FALSE(s.link_down(at_s(120.0)));  // flap window over
+}
+
+TEST(FaultScheduleTest, DuplicateProbCombinesAsIndependentCoins) {
+  FaultSchedule s;
+  s.duplicate(at_s(0), Duration::seconds(100), 0.5)
+      .duplicate(at_s(50), Duration::seconds(100), 0.5);
+  EXPECT_DOUBLE_EQ(s.duplicate_prob(at_s(10)), 0.5);
+  EXPECT_DOUBLE_EQ(s.duplicate_prob(at_s(75)), 0.75);  // 1 - 0.5*0.5
+  EXPECT_DOUBLE_EQ(s.duplicate_prob(at_s(120)), 0.5);
+  EXPECT_DOUBLE_EQ(s.duplicate_prob(at_s(200)), 0.0);
+}
+
+TEST(FaultScheduleTest, ReorderDrawsRngOnlyInsideWindows) {
+  FaultSchedule s;
+  s.reorder(at_s(100), Duration::seconds(10), 1.0, Duration::millis(700));
+
+  // Outside the window no randomness is consumed: the stream must be
+  // untouched so nominal stretches of a chaos run match a nominal run.
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(s.reorder_extra(a, at_s(50)), Duration::zero());
+  EXPECT_EQ(a.bernoulli(0.5), b.bernoulli(0.5));
+  EXPECT_EQ(a.bernoulli(0.5), b.bernoulli(0.5));
+
+  // Inside, prob=1.0 always shuffles.
+  Rng c(7);
+  EXPECT_EQ(s.reorder_extra(c, at_s(105)), Duration::millis(700));
+}
+
+TEST(FaultScheduleTest, ClockJumpBecomesDelayHold) {
+  FaultSchedule s;
+  // Clock set back 250 ms at t=100, healed (stepped forward) at t=200.
+  s.clock_jump(at_s(100), Duration::millis(-250));
+  s.clock_jump(at_s(200), Duration::millis(250));
+
+  EXPECT_EQ(s.clock_hold(at_s(50)), Duration::zero());
+  // Error is -250 ms => heartbeats leave 250 ms late on the global line.
+  EXPECT_EQ(s.clock_hold(at_s(150)), Duration::millis(250));
+  EXPECT_EQ(s.clock_hold(at_s(250)), Duration::zero());
+  EXPECT_EQ(s.clock().step_count(), 2u);
+}
+
+TEST(FaultScheduleTest, EventCountAndDescribeCoverEveryKind) {
+  FaultSchedule s;
+  s.spike(at_s(1), Duration::seconds(1), Duration::millis(10))
+      .ramp(at_s(2), Duration::seconds(1), Duration::millis(10))
+      .burst_loss(at_s(3), Duration::seconds(1), {})
+      .reorder(at_s(4), Duration::seconds(1), 0.5, Duration::millis(10))
+      .duplicate(at_s(5), Duration::seconds(1), 0.5)
+      .partition(at_s(6), Duration::seconds(1))
+      .flap(at_s(7), Duration::seconds(1), Duration::millis(100), 0.5)
+      .clock_jump(at_s(8), Duration::millis(-5));
+  EXPECT_EQ(s.event_count(), 8u);
+  EXPECT_FALSE(s.empty());
+  const std::string text = s.describe();
+  for (const char* kind : {"spike", "ramp", "burst-loss", "reorder",
+                           "duplicate", "partition", "flap", "clock-jump"}) {
+    EXPECT_NE(text.find(kind), std::string::npos) << kind << "\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::faultx

@@ -1,0 +1,85 @@
+#include "faultx/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fdqos::faultx {
+namespace {
+
+ScenarioParams params_s(double start_s, double horizon_s) {
+  ScenarioParams p;
+  p.active_start = TimePoint::origin() + Duration::seconds(
+                       static_cast<std::int64_t>(start_s));
+  p.horizon = TimePoint::origin() + Duration::seconds(
+                  static_cast<std::int64_t>(horizon_s));
+  return p;
+}
+
+TEST(ScenariosTest, CatalogueIsNonTrivialAndConsistent) {
+  const auto& catalogue = scenario_catalogue();
+  ASSERT_GE(catalogue.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& info : catalogue) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_TRUE(is_scenario(info.name)) << info.name;
+    names.insert(info.name);
+  }
+  EXPECT_EQ(names.size(), catalogue.size()) << "duplicate scenario names";
+  EXPECT_EQ(scenario_names().size(), catalogue.size());
+  EXPECT_FALSE(is_scenario("no_such_scenario"));
+}
+
+TEST(ScenariosTest, EveryScenarioBuildsNonEmptyInsideTheWindow) {
+  const auto params = params_s(60, 500);
+  for (const auto& name : scenario_names()) {
+    const FaultSchedule s = make_scenario(name, params);
+    EXPECT_FALSE(s.empty()) << name;
+    EXPECT_GE(s.event_count(), 1u) << name;
+  }
+}
+
+TEST(ScenariosTest, FaultsLandAfterActiveStart) {
+  // Nothing may perturb the warmup: before active_start every query of
+  // every scenario must be inert.
+  const auto params = params_s(60, 500);
+  for (const auto& name : scenario_names()) {
+    const FaultSchedule s = make_scenario(name, params);
+    Rng rng(1);
+    for (double t_s = 0.0; t_s < 60.0; t_s += 1.0) {
+      const TimePoint t = TimePoint::origin() + Duration::from_millis_double(
+                              t_s * 1000.0);
+      EXPECT_EQ(s.deterministic_extra_delay(t), Duration::zero())
+          << name << " t=" << t_s;
+      EXPECT_EQ(s.reorder_extra(rng, t), Duration::zero())
+          << name << " t=" << t_s;
+      EXPECT_EQ(s.clock_hold(t), Duration::zero()) << name << " t=" << t_s;
+      EXPECT_FALSE(s.link_down(t)) << name << " t=" << t_s;
+      EXPECT_EQ(s.duplicate_prob(t), 0.0) << name << " t=" << t_s;
+    }
+  }
+}
+
+TEST(ScenariosTest, PlacementScalesWithTheWindow) {
+  // The same scenario on a 10x longer run keeps the same event count: the
+  // recipe scales placement, not density.
+  for (const auto& name : scenario_names()) {
+    const FaultSchedule small = make_scenario(name, params_s(60, 500));
+    const FaultSchedule large = make_scenario(name, params_s(60, 5000));
+    EXPECT_EQ(small.event_count(), large.event_count()) << name;
+  }
+}
+
+TEST(ScenariosTest, DescribeListsEveryEvent) {
+  const FaultSchedule s = make_scenario("kitchen_sink", params_s(60, 500));
+  const std::string text = s.describe();
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, s.event_count());
+}
+
+}  // namespace
+}  // namespace fdqos::faultx

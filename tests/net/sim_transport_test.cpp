@@ -130,6 +130,102 @@ TEST(SimTransportTest, LinksAreDirectional) {
   EXPECT_EQ(bwd_arrival, TimePoint::origin() + Duration::millis(99));
 }
 
+TEST(SimTransportTest, DisabledLinkCountsPartitionDrops) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, Rng(9));
+  SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(1));
+  transport.set_link(0, 1, std::move(link));
+  int received = 0;
+  transport.bind(1, [&](const Message&) { ++received; });
+
+  transport.send(heartbeat(0, 1, 1, simulator.now()));
+  transport.set_link_enabled(0, 1, false);
+  transport.send(heartbeat(0, 1, 2, simulator.now()));
+  transport.send(heartbeat(0, 1, 3, simulator.now()));
+  transport.set_link_enabled(0, 1, true);
+  transport.send(heartbeat(0, 1, 4, simulator.now()));
+  simulator.run();
+
+  EXPECT_EQ(received, 2);
+  const auto& stats = transport.link_stats(0, 1);
+  EXPECT_EQ(stats.sent, 4u);
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.partition_dropped, 2u);
+}
+
+TEST(SimTransportTest, PartitionDropsAreDisjointFromLossDrops) {
+  // Stochastic loss and partition drops both land in `dropped`, but only
+  // the partition's share lands in `partition_dropped`.
+  sim::Simulator simulator;
+  SimTransport transport(simulator, Rng(10));
+  SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::ConstantDelay>(Duration::millis(1));
+  link.loss = std::make_unique<wan::BernoulliLoss>(1.0);  // drop everything
+  transport.set_link(0, 1, std::move(link));
+  transport.bind(1, [&](const Message&) {});
+
+  transport.send(heartbeat(0, 1, 1, simulator.now()));  // loss-model drop
+  transport.set_link_enabled(0, 1, false);
+  transport.send(heartbeat(0, 1, 2, simulator.now()));  // partition drop
+  simulator.run();
+
+  const auto& stats = transport.link_stats(0, 1);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.partition_dropped, 1u);
+}
+
+TEST(SimTransportTest, StatsStayConsistentUnderLossAndReorder) {
+  // sent = delivered + dropped must hold exactly even while independent
+  // delays reorder deliveries and the loss model thins the stream.
+  sim::Simulator simulator;
+  SimTransport transport(simulator, Rng(11));
+  SimTransport::LinkConfig link;
+  link.delay = std::make_unique<wan::UniformDelay>(Duration::millis(0),
+                                                   Duration::millis(400));
+  link.loss = std::make_unique<wan::BernoulliLoss>(0.2);
+  transport.set_link(0, 1, std::move(link));
+  int received = 0;
+  transport.bind(1, [&](const Message&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    transport.send(heartbeat(0, 1, i, simulator.now()));
+  }
+  simulator.run();
+
+  const auto& stats = transport.link_stats(0, 1);
+  EXPECT_EQ(stats.sent, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(stats.delivered + stats.dropped, stats.sent);
+  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(received));
+  EXPECT_EQ(stats.partition_dropped, 0u);  // link never disabled
+  EXPECT_GT(stats.dropped, 0u);
+}
+
+TEST(SimTransportTest, SymmetricPartitionCutsBothDirectionsOnly) {
+  sim::Simulator simulator;
+  SimTransport transport(simulator, Rng(12));
+  int to_b = 0;
+  int to_c = 0;
+  transport.bind(1, [&](const Message&) { ++to_b; });
+  transport.bind(2, [&](const Message&) { ++to_c; });
+
+  transport.set_partitioned(0, 1, true);
+  transport.send(heartbeat(0, 1, 1, simulator.now()));
+  transport.send(heartbeat(1, 0, 1, simulator.now()));
+  transport.send(heartbeat(0, 2, 1, simulator.now()));  // unrelated pair
+  simulator.run();
+  EXPECT_EQ(to_b, 0);
+  EXPECT_EQ(to_c, 1);
+  EXPECT_EQ(transport.link_stats(0, 1).partition_dropped, 1u);
+  EXPECT_EQ(transport.link_stats(1, 0).partition_dropped, 1u);
+
+  transport.set_partitioned(0, 1, false);
+  transport.send(heartbeat(0, 1, 2, simulator.now()));
+  simulator.run();
+  EXPECT_EQ(to_b, 1);
+}
+
 TEST(SimTransportTest, SameSeedSameDeliverySchedule) {
   auto run_once = [] {
     sim::Simulator simulator;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "net/sim_transport.hpp"
@@ -16,6 +17,20 @@ class RecordingLayer final : public Layer {
     log.emplace_back(msg.seq);
   }
   std::vector<std::int64_t> log;
+};
+
+class ThrowingLayer final : public Layer {
+ public:
+  explicit ThrowingLayer(bool structured = true) : structured_(structured) {}
+  void handle_up(const net::Message&) override {
+    ++calls;
+    if (structured_) throw std::runtime_error("detector diverged");
+    throw 42;  // non-std::exception
+  }
+  int calls = 0;
+
+ private:
+  bool structured_;
 };
 
 net::Message heartbeat(std::int64_t seq) {
@@ -75,6 +90,49 @@ TEST(MultiPlexerTest, IdenticalPerceptionAcrossUppers) {
   EXPECT_EQ(a.log, b.log);
   EXPECT_LT(a.log.size(), 500u);  // some were lost
   EXPECT_GT(a.log.size(), 350u);
+}
+
+TEST(MultiPlexerTest, ThrowingLayerDoesNotStarveSiblings) {
+  // The fairness contract under faults: one detector blowing up (e.g. an
+  // estimator tripping an exception under chaos) must not cut its siblings
+  // off from the shared arrival stream.
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(4));
+  ProcessNode node(transport, 1);
+  auto& mux = node.push(std::make_unique<MultiPlexerLayer>());
+  RecordingLayer before;
+  ThrowingLayer thrower;
+  RecordingLayer after;
+  node.attach_unowned(mux, before);
+  node.attach_unowned(mux, thrower);
+  node.attach_unowned(mux, after);
+  node.start();
+  for (int i = 1; i <= 50; ++i) transport.send(heartbeat(i));
+  simulator.run();
+
+  EXPECT_EQ(before.log.size(), 50u);
+  EXPECT_EQ(after.log.size(), 50u);  // stacked *after* the thrower
+  EXPECT_EQ(before.log, after.log);
+  EXPECT_EQ(thrower.calls, 50);
+  EXPECT_EQ(mux.dispatch_errors(), 50u);
+  EXPECT_EQ(mux.messages_seen(), 50u);
+}
+
+TEST(MultiPlexerTest, NonStdExceptionIsAlsoContained) {
+  sim::Simulator simulator;
+  net::SimTransport transport(simulator, Rng(5));
+  ProcessNode node(transport, 1);
+  auto& mux = node.push(std::make_unique<MultiPlexerLayer>());
+  ThrowingLayer thrower(/*structured=*/false);
+  RecordingLayer sibling;
+  node.attach_unowned(mux, thrower);
+  node.attach_unowned(mux, sibling);
+  node.start();
+  transport.send(heartbeat(1));
+  simulator.run();
+
+  EXPECT_EQ(sibling.log.size(), 1u);
+  EXPECT_EQ(mux.dispatch_errors(), 1u);
 }
 
 TEST(MultiPlexerTest, NoUppersIsSafe) {

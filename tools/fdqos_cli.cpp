@@ -5,6 +5,9 @@
 //                    [--metric td|tdu|tm|tmr|pa|all] [--csv FILE]
 //                    [--metrics-out FILE] [--metrics-jsonl-out FILE]
 //                    [--trace-out FILE] [--progress SECONDS] [--jobs N]
+//   fdqos chaos      --scenario NAME [--seed S] [--jobs N] [--runs N]
+//                    [--cycles N] [--mttc-s S] [--ttr-s S]
+//                    [--metric td|tdu|tm|tmr|pa|all] [--csv FILE] | --list
 //   fdqos accuracy   [--n N] [--seed S] [--csv FILE]
 //                    [--metrics-out FILE] [--progress SECONDS] [--jobs N]
 //   fdqos link       [--n N] [--seed S]
@@ -26,8 +29,10 @@
 #include "common/args.hpp"
 #include "exec/thread_pool.hpp"
 #include "exp/accuracy_experiment.hpp"
+#include "exp/chaos.hpp"
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
+#include "faultx/scenarios.hpp"
 #include "forecast/arima/order_selection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,9 +45,13 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fdqos <qos|accuracy|link|order-select|trace> [flags]\n"
+               "usage: fdqos <qos|chaos|accuracy|link|order-select|trace> "
+               "[flags]\n"
                "  qos          reproduce the Figures 4-8 experiment\n"
                "               (--trace FILE runs it on a recorded trace)\n"
+               "  chaos        run the QoS experiment under a fault scenario\n"
+               "               and check the QoS invariants (--list to see\n"
+               "               scenarios; --scenario NAME --seed N --jobs J)\n"
                "  accuracy     reproduce the Table 3 experiment\n"
                "  link         characterize the WAN model (Table 4)\n"
                "  order-select run the ARIMA order grid search (Table 2)\n"
@@ -180,6 +189,97 @@ int cmd_qos(const ArgParser& args) {
   return 0;
 }
 
+// Run the full 30-detector QoS experiment under a named faultx scenario
+// and verify the chaos invariants. Everything on stdout is a pure function
+// of (scenario, seed, runs, cycles, ...) — never of --jobs — so
+//   fdqos chaos --scenario X --seed N --jobs 8
+// is byte-identical to --jobs 1 (the config echo, which includes jobs,
+// goes to stderr). Exit 0 = all invariants hold, 1 = violations.
+int cmd_chaos(const ArgParser& args) {
+  if (args.get_flag("--list")) {
+    if (const int rc = check_unknown(args); rc != 0) return rc;
+    for (const auto& info : faultx::scenario_catalogue()) {
+      std::printf("%-16s %s\n", info.name.c_str(), info.summary.c_str());
+    }
+    return 0;
+  }
+
+  exp::QosExperimentConfig config;
+  config.chaos_scenario = args.get_string("--scenario", "");
+  config.runs = static_cast<std::size_t>(args.get_int("--runs", 3));
+  config.num_cycles = args.get_int("--cycles", 1200);
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 7));
+  config.eta = Duration::millis(args.get_int("--eta-ms", 1000));
+  config.mttc = Duration::seconds(args.get_int("--mttc-s", 120));
+  config.ttr = Duration::seconds(args.get_int("--ttr-s", 25));
+  config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
+  const std::string metric = args.get_string("--metric", "all");
+  const std::string csv = args.get_string("--csv", "");
+  ObsSession obs_session = ObsSession::from_args(args);
+  config.progress_interval_s = obs_session.progress_s;
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+
+  if (config.chaos_scenario.empty()) {
+    std::fprintf(stderr,
+                 "fdqos chaos: --scenario NAME required (--list shows them)\n");
+    return 2;
+  }
+  if (!faultx::is_scenario(config.chaos_scenario)) {
+    std::fprintf(stderr, "fdqos chaos: unknown scenario '%s'; known:\n",
+                 config.chaos_scenario.c_str());
+    for (const auto& name : faultx::scenario_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+
+  std::fprintf(stderr, "[fdqos] %s\n", exp::qos_config_summary(config).c_str());
+  const exp::QosReport report = exp::run_qos_experiment(config);
+  if (!obs_session.finish()) return 1;
+
+  auto chaos = exp::chaos_table(report);
+  std::printf("%s\n", chaos.to_ascii().c_str());
+  std::string csv_out = chaos.to_csv() + "\n";
+
+  const std::vector<std::pair<std::string, exp::QosMetricKind>> kinds = {
+      {"td", exp::QosMetricKind::kTd},   {"tdu", exp::QosMetricKind::kTdU},
+      {"tm", exp::QosMetricKind::kTm},   {"tmr", exp::QosMetricKind::kTmr},
+      {"pa", exp::QosMetricKind::kPa},
+  };
+  bool matched = false;
+  for (const auto& [key, kind] : kinds) {
+    if (metric != "all" && metric != key) continue;
+    matched = true;
+    auto table = exp::qos_metric_table(report, kind);
+    std::printf("%s\n", table.to_ascii().c_str());
+    csv_out += table.to_csv() + "\n";
+  }
+  if (!matched) {
+    std::fprintf(stderr, "fdqos: unknown metric '%s'\n", metric.c_str());
+    return 2;
+  }
+  if (!csv.empty() && !write_file(csv, csv_out)) {
+    std::fprintf(stderr, "fdqos: cannot write %s\n", csv.c_str());
+    return 1;
+  }
+
+  const auto violations = exp::qos_invariant_violations(report);
+  if (violations.empty()) {
+    std::printf("invariants: OK (%zu detectors, scenario %s, seed %llu)\n",
+                report.results.size(), config.chaos_scenario.c_str(),
+                static_cast<unsigned long long>(config.seed));
+    return 0;
+  }
+  for (const auto& v : violations) {
+    std::printf("invariant VIOLATED [%s] %s\n", v.invariant.c_str(),
+                v.detail.c_str());
+  }
+  std::printf("invariants: %zu violation(s) (scenario %s, seed %llu)\n",
+              violations.size(), config.chaos_scenario.c_str(),
+              static_cast<unsigned long long>(config.seed));
+  return 1;
+}
+
 // Export a synthetic delay trace in TraceRecorder CSV format — the input
 // format `qos --trace` and `wan::TraceReplayDelay` consume. A trace
 // captured from a real link (e.g. by wiring wan::RecordingDelay into a
@@ -276,6 +376,7 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) return usage();
   const std::string command = args.positional()[0];
   if (command == "qos") return cmd_qos(args);
+  if (command == "chaos") return cmd_chaos(args);
   if (command == "accuracy") return cmd_accuracy(args);
   if (command == "link") return cmd_link(args);
   if (command == "order-select") return cmd_order_select(args);
