@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "forecast/msqerr.hpp"
+#include "forecast/shared_predictor.hpp"
 #include "obs/progress.hpp"
 
 namespace fdqos::exp {
@@ -59,17 +60,22 @@ AccuracyReport run_accuracy_experiment(const AccuracyExperimentConfig& config) {
   exec::parallel_for(
       labels.size(),
       [&](std::size_t i) {
-        auto predictor = fd::make_paper_predictor(labels[i], config.params)();
+        // Scored through the same SharedPredictor handle the DetectorBank
+        // uses, so accuracy rows measure exactly the forecasts the bank's
+        // lanes consume (the memoized predict() is transparent here: the
+        // scorer alternates observe/predict, so every predict is a miss).
+        forecast::SharedPredictor predictor(
+            fd::make_paper_predictor(labels[i], config.params)());
         const forecast::AccuracyResult acc =
-            forecast::evaluate_accuracy(*predictor, delays);
-        report.rows[i] = {predictor->name(), acc.msqerr, acc.mean_abs_err};
+            forecast::evaluate_accuracy(predictor, delays);
+        report.rows[i] = {predictor.name(), acc.msqerr, acc.mean_abs_err};
         const std::size_t done =
             scored.fetch_add(1, std::memory_order_relaxed) + 1;
         if (progress != nullptr &&
             (progress->due() || done == labels.size())) {
           progress->emit(
               "scored %zu/%zu predictors (last: %s, msqerr %.2f ms^2)", done,
-              labels.size(), predictor->name().c_str(), acc.msqerr);
+              labels.size(), predictor.name().c_str(), acc.msqerr);
         }
       },
       config.jobs);

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -89,6 +92,7 @@ struct RunOutput {
   std::uint64_t hb_sent = 0;
   std::uint64_t hb_delivered = 0;
   faultx::FaultyTransport::Stats chaos;  // zero when no scenario active
+  fd::DetectorBank::Counters bank;       // engine counters for this run
 };
 
 // One self-contained seeded simulation (paper run). Reads only immutable
@@ -154,33 +158,81 @@ RunOutput run_one(const QosExperimentConfig& config,
   auto& mux = monitor.push(std::make_unique<runtime::MultiPlexerLayer>());
 
   const TimePoint warmup_end = TimePoint::origin() + config.warmup;
-  std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;
   std::vector<fd::QosTracker> trackers;
-  detectors.reserve(suite.size());
   trackers.reserve(suite.size());
   for (std::size_t i = 0; i < suite.size(); ++i) {
     trackers.emplace_back(warmup_end);
   }
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    fd::FreshnessDetector::Config fd_config;
-    fd_config.eta = config.eta;
-    fd_config.monitored = kMonitored;
-    fd_config.cold_start_timeout = config.cold_start_timeout;
-    fd_config.name = suite[i].name;
-    auto detector = std::make_unique<fd::FreshnessDetector>(
-        simulator, fd_config, suite[i].make_predictor(),
-        suite[i].make_margin());
-    fd::QosTracker* tracker = &trackers[i];
-    detector->set_observer([tracker](TimePoint t, bool suspecting) {
-      if (suspecting) {
-        tracker->suspect_started(t);
+  // Both engines funnel transitions through the same per-lane sink, so the
+  // tracker update sequence (and the optional probe stream) is identical.
+  auto on_transition = [&trackers, &config, run](std::size_t i, TimePoint t,
+                                                 bool suspecting) {
+    if (suspecting) {
+      trackers[i].suspect_started(t);
+    } else {
+      trackers[i].suspect_ended(t);
+    }
+    if (config.transition_probe) config.transition_probe(run, i, t, suspecting);
+  };
+
+  std::unique_ptr<fd::DetectorBank> bank;                 // batched engine
+  std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;  // legacy
+  if (config.use_detector_bank) {
+    fd::DetectorBank::Config bank_config;
+    bank_config.eta = config.eta;
+    bank_config.monitored = kMonitored;
+    bank_config.cold_start_timeout = config.cold_start_timeout;
+    bank_config.name = "qos-bank";
+    bank = std::make_unique<fd::DetectorBank>(simulator, bank_config);
+    // One predictor group per distinct non-empty predictor_key; an empty
+    // key never shares (the spec made no identical-behaviour promise).
+    std::unordered_map<std::string, std::size_t> group_by_key;
+    for (const auto& spec : suite) {
+      std::size_t group;
+      const auto it = spec.predictor_key.empty()
+                          ? group_by_key.end()
+                          : group_by_key.find(spec.predictor_key);
+      if (it != group_by_key.end()) {
+        group = it->second;
       } else {
-        tracker->suspect_ended(t);
+        group = bank->add_group(spec.make_predictor());
+        if (!spec.predictor_key.empty()) {
+          group_by_key.emplace(spec.predictor_key, group);
+        }
       }
-    });
-    monitor.attach_unowned(mux, *detector);
-    detectors.push_back(std::move(detector));
+      bank->add_lane(spec.name, group, spec.make_margin());
+    }
+    bank->set_observer(
+        [&on_transition](std::size_t lane, TimePoint t, bool suspecting) {
+          on_transition(lane, t, suspecting);
+        });
+    monitor.attach_unowned(mux, *bank);
+  } else {
+    detectors.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      fd::FreshnessDetector::Config fd_config;
+      fd_config.eta = config.eta;
+      fd_config.monitored = kMonitored;
+      fd_config.cold_start_timeout = config.cold_start_timeout;
+      fd_config.name = suite[i].name;
+      auto detector = std::make_unique<fd::FreshnessDetector>(
+          simulator, fd_config, suite[i].make_predictor(),
+          suite[i].make_margin());
+      detector->set_observer([&on_transition, i](TimePoint t, bool suspecting) {
+        on_transition(i, t, suspecting);
+      });
+      monitor.attach_unowned(mux, *detector);
+      detectors.push_back(std::move(detector));
+    }
   }
+  auto suspecting_count = [&bank, &detectors]() {
+    if (bank != nullptr) return bank->suspecting_count();
+    std::size_t n = 0;
+    for (const auto& d : detectors) {
+      if (d->suspecting()) ++n;
+    }
+    return n;
+  };
 
   crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
     for (auto& tracker : trackers) {
@@ -207,10 +259,7 @@ RunOutput run_one(const QosExperimentConfig& config,
       // A tick that loses the race simply skips this line; another run's
       // tick just emitted one.
       if (lock.owns_lock() && progress->emitter.due()) {
-        std::size_t suspecting = 0;
-        for (const auto& d : detectors) {
-          if (d->suspecting()) ++suspecting;
-        }
+        const std::size_t suspecting = suspecting_count();
         const std::size_t started =
             progress->runs_started.load(std::memory_order_relaxed);
         const std::size_t done =
@@ -235,7 +284,7 @@ RunOutput run_one(const QosExperimentConfig& config,
             static_cast<unsigned long long>(hb_stats.delivered),
             static_cast<unsigned long long>(hb_stats.sent -
                                             hb_stats.delivered),
-            suspecting, detectors.size());
+            suspecting, suite.size());
       }
       simulator.schedule_after(tick_every, progress_tick);
     };
@@ -252,6 +301,11 @@ RunOutput run_one(const QosExperimentConfig& config,
   out.hb_sent = hb_stats.sent;
   out.hb_delivered = hb_stats.delivered;
   if (chaos_net.has_value()) out.chaos = chaos_net->stats();
+  if (bank != nullptr) {
+    out.bank = bank->counters();
+  } else {
+    for (const auto& d : detectors) out.bank.add(d->counters());
+  }
   out.trackers = std::move(trackers);
 
   if (progress != nullptr) {
@@ -281,6 +335,28 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
   }
   for (const auto& spec : config.extra_specs) suite.push_back(spec);
   FDQOS_REQUIRE(!suite.empty());
+
+  // Names key results, figure cells and the bank's lanes; a duplicate (or
+  // empty) name would silently alias two detectors. Reject loudly up front.
+  std::unordered_set<std::string> seen_names;
+  for (const auto& spec : suite) {
+    if (spec.name.empty()) {
+      std::fprintf(stderr,
+                   "fdqos: qos suite contains a detector with an empty name "
+                   "(predictor=%s margin=%s); every spec needs a unique "
+                   "non-empty name\n",
+                   spec.predictor_label.c_str(), spec.margin_label.c_str());
+      FDQOS_REQUIRE(!"empty detector name in qos suite");
+    }
+    if (!seen_names.insert(spec.name).second) {
+      std::fprintf(stderr,
+                   "fdqos: duplicate detector name '%s' in qos suite "
+                   "(extra_specs and the paper/baseline suites share one "
+                   "namespace); names must be unique\n",
+                   spec.name.c_str());
+      FDQOS_REQUIRE(!"duplicate detector name in qos suite");
+    }
+  }
 
   QosReport report;
   report.config = config;
@@ -354,11 +430,20 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
     report.total_crashes += out.crash_count;
     report.heartbeats_sent += out.hb_sent;
     report.heartbeats_delivered += out.hb_delivered;
+    report.bank.add(out.bank);
     if (faults != nullptr) {
       report.chaos_fault_events += faults->event_count();
       report.chaos_dropped += out.chaos.fault_dropped;
       report.chaos_duplicated += out.chaos.duplicated;
     }
+  }
+
+  if (obs::enabled()) {
+    auto& m = obs::instruments();
+    m.bank_predictor_updates.inc(report.bank.predictor_updates);
+    m.bank_lane_updates.inc(report.bank.lane_updates);
+    m.bank_coalesced_timers.inc(report.bank.coalesced_timers);
+    m.bank_dispatch_errors.inc(report.bank.dispatch_errors);
   }
 
   if (progress != nullptr) {

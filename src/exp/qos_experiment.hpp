@@ -3,18 +3,23 @@
 // Architecture per run (paper Figure 3), all in virtual time:
 //
 //   Monitored node:  Heartbeater(η) → SimCrash(MTTC, TTR) → network
-//   Monitor node:    network → MultiPlexer → 30 FreshnessDetectors
+//   Monitor node:    network → MultiPlexer → DetectorBank (30 lanes)
 //
-// Every detector receives the identical arrival stream through the
-// MultiPlexer; a QosTracker per detector consumes its suspect transitions
-// plus the injector's crash/restore ground truth. Results pool the T_D,
-// T_M and T_MR samples across the configured number of runs.
+// Every detector lane receives the identical arrival stream; by default the
+// whole suite runs on one batched fd::DetectorBank that evaluates each
+// distinct predictor once per heartbeat (use_detector_bank = false restores
+// one FreshnessDetector per spec — same report bytes, more work). A
+// QosTracker per lane consumes its suspect transitions plus the injector's
+// crash/restore ground truth. Results pool the T_D, T_M and T_MR samples
+// across the configured number of runs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "fd/detector_bank.hpp"
 #include "fd/qos_tracker.hpp"
 #include "fd/suite.hpp"
 #include "stats/running_stats.hpp"
@@ -43,7 +48,10 @@ struct QosExperimentConfig {
   bool include_constant_baseline = false;
   double baseline_margin_ms = 100.0;
   // Additional detectors to run next to the paper suite (extensions,
-  // configured NFD-E instances, ...). Names must be unique.
+  // configured NFD-E instances, ...). Names must be unique across the whole
+  // assembled suite — results, figures and the bank's lanes are keyed by
+  // name, so a duplicate would silently alias two detectors. Enforced (with
+  // a clear stderr message) before any run starts.
   std::vector<fd::FdSpec> extra_specs;
   // Replace the 30-detector paper suite entirely (extra_specs still
   // appended) — for focused sweeps that don't need the full grid.
@@ -65,6 +73,21 @@ struct QosExperimentConfig {
   // warmup end and run horizon). Empty = nominal network.
   // See docs/fault_injection.md.
   std::string chaos_scenario;
+  // Execution engine. true (default): the whole suite runs on one batched
+  // fd::DetectorBank per run — each distinct predictor (grouped by
+  // FdSpec::predictor_key) is evaluated once per heartbeat and the
+  // freshness timers are coalesced. false: one FreshnessDetector per spec
+  // (the legacy layout), kept for the bank-vs-legacy equivalence suite and
+  // the overhead benches. Both engines produce byte-identical reports; see
+  // docs/detector_bank.md.
+  bool use_detector_bank = true;
+  // Test/diagnostic hook: invoked on every suspect transition as
+  // (run, detector index, time, suspecting), in simulation order within a
+  // run. May be called concurrently from worker threads, but only with
+  // distinct `run` values — per-run consumers need no locking. Null = off.
+  std::function<void(std::size_t run, std::size_t detector, TimePoint t,
+                     bool suspecting)>
+      transition_probe;
 };
 
 struct FdQosResult {
@@ -89,6 +112,11 @@ struct QosReport {
   std::uint64_t chaos_fault_events = 0;  // scheduled events per run
   std::uint64_t chaos_dropped = 0;       // eaten by partitions/flaps
   std::uint64_t chaos_duplicated = 0;    // extra copies injected
+  // Detector-engine counters summed over runs (legacy runs sum the per-
+  // wrapper 1-wide banks, so predictor_updates directly compares sharing:
+  // 30 per heartbeat legacy vs 5 per heartbeat banked on the paper suite).
+  // Not part of any report table — flushed into the fdqos::obs registry.
+  fd::DetectorBank::Counters bank;
 };
 
 QosReport run_qos_experiment(const QosExperimentConfig& config);

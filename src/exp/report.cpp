@@ -201,7 +201,25 @@ std::string qos_config_summary(const QosExperimentConfig& config) {
                 config.jobs == 0 ? exec::default_jobs() : config.jobs);
   std::string line = buf;
   if (!config.chaos_scenario.empty()) line += " chaos=" + config.chaos_scenario;
+  // The bank is the default engine; only the opt-out is worth a mention
+  // (and the default summary bytes stay exactly as before the refactor).
+  if (!config.use_detector_bank) line += " engine=legacy";
   return line;
+}
+
+std::string qos_report_fingerprint(const QosReport& report) {
+  std::string all;
+  for (const auto kind :
+       {QosMetricKind::kTd, QosMetricKind::kTdU, QosMetricKind::kTm,
+        QosMetricKind::kTmr, QosMetricKind::kPa}) {
+    all += qos_metric_table(report, kind).to_csv();
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof tail, "crashes=%llu sent=%llu delivered=%llu",
+                static_cast<unsigned long long>(report.total_crashes),
+                static_cast<unsigned long long>(report.heartbeats_sent),
+                static_cast<unsigned long long>(report.heartbeats_delivered));
+  return all + tail;
 }
 
 }  // namespace fdqos::exp

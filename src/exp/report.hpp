@@ -66,4 +66,10 @@ stats::TableWriter link_table(const wan::LinkCharacteristics& link,
 // One-line experiment header (parameters echo, Table 5 style).
 std::string qos_config_summary(const QosExperimentConfig& config);
 
+// The full report rendered through every metric table plus the crash /
+// heartbeat tallies — the same bytes a user sees. Equal fingerprints mean
+// equal reports; the parallel-engine and bank-vs-legacy equivalence checks
+// (bench_parallel, bench_detector_bank, tests/exp) all compare these.
+std::string qos_report_fingerprint(const QosReport& report);
+
 }  // namespace fdqos::exp

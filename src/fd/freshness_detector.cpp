@@ -1,105 +1,32 @@
 #include "fd/freshness_detector.hpp"
 
-#include <cmath>
-
 #include "common/assert.hpp"
-#include "common/log.hpp"
-#include "obs/instruments.hpp"
 
 namespace fdqos::fd {
+
+namespace {
+
+DetectorBank::Config bank_config(const FreshnessDetector::Config& config) {
+  DetectorBank::Config out;
+  out.eta = config.eta;
+  out.monitored = config.monitored;
+  out.epoch = config.epoch;
+  out.cold_start_timeout = config.cold_start_timeout;
+  out.name = config.name.empty() ? "detector" : config.name;
+  return out;
+}
+
+}  // namespace
 
 FreshnessDetector::FreshnessDetector(
     sim::Simulator& simulator, Config config,
     std::unique_ptr<forecast::Predictor> predictor,
     std::unique_ptr<SafetyMargin> margin)
-    : simulator_(simulator),
-      config_(std::move(config)),
-      predictor_(std::move(predictor)),
-      margin_(std::move(margin)) {
-  FDQOS_REQUIRE(config_.eta > Duration::zero());
-  FDQOS_REQUIRE(predictor_ != nullptr);
-  FDQOS_REQUIRE(margin_ != nullptr);
-  if (config_.name.empty()) {
-    config_.name = predictor_->name() + "+" + margin_->name();
-  }
-}
-
-double FreshnessDetector::current_delta_ms() const {
-  if (observations_ == 0) return config_.cold_start_timeout.to_millis_double();
-  const double delta = predictor_->predict() + margin_->margin();
-  // A NaN/Inf forecast (a diverged estimator under adversarial delays)
-  // would silently corrupt every subsequent τ — fail fast instead; the
-  // chaos invariant harness leans on this to catch estimator divergence.
-  FDQOS_ASSERT(std::isfinite(delta));
-  // A (pathological) negative forecast would place τ before σ; clamp — a
-  // heartbeat cannot arrive before it is sent.
-  return delta > 0.0 ? delta : 0.0;
-}
-
-void FreshnessDetector::start() {
-  // Cycle 0 begins at the epoch: compute τ_1 and schedule cycle 1.
-  begin_cycle(0);
-}
-
-void FreshnessDetector::begin_cycle(std::int64_t k) {
-  // At the beginning of cycle k, compute τ_{k+1} = σ_{k+1} + δ_{k+1} from
-  // current estimator state and arm the freshness check.
-  const std::int64_t next = k + 1;
-  const TimePoint sigma_next = config_.epoch + config_.eta * next;
-  const TimePoint tau_next =
-      sigma_next + Duration::from_millis_double(current_delta_ms());
-  // The check runs one tick *after* τ: a heartbeat arriving exactly at the
-  // freshness point still counts as fresh (the interval [τ_i, τ_{i+1}] is
-  // inspected only once both endpoints' arrivals have had their chance).
-  simulator_.schedule_at(tau_next + Duration::nanos(1),
-                         [this, next] { freshness_reached(next); });
-
-  // The next cycle begins at σ_{k+1}.
-  simulator_.schedule_at(sigma_next, [this, next] { begin_cycle(next); });
-}
-
-void FreshnessDetector::freshness_reached(std::int64_t index) {
-  // τ_index has passed: the freshness window is now at least [τ_index, ...).
-  if (index > freshness_index_) freshness_index_ = index;
-  if (obs::enabled()) obs::instruments().fd_freshness_checks_total.inc();
-  update_suspicion();
-}
-
-void FreshnessDetector::handle_up(const net::Message& msg) {
-  if (msg.type != net::MessageType::kHeartbeat || msg.from != config_.monitored) {
-    deliver_up(msg);
-    return;
-  }
-  const TimePoint sigma = config_.epoch + config_.eta * msg.seq;
-  double obs_ms = (simulator_.now() - sigma).to_millis_double();
-  // On a real deployment residual clock skew can make a delay appear
-  // negative; clamp (the paper's NTP assumption makes this ≈ 0).
-  if (obs_ms < 0.0) obs_ms = 0.0;
-
-  // The margin sees the error of the forecast that was current for this
-  // observation, so feed it before the predictor updates.
-  margin_->observe(obs_ms, predictor_->predict());
-  predictor_->observe(obs_ms);
-  ++observations_;
-
-  if (msg.seq > max_seq_) max_seq_ = msg.seq;
-  update_suspicion();
-}
-
-void FreshnessDetector::update_suspicion() {
-  // Trust at time t ∈ [τ_i, τ_{i+1}) iff some m_k with k ≥ i was received.
-  const bool should_suspect = max_seq_ < freshness_index_;
-  if (should_suspect == suspecting_) return;
-  suspecting_ = should_suspect;
-  if (obs::enabled()) {
-    auto& m = obs::instruments();
-    (suspecting_ ? m.fd_transitions_to_suspect : m.fd_transitions_to_trust)
-        .inc();
-    FDQOS_LOG_TRACE("%s -> %s at %.3f s (delta=%.2f ms)",
-                    config_.name.c_str(), suspecting_ ? "suspect" : "trust",
-                    simulator_.now().to_seconds_double(), current_delta_ms());
-  }
-  if (observer_) observer_(simulator_.now(), suspecting_);
+    : DetectorBank(simulator, bank_config(config)) {
+  FDQOS_REQUIRE(predictor != nullptr);
+  FDQOS_REQUIRE(margin != nullptr);
+  const std::size_t group = add_group(std::move(predictor));
+  add_lane(std::move(config.name), group, std::move(margin));
 }
 
 }  // namespace fdqos::fd

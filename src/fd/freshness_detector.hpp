@@ -11,20 +11,25 @@
 // otherwise it suspects q. Heartbeats may be lost and reordered: the
 // observation list is kept in arrival order and a stale heartbeat (seq
 // below the current freshness index) does not restore trust.
+//
+// Since the DetectorBank refactor this class is a thin single-lane wrapper
+// over a 1-wide fd::DetectorBank — the batched engine is the canonical
+// execution path (see docs/detector_bank.md); this wrapper keeps the
+// one-detector API for examples, the UDP live monitor, and tests.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "fd/detector_bank.hpp"
 #include "fd/safety_margin.hpp"
 #include "forecast/predictor.hpp"
-#include "runtime/layer.hpp"
 #include "sim/simulator.hpp"
 
 namespace fdqos::fd {
 
-class FreshnessDetector final : public runtime::Layer {
+class FreshnessDetector final : public DetectorBank {
  public:
   struct Config {
     Duration eta = Duration::seconds(1);   // monitored process's period η
@@ -43,39 +48,22 @@ class FreshnessDetector final : public runtime::Layer {
                     std::unique_ptr<forecast::Predictor> predictor,
                     std::unique_ptr<SafetyMargin> margin);
 
-  void set_observer(SuspectObserver observer) { observer_ = std::move(observer); }
+  void set_observer(SuspectObserver observer) {
+    DetectorBank::set_observer(
+        [cb = std::move(observer)](std::size_t, TimePoint t, bool suspecting) {
+          cb(t, suspecting);
+        });
+  }
 
-  void start() override;
-  void handle_up(const net::Message& msg) override;
-
-  const std::string& name() const { return config_.name; }
-  bool suspecting() const { return suspecting_; }
-  // Highest heartbeat sequence received so far (0 = none).
-  std::int64_t max_seq() const { return max_seq_; }
+  const std::string& name() const { return lane_name(0); }
+  bool suspecting() const { return lane_suspecting(0); }
   // Index i of the current freshness window [τ_i, τ_{i+1}).
-  std::int64_t freshness_index() const { return freshness_index_; }
+  std::int64_t freshness_index() const { return lane_freshness_index(0); }
   // Current timeout δ = pred + sm, in milliseconds.
-  double current_delta_ms() const;
-  std::size_t observations() const { return observations_; }
+  double current_delta_ms() const { return lane_delta_ms(0); }
 
-  const forecast::Predictor& predictor() const { return *predictor_; }
-  const SafetyMargin& margin() const { return *margin_; }
-
- private:
-  void begin_cycle(std::int64_t k);
-  void freshness_reached(std::int64_t index);
-  void update_suspicion();
-
-  sim::Simulator& simulator_;
-  Config config_;
-  std::unique_ptr<forecast::Predictor> predictor_;
-  std::unique_ptr<SafetyMargin> margin_;
-  SuspectObserver observer_;
-
-  std::int64_t max_seq_ = 0;
-  std::int64_t freshness_index_ = 0;
-  bool suspecting_ = false;
-  std::size_t observations_ = 0;
+  const forecast::Predictor& predictor() const { return group_predictor(0); }
+  const SafetyMargin& margin() const { return lane_margin(0); }
 };
 
 }  // namespace fdqos::fd

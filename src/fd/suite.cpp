@@ -42,6 +42,24 @@ forecast::PredictorFactory make_paper_predictor(const std::string& label,
   return {};
 }
 
+std::string paper_predictor_key(const std::string& label,
+                                const PaperParams& params) {
+  if (label == "Arima") {
+    return "Arima(" + std::to_string(params.arima_order.p) + "," +
+           std::to_string(params.arima_order.d) + "," +
+           std::to_string(params.arima_order.q) + ")/" +
+           std::to_string(params.n_arima);
+  }
+  if (label == "Last") return "Last";
+  if (label == "LPF") return "LPF(" + std::to_string(params.lpf_beta) + ")";
+  if (label == "Mean") return "Mean";
+  if (label == "WinMean") {
+    return "WinMean(" + std::to_string(params.winmean_window) + ")";
+  }
+  FDQOS_REQUIRE(!"unknown predictor label");
+  return {};
+}
+
 SafetyMarginFactory make_paper_margin(const std::string& label,
                                       const PaperParams& params) {
   static const char* kLevels[3] = {"low", "med", "high"};
@@ -71,6 +89,7 @@ std::vector<FdSpec> make_paper_suite(const PaperParams& params) {
       spec.name = pred + "+" + margin;
       spec.predictor_label = pred;
       spec.margin_label = margin;
+      spec.predictor_key = paper_predictor_key(pred, params);
       spec.make_predictor = make_paper_predictor(pred, params);
       spec.make_margin = make_paper_margin(margin, params);
       suite.push_back(std::move(spec));
@@ -88,6 +107,7 @@ std::vector<FdSpec> make_constant_margin_suite(double margin_ms,
     spec.name = pred + "+CONST";
     spec.predictor_label = pred;
     spec.margin_label = "CONST";
+    spec.predictor_key = paper_predictor_key(pred, params);
     spec.make_predictor = make_paper_predictor(pred, params);
     spec.make_margin = [margin_ms] {
       return std::make_unique<ConstantSafetyMargin>(margin_ms);

@@ -29,6 +29,12 @@ struct FdSpec {
   std::string name;             // e.g. "Arima+CI_low"
   std::string predictor_label;  // e.g. "Arima" (figure series label)
   std::string margin_label;     // e.g. "CI_low" (figure x-axis label)
+  // Sharing key for the DetectorBank: specs with the same non-empty key
+  // promise that make_predictor() yields behaviourally identical predictors,
+  // so the bank evaluates one shared instance for all of them. Empty = never
+  // shared (a private predictor group per lane). Must encode every parameter
+  // that changes forecasts, e.g. "Arima(2,1,1)/1000".
+  std::string predictor_key;
   forecast::PredictorFactory make_predictor;
   SafetyMarginFactory make_margin;
 };
@@ -40,6 +46,10 @@ std::vector<std::string> paper_margin_labels();     // CI_low..JAC_high
 // One factory per paper predictor, keyed by its figure label.
 forecast::PredictorFactory make_paper_predictor(const std::string& label,
                                                 const PaperParams& params = {});
+// Canonical FdSpec::predictor_key for a paper predictor: the figure label
+// plus every forecast-affecting parameter, e.g. "Arima(2,1,1)/1000".
+std::string paper_predictor_key(const std::string& label,
+                                const PaperParams& params = {});
 // One factory per paper margin, keyed by its figure label.
 SafetyMarginFactory make_paper_margin(const std::string& label,
                                       const PaperParams& params = {});

@@ -1,0 +1,31 @@
+#include "forecast/shared_predictor.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::forecast {
+
+SharedPredictor::SharedPredictor(std::unique_ptr<Predictor> predictor)
+    : predictor_(std::move(predictor)) {
+  FDQOS_REQUIRE(predictor_ != nullptr);
+}
+
+void SharedPredictor::observe(double obs) {
+  predictor_->observe(obs);
+  ++observe_calls_;
+  cache_valid_ = false;
+}
+
+double SharedPredictor::predict() const {
+  if (!cache_valid_) {
+    cached_forecast_ = predictor_->predict();
+    ++predict_evals_;
+    cache_valid_ = true;
+  }
+  return cached_forecast_;
+}
+
+std::unique_ptr<Predictor> SharedPredictor::make_fresh() const {
+  return std::make_unique<SharedPredictor>(predictor_->make_fresh());
+}
+
+}  // namespace fdqos::forecast

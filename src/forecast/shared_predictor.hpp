@@ -1,0 +1,52 @@
+// SharedPredictor — one predictor state, evaluated once, consumed by many.
+//
+// The paper's fair-comparison suite pairs each predictor with several
+// safety margins; every (predictor, margin) detector sees the identical
+// arrival stream, so all detectors sharing a predictor type+parameters
+// carry byte-identical predictor state. SharedPredictor makes that sharing
+// explicit: it owns one underlying Predictor, forwards observe() exactly
+// once per heartbeat, and memoizes predict() until the next observation —
+// so a DetectorBank group of N margin lanes pays one state update and one
+// real forecast evaluation per heartbeat regardless of N. Counters expose
+// the deduplication win (see docs/detector_bank.md).
+//
+// SharedPredictor is itself a Predictor, so it drops into every existing
+// seam (accuracy scoring, FdSpec factories) unchanged. Memoization is safe
+// because predict() is a pure function of the observation history.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "forecast/predictor.hpp"
+
+namespace fdqos::forecast {
+
+class SharedPredictor final : public Predictor {
+ public:
+  explicit SharedPredictor(std::unique_ptr<Predictor> predictor);
+
+  void observe(double obs) override;
+  double predict() const override;
+  std::size_t observation_count() const override {
+    return predictor_->observation_count();
+  }
+  const std::string& name() const override { return predictor_->name(); }
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  const Predictor& underlying() const { return *predictor_; }
+
+  // State updates forwarded to the underlying predictor.
+  std::uint64_t observe_calls() const { return observe_calls_; }
+  // Underlying predict() evaluations (cache misses), not caller queries.
+  std::uint64_t predict_evals() const { return predict_evals_; }
+
+ private:
+  std::unique_ptr<Predictor> predictor_;
+  std::uint64_t observe_calls_ = 0;
+  mutable std::uint64_t predict_evals_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable double cached_forecast_ = 0.0;
+};
+
+}  // namespace fdqos::forecast

@@ -58,6 +58,18 @@ Instruments& instruments() {
       Registry::global().counter(
           "fdqos_qos_mistakes_total",
           "Wrong-suspicion samples recorded by QosTrackers (all detectors)"),
+      Registry::global().counter(
+          "fdqos_bank_predictor_updates_total",
+          "Shared-predictor observe() calls across all DetectorBanks"),
+      Registry::global().counter(
+          "fdqos_bank_lane_updates_total",
+          "Per-lane margin+suspicion update passes across all DetectorBanks"),
+      Registry::global().counter(
+          "fdqos_bank_coalesced_timers_total",
+          "Per-detector simulator events avoided by bank timer coalescing"),
+      Registry::global().counter(
+          "fdqos_bank_dispatch_errors_total",
+          "DetectorBank lane updates or observer callbacks that threw"),
       Registry::global().gauge("fdqos_experiment_run",
                                "Current experiment run index (1-based)"),
       Registry::global().gauge(

@@ -49,6 +49,13 @@ struct Instruments {
   Counter& qos_detections_total;
   Counter& qos_mistakes_total;
 
+  // DetectorBank engine counters, flushed once per experiment from the
+  // banks' cheap single-threaded tallies (see DetectorBank::Counters).
+  Counter& bank_predictor_updates;  // observe() on shared predictors
+  Counter& bank_lane_updates;       // per-lane margin+suspicion passes
+  Counter& bank_coalesced_timers;   // per-detector sim events avoided
+  Counter& bank_dispatch_errors;    // lane/observer callbacks that threw
+
   // Experiment-level gauges, refreshed by the progress emitter.
   Gauge& experiment_run;      // current run index (1-based)
   Gauge& fd_suspecting;       // detectors currently suspecting

@@ -11,11 +11,32 @@
 // time simulator or RealTimeDriver), as in Neko's per-process event loop.
 #pragma once
 
+#include <exception>
 #include <vector>
 
+#include "common/log.hpp"
 #include "net/message.hpp"
 
 namespace fdqos::runtime {
+
+// Invoke `fn` with exception containment: one faulty consumer must not
+// starve its siblings. Used by every fan-out point in the stack — the
+// MultiPlexer's dispatch to stacked detectors and the DetectorBank's
+// per-lane margin/observer dispatch. Returns false (after logging a
+// warning prefixed with `who`) when fn threw; the caller counts it.
+template <typename Fn>
+bool invoke_isolated(const char* who, Fn&& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const std::exception& e) {
+    FDQOS_LOG_WARN("%s: dispatch threw: %s", who, e.what());
+    return false;
+  } catch (...) {
+    FDQOS_LOG_WARN("%s: dispatch threw a non-exception", who);
+    return false;
+  }
+}
 
 class Layer {
  public:

@@ -14,14 +14,8 @@ void MultiPlexerLayer::fan_out_isolated(const net::Message& msg) {
   // abort the fan-out: the error is contained to the offending layer,
   // counted, logged, and the remaining layers still receive the message.
   for (Layer* layer : layers_above()) {
-    try {
-      layer->handle_up(msg);
-    } catch (const std::exception& e) {
+    if (!invoke_isolated("mux", [&] { layer->handle_up(msg); })) {
       ++dispatch_errors_;
-      FDQOS_LOG_WARN("mux: upper layer threw during dispatch: %s", e.what());
-    } catch (...) {
-      ++dispatch_errors_;
-      FDQOS_LOG_WARN("mux: upper layer threw a non-exception during dispatch");
     }
   }
 }

@@ -53,4 +53,10 @@ bool EventHandle::pending() const {
   return node && !node->cancelled;
 }
 
+TimePoint EventHandle::time() const {
+  auto node = node_.lock();
+  if (!node || node->cancelled) return TimePoint::max();
+  return node->time;
+}
+
 }  // namespace fdqos::sim

@@ -78,6 +78,11 @@ class EventHandle {
   // Returns true if the event was live and is now cancelled.
   bool cancel();
   bool pending() const;
+  // Scheduled fire time of a live event; TimePoint::max() once the event
+  // fired or was cancelled. Lets timer owners (e.g. the DetectorBank's
+  // coalesced expiry queue) compare an armed deadline against a new one
+  // without mirroring the timestamp themselves.
+  TimePoint time() const;
 
  private:
   friend class EventQueue;

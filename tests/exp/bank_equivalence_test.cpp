@@ -1,0 +1,140 @@
+// Bank-vs-legacy equivalence property: the batched DetectorBank engine and
+// N independent FreshnessDetectors must be observably identical — same
+// suspect-transition streams per (run, detector), same pooled QoS metrics
+// (compared through the full rendered report) — on the complete 30-detector
+// paper suite, under the nominal link and under fault injection, at every
+// jobs value. This is the refactor's load-bearing guarantee; the chaos
+// golden CSVs pin the same property against a fixed historical output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+struct Event {
+  std::size_t detector;
+  std::int64_t t_ns;
+  bool suspect;
+
+  bool operator==(const Event&) const = default;
+};
+
+// Per-run transition streams, captured via the experiment's probe hook.
+// Runs execute concurrently, but the probe only races across distinct run
+// indices, so a pre-sized per-run vector needs no locking.
+struct Capture {
+  std::vector<std::vector<Event>> runs;
+
+  explicit Capture(std::size_t n) : runs(n) {}
+
+  auto probe() {
+    return [this](std::size_t run, std::size_t detector, TimePoint t,
+                  bool suspecting) {
+      runs[run].push_back({detector, t.count_nanos(), suspecting});
+    };
+  }
+
+  // Streams keyed by (run, detector): cross-detector interleaving at equal
+  // timestamps is presentation order, per-detector order is semantics.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<Event>> by_lane()
+      const {
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<Event>> out;
+    for (std::size_t run = 0; run < runs.size(); ++run) {
+      for (const Event& e : runs[run]) {
+        out[{run, e.detector}].push_back(e);
+      }
+    }
+    return out;
+  }
+};
+
+QosExperimentConfig base_config(std::uint64_t seed,
+                                const std::string& scenario) {
+  QosExperimentConfig config;
+  config.runs = 2;
+  config.num_cycles = 300;
+  config.seed = seed;
+  config.mttc = Duration::seconds(90);
+  config.ttr = Duration::seconds(20);
+  config.warmup = Duration::seconds(60);
+  config.chaos_scenario = scenario;
+  return config;
+}
+
+class BankEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::string>> {
+};
+
+TEST_P(BankEquivalenceTest, BankAndLegacyAreObservablyIdentical) {
+  const auto [seed, scenario] = GetParam();
+
+  QosExperimentConfig config = base_config(seed, scenario);
+  Capture legacy_capture(config.runs);
+  config.use_detector_bank = false;
+  config.jobs = 1;
+  config.transition_probe = legacy_capture.probe();
+  const QosReport legacy_report = run_qos_experiment(config);
+
+  Capture bank_capture(config.runs);
+  config.use_detector_bank = true;
+  config.transition_probe = bank_capture.probe();
+  const QosReport bank_report = run_qos_experiment(config);
+
+  // Pooled QoS metrics, via the full rendered report (all five figures
+  // plus crash/heartbeat tallies).
+  EXPECT_EQ(qos_report_fingerprint(legacy_report),
+            qos_report_fingerprint(bank_report));
+
+  // Identical per-(run, detector) suspect-transition streams, to the
+  // nanosecond.
+  const auto legacy_lanes = legacy_capture.by_lane();
+  const auto bank_lanes = bank_capture.by_lane();
+  ASSERT_EQ(legacy_lanes.size(), bank_lanes.size());
+  for (const auto& [key, stream] : legacy_lanes) {
+    const auto it = bank_lanes.find(key);
+    ASSERT_NE(it, bank_lanes.end())
+        << "run " << key.first << " detector " << key.second;
+    EXPECT_EQ(stream, it->second)
+        << "run " << key.first << " detector " << key.second;
+  }
+
+  // The bank engine must also stay jobs-invariant (the legacy engine's
+  // invariance is pinned by parallel_determinism_test).
+  Capture bank8_capture(config.runs);
+  config.jobs = 8;
+  config.transition_probe = bank8_capture.probe();
+  const QosReport bank8_report = run_qos_experiment(config);
+  EXPECT_EQ(qos_report_fingerprint(bank_report),
+            qos_report_fingerprint(bank8_report));
+  EXPECT_EQ(bank_capture.by_lane(), bank8_capture.by_lane());
+
+  // And it must actually have shared: 5 predictor groups serving 30 lanes.
+  EXPECT_EQ(bank_report.bank.predictor_updates * 6,
+            bank_report.bank.lane_updates);
+  EXPECT_EQ(legacy_report.bank.predictor_updates,
+            legacy_report.bank.lane_updates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsTimesScenarios, BankEquivalenceTest,
+    ::testing::Combine(::testing::Values(std::uint64_t{7}, std::uint64_t{11},
+                                         std::uint64_t{13}),
+                       ::testing::Values(std::string{},  // nominal link
+                                         std::string{"spike_storm"},
+                                         std::string{"burst_loss"})),
+    [](const auto& info) {
+      const std::string& scenario = std::get<1>(info.param);
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             (scenario.empty() ? "nominal" : scenario);
+    });
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -177,6 +177,44 @@ TEST(QosExperimentProgressTest, EmitsTelemetryLines) {
   EXPECT_NE(err.find("[fdqos qos] done: 1 runs"), std::string::npos);
 }
 
+TEST(QosExperimentSuiteDeathTest, DuplicateDetectorNameAborts) {
+  // extra_specs share one namespace with the paper suite: a spec reusing
+  // "Last+CI_low" would silently alias the paper's detector in figures and
+  // in the bank's lanes. The experiment must refuse loudly instead.
+  QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 100;
+  fd::FdSpec dup;
+  dup.name = "Last+CI_low";
+  dup.predictor_label = "Last";
+  dup.margin_label = "CI_low";
+  dup.make_predictor = fd::make_paper_predictor("Last");
+  dup.make_margin = fd::make_paper_margin("CI_low");
+  config.extra_specs.push_back(dup);
+  EXPECT_DEATH(run_qos_experiment(config), "duplicate detector name");
+
+  // Two extra specs colliding with each other die the same way.
+  QosExperimentConfig config2;
+  config2.runs = 1;
+  config2.num_cycles = 100;
+  config2.include_paper_suite = false;
+  fd::FdSpec a = dup;
+  a.name = "mine";
+  config2.extra_specs.push_back(a);
+  config2.extra_specs.push_back(a);
+  EXPECT_DEATH(run_qos_experiment(config2), "duplicate detector name");
+
+  // As do unnamed specs.
+  QosExperimentConfig config3;
+  config3.runs = 1;
+  config3.num_cycles = 100;
+  config3.include_paper_suite = false;
+  fd::FdSpec unnamed = dup;
+  unnamed.name.clear();
+  config3.extra_specs.push_back(unnamed);
+  EXPECT_DEATH(run_qos_experiment(config3), "empty name");
+}
+
 TEST(QosExperimentBaselineTest, ConstantBaselineAppended) {
   QosExperimentConfig config;
   config.runs = 1;

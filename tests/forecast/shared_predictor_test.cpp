@@ -1,0 +1,76 @@
+#include "forecast/shared_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "forecast/basic_predictors.hpp"
+
+namespace fdqos::forecast {
+namespace {
+
+TEST(SharedPredictorTest, ForwardsObservationsAndForecasts) {
+  SharedPredictor shared(std::make_unique<LastPredictor>());
+  LastPredictor reference;
+  for (double obs : {12.0, 7.5, 30.0, 18.25}) {
+    shared.observe(obs);
+    reference.observe(obs);
+    EXPECT_DOUBLE_EQ(shared.predict(), reference.predict());
+  }
+  EXPECT_EQ(shared.observation_count(), reference.observation_count());
+  EXPECT_EQ(shared.name(), reference.name());
+}
+
+TEST(SharedPredictorTest, MemoizesPredictUntilNextObservation) {
+  SharedPredictor shared(std::make_unique<MeanPredictor>());
+  shared.observe(10.0);
+  EXPECT_EQ(shared.predict_evals(), 0u);
+  const double first = shared.predict();
+  EXPECT_EQ(shared.predict_evals(), 1u);
+  // N lanes calling predict() between heartbeats pay one real evaluation.
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(shared.predict(), first);
+  EXPECT_EQ(shared.predict_evals(), 1u);
+
+  shared.observe(20.0);
+  EXPECT_DOUBLE_EQ(shared.predict(), 15.0);
+  EXPECT_EQ(shared.predict_evals(), 2u);
+  EXPECT_EQ(shared.observe_calls(), 2u);
+}
+
+TEST(SharedPredictorTest, MatchesPrivateCopiesAcrossAWholeSeries) {
+  // The bank's equivalence guarantee in miniature: one shared instance
+  // queried 6 times per observation must produce exactly the forecasts 6
+  // private copies would.
+  SharedPredictor shared(std::make_unique<LpfPredictor>(0.125));
+  std::vector<std::unique_ptr<Predictor>> lanes;
+  for (int i = 0; i < 6; ++i) {
+    lanes.push_back(std::make_unique<LpfPredictor>(0.125));
+  }
+  double obs = 3.0;
+  for (int step = 0; step < 50; ++step, obs = obs * 1.1 + 1.0) {
+    for (auto& lane : lanes) {
+      EXPECT_DOUBLE_EQ(shared.predict(), lane->predict());
+    }
+    shared.observe(obs);
+    for (auto& lane : lanes) lane->observe(obs);
+  }
+  EXPECT_EQ(shared.predict_evals(), 50u);  // not 300
+}
+
+TEST(SharedPredictorTest, MakeFreshYieldsIndependentSharedInstance) {
+  SharedPredictor shared(std::make_unique<LastPredictor>());
+  shared.observe(42.0);
+  auto fresh = shared.make_fresh();
+  ASSERT_NE(dynamic_cast<SharedPredictor*>(fresh.get()), nullptr);
+  EXPECT_EQ(fresh->observation_count(), 0u);
+  fresh->observe(1.0);
+  EXPECT_DOUBLE_EQ(shared.predict(), 42.0);
+  EXPECT_DOUBLE_EQ(fresh->predict(), 1.0);
+}
+
+TEST(SharedPredictorDeathTest, NullUnderlyingPredictorAborts) {
+  EXPECT_DEATH(SharedPredictor{nullptr}, "precondition");
+}
+
+}  // namespace
+}  // namespace fdqos::forecast

@@ -96,6 +96,24 @@ TEST(EventQueueTest, DefaultConstructedHandleIsInert) {
   EventHandle h;
   EXPECT_FALSE(h.pending());
   EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(h.time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, TimeReportsDeadlineWhileLive) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(40), [] {});
+  EXPECT_EQ(h.time(), at_ms(40));
+  // Once the event fires (pop releases the node) the handle reads idle;
+  // the DetectorBank relies on this to treat max() as "no armed timer".
+  q.pop().fn();
+  EXPECT_EQ(h.time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, TimeIsMaxAfterCancel) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(15), [] {});
+  h.cancel();
+  EXPECT_EQ(h.time(), TimePoint::max());
 }
 
 TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {

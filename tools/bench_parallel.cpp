@@ -39,24 +39,6 @@ double wall_seconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(stop - start).count();
 }
 
-// The full report rendered through every metric table — the same bytes a
-// user sees; any divergence between serial and parallel shows up here.
-std::string report_fingerprint(const exp::QosReport& report) {
-  std::string all;
-  for (const auto kind :
-       {exp::QosMetricKind::kTd, exp::QosMetricKind::kTdU,
-        exp::QosMetricKind::kTm, exp::QosMetricKind::kTmr,
-        exp::QosMetricKind::kPa}) {
-    all += exp::qos_metric_table(report, kind).to_csv();
-  }
-  char tail[96];
-  std::snprintf(tail, sizeof tail, "crashes=%llu sent=%llu delivered=%llu",
-                static_cast<unsigned long long>(report.total_crashes),
-                static_cast<unsigned long long>(report.heartbeats_sent),
-                static_cast<unsigned long long>(report.heartbeats_delivered));
-  return all + tail;
-}
-
 struct Entry {
   std::string bench;
   std::size_t jobs;
@@ -74,6 +56,15 @@ int main(int argc, char** argv) {
   const auto jobs_n = static_cast<std::size_t>(
       args.get_int("--jobs", static_cast<std::int64_t>(exec::hardware_jobs())));
   const std::string out_path = args.get_string("--out", "BENCH_parallel.json");
+  const std::size_t hw = exec::hardware_jobs();
+  if (jobs_n > hw) {
+    // A speedup < 1 at jobs > hw is oversubscription, not a scheduling
+    // regression — see docs/parallelism.md ("Reading the baseline").
+    std::fprintf(stderr,
+                 "[bench_parallel] note: jobs=%zu > %zu hardware thread(s); "
+                 "expect speedup <= 1\n",
+                 jobs_n, hw);
+  }
 
   std::vector<Entry> entries;
 
@@ -101,8 +92,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[bench_parallel] qos_fig4 jobs=%zu: %.2fs (%.2fx)\n",
                jobs_n, qos_parallel_s, qos_serial_s / qos_parallel_s);
 
-  if (report_fingerprint(serial_report) !=
-      report_fingerprint(parallel_report)) {
+  if (exp::qos_report_fingerprint(serial_report) !=
+      exp::qos_report_fingerprint(parallel_report)) {
     std::fprintf(stderr,
                  "[bench_parallel] FAIL: parallel QoS report differs from "
                  "serial\n");
@@ -145,11 +136,11 @@ int main(int argc, char** argv) {
   // --- Write the baseline ------------------------------------------------
   std::string json = "[\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    char line[160];
+    char line[192];
     std::snprintf(line, sizeof line,
-                  "  {\"bench\": \"%s\", \"jobs\": %zu, \"wall_s\": %.3f, "
-                  "\"speedup\": %.2f}%s\n",
-                  entries[i].bench.c_str(), entries[i].jobs,
+                  "  {\"bench\": \"%s\", \"jobs\": %zu, \"hw_jobs\": %zu, "
+                  "\"wall_s\": %.3f, \"speedup\": %.2f}%s\n",
+                  entries[i].bench.c_str(), entries[i].jobs, hw,
                   entries[i].wall_s, entries[i].speedup,
                   i + 1 < entries.size() ? "," : "");
     json += line;

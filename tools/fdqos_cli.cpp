@@ -61,6 +61,9 @@ int usage() {
                "and --progress SECONDS (periodic telemetry on stderr)\n"
                "qos/accuracy/order-select take --jobs N (worker threads;\n"
                "default = cores, 1 = serial, output identical at every N)\n"
+               "qos/chaos take --engine bank|legacy (bank = one batched\n"
+               "DetectorBank per run, the default; legacy = one detector\n"
+               "per spec — reports are byte-identical either way)\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
   return 2;
@@ -72,6 +75,22 @@ bool write_file(const std::string& path, const std::string& content) {
   const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
                   content.size();
   return std::fclose(f) == 0 && ok;
+}
+
+// --engine bank|legacy (qos + chaos). Both engines produce byte-identical
+// reports; legacy exists for the equivalence suite and overhead A/Bs.
+bool parse_engine(const ArgParser& args, exp::QosExperimentConfig& config) {
+  const std::string engine = args.get_string("--engine", "bank");
+  if (engine == "bank") {
+    config.use_detector_bank = true;
+  } else if (engine == "legacy") {
+    config.use_detector_bank = false;
+  } else {
+    std::fprintf(stderr, "fdqos: unknown --engine '%s' (want bank|legacy)\n",
+                 engine.c_str());
+    return false;
+  }
+  return true;
 }
 
 int check_unknown(const ArgParser& args) {
@@ -146,6 +165,7 @@ int cmd_qos(const ArgParser& args) {
   config.include_constant_baseline = args.get_flag("--baselines");
   config.trace_path = args.get_string("--trace", "");
   config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
+  if (!parse_engine(args, config)) return 2;
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   const bool pareto = args.get_flag("--pareto");
@@ -213,6 +233,7 @@ int cmd_chaos(const ArgParser& args) {
   config.mttc = Duration::seconds(args.get_int("--mttc-s", 120));
   config.ttr = Duration::seconds(args.get_int("--ttr-s", 25));
   config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
+  if (!parse_engine(args, config)) return 2;
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   ObsSession obs_session = ObsSession::from_args(args);
