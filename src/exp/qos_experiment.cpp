@@ -117,8 +117,10 @@ RunOutput run_one(const QosExperimentConfig& config,
   } else {
     // Each run replays the identical trace (loaded once, shared
     // immutably; the replay cursor is per-instance); runs differ only in
-    // the crash schedule.
-    link.delay = std::make_unique<wan::TraceReplayDelay>(trace);
+    // the crash schedule. With the default truncate policy the caller has
+    // already clamped num_cycles to the trace length.
+    link.delay =
+        std::make_unique<wan::TraceReplayDelay>(trace, config.replay_policy);
   }
   if (faults != nullptr) {
     // Chaos: the same immutable schedule overlays every run; all per-run
@@ -127,6 +129,14 @@ RunOutput run_one(const QosExperimentConfig& config,
         std::make_unique<faultx::FaultyDelay>(std::move(link.delay), faults);
     link.loss =
         std::make_unique<faultx::FaultyLoss>(std::move(link.loss), faults);
+  }
+  if (config.record_hub != nullptr) {
+    // Tracestore hook: capture the delay stream exactly as the link
+    // produced it — outside the fault wrapper, so a chaos run records the
+    // faulted delays and becomes a replayable artifact. One shard per run
+    // index keeps parallel runs race-free and the merge order fixed.
+    link.delay = std::make_unique<wan::RecordingDelay>(
+        std::move(link.delay), config.record_hub, run);
   }
   transport.set_link(kMonitored, kMonitor, std::move(link));
 
@@ -320,9 +330,38 @@ RunOutput run_one(const QosExperimentConfig& config,
 
 }  // namespace
 
-QosReport run_qos_experiment(const QosExperimentConfig& config) {
+QosReport run_qos_experiment(const QosExperimentConfig& original) {
+  // Local copy: replay with the truncate policy may clamp num_cycles to
+  // the trace length below, and the report echoes what actually ran.
+  QosExperimentConfig config = original;
   FDQOS_REQUIRE(config.runs > 0);
   FDQOS_REQUIRE(config.num_cycles > 0);
+
+  // Load the replay trace once; every run shares the immutable data.
+  std::shared_ptr<const wan::Trace> trace_data;
+  std::shared_ptr<const std::vector<Duration>> trace;
+  if (!config.trace_path.empty()) {
+    wan::TraceLoadResult loaded = wan::load_trace(config.trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "fdqos: cannot load trace: %s\n",
+                   loaded.error.c_str());
+      FDQOS_REQUIRE(!"trace load failed in run_qos_experiment");
+    }
+    trace_data = loaded.trace;
+    // Aliasing share: the delay column lives inside the loaded Trace.
+    trace = std::shared_ptr<const std::vector<Duration>>(trace_data,
+                                                         &trace_data->delays);
+    if (config.replay_policy == wan::ReplayPolicy::kTruncate &&
+        static_cast<std::uint64_t>(config.num_cycles) > trace_data->size()) {
+      // The experiment ends with the trace: every run replays a strict
+      // prefix and no sample is ever re-read (wrap/extend opt out).
+      FDQOS_LOG_INFO(
+          "trace %s has %zu samples; truncating NumCycles %lld -> %zu",
+          config.trace_path.c_str(), trace_data->size(),
+          static_cast<long long>(config.num_cycles), trace_data->size());
+      config.num_cycles = static_cast<std::int64_t>(trace_data->size());
+    }
+  }
 
   std::vector<fd::FdSpec> suite;
   if (config.include_paper_suite) {
@@ -365,13 +404,6 @@ QosReport run_qos_experiment(const QosExperimentConfig& config) {
   const TimePoint run_end =
       TimePoint::origin() + config.eta * config.num_cycles + config.ttr +
       Duration::seconds(5);
-
-  // Load the replay trace once; every run shares the immutable data.
-  std::shared_ptr<const std::vector<Duration>> trace;
-  if (!config.trace_path.empty()) {
-    trace = wan::TraceReplayDelay::load_trace_data(config.trace_path);
-    FDQOS_REQUIRE(trace != nullptr);
-  }
 
   // Build the fault schedule once; every run overlays the same immutable
   // event timeline (per-run randomness lives in the wrapper models).

@@ -24,6 +24,7 @@
 #include "fd/suite.hpp"
 #include "stats/running_stats.hpp"
 #include "wan/italy_japan.hpp"
+#include "wan/tracestore.hpp"
 
 namespace fdqos::exp {
 
@@ -37,12 +38,24 @@ struct QosExperimentConfig {
   Duration cold_start_timeout = Duration::seconds(1);
   std::uint64_t seed = 42;
   wan::ItalyJapanParams link{};
-  // When set, heartbeat delays come from this recorded trace (CSV produced
-  // by wan::TraceRecorder) instead of the synthetic link — the paper's §6
-  // plan of re-running the comparison on other WAN connections, using
-  // delays captured from a real path. Loss is then whatever the trace
-  // encoded (a lost heartbeat simply is not in the trace) plus none.
+  // When set, heartbeat delays come from this recorded trace (.fdt binary
+  // or CSV, see docs/tracestore.md) instead of the synthetic link — the
+  // paper's §6 plan of re-running the comparison on other WAN connections,
+  // using delays captured from a real path. Loss is then whatever the
+  // trace encoded (a lost heartbeat simply is not in the trace) plus none.
   std::string trace_path;
+  // What replay does at trace end. kTruncate (default) ends the experiment
+  // with the trace: num_cycles is clamped to the trace length so every run
+  // replays a prefix and never re-reads a sample. kWrap restores the old
+  // loop-the-trace behaviour; kExtend resamples the tail from a model
+  // fitted to the recorded delays. Ignored when trace_path is empty.
+  wan::ReplayPolicy replay_policy = wan::ReplayPolicy::kTruncate;
+  // When set, every run records the delay stream its link actually
+  // produced — with chaos active this is the *faulted* stream, so a chaos
+  // scenario becomes a replayable artifact. Each run records into its own
+  // hub shard keyed by run index; merge with record_hub->merged() after
+  // the experiment returns (deterministic run order, any jobs value).
+  std::shared_ptr<wan::TraceRecorderHub> record_hub;
   fd::PaperParams params{};
   // Optionally append the constant-margin (NFD-E-style) baselines.
   bool include_constant_baseline = false;

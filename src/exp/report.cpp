@@ -200,6 +200,10 @@ std::string qos_config_summary(const QosExperimentConfig& config) {
                 static_cast<unsigned long long>(config.seed),
                 config.jobs == 0 ? exec::default_jobs() : config.jobs);
   std::string line = buf;
+  if (!config.trace_path.empty()) {
+    line += " trace=" + config.trace_path +
+            " policy=" + wan::replay_policy_name(config.replay_policy);
+  }
   if (!config.chaos_scenario.empty()) line += " chaos=" + config.chaos_scenario;
   // The bank is the default engine; only the opt-out is worth a mention
   // (and the default summary bytes stay exactly as before the refactor).

@@ -25,6 +25,13 @@ void QosTracker::process_crashed(TimePoint t) {
   ++crashes_;
   if (t > up_since_) observed_up_ += t - up_since_;
   crash_time_ = t;
+  // T_MR measures the gap between *consecutive* mistakes, which is only
+  // meaningful within one up-interval of the monitored process. A crash
+  // ends the interval, so the next mistake after the restore starts a
+  // fresh sequence rather than pairing with a pre-crash mistake (which
+  // would fold the whole down period into the recurrence gap and inflate
+  // T_MR — and through it P_A). See docs/qos_accounting.md.
+  last_mistake_start_.reset();
 
   if (suspecting_) {
     // The open mistake ends here; the detector is instantly "detecting".

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -129,6 +130,17 @@ RealTimeDriver::RealTimeDriver(sim::Simulator& simulator,
                                UdpTransport& transport)
     : simulator_(simulator), transport_(transport) {}
 
+int clamp_poll_timeout_ms(Duration wait) {
+  if (wait <= Duration::zero()) return 0;
+  // Round up so the sleep covers the whole wait, then cap: the old
+  // `int(ns / 1e6) + 1` overflowed for waits beyond ~24.8 days, handing
+  // poll() a negative timeout — an infinite block. One minute is long
+  // enough to be cheap and short enough to recheck the deadline.
+  constexpr std::int64_t kMaxTimeoutMs = 60'000;
+  const std::int64_t ms = wait.count_nanos() / 1'000'000 + 1;
+  return static_cast<int>(std::min(ms, kMaxTimeoutMs));
+}
+
 std::uint64_t RealTimeDriver::run_for(Duration duration) {
   FDQOS_REQUIRE(duration >= Duration::zero());
   stopped_ = false;
@@ -153,12 +165,15 @@ std::uint64_t RealTimeDriver::run_for(Duration duration) {
     // Sleep in poll() until the next event or new data, capped at deadline.
     const TimePoint next = std::min(simulator_.next_event_time(), deadline);
     const Duration wait = next - to_virtual(wall_now());
-    int timeout_ms = 0;
-    if (wait > Duration::zero()) {
-      timeout_ms = static_cast<int>(wait.count_nanos() / 1'000'000) + 1;
+    const int timeout_ms = clamp_poll_timeout_ms(wait);
+    if (transport_.fd() >= 0) {
+      pollfd pfd{transport_.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, timeout_ms);
+    } else if (timeout_ms > 0) {
+      // No socket to watch: sleep on the virtual deadline instead of
+      // spinning through zero-timeout polls with an empty fd set.
+      ::poll(nullptr, 0, timeout_ms);
     }
-    pollfd pfd{transport_.fd(), POLLIN, 0};
-    ::poll(&pfd, transport_.fd() >= 0 ? 1u : 0u, timeout_ms);
     // Datagrams are drained at the top of the next iteration, after the
     // simulator clock has been advanced to the current wall instant, so
     // receivers always observe a fresh now().

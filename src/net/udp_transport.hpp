@@ -63,6 +63,12 @@ class UdpTransport final : public Transport {
   std::uint64_t decode_failures_ = 0;
 };
 
+// Milliseconds to hand ::poll for a wait of this length: non-negative,
+// rounded up, and clamped so that a multi-week virtual wait cannot
+// overflow the int timeout into a negative (= block forever) value. The
+// cap also bounds how long the driver sleeps before rechecking stop().
+int clamp_poll_timeout_ms(Duration wait);
+
 // Executes a Simulator in real time: events fire when the wall clock
 // reaches their virtual timestamp, and UDP datagrams are delivered as they
 // arrive. Virtual time starts at the simulator's current now().

@@ -166,6 +166,9 @@ LogDerivedQos derive_qos(const EventLog& log, std::int32_t detector,
         up = false;
         ++out.crashes;
         crash_time = e.time;
+        // T_MR pairs *consecutive* mistakes within one up-interval; a crash
+        // starts a fresh sequence (mirrors QosTracker::process_crashed).
+        last_mistake_start.reset();
         if (suspecting) {
           if (mistake_start.has_value()) {
             const TimePoint start = *mistake_start;

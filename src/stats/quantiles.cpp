@@ -7,13 +7,36 @@
 
 namespace fdqos::stats {
 
+SampleSet::SampleSet(const SampleSet& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = other.samples_;
+  sorted_ = other.sorted_;
+}
+
+SampleSet& SampleSet::operator=(const SampleSet& other) {
+  if (this == &other) return *this;
+  std::vector<double> copy;
+  bool copy_sorted;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copy = other.samples_;
+    copy_sorted = other.sorted_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = std::move(copy);
+  sorted_ = copy_sorted;
+  return *this;
+}
+
 void SampleSet::add(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(x);
   sorted_ = false;
 }
 
 double SampleSet::quantile(double q) const {
   FDQOS_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
   FDQOS_REQUIRE(!samples_.empty());
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

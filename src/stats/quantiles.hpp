@@ -6,21 +6,32 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace fdqos::stats {
 
 // Stores all samples; quantile() sorts lazily. Suitable for experiment-sized
 // data (up to a few million doubles).
+//
+// add() and quantile() (including the lazy sort) take an internal mutex,
+// so any mix of concurrent readers and writers is safe — e.g. several
+// report tables rendered in parallel from one pooled set. reserve() and
+// samples() stay unsynchronized; call them only while no writer is active.
 class SampleSet {
  public:
+  SampleSet() = default;
+  SampleSet(const SampleSet& other);
+  SampleSet& operator=(const SampleSet& other);
+
   void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  // Exact q-quantile with linear interpolation; q in [0, 1].
+  // Exact q-quantile with linear interpolation; q in [0, 1]. Thread-safe
+  // against concurrent quantile()/median()/min()/max() calls.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   double min() const { return quantile(0.0); }
@@ -29,6 +40,7 @@ class SampleSet {
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  mutable std::mutex mu_;  // guards the lazy sort in quantile()
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };

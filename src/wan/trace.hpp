@@ -1,82 +1,8 @@
-// Delay-trace recording and replay.
-//
-// The paper's §6 plans re-running the experiments on other WAN connections;
-// recording lets a user capture a real link's one-way delays (e.g. via the
-// UDP transport) and replay them deterministically through the whole 30-FD
-// comparison. A replayed trace is also the strongest calibration check for
-// the synthetic models.
+// Compatibility forwarder — the trace capture/replay layer grew into the
+// wan::tracestore subsystem (versioned .fdt format, recorder shards,
+// replay policies). All the familiar names (TraceRecorder, RecordingDelay,
+// TraceReplayDelay) live there now; include "wan/tracestore.hpp" directly
+// in new code.
 #pragma once
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "wan/delay_model.hpp"
-
-namespace fdqos::wan {
-
-// Collects (send_time, delay) pairs; serializes to a simple CSV.
-class TraceRecorder {
- public:
-  void record(TimePoint send_time, Duration delay);
-
-  std::size_t size() const { return delays_.size(); }
-  const std::vector<Duration>& delays() const { return delays_; }
-  const std::vector<TimePoint>& send_times() const { return send_times_; }
-
-  // Delay values in milliseconds (for the stats/forecast layers).
-  std::vector<double> delays_ms() const;
-
-  bool save(const std::string& path) const;
-
- private:
-  std::vector<TimePoint> send_times_;
-  std::vector<Duration> delays_;
-};
-
-// Wraps another DelayModel, recording every sample it produces.
-class RecordingDelay final : public DelayModel {
- public:
-  RecordingDelay(std::unique_ptr<DelayModel> inner, TraceRecorder& recorder);
-  Duration sample(Rng& rng, TimePoint send_time) override;
-  const std::string& name() const override { return name_; }
-  std::unique_ptr<DelayModel> make_fresh() const override;
-
- private:
-  std::string name_;
-  std::unique_ptr<DelayModel> inner_;
-  TraceRecorder& recorder_;
-};
-
-// Replays a fixed delay sequence; wraps around at the end (with a warning
-// the first time) so long experiments can run on short traces.
-class TraceReplayDelay final : public DelayModel {
- public:
-  explicit TraceReplayDelay(std::vector<Duration> delays);
-  // Replays shared immutable trace data without copying it. Several
-  // replayers (e.g. one per concurrent experiment run) can share one
-  // loaded trace; the replay cursor is per-instance.
-  explicit TraceReplayDelay(std::shared_ptr<const std::vector<Duration>> delays);
-
-  // Loads the CSV produced by TraceRecorder::save. Returns nullptr on
-  // I/O or parse failure.
-  static std::unique_ptr<TraceReplayDelay> load(const std::string& path);
-  // Loads just the delay column, for sharing across many replayers.
-  // Returns nullptr on I/O or parse failure.
-  static std::shared_ptr<const std::vector<Duration>> load_trace_data(
-      const std::string& path);
-
-  Duration sample(Rng& rng, TimePoint send_time) override;
-  const std::string& name() const override { return name_; }
-  std::unique_ptr<DelayModel> make_fresh() const override;
-
-  std::size_t size() const { return delays_->size(); }
-
- private:
-  std::string name_;
-  std::shared_ptr<const std::vector<Duration>> delays_;
-  std::size_t next_ = 0;
-  bool warned_wrap_ = false;
-};
-
-}  // namespace fdqos::wan
+#include "wan/tracestore.hpp"

@@ -92,14 +92,14 @@ TEST(ParallelDeterminismTest, QosTraceReplayIsIdenticalAcrossJobCounts) {
   const std::string path =
       ::testing::TempDir() + "/parallel_determinism_trace.csv";
   {
-    wan::TraceRecorder recorder;
-    wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
+    auto hub = std::make_shared<wan::TraceRecorderHub>();
+    wan::RecordingDelay model(wan::make_italy_japan_delay(), hub, /*key=*/0);
     Rng rng(99);
     TimePoint t = TimePoint::origin();
     for (int i = 0; i < 2000; ++i, t += Duration::seconds(1)) {
       model.sample(rng, t);
     }
-    ASSERT_TRUE(recorder.save(path));
+    ASSERT_TRUE(model.recorder().save(path));
   }
   QosExperimentConfig config = small_config(1);
   config.runs = 2;

@@ -133,9 +133,9 @@ TEST(QosExperimentDeterminismTest, SameSeedSameResults) {
 TEST(QosExperimentTraceTest, RunsOnRecordedTrace) {
   // Record a short trace from the synthetic link, then drive the whole
   // experiment from it: same architecture, replayed delays, no loss model.
-  wan::TraceRecorder recorder;
+  auto hub = std::make_shared<wan::TraceRecorderHub>();
   {
-    wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
+    wan::RecordingDelay model(wan::make_italy_japan_delay(), hub, /*key=*/0);
     Rng rng(5);
     TimePoint t = TimePoint::origin();
     for (int i = 0; i < 1500; ++i, t += Duration::seconds(1)) {
@@ -143,7 +143,7 @@ TEST(QosExperimentTraceTest, RunsOnRecordedTrace) {
     }
   }
   const std::string path = ::testing::TempDir() + "/fdqos_qos_trace.csv";
-  ASSERT_TRUE(recorder.save(path));
+  ASSERT_TRUE(hub->shard(0).save(path));
 
   QosExperimentConfig config;
   config.runs = 1;

@@ -1,0 +1,143 @@
+// Replay-policy and capture semantics of the QoS experiment:
+//  * truncate: replaying a prefix trace ≡ running fewer cycles on the full
+//    trace — the experiment ends with the trace, byte for byte.
+//  * record_hub: per-run shard capture is deterministic at any jobs value
+//    (and, under TSan, race-free — the make_fresh() clones of the old
+//    shared-recorder design raced here).
+//  * a recorded trace replays to byte-identical reports at jobs 1 and 8
+//    (the paper's premise: the trace alone determines every detector).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+#include "wan/italy_japan.hpp"
+#include "wan/tracestore.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+QosExperimentConfig replay_config(const std::string& trace_path,
+                                  std::size_t jobs) {
+  QosExperimentConfig config;
+  config.runs = 2;
+  config.num_cycles = 600;
+  config.seed = 7;
+  config.jobs = jobs;
+  config.trace_path = trace_path;
+  config.replay_policy = wan::ReplayPolicy::kTruncate;
+  return config;
+}
+
+// A trace captured the way `fdqos record` does it: the paper-default link
+// model sampled once per heartbeat cycle.
+wan::Trace paper_link_trace(std::size_t n, std::uint64_t seed) {
+  auto hub = std::make_shared<wan::TraceRecorderHub>();
+  wan::RecordingDelay model(wan::make_italy_japan_delay(), hub, /*key=*/0);
+  Rng rng(seed);
+  TimePoint t = TimePoint::origin();
+  for (std::size_t i = 0; i < n; ++i, t += Duration::seconds(1)) {
+    model.sample(rng, t);
+  }
+  return hub->merged();
+}
+
+TEST(ReplayPolicyExperimentTest, TruncatePrefixEquivalence) {
+  const wan::Trace full = paper_link_trace(1200, 21);
+  wan::Trace prefix;
+  prefix.send_times.assign(full.send_times.begin(),
+                           full.send_times.begin() + 500);
+  prefix.delays.assign(full.delays.begin(), full.delays.begin() + 500);
+
+  const std::string full_path = ::testing::TempDir() + "/full_trace.fdt";
+  const std::string prefix_path = ::testing::TempDir() + "/prefix_trace.csv";
+  ASSERT_TRUE(save_trace_fdt(full, full_path));
+  ASSERT_TRUE(save_trace_csv(prefix, prefix_path));
+
+  // Full trace, explicitly stopped after 500 cycles...
+  QosExperimentConfig on_full = replay_config(full_path, 1);
+  on_full.num_cycles = 500;
+  // ...must equal the 500-sample prefix trace with the cycle count left to
+  // the truncate clamp (num_cycles 600 > trace length 500).
+  const QosExperimentConfig on_prefix = replay_config(prefix_path, 1);
+
+  const QosReport a = run_qos_experiment(on_full);
+  const QosReport b = run_qos_experiment(on_prefix);
+  std::remove(full_path.c_str());
+  std::remove(prefix_path.c_str());
+  EXPECT_EQ(qos_report_fingerprint(a), qos_report_fingerprint(b));
+}
+
+TEST(ReplayPolicyExperimentTest, RecordedTraceReplayIsByteIdenticalAcrossJobs) {
+  const wan::Trace trace = paper_link_trace(700, 42);
+  const std::string path = ::testing::TempDir() + "/recorded_replay.fdt";
+  ASSERT_TRUE(save_trace_fdt(trace, path));
+
+  const QosReport serial = run_qos_experiment(replay_config(path, 1));
+  const QosReport parallel = run_qos_experiment(replay_config(path, 8));
+  std::remove(path.c_str());
+
+  EXPECT_EQ(qos_report_fingerprint(serial), qos_report_fingerprint(parallel));
+  // The summary line names the trace and the policy.
+  const std::string summary = qos_config_summary(serial.config);
+  EXPECT_NE(summary.find("trace=" + path), std::string::npos) << summary;
+  EXPECT_NE(summary.find("policy=truncate"), std::string::npos) << summary;
+}
+
+TEST(ReplayPolicyExperimentTest, RecordHubCaptureIsDeterministicAcrossJobs) {
+  auto run_recorded = [](std::size_t jobs) {
+    QosExperimentConfig config;
+    config.runs = 4;
+    config.num_cycles = 400;
+    config.seed = 11;
+    config.jobs = jobs;
+    config.record_hub = std::make_shared<wan::TraceRecorderHub>();
+    run_qos_experiment(config);
+    return config.record_hub->merged();
+  };
+
+  const wan::Trace serial = run_recorded(1);
+  const wan::Trace parallel = run_recorded(8);  // 4 runs race for 8 workers
+
+  ASSERT_GT(serial.size(), 0u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial.send_times[i], parallel.send_times[i]) << i;
+    ASSERT_EQ(serial.delays[i], parallel.delays[i]) << i;
+  }
+}
+
+TEST(ReplayPolicyExperimentTest, ChaosCaptureReplaysAsAnArtifact) {
+  // Record the *faulted* delay stream of a chaos run, then drive a clean
+  // replay experiment from it: the scenario becomes a portable artifact.
+  QosExperimentConfig capture;
+  capture.runs = 1;
+  capture.num_cycles = 400;
+  capture.seed = 7;
+  capture.jobs = 1;
+  capture.chaos_scenario = "spike_storm";
+  capture.record_hub = std::make_shared<wan::TraceRecorderHub>();
+  const QosReport chaos_report = run_qos_experiment(capture);
+
+  const wan::Trace faulted = capture.record_hub->merged();
+  ASSERT_GT(faulted.size(), 0u);
+  // Recording wraps the outermost (faulted) delay model: one sample per
+  // non-dropped heartbeat send.
+  EXPECT_LE(faulted.size(),
+            static_cast<std::size_t>(chaos_report.heartbeats_sent));
+
+  const std::string path = ::testing::TempDir() + "/chaos_capture.fdt";
+  ASSERT_TRUE(save_trace_fdt(faulted, path));
+  const QosExperimentConfig replay = replay_config(path, 1);
+  const QosReport replayed = run_qos_experiment(replay);
+  std::remove(path.c_str());
+  EXPECT_EQ(replayed.results.size(), 30u);
+  // The replayed link has no loss model: everything sent is delivered.
+  EXPECT_EQ(replayed.heartbeats_delivered, replayed.heartbeats_sent);
+}
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -66,13 +66,17 @@ TEST_F(ReproductionShapeTest, AccuratePredictorsAreInaccurateUnderJac) {
   // Paper §5.2/§6: the most accurate predictors (ARIMA, LAST here) get the
   // smallest error-driven margins, hence the *worst* accuracy under SM_JAC
   // — "a better predictor does not imply a better detector".
+  // The 0.7 factor asserts a clear gap, not a precise ratio: with T_MR
+  // sequences restarting at each crash (docs/qos_accounting.md) the crash-
+  // spanning gaps that used to pad every detector's mean are gone, which
+  // compresses the spread relative to the pre-fix 2x.
   const auto* arima = find_result(report(), "Arima+JAC_high");
   const auto* last = find_result(report(), "Last+JAC_high");
   const auto* mean = find_result(report(), "Mean+JAC_high");
   EXPECT_LT(arima->metrics.mistake_recurrence_ms.mean,
-            mean->metrics.mistake_recurrence_ms.mean / 2.0);
+            mean->metrics.mistake_recurrence_ms.mean * 0.7);
   EXPECT_LT(last->metrics.mistake_recurrence_ms.mean,
-            mean->metrics.mistake_recurrence_ms.mean / 2.0);
+            mean->metrics.mistake_recurrence_ms.mean * 0.7);
 }
 
 TEST_F(ReproductionShapeTest, LastJacIsTheFastestFamily) {

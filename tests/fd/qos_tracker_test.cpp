@@ -220,6 +220,33 @@ TEST_P(QosTrackerFuzzTest, InvariantsUnderRandomEventStreams) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QosTrackerFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+TEST(QosTrackerTest, TmrSequenceRestartsAtCrash) {
+  // Two mistakes inside one up-interval pair up; a crash/restore cycle
+  // between mistakes must NOT produce a T_MR sample spanning the down
+  // period (docs/qos_accounting.md).
+  QosTracker tracker;
+  tracker.suspect_started(at_s(10.0));   // mistake 1
+  tracker.suspect_ended(at_s(11.0));
+  tracker.suspect_started(at_s(40.0));   // mistake 2: T_MR sample of 30 s
+  tracker.suspect_ended(at_s(41.0));
+
+  tracker.process_crashed(at_s(100.0));
+  tracker.suspect_started(at_s(101.0));  // detection, not a mistake
+  tracker.process_restored(at_s(130.0));
+  tracker.suspect_ended(at_s(130.5));    // detection tail
+
+  tracker.suspect_started(at_s(200.0));  // first mistake of the new interval:
+  tracker.suspect_ended(at_s(201.0));    // no pairing with the 40 s mistake
+  tracker.suspect_started(at_s(250.0));  // pairs within the interval: 50 s
+  tracker.suspect_ended(at_s(251.0));
+  tracker.finalize(at_s(300.0));
+
+  const QosMetrics m = tracker.metrics();
+  ASSERT_EQ(m.mistake_recurrence_ms.count, 2u);
+  EXPECT_DOUBLE_EQ(m.mistake_recurrence_ms.min, 30'000.0);
+  EXPECT_DOUBLE_EQ(m.mistake_recurrence_ms.max, 50'000.0);
+}
+
 TEST(QosTrackerTest, StateQueries) {
   QosTracker tracker;
   EXPECT_TRUE(tracker.process_up());

@@ -58,11 +58,12 @@ RunResult run_with_delay(std::unique_ptr<wan::DelayModel> delay,
 }
 
 TEST(TraceReplayIntegrationTest, ReplayReproducesDetectorBehaviour) {
-  wan::TraceRecorder recorder;
+  auto hub = std::make_shared<wan::TraceRecorderHub>();
   const RunResult original = run_with_delay(
-      std::make_unique<wan::RecordingDelay>(wan::make_italy_japan_delay(),
-                                            recorder),
+      std::make_unique<wan::RecordingDelay>(wan::make_italy_japan_delay(), hub,
+                                            /*key=*/0),
       /*net_seed=*/5);
+  const wan::TraceRecorder& recorder = hub->shard(0);
   ASSERT_GT(recorder.size(), 500u);
 
   // Replay through a *different* RNG seed: the trace alone must determine
@@ -80,10 +81,11 @@ TEST(TraceReplayIntegrationTest, ReplayReproducesDetectorBehaviour) {
 }
 
 TEST(TraceReplayIntegrationTest, RoundTripThroughCsvFile) {
-  wan::TraceRecorder recorder;
+  auto hub = std::make_shared<wan::TraceRecorderHub>();
   run_with_delay(std::make_unique<wan::RecordingDelay>(
-                     wan::make_italy_japan_delay(), recorder),
+                     wan::make_italy_japan_delay(), hub, /*key=*/0),
                  5);
+  const wan::TraceRecorder& recorder = hub->shard(0);
   const std::string path = ::testing::TempDir() + "/fdqos_replay_trace.csv";
   ASSERT_TRUE(recorder.save(path));
   auto loaded = wan::TraceReplayDelay::load(path);

@@ -106,6 +106,19 @@ TEST(RealTimeDriverTest, ExecutesTimersApproximatelyOnWallClock) {
   EXPECT_GE(simulator.now(), TimePoint::origin() + Duration::millis(120));
 }
 
+TEST(ClampPollTimeoutTest, NeverNegativeAndCapped) {
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::zero()), 0);
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::millis(-5)), 0);
+  // Rounds up: a partial millisecond still sleeps a full one.
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::nanos(1)), 1);
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::millis(3)), 4);
+  // The old int cast of (ns / 1e6 + 1) went negative past ~24.8 days and
+  // handed poll() an infinite timeout. Any huge wait now caps at a minute.
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::seconds(25L * 24 * 3600)), 60'000);
+  EXPECT_EQ(clamp_poll_timeout_ms(Duration::seconds(400L * 24 * 3600)),
+            60'000);
+}
+
 TEST(RealTimeDriverTest, StopFromCallbackEndsRun) {
   sim::Simulator simulator;
   UdpTransport transport(simulator, 0, {{0, {"127.0.0.1", 0}}});

@@ -1,0 +1,73 @@
+// Regression for the SampleSet lazy-sort race: quantile() is const but used
+// to sort the mutable sample vector unguarded, so two threads reading
+// quantiles from one freshly-filled set raced on the sort (a correctness
+// bug even without TSan: interleaved sorts can interpolate between
+// half-sorted values). Runs under the `tracestore` label so the TSan CI job
+// exercises it.
+#include "stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fdqos::stats {
+namespace {
+
+TEST(SampleSetRaceTest, ConcurrentQuantileReadsAreSafe) {
+  SampleSet set;
+  for (int i = 20000; i > 0; --i) set.add(static_cast<double>(i));
+
+  // Both threads hit the unsorted set at once: the first quantile() call
+  // performs the lazy sort while the other reads.
+  std::vector<double> results(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&set, &results, t] {
+      double acc = 0.0;
+      for (int i = 0; i < 200; ++i) {
+        acc = set.quantile(t == 0 ? 0.5 : 0.99);
+      }
+      results[static_cast<std::size_t>(t)] = acc;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_DOUBLE_EQ(results[0], set.quantile(0.5));
+  EXPECT_DOUBLE_EQ(results[1], set.quantile(0.99));
+  EXPECT_DOUBLE_EQ(set.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 20000.0);
+}
+
+TEST(SampleSetRaceTest, ConcurrentAddAndQuantileAreSafe) {
+  SampleSet set;
+  set.add(1.0);
+  std::thread writer([&set] {
+    for (int i = 0; i < 5000; ++i) set.add(static_cast<double>(i));
+  });
+  std::thread reader([&set] {
+    for (int i = 0; i < 500; ++i) {
+      const double m = set.quantile(0.5);
+      EXPECT_GE(m, 0.0);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(set.size(), 5001u);
+}
+
+TEST(SampleSetRaceTest, CopyPreservesSamples) {
+  SampleSet a;
+  a.add(3.0);
+  a.add(1.0);
+  a.add(2.0);
+  SampleSet b = a;
+  EXPECT_DOUBLE_EQ(b.median(), 2.0);
+  SampleSet c;
+  c = a;
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fdqos::stats

@@ -18,14 +18,15 @@ TEST(TraceRecorderTest, RecordsSamples) {
 }
 
 TEST(RecordingDelayTest, CapturesEverySample) {
-  TraceRecorder rec;
+  auto hub = std::make_shared<TraceRecorderHub>();
   RecordingDelay model(std::make_unique<ConstantDelay>(Duration::millis(7)),
-                       rec);
+                       hub, /*key=*/0);
   Rng rng(1);
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(model.sample(rng, TimePoint::origin()), Duration::millis(7));
   }
-  EXPECT_EQ(rec.size(), 10u);
+  EXPECT_EQ(model.recorder().size(), 10u);
+  EXPECT_EQ(hub->total_samples(), 10u);
 }
 
 TEST(TraceReplayTest, ReplaysInOrder) {
@@ -46,15 +47,16 @@ TEST(TraceReplayTest, WrapsAround) {
 }
 
 TEST(TraceTest, SaveLoadRoundTrip) {
-  TraceRecorder rec;
+  auto hub = std::make_shared<TraceRecorderHub>();
   RecordingDelay model(
       std::make_unique<UniformDelay>(Duration::millis(100), Duration::millis(300)),
-      rec);
+      hub, /*key=*/0);
   Rng rng(4);
   TimePoint t = TimePoint::origin();
   for (int i = 0; i < 50; ++i, t += Duration::seconds(1)) {
     model.sample(rng, t);
   }
+  const TraceRecorder& rec = model.recorder();
   const std::string path = ::testing::TempDir() + "/fdqos_trace_test.csv";
   ASSERT_TRUE(rec.save(path));
 

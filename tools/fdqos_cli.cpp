@@ -32,12 +32,13 @@
 #include "exp/chaos.hpp"
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
+#include "faultx/fault_models.hpp"
 #include "faultx/scenarios.hpp"
 #include "forecast/arima/order_selection.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "wan/italy_japan.hpp"
-#include "wan/trace.hpp"
+#include "wan/tracestore.hpp"
 
 using namespace fdqos;
 
@@ -45,17 +46,23 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fdqos <qos|chaos|accuracy|link|order-select|trace> "
+               "usage: fdqos "
+               "<qos|chaos|accuracy|link|order-select|record|replay|trace> "
                "[flags]\n"
                "  qos          reproduce the Figures 4-8 experiment\n"
-               "               (--trace FILE runs it on a recorded trace)\n"
+               "               (--trace FILE runs it on a recorded trace,\n"
+               "               --policy truncate|wrap|extend at trace end)\n"
                "  chaos        run the QoS experiment under a fault scenario\n"
                "               and check the QoS invariants (--list to see\n"
                "               scenarios; --scenario NAME --seed N --jobs J)\n"
                "  accuracy     reproduce the Table 3 experiment\n"
                "  link         characterize the WAN model (Table 4)\n"
                "  order-select run the ARIMA order grid search (Table 2)\n"
-               "  trace        export a delay trace CSV for --trace/replay\n"
+               "  record       capture a delay trace (.fdt or CSV) from the\n"
+               "               WAN model, optionally faulted (--scenario)\n"
+               "  replay       run the 30-detector comparison on a recorded\n"
+               "               trace (--trace FILE required, --policy ...)\n"
+               "  trace        deprecated alias for `record` (CSV output)\n"
                "qos/accuracy also take --metrics-out FILE (Prometheus text),\n"
                "--metrics-jsonl-out FILE, --trace-out FILE (chrome://tracing)\n"
                "and --progress SECONDS (periodic telemetry on stderr)\n"
@@ -64,6 +71,7 @@ int usage() {
                "qos/chaos take --engine bank|legacy (bank = one batched\n"
                "DetectorBank per run, the default; legacy = one detector\n"
                "per spec — reports are byte-identical either way)\n"
+               "see docs/tracestore.md for the record/replay walkthrough\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
   return 2;
@@ -90,6 +98,21 @@ bool parse_engine(const ArgParser& args, exp::QosExperimentConfig& config) {
                  engine.c_str());
     return false;
   }
+  return true;
+}
+
+// --policy truncate|wrap|extend (qos + replay): what replay does at trace
+// end. Only meaningful with --trace; see docs/tracestore.md.
+bool parse_policy(const ArgParser& args, exp::QosExperimentConfig& config) {
+  const std::string policy = args.get_string("--policy", "truncate");
+  const auto parsed = wan::parse_replay_policy(policy);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "fdqos: unknown --policy '%s' (want truncate|wrap|extend)\n",
+                 policy.c_str());
+    return false;
+  }
+  config.replay_policy = *parsed;
   return true;
 }
 
@@ -154,7 +177,10 @@ struct ObsSession {
   }
 };
 
-int cmd_qos(const ArgParser& args) {
+// `qos` and `replay` share one implementation: replay is qos with --trace
+// mandatory (it exists so "run the comparison on this recording" is a
+// first-class verb, not a flag spelling).
+int cmd_qos_impl(const ArgParser& args, bool require_trace) {
   exp::QosExperimentConfig config;
   config.runs = static_cast<std::size_t>(args.get_int("--runs", 13));
   config.num_cycles = args.get_int("--cycles", 10000);
@@ -165,7 +191,20 @@ int cmd_qos(const ArgParser& args) {
   config.include_constant_baseline = args.get_flag("--baselines");
   config.trace_path = args.get_string("--trace", "");
   config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
+  if (require_trace && config.trace_path.empty()) {
+    std::fprintf(stderr, "fdqos replay: --trace FILE required "
+                         "(record one with `fdqos record`)\n");
+    return 2;
+  }
   if (!parse_engine(args, config)) return 2;
+  if (!parse_policy(args, config)) return 2;
+  if (!config.trace_path.empty()) {
+    const wan::TraceLoadResult probe = wan::load_trace(config.trace_path);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "fdqos: %s\n", probe.error.c_str());
+      return 1;
+    }
+  }
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   const bool pareto = args.get_flag("--pareto");
@@ -208,6 +247,9 @@ int cmd_qos(const ArgParser& args) {
   }
   return 0;
 }
+
+int cmd_qos(const ArgParser& args) { return cmd_qos_impl(args, false); }
+int cmd_replay(const ArgParser& args) { return cmd_qos_impl(args, true); }
 
 // Run the full 30-detector QoS experiment under a named faultx scenario
 // and verify the chaos invariants. Everything on stdout is a pure function
@@ -301,31 +343,117 @@ int cmd_chaos(const ArgParser& args) {
   return 1;
 }
 
-// Export a synthetic delay trace in TraceRecorder CSV format — the input
-// format `qos --trace` and `wan::TraceReplayDelay` consume. A trace
-// captured from a real link (e.g. by wiring wan::RecordingDelay into a
-// UDP deployment) drops in identically.
-int cmd_trace(const ArgParser& args) {
-  const auto n = static_cast<std::size_t>(args.get_int("--n", 100000));
+// Capture a delay trace from the calibrated WAN model — the input
+// `fdqos replay` / `qos --trace` consume. The capture mirrors the
+// experiment's link exactly: same RNG substream layout
+// (seed → run → "net" → "link/0/1") and the same draw order (loss first,
+// then delay; a lost heartbeat has no record). With --scenario the stream
+// is pushed through the faultx wrappers, so a chaos scenario becomes a
+// replayable artifact. --runs R records R shards (one per forked run
+// stream) merged in run order. A trace captured from a real link (e.g. by
+// wiring wan::RecordingDelay into a UDP deployment) drops in identically.
+int record_impl(const ArgParser& args, const std::string& default_out) {
+  const auto n = args.get_int("--n", 100000);
+  const auto runs = args.get_int("--runs", 1);
   const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
-  const std::string out = args.get_string("--out", "trace.csv");
+  const std::string out = args.get_string("--out", default_out);
   const auto eta_ms = args.get_int("--eta-ms", 1000);
+  const std::string scenario = args.get_string("--scenario", "");
+  const auto fault_start_s = args.get_int("--fault-start-s", 0);
+  std::string format = args.get_string("--format", "");
+  const std::string source_note = args.get_string("--source", "");
   if (const int rc = check_unknown(args); rc != 0) return rc;
-
-  wan::TraceRecorder recorder;
-  wan::RecordingDelay model(wan::make_italy_japan_delay(), recorder);
-  Rng rng(seed);
-  TimePoint t = TimePoint::origin();
-  for (std::size_t i = 0; i < n; ++i, t += Duration::millis(eta_ms)) {
-    model.sample(rng, t);
+  if (n <= 0 || runs <= 0) {
+    std::fprintf(stderr, "fdqos record: --n and --runs must be positive\n");
+    return 2;
   }
-  if (!recorder.save(out)) {
-    std::fprintf(stderr, "fdqos: cannot write %s\n", out.c_str());
+  if (format.empty()) {
+    format = out.size() >= 4 && out.rfind(".csv") == out.size() - 4 ? "csv"
+                                                                    : "fdt";
+  }
+  if (format != "csv" && format != "fdt") {
+    std::fprintf(stderr, "fdqos record: unknown --format '%s' (want fdt|csv)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (!scenario.empty() && !faultx::is_scenario(scenario)) {
+    std::fprintf(stderr, "fdqos record: unknown scenario '%s'; known:\n",
+                 scenario.c_str());
+    for (const auto& name : faultx::scenario_names()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 2;
+  }
+
+  const Duration eta = Duration::millis(eta_ms);
+  std::shared_ptr<const faultx::FaultSchedule> faults;
+  if (!scenario.empty()) {
+    faultx::ScenarioParams sp;
+    sp.active_start = TimePoint::origin() + Duration::seconds(fault_start_s);
+    sp.horizon = TimePoint::origin() + eta * n + Duration::seconds(5);
+    faults = std::make_shared<const faultx::FaultSchedule>(
+        faultx::make_scenario(scenario, sp));
+  }
+
+  auto hub = std::make_shared<wan::TraceRecorderHub>();
+  const Rng base(seed);
+  for (std::int64_t run = 0; run < runs; ++run) {
+    // The experiment's exact link substream for this (seed, run).
+    Rng link_rng = base.fork(static_cast<std::uint64_t>(run))
+                       .fork("net")
+                       .fork("link/0/1");
+    std::unique_ptr<wan::DelayModel> delay = wan::make_italy_japan_delay();
+    std::unique_ptr<wan::LossModel> loss = wan::make_italy_japan_loss();
+    if (faults != nullptr) {
+      delay = std::make_unique<faultx::FaultyDelay>(std::move(delay), faults);
+      loss = std::make_unique<faultx::FaultyLoss>(std::move(loss), faults);
+    }
+    wan::RecordingDelay recording(std::move(delay), hub,
+                                  static_cast<std::uint64_t>(run));
+    TimePoint t = TimePoint::origin();
+    for (std::int64_t i = 0; i < n; ++i, t += eta) {
+      // Same order as the simulated link: the loss draw comes first and a
+      // dropped message never samples (or records) a delay.
+      if (loss->drop(link_rng, t)) continue;
+      recording.sample(link_rng, t);
+    }
+  }
+
+  char source[256];
+  std::snprintf(source, sizeof source,
+                "italy_japan eta=%lldms seed=%llu runs=%lld n=%lld%s%s",
+                static_cast<long long>(eta_ms),
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(runs), static_cast<long long>(n),
+                scenario.empty() ? "" : " scenario=", scenario.c_str());
+  wan::TraceMeta meta;
+  meta.source = source;
+  if (!source_note.empty()) meta.source += " | " + source_note;
+
+  const wan::Trace trace = hub->merged(meta);
+  std::string error;
+  const bool ok = format == "csv" ? wan::save_trace_csv(trace, out, &error)
+                                  : wan::save_trace_fdt(trace, out, &error);
+  if (!ok) {
+    std::fprintf(stderr, "fdqos: %s\n", error.c_str());
     return 1;
   }
-  std::printf("wrote %zu delays to %s (replay with `fdqos qos --trace %s`)\n",
-              recorder.size(), out.c_str(), out.c_str());
+  std::printf(
+      "wrote %zu delays (%lld run%s) to %s [%s]%s "
+      "(replay with `fdqos replay --trace %s`)\n",
+      trace.size(), static_cast<long long>(runs), runs == 1 ? "" : "s",
+      out.c_str(), format.c_str(), scenario.empty() ? "" : " [faulted]",
+      out.c_str());
   return 0;
+}
+
+int cmd_record(const ArgParser& args) { return record_impl(args, "trace.fdt"); }
+
+int cmd_trace(const ArgParser& args) {
+  std::fprintf(stderr,
+               "fdqos trace: deprecated alias for `fdqos record` "
+               "(CSV output; use record for the .fdt binary format)\n");
+  return record_impl(args, "trace.csv");
 }
 
 int cmd_accuracy(const ArgParser& args) {
@@ -401,6 +529,8 @@ int main(int argc, char** argv) {
   if (command == "accuracy") return cmd_accuracy(args);
   if (command == "link") return cmd_link(args);
   if (command == "order-select") return cmd_order_select(args);
+  if (command == "record") return cmd_record(args);
+  if (command == "replay") return cmd_replay(args);
   if (command == "trace") return cmd_trace(args);
   std::fprintf(stderr, "fdqos: unknown command '%s'\n", command.c_str());
   return usage();
