@@ -6,15 +6,25 @@
 // (margin update + predictor update + forecast) of every combination.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "fd/suite.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/tdigest.hpp"
 
 namespace {
 
@@ -132,6 +142,125 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// Streaming sketch update cost: what one Histogram::observe() pays for its
+// three P² markers, and what the opt-in SampleSet streaming backend pays
+// per sample. Both must stay O(1) and cheap next to a predictor update.
+void BM_SketchP2Add(benchmark::State& state) {
+  const auto stream = delay_stream(1 << 14);
+  stats::P2Quantile p99(0.99);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    p99.add(stream[i++ & (stream.size() - 1)]);
+  }
+  benchmark::DoNotOptimize(p99.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SketchTDigestAdd(benchmark::State& state) {
+  const auto stream = delay_stream(1 << 14);
+  stats::TDigest digest(100.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    digest.add(stream[i++ & (stream.size() - 1)]);
+  }
+  benchmark::DoNotOptimize(digest.quantile(0.99));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ObsHistObserveEnabled(benchmark::State& state) {
+  obs::set_enabled(true);
+  auto& hist = obs::Registry::global().histogram(
+      "fdqos_bench_obs_hist_observe_us", "microbench scratch histogram");
+  const auto stream = delay_stream(1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (obs::enabled()) hist.observe(stream[i++ & (stream.size() - 1)]);
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// One blocking GET against the exporter's loopback port; the exporter
+// always answers Connection: close, so read-to-EOF is the full response.
+std::string blocking_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Scrape cost: rendering the exposition text (what the exporter thread
+// does per request, holding only per-instrument locks) and a full HTTP
+// round trip against the poll loop. Neither runs on the experiment's hot
+// path, but both bound how hard a scraper can hammer a live run.
+void BM_ExporterRenderPrometheus(benchmark::State& state) {
+  obs::Registry reg;
+  for (int f = 0; f < 16; ++f) {
+    auto& h = reg.histogram("fdqos_bench_render_us_" + std::to_string(f),
+                            "render scratch",
+                            {{"suite", "paper"}, {"run", "bench"}});
+    for (int i = 0; i < 256; ++i) h.observe(static_cast<double>(i));
+    reg.counter("fdqos_bench_render_total_" + std::to_string(f), "scratch")
+        .inc(static_cast<std::uint64_t>(f));
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = reg.to_prometheus();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["exposition_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_ExporterHttpScrape(benchmark::State& state) {
+  obs::Registry reg;
+  auto& h = reg.histogram("fdqos_bench_scrape_us", "scrape scratch");
+  for (int i = 0; i < 256; ++i) h.observe(static_cast<double>(i));
+  obs::HttpExporter::Options opts;
+  opts.registry = &reg;
+  obs::HttpExporter exporter(std::move(opts));
+  if (!exporter.start()) {
+    state.SkipWithError("exporter failed to start");
+    return;
+  }
+  for (auto _ : state) {
+    const std::string body = blocking_get(exporter.port(), "/metrics");
+    if (body.find("fdqos_bench_scrape_us_count") == std::string::npos) {
+      state.SkipWithError("incomplete scrape");
+      break;
+    }
+    benchmark::DoNotOptimize(body.data());
+  }
+  exporter.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,6 +285,13 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("obs/span_disabled", BM_ObsSpanDisabled);
   benchmark::RegisterBenchmark("obs/counter_inc", BM_ObsCounterInc);
   benchmark::RegisterBenchmark("obs/span_enabled", BM_ObsSpanEnabled);
+  benchmark::RegisterBenchmark("sketch/p2_add", BM_SketchP2Add);
+  benchmark::RegisterBenchmark("sketch/tdigest_add", BM_SketchTDigestAdd);
+  benchmark::RegisterBenchmark("obs/hist_observe_enabled",
+                               BM_ObsHistObserveEnabled);
+  benchmark::RegisterBenchmark("exporter/render_prometheus",
+                               BM_ExporterRenderPrometheus);
+  benchmark::RegisterBenchmark("exporter/http_scrape", BM_ExporterHttpScrape);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

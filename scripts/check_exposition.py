@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Minimal Prometheus text-exposition (version 0.0.4) validator.
+
+Reads an exposition from stdin (or a file argument) and exits non-zero on
+the first structural violation. Used by the CI scrape-smoke step to gate
+what `fdqos --serve-metrics` actually emits — a scraper will silently drop
+malformed families, so "curl returned 200" alone proves nothing.
+
+Checks:
+  * every non-comment line parses as  name{labels} value  or  name value
+  * metric/label names match the Prometheus grammar
+  * label values are properly quoted, with only \\\\ \\" \\n escapes
+  * sample values are floats or the canonical NaN/+Inf/-Inf spellings
+  * every sample belongs to the most recent HELP/TYPE family
+    (histograms may append _bucket/_sum/_count to the family name)
+  * at most one TYPE line per family, HELP before TYPE
+  * histogram bucket counts are monotone in le order and end at +Inf
+
+Optionally asserts required metric names are present:
+  check_exposition.py --require fdqos_detector_suspect --require ... file
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class Violation(Exception):
+    pass
+
+
+def parse_value(raw):
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    # Reject non-canonical spellings a lax float() would accept.
+    if raw.lower() in ("nan", "inf", "+inf", "-inf", "infinity", "-infinity"):
+        raise Violation(f"non-canonical non-finite value {raw!r}")
+    try:
+        return float(raw)
+    except ValueError:
+        raise Violation(f"unparseable sample value {raw!r}") from None
+
+
+def parse_labels(raw):
+    """Parse the inside of {...}; returns a dict. Raises on bad escapes."""
+    labels = {}
+    i, n = 0, len(raw)
+    while i < n:
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not m:
+            raise Violation(f"bad label syntax at ...{raw[i:]!r}")
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while True:
+            if i >= n:
+                raise Violation("unterminated label value")
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= n or raw[i + 1] not in ('\\', '"', 'n'):
+                    raise Violation(f"invalid escape in label value: \\{raw[i+1:i+2]}")
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[i + 1]])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise Violation("raw newline inside label value")
+            else:
+                value.append(ch)
+                i += 1
+        labels[name] = "".join(value)
+        if i < n:
+            if raw[i] != ",":
+                raise Violation(f"expected ',' between labels, got {raw[i]!r}")
+            i += 1
+    return labels
+
+
+def family_of(name, declared):
+    """Resolve a sample name to its declared family (histogram suffixes)."""
+    if name in declared:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text, required=()):
+    declared_types = {}   # family -> type
+    helped = set()
+    buckets = {}          # (family, frozen non-le labels) -> [(le, count)]
+    seen_names = set()
+    current_family = None
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        try:
+            if line.startswith("# HELP "):
+                parts = line[len("# HELP "):].split(" ", 1)
+                name = parts[0]
+                if not METRIC_NAME.match(name):
+                    raise Violation(f"bad metric name in HELP: {name!r}")
+                if name in helped:
+                    raise Violation(f"duplicate HELP for {name}")
+                helped.add(name)
+                current_family = name
+            elif line.startswith("# TYPE "):
+                parts = line[len("# TYPE "):].split(" ")
+                if len(parts) != 2:
+                    raise Violation("TYPE line needs exactly name and type")
+                name, mtype = parts
+                if not METRIC_NAME.match(name):
+                    raise Violation(f"bad metric name in TYPE: {name!r}")
+                if mtype not in VALID_TYPES:
+                    raise Violation(f"unknown type {mtype!r}")
+                if name in declared_types:
+                    raise Violation(f"duplicate TYPE for {name}")
+                declared_types[name] = mtype
+                current_family = name
+            elif line.startswith("#"):
+                continue  # free-form comment
+            else:
+                m = SAMPLE.match(line)
+                if not m:
+                    raise Violation(f"unparseable sample line {line!r}")
+                name = m.group("name")
+                labels = parse_labels(m.group("labels") or "")
+                value = parse_value(m.group("value"))
+                family = family_of(name, declared_types)
+                if family is None:
+                    raise Violation(f"sample {name!r} has no TYPE declaration")
+                if current_family != family:
+                    raise Violation(
+                        f"sample {name!r} appears outside its family block "
+                        f"(current family: {current_family!r})"
+                    )
+                seen_names.add(family)
+                if declared_types[family] == "histogram" and name.endswith("_bucket"):
+                    if "le" not in labels:
+                        raise Violation(f"histogram bucket {name!r} missing le label")
+                    le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+                    key = (family, frozenset(
+                        (k, v) for k, v in labels.items() if k != "le"))
+                    buckets.setdefault(key, []).append((le, value))
+        except Violation as v:
+            raise Violation(f"line {lineno}: {v}") from None
+
+    for (family, _), series in buckets.items():
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            raise Violation(f"{family}: buckets not in increasing le order")
+        if not les or not math.isinf(les[-1]):
+            raise Violation(f"{family}: bucket series does not end at le=\"+Inf\"")
+        counts = [c for _, c in series]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise Violation(f"{family}: bucket counts are not monotone")
+
+    missing = [r for r in required if r not in seen_names]
+    if missing:
+        raise Violation(f"required metrics absent: {', '.join(missing)}")
+
+    return len(seen_names)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="METRIC", help="fail unless this family has samples")
+    args = ap.parse_args()
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    if not text.strip():
+        print("check_exposition: empty exposition", file=sys.stderr)
+        return 1
+    try:
+        families = check(text, required=args.require)
+    except Violation as v:
+        print(f"check_exposition: {v}", file=sys.stderr)
+        return 1
+    print(f"check_exposition: OK ({families} families with samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,6 +19,7 @@
 #include "fd/freshness_detector.hpp"
 #include "obs/instruments.hpp"
 #include "obs/progress.hpp"
+#include "obs/runs.hpp"
 #include "net/sim_transport.hpp"
 #include "runtime/heartbeater.hpp"
 #include "runtime/multiplexer.hpp"
@@ -69,6 +71,19 @@ fd::QosMetrics pooled_metrics(const Pooled& p) {
   return m;
 }
 
+// Cached gauge handles for one detector lane, registered once per
+// experiment and refreshed by the winning progress tick — live scrapes see
+// each detector's trust state, running mistake/detection counts, current
+// timeout δ and windowed T_D/T_M estimates without waiting for the report.
+struct LaneGauges {
+  obs::Gauge* suspect = nullptr;       // 1 while suspecting
+  obs::Gauge* timeout_ms = nullptr;    // current δ = pred + sm
+  obs::Gauge* mistakes = nullptr;      // recorded T_M samples so far
+  obs::Gauge* detections = nullptr;    // detections so far
+  obs::Gauge* recent_td_ms = nullptr;  // EWMA T_D (NaN until first crash)
+  obs::Gauge* recent_tm_ms = nullptr;  // EWMA T_M (NaN until first mistake)
+};
+
 // Telemetry shared by every concurrent run. The emitter's own mutex keeps
 // single calls atomic; `mu` additionally serializes the due()+emit() pair
 // and the gauge refresh so a status line and the gauges it reflects stay
@@ -82,6 +97,14 @@ struct ProgressState {
   std::atomic<std::size_t> runs_started{0};
   std::atomic<std::size_t> runs_done{0};
   std::atomic<std::uint64_t> crashes_done{0};  // crashes in completed runs
+
+  // Per-detector gauges (index-aligned with the suite; empty when obs is
+  // off). Concurrent runs share the handles: the tick that wins `mu`
+  // publishes its own run's lane state and stamps source_run so a scrape
+  // knows which run it is looking at.
+  std::vector<LaneGauges> lanes;
+  obs::Gauge* source_run = nullptr;
+  obs::Gauge* timer_lag_ms = nullptr;  // next freshness deadline − now
 };
 
 // Everything one run produces, extracted so runs can execute on pool
@@ -281,6 +304,57 @@ RunOutput run_one(const QosExperimentConfig& config,
           obs::instruments().experiment_run.set(static_cast<double>(started));
           obs::instruments().fd_suspecting.set(
               static_cast<double>(suspecting));
+          // Per-detector live QoS gauges: this run won the tick, so it
+          // publishes its lane states wholesale and stamps source_run.
+          for (std::size_t i = 0; i < progress->lanes.size(); ++i) {
+            const LaneGauges& g = progress->lanes[i];
+            const bool susp = bank != nullptr ? bank->lane_suspecting(i)
+                                              : detectors[i]->suspecting();
+            const double delta = bank != nullptr
+                                     ? bank->lane_delta_ms(i)
+                                     : detectors[i]->current_delta_ms();
+            g.suspect->set(susp ? 1.0 : 0.0);
+            g.timeout_ms->set(delta);
+            g.mistakes->set(static_cast<double>(trackers[i].tm_stats().count()));
+            g.detections->set(
+                static_cast<double>(trackers[i].detection_count()));
+            g.recent_td_ms->set(trackers[i].recent_td_ms());
+            g.recent_tm_ms->set(trackers[i].recent_tm_ms());
+          }
+          if (progress->source_run != nullptr) {
+            progress->source_run->set(static_cast<double>(run));
+          }
+          if (progress->timer_lag_ms != nullptr) {
+            TimePoint deadline = TimePoint::max();
+            if (bank != nullptr) {
+              deadline = bank->next_timer_deadline();
+            } else {
+              for (const auto& d : detectors) {
+                deadline = std::min(deadline, d->next_timer_deadline());
+              }
+            }
+            progress->timer_lag_ms->set(
+                deadline == TimePoint::max()
+                    ? std::numeric_limits<double>::quiet_NaN()
+                    : (deadline - simulator.now()).to_millis_double());
+          }
+          // Refresh this invocation's /runs row. Crashes count completed
+          // runs plus the reporting run (other in-flight runs report on
+          // their own winning ticks).
+          obs::RunStatus st;
+          st.id = config.run_id;
+          st.verb = config.run_verb;
+          st.suite = config.suite_label;
+          st.runs_total = config.runs;
+          st.runs_started = started;
+          st.runs_done = done;
+          st.crashes = progress->crashes_done.load(std::memory_order_relaxed) +
+                       crash_layer.crash_count();
+          st.heartbeats_sent = hb_stats.sent;
+          st.detectors = suite.size();
+          st.suspecting = suspecting;
+          st.sim_time_s = simulator.now().to_seconds_double();
+          obs::RunRegistry::global().update(st);
         }
         progress->emitter.emit(
             "run %zu/%zu (%zu done) t=%.0fs cycles=%lld/%lld crashes=%llu "
@@ -336,6 +410,21 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
   QosExperimentConfig config = original;
   FDQOS_REQUIRE(config.runs > 0);
   FDQOS_REQUIRE(config.num_cycles > 0);
+
+  // Telemetry identity. Derived deterministically (never from wall clocks
+  // or PIDs) so goldens and re-runs carry stable labels; derivation is
+  // unconditional so the echoed report config is independent of whether
+  // telemetry happens to be enabled.
+  if (config.run_id.empty()) {
+    config.run_id = config.run_verb + "-seed" + std::to_string(config.seed);
+  }
+  if (config.suite_label.empty()) {
+    config.suite_label =
+        config.chaos_scenario.empty() ? "paper" : config.chaos_scenario;
+  }
+  if (obs::enabled()) {
+    obs::set_run_context(config.run_id, config.suite_label);
+  }
 
   // Load the replay trace once; every run shares the immutable data.
   std::shared_ptr<const wan::Trace> trace_data;
@@ -421,8 +510,60 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
   if (config.progress_interval_s > 0.0) {
     obs::ProgressEmitter::Options opts;
     opts.interval_s = config.progress_interval_s;
-    opts.prefix = "[fdqos qos]";
+    opts.prefix = "[fdqos " + config.run_verb + "]";
+    opts.jsonl = config.progress_jsonl;
+    opts.run_id = config.run_id;
     progress = std::make_unique<ProgressState>(std::move(opts));
+    if (obs::enabled()) {
+      // Register the per-detector gauge handles once, up front; ticks then
+      // touch only relaxed atomics. Labels carry (detector, run, suite) so
+      // concurrent invocations in one process stay distinguishable.
+      auto& reg = obs::Registry::global();
+      const obs::Labels run_labels = {{"run", config.run_id},
+                                      {"suite", config.suite_label}};
+      progress->lanes.reserve(suite.size());
+      for (const auto& spec : suite) {
+        obs::Labels labels = run_labels;
+        labels.emplace_back("detector", spec.name);
+        LaneGauges g;
+        g.suspect = &reg.gauge("fdqos_detector_suspect",
+                               "1 while the detector suspects the monitored "
+                               "process, 0 while it trusts it",
+                               labels);
+        g.timeout_ms = &reg.gauge("fdqos_detector_timeout_ms",
+                                  "Current freshness timeout delta = "
+                                  "prediction + safety margin, milliseconds",
+                                  labels);
+        g.mistakes = &reg.gauge("fdqos_detector_mistakes",
+                                "Mistake (wrong suspicion) samples recorded "
+                                "so far in the source run",
+                                labels);
+        g.detections = &reg.gauge("fdqos_detector_detections",
+                                  "Crash detections recorded so far in the "
+                                  "source run",
+                                  labels);
+        g.recent_td_ms = &reg.gauge("fdqos_detector_recent_td_ms",
+                                    "EWMA (alpha=0.2) of recent detection "
+                                    "times T_D, milliseconds; NaN before "
+                                    "the first detection",
+                                    labels);
+        g.recent_tm_ms = &reg.gauge("fdqos_detector_recent_tm_ms",
+                                    "EWMA (alpha=0.2) of recent mistake "
+                                    "durations T_M, milliseconds; NaN "
+                                    "before the first mistake",
+                                    labels);
+        progress->lanes.push_back(g);
+      }
+      progress->source_run = &reg.gauge(
+          "fdqos_detector_source_run",
+          "Run index whose state the per-detector gauges currently show",
+          run_labels);
+      progress->timer_lag_ms = &reg.gauge(
+          "fdqos_freshness_timer_lag_ms",
+          "Next armed freshness-timer deadline minus current virtual time "
+          "in the source run, milliseconds; NaN while no timer is armed",
+          run_labels);
+    }
   }
 
   // Runs are embarrassingly parallel: each forks its RNG from (seed, run)
@@ -484,6 +625,25 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
         config.runs, static_cast<unsigned long long>(report.total_crashes),
         static_cast<unsigned long long>(report.heartbeats_sent),
         static_cast<unsigned long long>(report.heartbeats_delivered));
+  }
+  if (obs::enabled()) {
+    // Final /runs row: whole-invocation totals, marked finished so a
+    // scrape arriving after the join still sees a consistent summary.
+    obs::RunStatus st;
+    st.id = config.run_id;
+    st.verb = config.run_verb;
+    st.suite = config.suite_label;
+    st.runs_total = config.runs;
+    st.runs_started = config.runs;
+    st.runs_done = config.runs;
+    st.crashes = report.total_crashes;
+    st.heartbeats_sent = report.heartbeats_sent;
+    st.detectors = suite.size();
+    st.suspecting = 0;
+    st.sim_time_s = run_end.to_seconds_double();
+    st.finished = true;
+    obs::RunRegistry::global().update(st);
+    obs::clear_run_context();
   }
 
   report.results.reserve(suite.size());

@@ -22,6 +22,7 @@
 #include "fd/detector_bank.hpp"
 #include "fd/qos_tracker.hpp"
 #include "fd/suite.hpp"
+#include "obs/progress.hpp"
 #include "stats/running_stats.hpp"
 #include "wan/italy_japan.hpp"
 #include "wan/tracestore.hpp"
@@ -73,6 +74,19 @@ struct QosExperimentConfig {
   // wall-clock seconds (run i/N, cycles done, crashes, heartbeat counts,
   // detectors currently suspecting). See docs/observability.md.
   double progress_interval_s = 0.0;
+  // Telemetry identity (obs v2): the (run, suite) labels stamped on live
+  // per-detector gauges, trace spans, progress JSONL records and the /runs
+  // registry row, so one invocation's telemetry joins across all three
+  // planes. Empty = derived deterministically: run_id from
+  // "<run_verb>-seed<seed>", suite_label from the chaos scenario (or
+  // "paper" when nominal). Purely observational — never reaches reports.
+  std::string run_id;
+  std::string run_verb = "qos";
+  std::string suite_label;
+  // Optional machine-readable mirror of the progress stream (one JSON
+  // record per emitted line, atomic per line). Not owned; must outlive the
+  // experiment. nullptr = stderr only.
+  obs::JsonlSink* progress_jsonl = nullptr;
   // Worker threads for the run loop: runs are independent seeded
   // simulations (base_rng.fork(run)) executed concurrently, with pooled
   // statistics merged in run order after the join — the report is

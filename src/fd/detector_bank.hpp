@@ -110,6 +110,12 @@ class DetectorBank : public runtime::Layer {
   std::size_t suspecting_count() const;
   const Counters& counters() const { return counters_; }
 
+  // Deadline of the single armed freshness-timer event; TimePoint::max()
+  // while no timer is armed. The obs plane renders `deadline − now` as the
+  // freshness-timer lag gauge (how far away the next possible suspicion
+  // is), so a live scrape can see a detector coasting vs. about to fire.
+  TimePoint next_timer_deadline() const { return armed_.time(); }
+
  private:
   struct Expiry {
     TimePoint due;

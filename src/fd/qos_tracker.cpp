@@ -1,6 +1,7 @@
 #include "fd/qos_tracker.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 #include "obs/instruments.hpp"
@@ -9,6 +10,12 @@ namespace fdqos::fd {
 
 QosTracker::QosTracker(TimePoint warmup_end)
     : warmup_end_(warmup_end), up_since_(warmup_end) {}
+
+// EWMA step for the live telemetry estimates (first sample seeds).
+static void ewma_update(double& est, double sample) {
+  constexpr double kAlpha = 0.2;
+  est = std::isnan(est) ? sample : kAlpha * sample + (1.0 - kAlpha) * est;
+}
 
 // Contribution of the suspicion interval [start, end] to wrong-suspicion
 // time: only the part after the warmup window counts, never negative.
@@ -37,7 +44,9 @@ void QosTracker::process_crashed(TimePoint t) {
     // The open mistake ends here; the detector is instantly "detecting".
     if (mistake_start_) {
       if (recordable(*mistake_start_)) {
-        t_m_.add((t - *mistake_start_).to_millis_double());
+        const double tm_ms = (t - *mistake_start_).to_millis_double();
+        t_m_.add(tm_ms);
+        ewma_update(recent_tm_ms_, tm_ms);
       }
       wrong_suspicion_ += clipped_span(*mistake_start_, t, warmup_end_);
       mistake_start_.reset();
@@ -58,7 +67,10 @@ void QosTracker::process_restored(TimePoint t) {
     ++detections_;
     if (obs::enabled()) obs::instruments().qos_detections_total.inc();
     if (recordable(t)) {
-      t_d_.add((*active_down_suspect_start_ - *crash_time_).to_millis_double());
+      const double td_ms =
+          (*active_down_suspect_start_ - *crash_time_).to_millis_double();
+      t_d_.add(td_ms);
+      ewma_update(recent_td_ms_, td_ms);
     }
   } else {
     ++missed_;
@@ -91,7 +103,9 @@ void QosTracker::suspect_ended(TimePoint t) {
   if (up_) {
     if (mistake_start_) {
       if (recordable(*mistake_start_)) {
-        t_m_.add((t - *mistake_start_).to_millis_double());
+        const double tm_ms = (t - *mistake_start_).to_millis_double();
+        t_m_.add(tm_ms);
+        ewma_update(recent_tm_ms_, tm_ms);
         if (obs::enabled()) obs::instruments().qos_mistakes_total.inc();
       }
       wrong_suspicion_ += clipped_span(*mistake_start_, t, warmup_end_);

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "common/time.hpp"
@@ -71,6 +72,15 @@ class QosTracker {
   const stats::RunningStats& td_stats() const { return t_d_; }
   const stats::RunningStats& tm_stats() const { return t_m_; }
   const stats::RunningStats& tmr_stats() const { return t_mr_; }
+
+  // Windowed (EWMA, α = 0.2) live estimates of T_D / T_M for telemetry
+  // gauges: they react to recent behaviour instead of averaging the whole
+  // run. NaN until the first sample. These feed *only* the obs plane —
+  // reports come from the RunningStats above, so live scrapes can never
+  // perturb report bytes. Updates are a couple of flops per (rare)
+  // detection/mistake event, far off the heartbeat hot path.
+  double recent_td_ms() const { return recent_td_ms_; }
+  double recent_tm_ms() const { return recent_tm_ms_; }
   Duration observed_up_time() const { return observed_up_; }
   Duration wrong_suspicion_time() const { return wrong_suspicion_; }
   std::uint64_t crash_count() const { return crashes_; }
@@ -100,6 +110,8 @@ class QosTracker {
   stats::RunningStats t_d_;
   stats::RunningStats t_m_;
   stats::RunningStats t_mr_;
+  double recent_td_ms_ = std::numeric_limits<double>::quiet_NaN();
+  double recent_tm_ms_ = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t crashes_ = 0;
   std::uint64_t detections_ = 0;
   std::uint64_t missed_ = 0;

@@ -1,0 +1,246 @@
+#include "obs/http_exporter.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/runs.hpp"
+
+namespace fdqos::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;  // a GET line + few headers
+constexpr int kPollTimeoutMs = 250;             // stop() latency upper bound
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter() : HttpExporter(Options{}) {}
+
+HttpExporter::HttpExporter(Options options) : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+bool HttpExporter::start() {
+  if (running()) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("obs: HttpExporter socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    std::perror("obs: HttpExporter bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    std::perror("obs: HttpExporter getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::listen(listen_fd_, 16) != 0 || !set_nonblocking(listen_fd_) ||
+      ::pipe(pipe_fds) != 0) {
+    std::perror("obs: HttpExporter listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    bound_port_ = 0;
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Nudge the poll loop awake; if the pipe is somehow full the loop still
+  // notices `stopping_` within kPollTimeoutMs.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = -1;
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+  bound_port_ = 0;
+}
+
+void HttpExporter::serve_loop() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const Connection& conn : conns) {
+      fds.push_back({conn.fd,
+                     static_cast<short>(conn.ready ? POLLOUT : POLLIN), 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) {
+      char buf[16];
+      while (::read(wake_read_fd_, buf, sizeof buf) > 0) {
+      }
+    }
+    // Walk connections backwards so erasing doesn't shift unvisited fds;
+    // fds[i + 2] corresponds to conns[i].
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      const short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+      Connection& conn = conns[i];
+      bool keep = true;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.ready) {
+        keep = false;
+      } else if (conn.ready) {
+        keep = write_ready(conn);
+      } else {
+        keep = read_ready(conn);
+      }
+      if (!keep) {
+        ::close(conn.fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        Connection conn;
+        conn.fd = fd;
+        if (conns.size() >= options_.max_connections) {
+          conn.out = http_response(503, "Service Unavailable", "text/plain",
+                                   "busy\n");
+          conn.ready = true;
+        }
+        conns.push_back(std::move(conn));
+      }
+    }
+  }
+  for (const Connection& conn : conns) ::close(conn.fd);
+}
+
+bool HttpExporter::read_ready(Connection& conn) {
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      if (conn.in.size() > kMaxRequestBytes) return false;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error before a full request
+  }
+  // A request is complete at the header terminator; we only ever look at
+  // the request line.
+  const std::size_t end = conn.in.find("\r\n\r\n");
+  if (end == std::string::npos) return true;  // keep reading
+  const std::size_t line_end = conn.in.find("\r\n");
+  conn.out = respond(conn.in.substr(0, line_end));
+  conn.ready = true;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return write_ready(conn);  // opportunistic immediate write
+}
+
+bool HttpExporter::write_ready(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return false;  // fully written -> close (Connection: close)
+}
+
+std::string HttpExporter::respond(const std::string& request_line) const {
+  // "GET <path> HTTP/1.x" — anything else is a 400/405.
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return http_response(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  std::string path = sp2 == std::string::npos
+                         ? request_line.substr(sp1 + 1)
+                         : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET\n");
+  }
+  if (path == "/metrics") {
+    const Registry& reg =
+        options_.registry != nullptr ? *options_.registry : Registry::global();
+    return http_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         reg.to_prometheus());
+  }
+  if (path == "/healthz") {
+    return http_response(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/runs" || path == "/runs/") {
+    const std::string body = options_.runs_snapshot
+                                 ? options_.runs_snapshot()
+                                 : RunRegistry::global().to_json();
+    return http_response(200, "OK", "application/json", body);
+  }
+  return http_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace fdqos::obs

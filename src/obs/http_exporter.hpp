@@ -1,0 +1,94 @@
+// HttpExporter — a dependency-free, poll()-based, single-thread HTTP/1.1
+// server that makes the obs registry scrapeable while a run executes.
+//
+// Endpoints:
+//   GET /metrics  Prometheus text exposition of the configured Registry
+//   GET /healthz  liveness probe ("ok")
+//   GET /runs     JSON snapshot of the live RunRegistry (experiment
+//                 progress: runs started/done, crashes, suspecting, ...)
+//
+// Design mirrors net::udp_transport: raw POSIX sockets, no framework, no
+// threads beyond the one serve loop. The loop poll()s the listening
+// socket, a self-pipe (for prompt stop()), and every open connection;
+// requests are tiny (one GET line), responses are written with
+// Connection: close, and slow or oversized clients are dropped rather
+// than ever blocking the loop. Rendering an exposition takes the
+// registry mutex briefly — the experiment's hot paths touch only relaxed
+// atomics, so a concurrent scrape never stalls a run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fdqos::obs {
+
+class HttpExporter {
+ public:
+  struct Options {
+    // Port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral port
+    // (read it back with port() — the tests do).
+    std::uint16_t port = 0;
+    // Registry served at /metrics; nullptr = Registry::global().
+    Registry* registry = nullptr;
+    // JSON body served at /runs; null = RunRegistry::global().to_json().
+    std::function<std::string()> runs_snapshot;
+    // Open connections the loop is willing to hold at once; accepts
+    // beyond this are answered 503 and closed.
+    std::size_t max_connections = 32;
+  };
+
+  HttpExporter();  // all-default Options
+  explicit HttpExporter(Options options);
+  ~HttpExporter();  // stop()s
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Bind + listen + spawn the serve thread. False (with a log line) if
+  // the socket could not be set up; start() on a running exporter is a
+  // no-op returning true.
+  bool start();
+  // Idempotent; joins the serve thread. Called by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port (resolves port 0 to the kernel's choice); 0 if not bound.
+  std::uint16_t port() const { return bound_port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;    // request bytes read so far
+    std::string out;   // response bytes not yet written
+    bool ready = false;  // request parsed, response assembled
+  };
+
+  void serve_loop();
+  void accept_ready();
+  // Returns false when the connection should be closed.
+  bool read_ready(Connection& conn);
+  bool write_ready(Connection& conn);
+  std::string respond(const std::string& request_line) const;
+
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: stop() writes, poll loop wakes
+  int wake_write_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace fdqos::obs

@@ -11,10 +11,13 @@ namespace {
 
 // Doubles in expositions: integral values print without exponent or
 // trailing zeros ("1000000"), everything else as shortest round-trip-ish
-// "%.9g" ("34.5", "0.000123").
+// "%.9g" ("34.5", "0.000123"). Non-finite values use the exposition
+// format's canonical spellings.
 std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[64];
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
     std::snprintf(buf, sizeof buf, "%.0f", v);
   } else {
     std::snprintf(buf, sizeof buf, "%.9g", v);
@@ -22,6 +25,10 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Prometheus text-format escaping. Label values escape exactly `\`, `"`
+// and newline (the format defines no other sequences — escaping anything
+// more would change the value); HELP text escapes only `\` and newline
+// (quotes are legal there).
 std::string escape_label_value(const std::string& v) {
   std::string out;
   out.reserve(v.size());
@@ -34,6 +41,52 @@ std::string escape_label_value(const std::string& v) {
     out.push_back(c);
   }
   return out;
+}
+
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// JSON string escaping for the JSONL snapshot — a superset of the
+// Prometheus rules (control characters must be escaped for valid JSON).
+std::string escape_json(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// JSON number: finite doubles render as-is, non-finite become null (JSON
+// has no NaN/Inf literals).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -92,11 +145,26 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+  {
+    std::lock_guard<std::mutex> lock(sketch_mu_);
+    p50_.add(v);
+    p95_.add(v);
+    p99_.add(v);
+  }
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   FDQOS_REQUIRE(i <= kBucketCount);
   return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile_estimate(double q) const {
+  std::lock_guard<std::mutex> lock(sketch_mu_);
+  if (q == 0.5) return p50_.value();
+  if (q == 0.95) return p95_.value();
+  if (q == 0.99) return p99_.value();
+  FDQOS_REQUIRE(!"unsupported histogram summary quantile");
+  return 0.0;
 }
 
 Registry::Instrument& Registry::instrument(const std::string& name,
@@ -160,7 +228,7 @@ std::string Registry::to_prometheus() const {
   char line[256];
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
-      out += "# HELP " + name + " " + family.help + "\n";
+      out += "# HELP " + name + " " + escape_help(family.help) + "\n";
     }
     out += "# TYPE " + name + " " + type_name(family.type) + "\n";
     for (const auto& [label_str, inst] : family.instruments) {
@@ -197,6 +265,24 @@ std::string Registry::to_prometheus() const {
         }
       }
     }
+    // Streaming quantile summaries ride along as their own gauge families
+    // (`_p50` is not a legal sample suffix inside a histogram family, so
+    // per the format these are separate metrics with their own TYPE).
+    if (family.type == MetricType::kHistogram) {
+      for (const double q : Histogram::kSummaryQuantiles) {
+        const std::string suffix =
+            q == 0.5 ? "_p50" : (q == 0.95 ? "_p95" : "_p99");
+        out += "# HELP " + name + suffix + " Streaming P" + "\xc2\xb2" +
+               " quantile estimate over " + name + " observations\n";
+        out += "# TYPE " + name + suffix + " gauge\n";
+        for (const auto& [label_str, inst] : family.instruments) {
+          const std::string braces =
+              label_str.empty() ? "" : "{" + label_str + "}";
+          out += name + suffix + braces + " " +
+                 format_double(inst.histogram->quantile_estimate(q)) + "\n";
+        }
+      }
+    }
   }
   return out;
 }
@@ -209,8 +295,8 @@ std::string Registry::to_jsonl() const {
       std::string labels_json = "{";
       for (std::size_t i = 0; i < inst.labels.size(); ++i) {
         if (i > 0) labels_json.push_back(',');
-        labels_json += "\"" + inst.labels[i].first + "\":\"" +
-                       escape_label_value(inst.labels[i].second) + "\"";
+        labels_json += "\"" + escape_json(inst.labels[i].first) + "\":\"" +
+                       escape_json(inst.labels[i].second) + "\"";
       }
       labels_json.push_back('}');
       out += "{\"metric\":\"" + name + "\",\"type\":\"" +
@@ -220,12 +306,16 @@ std::string Registry::to_jsonl() const {
           out += ",\"value\":" + std::to_string(inst.counter->value());
           break;
         case MetricType::kGauge:
-          out += ",\"value\":" + format_double(inst.gauge->value());
+          out += ",\"value\":" + json_number(inst.gauge->value());
           break;
         case MetricType::kHistogram: {
           const Histogram& h = *inst.histogram;
           out += ",\"count\":" + std::to_string(h.count()) +
-                 ",\"sum\":" + format_double(h.sum()) + ",\"buckets\":[";
+                 ",\"sum\":" + json_number(h.sum()) +
+                 ",\"p50\":" + json_number(h.quantile_estimate(0.5)) +
+                 ",\"p95\":" + json_number(h.quantile_estimate(0.95)) +
+                 ",\"p99\":" + json_number(h.quantile_estimate(0.99)) +
+                 ",\"buckets\":[";
           for (std::size_t i = 0; i <= Histogram::kBucketCount; ++i) {
             if (i > 0) out.push_back(',');
             const std::string le =

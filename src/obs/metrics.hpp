@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "stats/quantiles.hpp"
+
 namespace fdqos::obs {
 
 namespace detail {
@@ -75,9 +77,19 @@ class Gauge {
 // Histogram over fixed log-scale buckets: a 1-2-5 series per decade from
 // 1 to 5e6 plus a +Inf overflow bucket. The unit is whatever the caller
 // observes (built-in instruments use microseconds and say so in the name).
+//
+// Next to the buckets, every histogram carries three streaming P²
+// quantile sketches (p50/p95/p99) so a live scrape gets sharp quantile
+// summaries without Prometheus-side bucket interpolation. The sketches
+// sit behind a small mutex — the only non-atomic state on the observe()
+// path — which costs ~a CAS when uncontended and is only ever touched
+// while obs is enabled (see bench obs/hist_observe_enabled).
 class Histogram {
  public:
   static constexpr std::size_t kBucketCount = 20;  // finite bounds
+  // The quantiles every histogram summarizes, exposed in the text
+  // exposition as gauge families `<name>_p50/_p95/_p99`.
+  static constexpr std::array<double, 3> kSummaryQuantiles = {0.5, 0.95, 0.99};
   // Ascending finite upper bounds; bucket i counts observations v with
   // bound[i-1] < v <= bound[i] (Prometheus `le` semantics).
   static const std::array<double, kBucketCount>& bucket_bounds();
@@ -88,11 +100,18 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   // Non-cumulative count of bucket i; i == kBucketCount is the +Inf bucket.
   std::uint64_t bucket_count(std::size_t i) const;
+  // Streaming estimate for one of kSummaryQuantiles (anything else
+  // aborts); NaN before the first observation.
+  double quantile_estimate(double q) const;
 
  private:
   std::array<std::atomic<std::uint64_t>, kBucketCount + 1> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex sketch_mu_;
+  stats::P2Quantile p50_{0.5};
+  stats::P2Quantile p95_{0.95};
+  stats::P2Quantile p99_{0.99};
 };
 
 enum class MetricType { kCounter, kGauge, kHistogram };

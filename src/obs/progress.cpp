@@ -1,11 +1,73 @@
 #include "obs/progress.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdarg>
 
 #include "common/assert.hpp"
 #include "obs/trace.hpp"
 
 namespace fdqos::obs {
+namespace {
+
+std::string jsonl_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonlSink::~JsonlSink() { close(); }
+
+bool JsonlSink::open(const std::string& path) {
+  close();
+  // O_APPEND is the atomicity mechanism: every write(2) lands at EOF as
+  // one unit regardless of who else holds the fd.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  return fd_ >= 0;
+}
+
+void JsonlSink::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JsonlSink::write_line(std::string_view line) {
+  if (fd_ < 0) return false;
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  ssize_t n;
+  do {
+    n = ::write(fd_, buf.data(), buf.size());
+  } while (n < 0 && errno == EINTR);
+  if (n != static_cast<ssize_t>(buf.size())) return false;
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
 
 ProgressEmitter::ProgressEmitter() : ProgressEmitter(Options()) {}
 
@@ -31,11 +93,27 @@ void ProgressEmitter::emit(const char* fmt, ...) {
   va_end(args);
 
   std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t now = clock_now_ns();
+
+  // Assemble the whole stderr line first; one fwrite means two emitters
+  // racing on the same stream still produce whole lines.
+  std::string line = options_.prefix + " " + buf + "\n";
   std::FILE* out = options_.out != nullptr ? options_.out : stderr;
-  std::fprintf(out, "%s %s\n", options_.prefix.c_str(), buf);
+  std::fwrite(line.data(), 1, line.size(), out);
   std::fflush(out);
 
-  last_emit_ns_ = clock_now_ns();
+  if (options_.jsonl != nullptr && options_.jsonl->is_open()) {
+    std::string rec = "{";
+    if (!options_.run_id.empty()) {
+      rec += "\"run\":\"" + jsonl_escape(options_.run_id) + "\",";
+    }
+    rec += "\"t_ns\":" + std::to_string(now) +
+           ",\"seq\":" + std::to_string(emitted_ + 1) + ",\"msg\":\"" +
+           jsonl_escape(buf) + "\"}";
+    options_.jsonl->write_line(rec);
+  }
+
+  last_emit_ns_ = now;
   emitted_once_ = true;
   ++emitted_;
 }

@@ -6,16 +6,53 @@
 // frequently-executed point (e.g. a repeating virtual-time event) and emit
 // a status line when it fires. The emitter uses the obs clock, so tests can
 // drive it deterministically with a fake clock.
+//
+// Next to the human-readable stderr line, an optional JsonlSink receives a
+// machine-readable record per emit. Every JSONL line — from any thread —
+// lands in the file as exactly one write(2) of a fully assembled buffer on
+// an O_APPEND descriptor, so concurrent emitters never tear or interleave
+// records (POSIX guarantees atomic appends well past our line sizes).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "common/log.hpp"
 
 namespace fdqos::obs {
+
+// Append-only JSONL file. write_line() adds the trailing '\n' and issues a
+// single ::write() — the atomicity unit — so lines from racing threads
+// interleave only at record boundaries. Thread-safe; open()/close() are
+// not meant to race with write_line().
+class JsonlSink {
+ public:
+  JsonlSink() = default;
+  ~JsonlSink();
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  // Opens (creating/truncating) `path` in append mode. False on failure.
+  bool open(const std::string& path);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+  // Writes `line` + '\n' as one write(2). `line` must be a single record
+  // (no embedded newline). Returns false if closed or the write failed.
+  bool write_line(std::string_view line);
+
+  std::uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_ = -1;
+  std::atomic<std::uint64_t> lines_{0};
+};
 
 class ProgressEmitter {
  public:
@@ -23,6 +60,12 @@ class ProgressEmitter {
     double interval_s = 5.0;   // wall-clock seconds between lines
     std::FILE* out = nullptr;  // nullptr = stderr
     std::string prefix = "[fdqos obs]";
+    // Optional machine-readable mirror: each emit() also appends
+    // {"run":...,"t_ns":...,"seq":...,"msg":...} to this sink. Not owned;
+    // must outlive the emitter. nullptr = stderr only.
+    JsonlSink* jsonl = nullptr;
+    // Run id stamped into JSONL records ("" = omit the field).
+    std::string run_id;
   };
 
   ProgressEmitter();  // all-default Options (out-of-line: NSDMIs of a
@@ -34,6 +77,8 @@ class ProgressEmitter {
   bool due() const;
 
   // Formats and writes one prefixed line, flushes, and re-arms the timer.
+  // The full line is assembled first and handed to stdio as one fwrite, so
+  // even unsynchronized emitters can't interleave mid-line.
   void emit(const char* fmt, ...) FDQOS_PRINTF_FORMAT(2, 3);
 
   std::uint64_t lines_emitted() const;

@@ -1,0 +1,157 @@
+#include "obs/runs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+namespace fdqos::obs {
+namespace {
+
+struct RunContext {
+  std::mutex mu;
+  std::string id;
+  std::string suite;
+};
+
+RunContext& context() {
+  static RunContext ctx;
+  return ctx;
+}
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RunRegistry::update(const RunStatus& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RunStatus& row : rows_) {
+    if (row.id == status.id) {
+      row = status;
+      return;
+    }
+  }
+  rows_.push_back(status);
+}
+
+void RunRegistry::finish(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RunStatus& row : rows_) {
+    if (row.id == id) {
+      row.finished = true;
+      row.runs_done = row.runs_total;
+      return;
+    }
+  }
+}
+
+void RunRegistry::remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&id](const RunStatus& row) {
+                               return row.id == id;
+                             }),
+              rows_.end());
+}
+
+void RunRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+}
+
+std::vector<RunStatus> RunRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+std::size_t RunRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+std::string RunRegistry::to_json() const {
+  const std::vector<RunStatus> rows = snapshot();
+  std::string out = "{\"runs\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunStatus& r = rows[i];
+    if (i > 0) out.push_back(',');
+    char buf[256];
+    out += "{\"id\":\"" + json_escape(r.id) + "\",\"verb\":\"" +
+           json_escape(r.verb) + "\",\"suite\":\"" + json_escape(r.suite) +
+           "\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"runs_total\":%zu,\"runs_started\":%zu,"
+                  "\"runs_done\":%zu,\"crashes\":%llu,"
+                  "\"heartbeats_sent\":%llu,\"detectors\":%zu,"
+                  "\"suspecting\":%zu,\"sim_time_s\":%s,\"finished\":%s}",
+                  r.runs_total, r.runs_started, r.runs_done,
+                  static_cast<unsigned long long>(r.crashes),
+                  static_cast<unsigned long long>(r.heartbeats_sent),
+                  r.detectors, r.suspecting,
+                  std::isfinite(r.sim_time_s)
+                      ? std::to_string(r.sim_time_s).c_str()
+                      : "null",
+                  r.finished ? "true" : "false");
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+RunRegistry& RunRegistry::global() {
+  static RunRegistry registry;
+  return registry;
+}
+
+void set_run_context(const std::string& run_id, const std::string& suite) {
+  RunContext& ctx = context();
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  ctx.id = run_id;
+  ctx.suite = suite;
+}
+
+void clear_run_context() { set_run_context("", ""); }
+
+std::string run_id() {
+  RunContext& ctx = context();
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  return ctx.id;
+}
+
+std::string run_suite() {
+  RunContext& ctx = context();
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  return ctx.suite;
+}
+
+Labels run_labels() {
+  RunContext& ctx = context();
+  std::lock_guard<std::mutex> lock(ctx.mu);
+  Labels labels;
+  if (!ctx.id.empty()) labels.emplace_back("run", ctx.id);
+  if (!ctx.suite.empty()) labels.emplace_back("suite", ctx.suite);
+  return labels;
+}
+
+}  // namespace fdqos::obs

@@ -1,0 +1,84 @@
+// Live run registry and run-scoped telemetry labels.
+//
+// obs v2 turns the registry from a post-run snapshot into a live plane: a
+// scrape can arrive at any instant, so something must say *which* run the
+// scraped numbers belong to. Two pieces:
+//
+//  * RunRegistry — a thread-safe table of experiment invocations (one row
+//    per `fdqos qos/chaos/record/replay` call), refreshed by the progress
+//    tick and served as JSON by HttpExporter's /runs endpoint.
+//
+//  * The run context — a process-wide (run_id, suite) pair the CLI sets
+//    before an experiment starts. Per-detector gauges, ObsSpan trace
+//    events and ProgressEmitter JSONL records all carry the same labels,
+//    so one run's telemetry is joinable across metrics, traces and
+//    progress without guessing at timestamps.
+//
+// Everything here is scrape-path or once-per-tick; nothing is on the
+// heartbeat hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fdqos::obs {
+
+// One experiment invocation as the /runs endpoint reports it. All counts
+// are whole-invocation aggregates (runs in flight, completed runs, crash
+// totals), not per-paper-run.
+struct RunStatus {
+  std::string id;     // run id label, e.g. "qos-seed42"
+  std::string verb;   // qos | chaos | record | replay | accuracy
+  std::string suite;  // suite label (scenario name, "paper", ...)
+  std::size_t runs_total = 0;
+  std::size_t runs_started = 0;
+  std::size_t runs_done = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::size_t detectors = 0;
+  std::size_t suspecting = 0;
+  double sim_time_s = 0.0;  // virtual clock of the reporting run
+  bool finished = false;
+};
+
+// Keyed by RunStatus::id; update() inserts or replaces. The table is tiny
+// (one row per live invocation) and read only by scrapes, so a mutex and
+// full-copy snapshots are plenty.
+class RunRegistry {
+ public:
+  RunRegistry() = default;
+  RunRegistry(const RunRegistry&) = delete;
+  RunRegistry& operator=(const RunRegistry&) = delete;
+
+  void update(const RunStatus& status);
+  // Mark finished (keeps the row so a final scrape still sees totals).
+  void finish(const std::string& id);
+  void remove(const std::string& id);
+  void clear();
+
+  std::vector<RunStatus> snapshot() const;
+  // {"runs":[{...},...]} — insertion-ordered, deterministic.
+  std::string to_json() const;
+  std::size_t size() const;
+
+  // The process-wide table behind the /runs endpoint.
+  static RunRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RunStatus> rows_;  // insertion order; linear lookup by id
+};
+
+// Process-wide run context. set_run_context() installs (run_id, suite);
+// run_labels() renders them as metric labels ({} while unset). The CLI
+// sets it around each experiment; tests set/clear their own.
+void set_run_context(const std::string& run_id, const std::string& suite);
+void clear_run_context();
+std::string run_id();
+std::string run_suite();
+Labels run_labels();
+
+}  // namespace fdqos::obs

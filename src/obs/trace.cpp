@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/runs.hpp"
+
 namespace fdqos::obs {
 namespace {
 
@@ -37,10 +39,14 @@ TraceWriter::~TraceWriter() {
 void TraceWriter::write(std::string_view name, std::uint64_t ts_us,
                         std::uint64_t dur_us, const Labels& labels) {
   if (f_ == nullptr) return;
+  // Run-scoped labels ride on every span so one run's trace events join
+  // against its metrics and progress JSONL by the same (run, suite) pair.
+  Labels all = labels;
+  for (auto& kv : run_labels()) all.push_back(std::move(kv));
   std::string args = "{";
-  for (std::size_t i = 0; i < labels.size(); ++i) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
     if (i > 0) args.push_back(',');
-    args += "\"" + labels[i].first + "\":\"" + labels[i].second + "\"";
+    args += "\"" + all[i].first + "\":\"" + all[i].second + "\"";
   }
   args.push_back('}');
   std::lock_guard<std::mutex> lock(mu_);

@@ -7,36 +7,63 @@
 
 namespace fdqos::stats {
 
-SampleSet::SampleSet(const SampleSet& other) {
+SampleSet::SampleSet(Backend backend, double compression)
+    : backend_(backend), digest_(compression) {}
+
+SampleSet::SampleSet(const SampleSet& other) : digest_(100.0) {
   std::lock_guard<std::mutex> lock(other.mu_);
+  backend_ = other.backend_;
   samples_ = other.samples_;
   sorted_ = other.sorted_;
+  digest_ = other.digest_;
 }
 
 SampleSet& SampleSet::operator=(const SampleSet& other) {
   if (this == &other) return *this;
   std::vector<double> copy;
   bool copy_sorted;
+  Backend copy_backend;
+  TDigest copy_digest{100.0};
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     copy = other.samples_;
     copy_sorted = other.sorted_;
+    copy_backend = other.backend_;
+    copy_digest = other.digest_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   samples_ = std::move(copy);
   sorted_ = copy_sorted;
+  backend_ = copy_backend;
+  digest_ = copy_digest;
   return *this;
 }
 
 void SampleSet::add(double x) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (backend_ == Backend::kStreaming) {
+    digest_.add(x);
+    return;
+  }
   samples_.push_back(x);
   sorted_ = false;
+}
+
+std::size_t SampleSet::size() const {
+  if (backend_ == Backend::kStreaming) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::size_t>(digest_.count());
+  }
+  return samples_.size();
 }
 
 double SampleSet::quantile(double q) const {
   FDQOS_REQUIRE(q >= 0.0 && q <= 1.0);
   std::lock_guard<std::mutex> lock(mu_);
+  if (backend_ == Backend::kStreaming) {
+    FDQOS_REQUIRE(!digest_.empty());
+    return digest_.quantile(q);
+  }
   FDQOS_REQUIRE(!samples_.empty());
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

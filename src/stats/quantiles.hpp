@@ -1,18 +1,24 @@
-// Quantile estimation: exact (stored samples) and streaming (P² algorithm).
+// Quantile estimation: exact (stored samples) and streaming (P² / t-digest).
 //
 // Exact quantiles back the experiment reports (sample counts there are
-// modest); the P² estimator serves long-running monitors where storing every
-// sample is not acceptable.
+// modest); the streaming estimators serve long-running monitors where
+// storing every sample is not acceptable. SampleSet can opt into a
+// t-digest backend at construction, which keeps the add()/quantile() API
+// while dropping per-sample storage — the fleet-scale path (ROADMAP §5):
+// per-endpoint stats at millions of samples in O(compression) memory.
 #pragma once
 
 #include <cstddef>
 #include <mutex>
 #include <vector>
 
+#include "stats/tdigest.hpp"
+
 namespace fdqos::stats {
 
-// Stores all samples; quantile() sorts lazily. Suitable for experiment-sized
-// data (up to a few million doubles).
+// Stores all samples (exact backend, the default) or folds them into a
+// t-digest (streaming backend); quantile() sorts lazily or queries the
+// sketch.
 //
 // add() and quantile() (including the lazy sort) take an internal mutex,
 // so any mix of concurrent readers and writers is safe — e.g. several
@@ -20,33 +26,45 @@ namespace fdqos::stats {
 // samples() stay unsynchronized; call them only while no writer is active.
 class SampleSet {
  public:
+  enum class Backend {
+    kExact,      // store every sample, sort lazily — bit-exact quantiles
+    kStreaming,  // t-digest sketch — O(compression) memory, bounded error
+  };
+
   SampleSet() = default;
+  explicit SampleSet(Backend backend, double compression = 100.0);
   SampleSet(const SampleSet& other);
   SampleSet& operator=(const SampleSet& other);
 
   void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
-  std::size_t size() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  Backend backend() const { return backend_; }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
 
-  // Exact q-quantile with linear interpolation; q in [0, 1]. Thread-safe
-  // against concurrent quantile()/median()/min()/max() calls.
+  // q-quantile with linear interpolation; q in [0, 1]. Exact on the exact
+  // backend, sketch estimate (exact min/max at q = 0/1) on streaming.
+  // Thread-safe against concurrent quantile()/median()/min()/max() calls.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   double min() const { return quantile(0.0); }
   double max() const { return quantile(1.0); }
 
+  // Exact backend only (empty on streaming — the samples are gone).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::mutex mu_;  // guards the lazy sort in quantile()
+  Backend backend_ = Backend::kExact;
+  mutable std::mutex mu_;  // guards the lazy sort / digest compression
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  TDigest digest_{100.0};  // untouched on the exact backend
 };
 
 // Jain & Chlamtac's P² streaming quantile estimator: O(1) memory, O(1)
-// update, no stored samples.
+// update, no stored samples. Tracks one pre-declared quantile; for
+// arbitrary post-hoc quantiles or shard merging use stats::TDigest.
 class P2Quantile {
  public:
   explicit P2Quantile(double q);

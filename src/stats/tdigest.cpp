@@ -1,0 +1,145 @@
+#include "stats/tdigest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace fdqos::stats {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// k1 scale function and its inverse: k(q) = (δ/2π)·asin(2q−1).
+double k_of_q(double q, double compression) {
+  return compression / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+double q_of_k(double k, double compression) {
+  return (std::sin(2.0 * kPi * k / compression) + 1.0) / 2.0;
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  FDQOS_REQUIRE(compression_ >= 10.0);
+  // Larger buffers amortize the sort; 8·δ keeps the merge pass rare
+  // without growing memory past a few KiB at the default compression.
+  buffer_capacity_ = static_cast<std::size_t>(8.0 * compression_);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void TDigest::add(double x, double weight) {
+  FDQOS_REQUIRE(std::isfinite(x));
+  FDQOS_REQUIRE(weight > 0.0);
+  buffer_.push_back({x, weight});
+  count_ += static_cast<std::uint64_t>(weight);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (buffer_.size() >= buffer_capacity_) compress();
+}
+
+void TDigest::merge(const TDigest& other) {
+  if (other.count_ == 0) return;
+  // The other digest's centroids (compressed + buffered) become weighted
+  // inputs; one compress folds them in deterministically.
+  buffer_.reserve(buffer_.size() + other.centroids_.size() +
+                  other.buffer_.size());
+  for (const Centroid& c : other.centroids_) buffer_.push_back(c);
+  for (const Centroid& c : other.buffer_) buffer_.push_back(c);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  compress();
+}
+
+void TDigest::compress() const {
+  if (buffer_.empty()) return;
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  // Stable: equal means keep their (deterministic) insertion order, so the
+  // merge below never depends on an unstable comparator tie-break.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+
+  double total = 0.0;
+  for (const Centroid& c : all) total += c.weight;
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<std::size_t>(2.0 * compression_) + 8);
+  Centroid cur = all.front();
+  double weight_so_far = 0.0;  // weight of centroids already emitted
+  double q_limit = q_of_k(k_of_q(0.0, compression_) + 1.0, compression_);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const Centroid& next = all[i];
+    const double q_if_merged = (weight_so_far + cur.weight + next.weight) / total;
+    if (q_if_merged <= q_limit) {
+      cur.mean += next.weight * (next.mean - cur.mean) /
+                  (cur.weight + next.weight);
+      cur.weight += next.weight;
+    } else {
+      merged.push_back(cur);
+      weight_so_far += cur.weight;
+      q_limit = q_of_k(k_of_q(weight_so_far / total, compression_) + 1.0,
+                       compression_);
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+  centroids_ = std::move(merged);
+}
+
+double TDigest::min() const {
+  return count_ == 0 ? std::nan("") : min_;
+}
+
+double TDigest::max() const {
+  return count_ == 0 ? std::nan("") : max_;
+}
+
+std::size_t TDigest::centroid_count() const {
+  compress();
+  return centroids_.size();
+}
+
+double TDigest::quantile(double q) const {
+  FDQOS_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return std::nan("");
+  compress();
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  if (centroids_.size() == 1) return centroids_.front().mean;
+
+  double total = 0.0;
+  for (const Centroid& c : centroids_) total += c.weight;
+  const double target = q * total;
+
+  // Each centroid sits at the midpoint of its weight span; interpolate
+  // between adjacent midpoints, clamping the ends to the exact extremes.
+  double cum = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cum + c.weight / 2.0;
+    if (target < mid) {
+      const double span = mid - prev_mid;
+      const double frac = span > 0.0 ? (target - prev_mid) / span : 0.0;
+      return prev_mean + frac * (c.mean - prev_mean);
+    }
+    cum += c.weight;
+    prev_mid = mid;
+    prev_mean = c.mean;
+  }
+  const double span = total - prev_mid;
+  const double frac = span > 0.0 ? (target - prev_mid) / span : 1.0;
+  return prev_mean + frac * (max_ - prev_mean);
+}
+
+}  // namespace fdqos::stats

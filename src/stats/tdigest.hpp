@@ -1,0 +1,70 @@
+// TDigest — Dunning's merging t-digest: a fixed-memory streaming quantile
+// sketch with relative accuracy that is best at the tails.
+//
+// The digest keeps at most O(compression) weighted centroids whose sizes
+// follow the k1 scale function k(q) = (δ/2π)·asin(2q−1): centroids near
+// q = 0 or q = 1 hold few points, centroids near the median hold many, so
+// p99/p999 estimates stay sharp while memory stays constant. Incoming
+// samples buffer and are folded in by a deterministic sorted merge —
+// the same sample stream (and the same shard merge order) always yields
+// the same centroid set, which the sketch property suite pins.
+//
+// Complements stats::P2Quantile: P² tracks *one* pre-declared quantile in
+// five doubles; the t-digest answers any quantile after the fact and can
+// merge shards (per-run or per-endpoint sketches folded in run order).
+// Not thread-safe — wrap it (stats::SampleSet does) or confine it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fdqos::stats {
+
+class TDigest {
+ public:
+  // `compression` (δ) bounds the centroid count (~2·δ) and the rank error
+  // (mid-quantile error ~ 1/δ, tail error far smaller). 100 is the
+  // conventional default; per-endpoint monitors use less, report-grade
+  // summaries more.
+  explicit TDigest(double compression = 100.0);
+
+  void add(double x, double weight = 1.0);
+  // Fold another digest into this one (its buffered and compressed
+  // centroids become weighted inputs). Merging shards in a fixed order is
+  // deterministic; different orders agree within the accuracy bound.
+  void merge(const TDigest& other);
+
+  // Interpolated quantile estimate, q in [0, 1]; NaN while empty. Exact
+  // min/max at q = 0/1 (tracked separately from the centroids).
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const;
+  double max() const;
+  double compression() const { return compression_; }
+  // Post-compression centroid count (compresses pending samples first).
+  std::size_t centroid_count() const;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  // Fold buffer_ into centroids_ with one sorted merge pass. Lazy (and
+  // therefore mutable): add() stays O(1) amortized and quantile() pays
+  // the sort only when something actually changed.
+  void compress() const;
+
+  double compression_;
+  std::size_t buffer_capacity_;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<Centroid> buffer_;
+};
+
+}  // namespace fdqos::stats

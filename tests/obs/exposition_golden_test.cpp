@@ -1,0 +1,131 @@
+// Golden-file regression for the Prometheus text exposition writer.
+//
+// The registry built here is deliberately hostile: label values carrying
+// backslashes, quotes, newlines and tabs, HELP text with a backslash and a
+// newline, non-finite gauge values, and a histogram (which drags in the
+// bucket rows plus the _p50/_p95/_p99 streaming summary families). Any
+// change to the escaping rules or family layout shows up as a golden diff
+// instead of a quietly corrupted scrape.
+//
+// Regenerate intentionally with:
+//   FDQOS_UPDATE_GOLDEN=1 ./fdqos_obs_tests \
+//       --gtest_filter=ExpositionGoldenTest.*
+// and review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fdqos::obs {
+namespace {
+
+const char* golden_path() {
+  return FDQOS_SOURCE_DIR "/tests/obs/golden/exposition.prom";
+}
+
+std::string render_exposition() {
+  Registry reg;
+  reg.counter("fdqos_golden_total", "plain counter").inc(42);
+  reg.counter("fdqos_golden_escaped_total",
+              "HELP with a back\\slash and a\nnewline",
+              {{"path", "C:\\temp\\x"}, {"quote", "say \"hi\""}})
+      .inc(1);
+  reg.counter("fdqos_golden_escaped_total", "HELP with a back\\slash and a\nnewline",
+              {{"path", "line1\nline2"}, {"quote", "tab\there"}})
+      .inc(2);
+  reg.gauge("fdqos_golden_nan", "not a number").set(std::nan(""));
+  reg.gauge("fdqos_golden_inf", "positive infinity")
+      .set(std::numeric_limits<double>::infinity());
+  reg.gauge("fdqos_golden_neg_inf", "negative infinity")
+      .set(-std::numeric_limits<double>::infinity());
+  Histogram& h =
+      reg.histogram("fdqos_golden_us", "histogram with sketch summaries",
+                    {{"suite", "paper"}, {"run", "qos-seed42"}});
+  for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i) * 10.0);
+  return reg.to_prometheus();
+}
+
+TEST(ExpositionGoldenTest, HostileLabelsMatchGoldenFile) {
+  const std::string actual = render_exposition();
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("FDQOS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << golden_path()
+      << " — run once with FDQOS_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str());
+}
+
+// The escaping rules themselves, pinned independently of the golden file
+// (a wrong regeneration cannot silently bless corrupt output).
+TEST(ExpositionGoldenTest, LabelEscapingRules) {
+  Registry reg;
+  reg.counter("e_total", "", {{"v", "a\\b\"c\nd"}}).inc(1);
+  const std::string text = reg.to_prometheus();
+  // backslash -> \\, quote -> \", newline -> \n; nothing else escaped.
+  EXPECT_NE(text.find("e_total{v=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(ExpositionGoldenTest, HelpEscapingRules) {
+  Registry reg;
+  reg.counter("h_total", "back\\slash and\nnewline").inc(1);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP h_total back\\\\slash and\\nnewline\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExpositionGoldenTest, NonFiniteValuesUseCanonicalSpellings) {
+  Registry reg;
+  reg.gauge("g_nan", "").set(std::nan(""));
+  reg.gauge("g_inf", "").set(std::numeric_limits<double>::infinity());
+  reg.gauge("g_ninf", "").set(-std::numeric_limits<double>::infinity());
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("g_inf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("g_ninf -Inf\n"), std::string::npos);
+}
+
+// Every family gets exactly one TYPE line, HELP precedes TYPE, and no
+// sample line appears before its family's TYPE — the structural rules a
+// Prometheus scraper enforces.
+TEST(ExpositionGoldenTest, FamilyStructureIsWellFormed) {
+  const std::string text = render_exposition();
+  std::istringstream in(text);
+  std::string line;
+  std::string last_comment_name;
+  while (std::getline(in, line)) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t start = 7;
+      const std::size_t end = line.find(' ', start);
+      ASSERT_NE(end, std::string::npos) << line;
+      last_comment_name = line.substr(start, end - start);
+      continue;
+    }
+    ASSERT_FALSE(line.empty());
+    // Sample lines belong to the most recent HELP/TYPE family (histogram
+    // samples append _bucket/_sum/_count to it).
+    EXPECT_EQ(line.rfind(last_comment_name, 0), 0u)
+        << "sample '" << line << "' outside family '" << last_comment_name
+        << "'";
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::obs

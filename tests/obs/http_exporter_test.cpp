@@ -1,0 +1,223 @@
+#include "obs/http_exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/runs.hpp"
+
+namespace fdqos::obs {
+namespace {
+
+// Minimal blocking HTTP client: one GET, read to EOF (the exporter always
+// answers Connection: close). Empty string = connect/IO failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpExporterTest, ServesMetricsOnEphemeralPort) {
+  Registry reg;
+  reg.counter("fdqos_http_test_total", "scrape me").inc(5);
+
+  HttpExporter::Options opts;
+  opts.registry = &reg;
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+  ASSERT_TRUE(exporter.running());
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string response = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("# TYPE fdqos_http_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("fdqos_http_test_total 5"), std::string::npos);
+  EXPECT_GE(exporter.requests_served(), 1u);
+}
+
+TEST(HttpExporterTest, HealthzAndNotFoundAndMethod) {
+  HttpExporter::Options opts;
+  Registry reg;
+  opts.registry = &reg;
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+
+  EXPECT_EQ(body_of(http_get(exporter.port(), "/healthz")), "ok\n");
+  EXPECT_NE(http_get(exporter.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  // Query strings are ignored for routing.
+  EXPECT_EQ(body_of(http_get(exporter.port(), "/healthz?x=1")), "ok\n");
+}
+
+TEST(HttpExporterTest, RunsEndpointServesSnapshot) {
+  HttpExporter::Options opts;
+  Registry reg;
+  opts.registry = &reg;
+  opts.runs_snapshot = [] {
+    RunRegistry local;
+    RunStatus st;
+    st.id = "qos-seed7";
+    st.verb = "qos";
+    st.suite = "paper";
+    st.runs_total = 13;
+    st.runs_done = 4;
+    local.update(st);
+    return local.to_json();
+  };
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+
+  const std::string response = http_get(exporter.port(), "/runs");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("\"id\":\"qos-seed7\""), std::string::npos);
+  EXPECT_NE(body.find("\"runs_total\":13"), std::string::npos);
+  EXPECT_NE(body.find("\"runs_done\":4"), std::string::npos);
+  EXPECT_NE(body.find("\"finished\":false"), std::string::npos);
+}
+
+// The acceptance property behind `--serve-metrics`: scrapes arriving while
+// instruments are being hammered from other threads always get a complete,
+// parseable exposition — and never stall the writers.
+TEST(HttpExporterTest, ConcurrentScrapesDuringWrites) {
+  Registry reg;
+  Counter& c = reg.counter("fdqos_http_race_total", "writer target");
+  Histogram& h = reg.histogram("fdqos_http_race_us", "writer target");
+
+  HttpExporter::Options opts;
+  opts.registry = &reg;
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.inc();
+      h.observe(static_cast<double>(i % 1000));
+      ++i;
+    }
+  });
+
+  constexpr int kScrapes = 25;
+  for (int i = 0; i < kScrapes; ++i) {
+    const std::string response = http_get(exporter.port(), "/metrics");
+    ASSERT_NE(response.find("200 OK"), std::string::npos);
+    const std::string body = body_of(response);
+    // Complete exposition: both families, and the summary gauges, present.
+    EXPECT_NE(body.find("fdqos_http_race_total"), std::string::npos);
+    EXPECT_NE(body.find("fdqos_http_race_us_count"), std::string::npos);
+    EXPECT_NE(body.find("fdqos_http_race_us_p99"), std::string::npos);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GE(exporter.requests_served(),
+            static_cast<std::uint64_t>(kScrapes));
+}
+
+TEST(HttpExporterTest, StopIsPromptAndRestartable) {
+  Registry reg;
+  HttpExporter::Options opts;
+  opts.registry = &reg;
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+  const std::uint16_t first_port = exporter.port();
+  EXPECT_NE(first_port, 0);
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_EQ(exporter.port(), 0);
+  // A stopped exporter refuses connections (or the port is reusable).
+  ASSERT_TRUE(exporter.start());
+  EXPECT_TRUE(exporter.running());
+  EXPECT_EQ(body_of(http_get(exporter.port(), "/healthz")), "ok\n");
+  exporter.stop();
+}
+
+TEST(HttpExporterTest, GarbageRequestGetsBadRequest) {
+  Registry reg;
+  HttpExporter::Options opts;
+  opts.registry = &reg;
+  HttpExporter exporter(std::move(opts));
+  ASSERT_TRUE(exporter.start());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const char garbage[] = "NONSENSE\r\n\r\n";
+  ASSERT_EQ(::write(fd, garbage, sizeof garbage - 1),
+            static_cast<ssize_t>(sizeof garbage - 1));
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+
+  // POST to a real route is rejected by method, not path.
+  const int fd2 = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::connect(fd2, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const char post[] = "POST /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::write(fd2, post, sizeof post - 1),
+            static_cast<ssize_t>(sizeof post - 1));
+  response.clear();
+  while ((n = ::read(fd2, buf, sizeof buf)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd2);
+  EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fdqos::obs

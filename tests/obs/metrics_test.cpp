@@ -126,6 +126,18 @@ TEST(RegistryTest, PrometheusExpositionGolden) {
       "fdqos_demo_duration_us_bucket{le=\"+Inf\"} 3\n"
       "fdqos_demo_duration_us_sum 1000000004\n"
       "fdqos_demo_duration_us_count 3\n"
+      "# HELP fdqos_demo_duration_us_p50 Streaming P\xc2\xb2 quantile "
+      "estimate over fdqos_demo_duration_us observations\n"
+      "# TYPE fdqos_demo_duration_us_p50 gauge\n"
+      "fdqos_demo_duration_us_p50 3\n"
+      "# HELP fdqos_demo_duration_us_p95 Streaming P\xc2\xb2 quantile "
+      "estimate over fdqos_demo_duration_us observations\n"
+      "# TYPE fdqos_demo_duration_us_p95 gauge\n"
+      "fdqos_demo_duration_us_p95 900000000\n"
+      "# HELP fdqos_demo_duration_us_p99 Streaming P\xc2\xb2 quantile "
+      "estimate over fdqos_demo_duration_us observations\n"
+      "# TYPE fdqos_demo_duration_us_p99 gauge\n"
+      "fdqos_demo_duration_us_p99 980000000\n"
       "# HELP fdqos_demo_gauge demo gauge\n"
       "# TYPE fdqos_demo_gauge gauge\n"
       "fdqos_demo_gauge 1.5\n"

@@ -35,7 +35,10 @@
 #include "faultx/fault_models.hpp"
 #include "faultx/scenarios.hpp"
 #include "forecast/arima/order_selection.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/runs.hpp"
 #include "obs/trace.hpp"
 #include "wan/italy_japan.hpp"
 #include "wan/tracestore.hpp"
@@ -66,6 +69,11 @@ int usage() {
                "qos/accuracy also take --metrics-out FILE (Prometheus text),\n"
                "--metrics-jsonl-out FILE, --trace-out FILE (chrome://tracing)\n"
                "and --progress SECONDS (periodic telemetry on stderr)\n"
+               "qos/chaos/record/replay take --serve-metrics PORT (live HTTP\n"
+               "/metrics, /healthz and /runs on 127.0.0.1; 0 = ephemeral,\n"
+               "the bound port is printed to stderr) and qos/chaos/replay\n"
+               "--progress-jsonl FILE (machine-readable progress records,\n"
+               "one JSON object per --progress line)\n"
                "qos/accuracy/order-select take --jobs N (worker threads;\n"
                "default = cores, 1 = serial, output identical at every N)\n"
                "qos/chaos take --engine bank|legacy (bank = one batched\n"
@@ -125,15 +133,18 @@ int check_unknown(const ArgParser& args) {
   return 2;
 }
 
-// Shared observability flags (qos + accuracy): --metrics-out FILE,
-// --trace-out FILE, --progress SECONDS. Any of them switches the global
-// instrumentation on; ObsSession tears the trace sink down and writes the
-// metrics file on scope exit.
+// Shared observability flags: --metrics-out FILE, --trace-out FILE,
+// --progress SECONDS, --progress-jsonl FILE, --serve-metrics PORT. Any of
+// them switches the global instrumentation on; ObsSession tears the trace
+// sink and HTTP exporter down and writes the metrics files on scope exit.
 struct ObsSession {
   std::string metrics_out;
   std::string metrics_jsonl_out;
   std::unique_ptr<obs::TraceWriter> tracer;
+  std::unique_ptr<obs::HttpExporter> exporter;
+  std::unique_ptr<obs::JsonlSink> progress_jsonl;
   double progress_s = 0.0;
+  bool ok = true;  // false when a requested sink could not be set up
 
   static ObsSession from_args(const ArgParser& args) {
     ObsSession session;
@@ -141,8 +152,12 @@ struct ObsSession {
     session.metrics_jsonl_out = args.get_string("--metrics-jsonl-out", "");
     const std::string trace_out = args.get_string("--trace-out", "");
     session.progress_s = args.get_double("--progress", 0.0);
+    const auto serve_port = args.get_int("--serve-metrics", -1);
+    const std::string progress_jsonl_out =
+        args.get_string("--progress-jsonl", "");
     if (!session.metrics_out.empty() || !session.metrics_jsonl_out.empty() ||
-        !trace_out.empty() || session.progress_s > 0.0) {
+        !trace_out.empty() || session.progress_s > 0.0 || serve_port >= 0 ||
+        !progress_jsonl_out.empty()) {
       obs::set_enabled(true);
     }
     if (!trace_out.empty()) {
@@ -154,14 +169,44 @@ struct ObsSession {
         obs::set_trace_writer(session.tracer.get());
       }
     }
+    if (serve_port >= 0) {
+      if (serve_port > 65535) {
+        std::fprintf(stderr, "fdqos: --serve-metrics port %lld out of range\n",
+                     static_cast<long long>(serve_port));
+        session.ok = false;
+      } else {
+        obs::HttpExporter::Options opts;
+        opts.port = static_cast<std::uint16_t>(serve_port);
+        session.exporter = std::make_unique<obs::HttpExporter>(std::move(opts));
+        if (session.exporter->start()) {
+          // The bound port line is load-bearing for scripts using port 0.
+          std::fprintf(stderr,
+                       "[fdqos obs] serving /metrics /healthz /runs on "
+                       "http://127.0.0.1:%u\n",
+                       static_cast<unsigned>(session.exporter->port()));
+        } else {
+          session.ok = false;
+        }
+      }
+    }
+    if (!progress_jsonl_out.empty()) {
+      session.progress_jsonl = std::make_unique<obs::JsonlSink>();
+      if (!session.progress_jsonl->open(progress_jsonl_out)) {
+        std::fprintf(stderr, "fdqos: cannot write %s\n",
+                     progress_jsonl_out.c_str());
+        session.progress_jsonl.reset();
+        session.ok = false;
+      }
+    }
     return session;
   }
 
   // Returns false if a requested output file could not be written.
   bool finish() {
+    if (exporter != nullptr) exporter->stop();
     obs::set_trace_writer(nullptr);
     if (tracer != nullptr) tracer->flush();
-    bool ok = true;
+    if (progress_jsonl != nullptr) progress_jsonl->close();
     if (!metrics_out.empty() &&
         !obs::Registry::global().save_prometheus(metrics_out)) {
       std::fprintf(stderr, "fdqos: cannot write %s\n", metrics_out.c_str());
@@ -211,7 +256,10 @@ int cmd_qos_impl(const ArgParser& args, bool require_trace) {
   const bool variability = args.get_flag("--variability");
   ObsSession obs_session = ObsSession::from_args(args);
   config.progress_interval_s = obs_session.progress_s;
+  config.progress_jsonl = obs_session.progress_jsonl.get();
+  config.run_verb = require_trace ? "replay" : "qos";
   if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
 
   std::fprintf(stderr, "[fdqos] %s\n", exp::qos_config_summary(config).c_str());
   const exp::QosReport report = exp::run_qos_experiment(config);
@@ -280,7 +328,10 @@ int cmd_chaos(const ArgParser& args) {
   const std::string csv = args.get_string("--csv", "");
   ObsSession obs_session = ObsSession::from_args(args);
   config.progress_interval_s = obs_session.progress_s;
+  config.progress_jsonl = obs_session.progress_jsonl.get();
+  config.run_verb = "chaos";
   if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
 
   if (config.chaos_scenario.empty()) {
     std::fprintf(stderr,
@@ -362,7 +413,9 @@ int record_impl(const ArgParser& args, const std::string& default_out) {
   const auto fault_start_s = args.get_int("--fault-start-s", 0);
   std::string format = args.get_string("--format", "");
   const std::string source_note = args.get_string("--source", "");
+  ObsSession obs_session = ObsSession::from_args(args);
   if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
   if (n <= 0 || runs <= 0) {
     std::fprintf(stderr, "fdqos record: --n and --runs must be positive\n");
     return 2;
@@ -395,6 +448,19 @@ int record_impl(const ArgParser& args, const std::string& default_out) {
         faultx::make_scenario(scenario, sp));
   }
 
+  // Live telemetry identity for the capture (a long record is otherwise
+  // opaque to a /runs scrape): one registry row, refreshed per shard.
+  const std::string record_run_id = "record-seed" + std::to_string(seed);
+  obs::RunStatus record_status;
+  if (obs::enabled()) {
+    obs::set_run_context(record_run_id, scenario.empty() ? "paper" : scenario);
+    record_status.id = record_run_id;
+    record_status.verb = "record";
+    record_status.suite = scenario.empty() ? "paper" : scenario;
+    record_status.runs_total = static_cast<std::size_t>(runs);
+    obs::RunRegistry::global().update(record_status);
+  }
+
   auto hub = std::make_shared<wan::TraceRecorderHub>();
   const Rng base(seed);
   for (std::int64_t run = 0; run < runs; ++run) {
@@ -417,6 +483,18 @@ int record_impl(const ArgParser& args, const std::string& default_out) {
       if (loss->drop(link_rng, t)) continue;
       recording.sample(link_rng, t);
     }
+    if (obs::enabled()) {
+      record_status.runs_started = static_cast<std::size_t>(run + 1);
+      record_status.runs_done = static_cast<std::size_t>(run + 1);
+      record_status.heartbeats_sent +=
+          static_cast<std::uint64_t>(n);  // attempts; drops recorded nothing
+      obs::RunRegistry::global().update(record_status);
+    }
+  }
+  if (obs::enabled()) {
+    record_status.finished = true;
+    obs::RunRegistry::global().update(record_status);
+    obs::clear_run_context();
   }
 
   char source[256];
@@ -432,9 +510,10 @@ int record_impl(const ArgParser& args, const std::string& default_out) {
 
   const wan::Trace trace = hub->merged(meta);
   std::string error;
-  const bool ok = format == "csv" ? wan::save_trace_csv(trace, out, &error)
-                                  : wan::save_trace_fdt(trace, out, &error);
-  if (!ok) {
+  const bool saved = format == "csv" ? wan::save_trace_csv(trace, out, &error)
+                                     : wan::save_trace_fdt(trace, out, &error);
+  if (!obs_session.finish()) return 1;
+  if (!saved) {
     std::fprintf(stderr, "fdqos: %s\n", error.c_str());
     return 1;
   }
@@ -465,6 +544,7 @@ int cmd_accuracy(const ArgParser& args) {
   ObsSession obs_session = ObsSession::from_args(args);
   config.progress_interval_s = obs_session.progress_s;
   if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
 
   const auto report = exp::run_accuracy_experiment(config);
   if (!obs_session.finish()) return 1;
