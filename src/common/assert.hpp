@@ -30,3 +30,17 @@ namespace fdqos::detail {
     if (!(expr))                                                               \
       ::fdqos::detail::assert_fail("precondition", #expr, __FILE__, __LINE__); \
   } while (0)
+
+// Debug-only invariant check: compiled out under NDEBUG. For checks on hot
+// paths (per-event, per-message) that would be too costly to keep in release
+// builds but whose failure means the simulation is already corrupt — e.g. an
+// event scheduled behind the simulator's clock, or a cross-LP message that
+// violates the conservative synchronization bound.
+#ifndef NDEBUG
+#define FDQOS_DASSERT(expr) FDQOS_ASSERT(expr)
+#else
+#define FDQOS_DASSERT(expr) \
+  do {                      \
+    (void)sizeof(expr);     \
+  } while (0)
+#endif

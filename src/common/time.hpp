@@ -61,6 +61,9 @@ class TimePoint {
   static constexpr TimePoint max() {
     return TimePoint{std::numeric_limits<std::int64_t>::max()};
   }
+  static constexpr TimePoint min() {
+    return TimePoint{std::numeric_limits<std::int64_t>::min()};
+  }
 
   constexpr std::int64_t count_nanos() const { return ns_; }
   constexpr double to_seconds_double() const { return static_cast<double>(ns_) / 1e9; }

@@ -29,6 +29,15 @@
 
 namespace fdqos::exp {
 
+// Simulation engine for each run (see docs/pdes.md).
+//  kSeq: one sequential Simulator owns the whole sender+receiver stack —
+//        the reference engine.
+//  kLp:  the run is partitioned into logical processes (sender LP plus
+//        detector-shard LPs) executed by the conservative parallel core
+//        (sim/parallel_simulator.hpp). Reports are byte-identical to kSeq
+//        at every lps/lp_jobs value.
+enum class SimEngine { kSeq, kLp };
+
 struct QosExperimentConfig {
   std::size_t runs = 13;            // paper: 13 experiment runs
   std::int64_t num_cycles = 10000;  // NumCycles heartbeat cycles per run
@@ -108,6 +117,16 @@ struct QosExperimentConfig {
   // the overhead benches. Both engines produce byte-identical reports; see
   // docs/detector_bank.md.
   bool use_detector_bank = true;
+  // Simulation engine (see SimEngine above). Under kLp each run is split
+  // into `lps` logical processes: LP0 owns the sender stack (heartbeater,
+  // crash injector, fault wrappers, link RNG draws) and LPs 1..lps-1 each
+  // own a shard of the detector suite (predictor groups are never split).
+  // lps = 1 keeps the whole stack on one LP (useful as the PDES baseline).
+  // `lp_jobs` is the worker count executing LP windows inside one run:
+  // 0 = auto (default_jobs() / outer `jobs`, at least 1), 1 = serial.
+  SimEngine sim_engine = SimEngine::kSeq;
+  std::size_t lps = 4;
+  std::size_t lp_jobs = 0;
   // Test/diagnostic hook: invoked on every suspect transition as
   // (run, detector index, time, suspecting), in simulation order within a
   // run. May be called concurrently from worker threads, but only with
@@ -144,6 +163,13 @@ struct QosReport {
   // 30 per heartbeat legacy vs 5 per heartbeat banked on the paper suite).
   // Not part of any report table — flushed into the fdqos::obs registry.
   fd::DetectorBank::Counters bank;
+  // Parallel-engine coordinator counters summed over runs (all zero under
+  // kSeq). Observability only — never part of any report table or the
+  // report fingerprint; flushed into the obs registry like `bank`.
+  std::uint64_t sim_rounds = 0;            // safe-window advances
+  std::uint64_t sim_stalls = 0;            // zero-lookahead minimum grants
+  std::uint64_t sim_cross_lp_messages = 0;
+  double sim_last_window_ms = 0.0;         // widest grant, last round seen
 };
 
 QosReport run_qos_experiment(const QosExperimentConfig& config);

@@ -208,6 +208,10 @@ std::string qos_config_summary(const QosExperimentConfig& config) {
   // The bank is the default engine; only the opt-out is worth a mention
   // (and the default summary bytes stay exactly as before the refactor).
   if (!config.use_detector_bank) line += " engine=legacy";
+  // Same rule for the simulation engine: seq is the default, silent.
+  if (config.sim_engine == SimEngine::kLp) {
+    line += " sim=lp lps=" + std::to_string(config.lps);
+  }
   return line;
 }
 

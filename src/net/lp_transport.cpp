@@ -1,0 +1,153 @@
+#include "net/lp_transport.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fdqos::net {
+
+LpShardTransport::LpShardTransport(sim::ParallelSimulator& psim,
+                                   std::size_t lp)
+    : psim_(psim), lp_(lp) {}
+
+void LpShardTransport::bind(NodeId node, DeliverFn deliver) {
+  receivers_[node] = std::move(deliver);
+}
+
+void LpShardTransport::send(Message) {
+  FDQOS_REQUIRE(false && "shard stacks are receive-only");
+}
+
+TimePoint LpShardTransport::now() const { return psim_.lp(lp_).now(); }
+
+void LpShardTransport::deliver(const Message& msg) {
+  auto it = receivers_.find(msg.to);
+  if (it == receivers_.end() || !it->second) {
+    FDQOS_LOG_DEBUG("dropping message to unbound shard node %d", msg.to);
+    return;
+  }
+  it->second(msg);
+}
+
+LpSenderTransport::LpSenderTransport(sim::ParallelSimulator& psim,
+                                     std::size_t src_lp, Rng rng)
+    : psim_(psim), src_lp_(src_lp), rng_(rng) {}
+
+void LpSenderTransport::set_link(NodeId from, NodeId to, LinkConfig config) {
+  link_for(from, to).config = std::move(config);
+}
+
+void LpSenderTransport::set_link_enabled(NodeId from, NodeId to,
+                                         bool enabled) {
+  link_for(from, to).enabled = enabled;
+}
+
+void LpSenderTransport::add_shard(NodeId node, LpShardTransport& shard) {
+  shards_[node].push_back(&shard);
+}
+
+Duration LpSenderTransport::link_lookahead(NodeId from, NodeId to) {
+  const Link& link = link_for(from, to);
+  return link.config.delay ? link.config.delay->min_delay()
+                           : Duration::zero();
+}
+
+void LpSenderTransport::bind(NodeId node, DeliverFn deliver) {
+  local_receivers_[node] = std::move(deliver);
+}
+
+TimePoint LpSenderTransport::now() const {
+  return psim_.lp(src_lp_).now();
+}
+
+LpSenderTransport::Link& LpSenderTransport::link_for(NodeId from, NodeId to) {
+  auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    // Identical substream derivation to SimTransport::link_for, so the two
+    // engines draw the same per-link sequences from the same seed. (Link
+    // holds an atomic, so it is built in place, not moved in.)
+    it = links_.try_emplace(key).first;
+    char name[48];
+    std::snprintf(name, sizeof name, "link/%d/%d", from, to);
+    it->second.rng = rng_.fork(name);
+  }
+  return it->second;
+}
+
+void LpSenderTransport::send(Message msg) {
+  Link& link = link_for(msg.from, msg.to);
+  ++link.sent;
+
+  if (!link.enabled) {
+    ++link.dropped;
+    ++link.partition_dropped;
+    return;
+  }
+  const TimePoint send_now = now();
+  if (link.config.loss && link.config.loss->drop(link.rng, send_now)) {
+    ++link.dropped;
+    return;
+  }
+
+  const Duration delay =
+      link.config.delay ? link.config.delay->sample(link.rng, send_now)
+                        : Duration::zero();
+  FDQOS_ASSERT(delay >= Duration::zero());
+  const TimePoint arrival = send_now + delay;
+
+  auto shard_it = shards_.find(msg.to);
+  if (shard_it != shards_.end()) {
+    const auto& shard_list = shard_it->second;
+    for (std::size_t s = 0; s < shard_list.size(); ++s) {
+      LpShardTransport* shard = shard_list[s];
+      Link* link_ptr = &link;
+      const bool primary = s == 0;
+      auto deliver = [shard, link_ptr, primary, msg] {
+        if (primary) {
+          link_ptr->delivered.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard->deliver(msg);
+      };
+      if (shard->lp() == src_lp_) {
+        // Same-LP shard (the lps=1 layout): a mailbox hop would only be
+        // drained at the next round, after this LP may have executed past
+        // `arrival` — schedule directly into the local queue instead.
+        psim_.lp(src_lp_).schedule_at(arrival, std::move(deliver));
+      } else {
+        psim_.post(src_lp_, shard->lp(), arrival, std::move(deliver));
+      }
+    }
+    return;
+  }
+
+  // Locally-bound destination (same LP as the sender): plain local event.
+  auto local_it = local_receivers_.find(msg.to);
+  if (local_it == local_receivers_.end() || !local_it->second) {
+    FDQOS_LOG_DEBUG("dropping message to unbound node %d", msg.to);
+    return;
+  }
+  DeliverFn* deliver = &local_it->second;
+  Link* link_ptr = &link;
+  psim_.lp(src_lp_).schedule_at(arrival, [deliver, link_ptr, msg] {
+    link_ptr->delivered.fetch_add(1, std::memory_order_relaxed);
+    (*deliver)(msg);
+  });
+}
+
+LpSenderTransport::LinkStats LpSenderTransport::link_stats(NodeId from,
+                                                           NodeId to) const {
+  LinkStats stats;
+  auto it = links_.find(std::make_pair(from, to));
+  if (it == links_.end()) return stats;
+  const Link& link = it->second;
+  stats.sent = link.sent;
+  stats.dropped = link.dropped;
+  stats.partition_dropped = link.partition_dropped;
+  stats.delivered = link.delivered.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace fdqos::net

@@ -1,0 +1,109 @@
+// Transports for the LP-partitioned (parallel) QoS experiment.
+//
+// The sequential engine runs the whole sender+receiver stack on one
+// Simulator through SimTransport. The parallel engine splits it: the sender
+// stack (heartbeater, crash layer, fault wrappers) lives on one LP, and the
+// receiver stack (multiplexer + a shard of the detector suite) is replicated
+// across one or more receiver LPs. LpSenderTransport is the sender half: it
+// draws exactly the RNG sequence SimTransport would (same "link/from/to"
+// fork names, loss-then-delay order, one draw pair per send), then posts the
+// surviving message to every receiver shard's LP at now() + delay via
+// ParallelSimulator::post — the cross-LP channel whose lookahead is the
+// delay model's min_delay(). LpShardTransport is the receive-only facade a
+// shard's ProcessNode binds against.
+//
+// Determinism: LpSenderTransport runs entirely inside the sender LP's
+// window, so its draw sequence is untouched by the partition; each shard
+// processes an identical heartbeat stream; per-lane detector decisions
+// depend only on that stream. The primary (first-registered) shard counts
+// `delivered`, matching the sequential engine's single receiver.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/sim_transport.hpp"
+#include "net/transport.hpp"
+#include "sim/parallel_simulator.hpp"
+
+namespace fdqos::net {
+
+class LpSenderTransport;
+
+// Receive-only transport facade for one receiver shard LP. now() follows
+// the shard LP's clock; send() aborts (shard stacks never emit).
+class LpShardTransport final : public Transport {
+ public:
+  LpShardTransport(sim::ParallelSimulator& psim, std::size_t lp);
+
+  void bind(NodeId node, DeliverFn deliver) override;
+  void send(Message msg) override;
+  TimePoint now() const override;
+
+  std::size_t lp() const { return lp_; }
+
+ private:
+  friend class LpSenderTransport;
+  void deliver(const Message& msg);
+
+  sim::ParallelSimulator& psim_;
+  std::size_t lp_;
+  std::map<NodeId, DeliverFn> receivers_;
+};
+
+class LpSenderTransport final : public Transport {
+ public:
+  // Reuses SimTransport's link vocabulary so experiment wiring is shared.
+  using LinkConfig = SimTransport::LinkConfig;
+  using LinkStats = SimTransport::LinkStats;
+
+  // `src_lp` is the LP the whole sender stack executes on; `rng` is the
+  // same "net" fork SimTransport would receive.
+  LpSenderTransport(sim::ParallelSimulator& psim, std::size_t src_lp,
+                    Rng rng);
+
+  void set_link(NodeId from, NodeId to, LinkConfig config);
+  void set_link_enabled(NodeId from, NodeId to, bool enabled);
+
+  // Route messages addressed to `node` to this shard (fan-out: every shard
+  // of `node` gets a copy). The first shard registered for a node is its
+  // *primary* and owns the delivered count.
+  void add_shard(NodeId node, LpShardTransport& shard);
+
+  // Minimum delay the link from→to can ever apply — the lookahead of the
+  // src_lp→shard channels. Duration::zero() for unconfigured links (which
+  // deliver instantly).
+  Duration link_lookahead(NodeId from, NodeId to);
+
+  void bind(NodeId node, DeliverFn deliver) override;
+  void send(Message msg) override;
+  TimePoint now() const override;
+
+  // Snapshot (by value: `delivered` is updated from shard LP threads).
+  LinkStats link_stats(NodeId from, NodeId to) const;
+
+ private:
+  struct Link {
+    LinkConfig config;
+    Rng rng{0};
+    bool enabled = true;
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t partition_dropped = 0;
+    // Incremented by the primary shard's delivery events (other threads).
+    std::atomic<std::uint64_t> delivered{0};
+  };
+  Link& link_for(NodeId from, NodeId to);
+
+  sim::ParallelSimulator& psim_;
+  std::size_t src_lp_;
+  Rng rng_;
+  std::map<std::pair<NodeId, NodeId>, Link> links_;
+  std::map<NodeId, DeliverFn> local_receivers_;
+  std::map<NodeId, std::vector<LpShardTransport*>> shards_;
+};
+
+}  // namespace fdqos::net

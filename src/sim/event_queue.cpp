@@ -1,10 +1,23 @@
 #include "sim/event_queue.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
 
 namespace fdqos::sim {
 
 EventHandle EventQueue::schedule(TimePoint when, EventFn fn) {
+#ifndef NDEBUG
+  if (when < last_popped_) {
+    std::fprintf(stderr,
+                 "fdqos: event queue '%s': event scheduled in the past "
+                 "(when=%s, latest executed=%s) — the scheduling layer must "
+                 "never target a timestamp behind the clock\n",
+                 name_.c_str(), when.to_string().c_str(),
+                 last_popped_.to_string().c_str());
+  }
+#endif
+  FDQOS_DASSERT(when >= last_popped_);
   auto node = std::make_shared<Node>();
   node->time = when;
   node->seq = next_seq_++;
@@ -36,6 +49,9 @@ EventQueue::Fired EventQueue::pop() {
   auto node = heap_.top();
   heap_.pop();
   --live_count_;
+  // The heap guarantees monotone pops; track the frontier so schedule() can
+  // reject events that would land behind it (see header).
+  last_popped_ = node->time;
   return Fired{node->time, std::move(node->fn)};
 }
 

@@ -1,0 +1,97 @@
+#include "sim/horizon.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace fdqos::sim {
+
+TimePoint saturating_add(TimePoint t, Duration d) {
+  FDQOS_ASSERT(d >= Duration::zero());
+  const std::int64_t tn = t.count_nanos();
+  const std::int64_t dn = d.count_nanos();
+  if (tn > std::numeric_limits<std::int64_t>::max() - dn) {
+    return TimePoint::max();
+  }
+  return t + d;
+}
+
+namespace {
+
+// Saturating lookahead composition for the path closure.
+Duration saturating_sum(Duration a, Duration b) {
+  if (a == Duration::max() || b == Duration::max()) return Duration::max();
+  const std::int64_t an = a.count_nanos();
+  const std::int64_t bn = b.count_nanos();
+  if (an > std::numeric_limits<std::int64_t>::max() - bn) {
+    return Duration::max();
+  }
+  return a + b;
+}
+
+}  // namespace
+
+ChannelGraph::ChannelGraph(std::size_t lp_count)
+    : n_(lp_count), la_(lp_count * lp_count, Duration::max()) {
+  FDQOS_REQUIRE(lp_count > 0);
+}
+
+void ChannelGraph::set_lookahead(std::size_t src, std::size_t dst,
+                                 Duration lookahead) {
+  FDQOS_REQUIRE(src < n_);
+  FDQOS_REQUIRE(dst < n_);
+  FDQOS_REQUIRE(src != dst);  // local events need no channel
+  FDQOS_REQUIRE(lookahead >= Duration::zero());
+  Duration& cell = la_[src * n_ + dst];
+  cell = std::min(cell, lookahead);
+  finalized_ = false;
+}
+
+void ChannelGraph::finalize() {
+  if (finalized_) return;
+  // Min-plus closure: a message can reach i via a relay k only at the cost
+  // of both hops' lookaheads, but a small relayed lookahead still bounds i.
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Duration ik = la_[i * n_ + k];
+      if (ik == Duration::max()) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        const Duration via = saturating_sum(ik, la_[k * n_ + j]);
+        Duration& cell = la_[i * n_ + j];
+        cell = std::min(cell, via);
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+bool ChannelGraph::has_path(std::size_t src, std::size_t dst) const {
+  return path_lookahead(src, dst) != Duration::max();
+}
+
+Duration ChannelGraph::path_lookahead(std::size_t src, std::size_t dst) const {
+  FDQOS_REQUIRE(src < n_);
+  FDQOS_REQUIRE(dst < n_);
+  FDQOS_ASSERT(finalized_);
+  return la_[src * n_ + dst];
+}
+
+void ChannelGraph::bounds(const std::vector<TimePoint>& next,
+                          std::vector<TimePoint>& bounds) const {
+  FDQOS_REQUIRE(next.size() == n_);
+  FDQOS_ASSERT(finalized_);
+  bounds.assign(n_, TimePoint::max());
+  for (std::size_t i = 0; i < n_; ++i) {
+    TimePoint bound = TimePoint::max();
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      const Duration la = la_[j * n_ + i];
+      if (la == Duration::max()) continue;  // j can never reach i
+      bound = std::min(bound, saturating_add(next[j], la));
+    }
+    bounds[i] = bound;
+  }
+}
+
+}  // namespace fdqos::sim

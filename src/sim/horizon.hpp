@@ -1,0 +1,66 @@
+// Conservative synchronization horizons for the parallel engine.
+//
+// A ChannelGraph records, for every directed LP channel src→dst, a
+// *lookahead*: a lower bound on how far ahead of src's clock any message it
+// emits on that channel can be timestamped. For the QoS experiment the
+// heartbeat channel's lookahead is the link's minimum one-way delay
+// (DelayModel::min_delay — ~192 ms on the Table-4 Italy→Japan calibration),
+// conservatively shrunk by faultx clock jumps (fault_models.hpp).
+//
+// Given each LP's next-event time n_j, LP i may safely execute every event
+// with timestamp strictly below
+//
+//     bound_i = min over j with a path j⇝i of ( n_j + lookahead*(j, i) )
+//
+// where lookahead* is the minimum *path* lookahead (finalize() closes the
+// direct-channel matrix under path composition): before executing past
+// bound_i, LP i would have to receive a message that no LP can produce yet.
+// TimePoint::max() when nothing constrains i. See docs/pdes.md for the
+// safety argument and the zero-lookahead stall rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace fdqos::sim {
+
+// TimePoint::max() (and near-max next-event times) must not wrap when a
+// lookahead is added; saturate at TimePoint::max() instead.
+TimePoint saturating_add(TimePoint t, Duration d);
+
+class ChannelGraph {
+ public:
+  explicit ChannelGraph(std::size_t lp_count);
+
+  std::size_t size() const { return n_; }
+
+  // Declare the directed channel src→dst with the given lookahead (>= 0).
+  // Declaring a channel twice keeps the smaller (more conservative) value.
+  void set_lookahead(std::size_t src, std::size_t dst, Duration lookahead);
+
+  // Close the matrix under path composition (min-plus / Floyd–Warshall), so
+  // bounds() accounts for messages relayed through intermediate LPs. Must
+  // run after the last set_lookahead; idempotent.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+  bool has_path(std::size_t src, std::size_t dst) const;
+  // Minimum path lookahead src⇝dst; Duration::max() when no path exists.
+  Duration path_lookahead(std::size_t src, std::size_t dst) const;
+
+  // Safe execution bound per LP given every LP's next-event time (see file
+  // comment). `bounds` is resized to lp_count.
+  void bounds(const std::vector<TimePoint>& next,
+              std::vector<TimePoint>& bounds) const;
+
+ private:
+  std::size_t n_;
+  bool finalized_ = false;
+  // Dense min-lookahead matrix, row-major [src * n_ + dst];
+  // Duration::max() = no channel/path.
+  std::vector<Duration> la_;
+};
+
+}  // namespace fdqos::sim

@@ -1,0 +1,54 @@
+#include "sim/lp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fdqos::sim {
+
+Lp::Lp(std::size_t id, std::string role) : id_(id) {
+  set_name("lp" + std::to_string(id) + "/" + std::move(role));
+}
+
+void Lp::post(std::size_t src_lp, TimePoint when, EventFn fn) {
+  std::lock_guard<std::mutex> lock(mail_mu_);
+  mail_.push_back(Mail{when, src_lp, next_mail_seq_++, std::move(fn)});
+  ++mail_received_;
+}
+
+std::size_t Lp::drain_mailbox() {
+  std::vector<Mail> pending;
+  {
+    std::lock_guard<std::mutex> lock(mail_mu_);
+    pending.swap(mail_);
+  }
+  if (pending.empty()) return 0;
+  // (when, src, seq): seq values are assigned under the mailbox lock in
+  // nondeterministic global order, but they are monotone per source, and the
+  // source id breaks every cross-source tie first — so this sort (and the
+  // schedule order below) is a pure function of what each LP posted.
+  std::sort(pending.begin(), pending.end(), [](const Mail& a, const Mail& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (auto& mail : pending) {
+    // The conservative bound guarantees no mail arrives behind the local
+    // clock; a violation here means a channel's lookahead was overstated.
+    FDQOS_DASSERT(mail.when >= now());
+    schedule_at(mail.when, std::move(mail.fn));
+  }
+  return pending.size();
+}
+
+bool Lp::has_mail() const {
+  std::lock_guard<std::mutex> lock(mail_mu_);
+  return !mail_.empty();
+}
+
+std::uint64_t Lp::mail_received() const {
+  std::lock_guard<std::mutex> lock(mail_mu_);
+  return mail_received_;
+}
+
+}  // namespace fdqos::sim

@@ -1,0 +1,62 @@
+// Logical process: one shard of a parallel discrete-event simulation.
+//
+// An Lp IS-A Simulator — it owns a private EventQueue and a local virtual
+// clock, so every existing layer (Heartbeater, SimCrash, DetectorBank, ...)
+// wires onto it unchanged. What it adds is a thread-safe *mailbox* for
+// timestamped cross-LP messages: a source LP executing inside a safe window
+// posts events into the destination's mailbox, and the coordinator drains
+// every mailbox at the next window boundary, in the deterministic order
+// (arrival time, source LP id, per-source sequence). Combined with the
+// EventQueue's insertion-order tie-break, event execution order — and hence
+// every report byte — is independent of thread scheduling and of the LP
+// count. See docs/pdes.md.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fdqos::sim {
+
+class Lp : public Simulator {
+ public:
+  Lp(std::size_t id, std::string role);
+
+  std::size_t id() const { return id_; }
+
+  // Thread-safe: called from whichever pool thread is executing the source
+  // LP's window. `when` must respect the channel's lookahead (the
+  // coordinator's post() wrapper asserts it in debug builds).
+  void post(std::size_t src_lp, TimePoint when, EventFn fn);
+
+  // Single-threaded (between windows): move pending mail into the local
+  // event queue in (when, src_lp, per-source order) order. The local queue's
+  // sequence tie-break then preserves exactly this order at equal
+  // timestamps. Returns the number of events admitted.
+  std::size_t drain_mailbox();
+
+  bool has_mail() const;
+  // Messages ever posted into this LP's mailbox (cross-LP traffic stat).
+  std::uint64_t mail_received() const;
+
+ private:
+  struct Mail {
+    TimePoint when;
+    std::size_t src;
+    std::uint64_t seq;  // monotone per source (posts from one source are
+                        // sequential, so one counter under the lock works)
+    EventFn fn;
+  };
+
+  std::size_t id_;
+
+  mutable std::mutex mail_mu_;
+  std::vector<Mail> mail_;
+  std::uint64_t next_mail_seq_ = 0;
+  std::uint64_t mail_received_ = 0;
+};
+
+}  // namespace fdqos::sim

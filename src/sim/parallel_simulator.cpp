@@ -1,0 +1,136 @@
+#include "sim/parallel_simulator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace fdqos::sim {
+
+ParallelSimulator::ParallelSimulator(Options options)
+    : graph_(options.lps == 0 ? 1 : options.lps),
+      jobs_(options.jobs == 0 ? exec::default_jobs() : options.jobs),
+      max_window_(options.max_window) {
+  FDQOS_REQUIRE(options.lps > 0);
+  FDQOS_REQUIRE(options.max_window >= Duration::zero());
+  lps_.reserve(options.lps);
+  for (std::size_t i = 0; i < options.lps; ++i) {
+    lps_.push_back(std::make_unique<Lp>(
+        i, i < options.roles.size() ? options.roles[i] : "lp"));
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+Lp& ParallelSimulator::lp(std::size_t i) {
+  FDQOS_REQUIRE(i < lps_.size());
+  return *lps_[i];
+}
+
+void ParallelSimulator::set_lookahead(std::size_t src, std::size_t dst,
+                                      Duration lookahead) {
+  graph_.set_lookahead(src, dst, lookahead);
+}
+
+void ParallelSimulator::post(std::size_t src, std::size_t dst, TimePoint when,
+                             EventFn fn) {
+  FDQOS_REQUIRE(src < lps_.size());
+  FDQOS_REQUIRE(dst < lps_.size());
+#ifndef NDEBUG
+  // The conservative contract: a message on src→dst must be timestamped at
+  // least the channel's lookahead past src's clock. (Checkable only once
+  // the graph is closed, i.e. once the run started; pre-run seeding posts
+  // are unconstrained — every clock still sits at the origin.)
+  if (graph_.finalized()) {
+    const Duration la = graph_.path_lookahead(src, dst);
+    FDQOS_ASSERT(la != Duration::max() &&
+                 "cross-LP post on a channel never declared via "
+                 "set_lookahead");
+    FDQOS_ASSERT(when >= saturating_add(lps_[src]->now(), la) &&
+                 "cross-LP post violates its channel's lookahead promise");
+  }
+#endif
+  lps_[dst]->post(src, when, std::move(fn));
+}
+
+std::uint64_t ParallelSimulator::run_until(TimePoint deadline) {
+  graph_.finalize();
+  const std::size_t n = lps_.size();
+  const TimePoint past_deadline = saturating_add(deadline, Duration::nanos(1));
+  std::uint64_t total = 0;
+
+  next_.resize(n);
+  executed_.assign(n, 0);
+
+  for (;;) {
+    for (auto& lp : lps_) lp->drain_mailbox();
+
+    TimePoint gmin = TimePoint::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      next_[i] = lps_[i]->next_event_time();
+      gmin = std::min(gmin, next_[i]);
+    }
+    if (gmin > deadline) break;
+
+    graph_.bounds(next_, bounds_);
+    const TimePoint cap = max_window_ > Duration::zero()
+                              ? saturating_add(gmin, max_window_)
+                              : TimePoint::max();
+    runnable_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      bounds_[i] = std::min({bounds_[i], past_deadline, cap});
+      if (next_[i] < bounds_[i]) runnable_.push_back(i);
+    }
+    if (runnable_.empty()) {
+      // Zero-lookahead stall: every channel into the minimum's holder has
+      // collapsed (e.g. faultx ate the link floor). Grant exactly the
+      // minimum timestamp to its lowest-id holder — deterministic, safe
+      // (nobody can produce an event below gmin), strictly progressing.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (next_[i] == gmin) {
+          bounds_[i] = saturating_add(gmin, Duration::nanos(1));
+          runnable_.push_back(i);
+          break;
+        }
+      }
+      ++stats_.stalls;
+    }
+    FDQOS_ASSERT(!runnable_.empty());
+
+    Duration window = Duration::zero();
+    for (const std::size_t i : runnable_) {
+      if (bounds_[i] == TimePoint::max()) {
+        window = Duration::max();  // unbounded grant (no cap, no channel in)
+        break;
+      }
+      window = std::max(window, bounds_[i] - gmin);
+    }
+    stats_.last_window = window;
+    stats_.max_window_seen = std::max(stats_.max_window_seen, window);
+    ++stats_.rounds;
+
+    if (jobs_ > 1 && runnable_.size() > 1) {
+      if (pool_ == nullptr) pool_ = std::make_unique<exec::ThreadPool>(jobs_);
+      pool_->parallel_for(runnable_.size(), [&](std::size_t k) {
+        const std::size_t i = runnable_[k];
+        executed_[i] = lps_[i]->run_before(bounds_[i]);
+      });
+    } else {
+      for (const std::size_t i : runnable_) {
+        executed_[i] = lps_[i]->run_before(bounds_[i]);
+      }
+    }
+    for (const std::size_t i : runnable_) total += executed_[i];
+  }
+
+  // Settle every clock on the deadline (mirrors Simulator::run_until).
+  for (auto& lp : lps_) {
+    if (lp->now() < deadline) lp->advance_to(deadline);
+  }
+  stats_.events += total;
+  stats_.cross_lp_messages = 0;
+  for (const auto& lp : lps_) stats_.cross_lp_messages += lp->mail_received();
+  return total;
+}
+
+}  // namespace fdqos::sim

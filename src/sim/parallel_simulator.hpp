@@ -1,0 +1,108 @@
+// Conservative parallel discrete-event simulation core (PDES).
+//
+// The simulation is partitioned into logical processes (sim/lp.hpp), each
+// owning a private EventQueue and local virtual clock. The coordinator runs
+// synchronous safe windows:
+//
+//   1. drain every LP mailbox (deterministic (time, src, seq) order);
+//   2. read every LP's next-event time n_j;
+//   3. compute per-LP bounds from the channel lookaheads (sim/horizon.hpp):
+//      LP i may execute all events with timestamp < bound_i
+//        = min over j⇝i of (n_j + path_lookahead(j, i));
+//   4. execute every runnable LP's window on the exec:: pool, barrier;
+//   5. repeat until the global minimum passes the deadline.
+//
+// When every channel into the global-minimum LP has zero lookahead (e.g. a
+// faultx clock jump consumed the whole link floor), no window is non-empty;
+// the coordinator then grants exactly the minimum timestamp to the lowest-id
+// LP holding it (a *stall* — counted, never wrong, strictly progressing).
+//
+// Determinism: window bounds are a pure function of queue states, mailbox
+// drains are order-stable, and each LP's queue breaks equal timestamps by
+// insertion order — so event execution order, and every report byte, is
+// identical for any jobs value and any LP partition of the same workload.
+// The jobs=1 path runs windows inline on the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/horizon.hpp"
+#include "sim/lp.hpp"
+
+namespace fdqos::exec {
+class ThreadPool;
+}
+
+namespace fdqos::sim {
+
+class ParallelSimulator {
+ public:
+  struct Options {
+    std::size_t lps = 1;
+    // Worker threads executing LP windows (counts the caller; 1 = inline
+    // serial execution, 0 = exec::default_jobs()). Output is identical at
+    // every value.
+    std::size_t jobs = 1;
+    // Cap on how far past the global minimum any window may reach. Bounds
+    // coordinator memory (mail backlog) and keeps LPs loosely coupled in
+    // wall time; zero = uncapped (a source LP with no incoming channel then
+    // runs to the deadline in its first window). Never affects results.
+    Duration max_window = Duration::seconds(10);
+    // Role labels per LP id (optional; pads with "lp" when short).
+    std::vector<std::string> roles;
+  };
+
+  struct Stats {
+    std::uint64_t rounds = 0;       // safe-window advances
+    std::uint64_t stalls = 0;       // zero-lookahead minimum grants
+    std::uint64_t events = 0;       // events executed across all LPs
+    std::uint64_t cross_lp_messages = 0;
+    Duration last_window = Duration::zero();  // widest grant, last round
+    Duration max_window_seen = Duration::zero();
+  };
+
+  explicit ParallelSimulator(Options options);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  std::size_t lp_count() const { return lps_.size(); }
+  Lp& lp(std::size_t i);
+
+  // Declare the directed channel src→dst (see ChannelGraph). All channels
+  // must be declared before the first run_until.
+  void set_lookahead(std::size_t src, std::size_t dst, Duration lookahead);
+
+  // Post a cross-LP event: called from inside src's executing window (or
+  // before the run starts). Debug builds verify `when` respects the
+  // channel's conservative promise.
+  void post(std::size_t src, std::size_t dst, TimePoint when, EventFn fn);
+
+  // Run every LP until its queue drains or `deadline` passes (events at
+  // exactly `deadline` still fire), then settle all clocks on `deadline`.
+  // Returns the number of events executed.
+  std::uint64_t run_until(TimePoint deadline);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<Lp>> lps_;
+  ChannelGraph graph_;
+  std::size_t jobs_;
+  Duration max_window_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // lazily built when jobs_ > 1
+  Stats stats_;
+
+  // Scratch buffers reused across rounds.
+  std::vector<TimePoint> next_;
+  std::vector<TimePoint> bounds_;
+  std::vector<std::size_t> runnable_;
+  std::vector<std::uint64_t> executed_;
+};
+
+}  // namespace fdqos::sim

@@ -1,10 +1,24 @@
 #include "sim/simulator.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
 
 namespace fdqos::sim {
 
+void Simulator::set_name(std::string name) {
+  name_ = std::move(name);
+  queue_.set_name(name_);
+}
+
 EventHandle Simulator::schedule_at(TimePoint when, EventFn fn) {
+  if (when < now_) {
+    std::fprintf(stderr,
+                 "fdqos: simulator '%s': schedule_at targets the past "
+                 "(when=%s < now=%s)\n",
+                 name_.c_str(), when.to_string().c_str(),
+                 now_.to_string().c_str());
+  }
   FDQOS_REQUIRE(when >= now_);
   return queue_.schedule(when, std::move(fn));
 }
@@ -14,13 +28,31 @@ EventHandle Simulator::schedule_after(Duration delay, EventFn fn) {
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
+void Simulator::execute(EventQueue::Fired fired) {
+  // The queue pops in timestamp order and schedule_at rejects past targets,
+  // so a regressing event means the queue was fed behind the clock's back
+  // (e.g. a raw EventQueue::schedule or a cross-LP message that violated
+  // its channel's lookahead). Catch it here instead of silently executing
+  // the event at a time it was never scheduled for.
+#ifndef NDEBUG
+  if (fired.time < now_) {
+    std::fprintf(stderr,
+                 "fdqos: simulator '%s': event executes in the past "
+                 "(event time=%s, clock=%s)\n",
+                 name_.c_str(), fired.time.to_string().c_str(),
+                 now_.to_string().c_str());
+  }
+#endif
+  FDQOS_DASSERT(fired.time >= now_);
+  now_ = fired.time;
+  fired.fn();
+  ++executed_;
+}
+
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t count = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto fired = queue_.pop();
-    now_ = fired.time;
-    fired.fn();
-    ++executed_;
+    execute(queue_.pop());
     ++count;
   }
   // Advance the clock to the deadline even if no event lands exactly there,
@@ -29,14 +61,25 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   return count;
 }
 
+std::uint64_t Simulator::run_before(TimePoint bound) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() < bound) {
+    execute(queue_.pop());
+    ++count;
+  }
+  return count;
+}
+
+void Simulator::advance_to(TimePoint to) {
+  FDQOS_REQUIRE(to >= now_);
+  now_ = to;
+}
+
 std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto fired = queue_.pop();
-  now_ = fired.time;
-  fired.fn();
-  ++executed_;
+  execute(queue_.pop());
   return true;
 }
 

@@ -1,0 +1,266 @@
+// bench_pdes — perf trajectory for the conservative parallel simulation
+// core (sim/parallel_simulator.hpp, docs/pdes.md).
+//
+// Bench A (qos_lps): the Fig-4-class QoS experiment at suite widths
+// {30, 300, 3000}, sequential engine first, then the LP engine across an
+// LP-count sweep. Every LP entry is verified in-process to render the
+// byte-identical report before its timing is accepted — a fast wrong
+// simulator scores zero here.
+//
+// Bench B (fleet): a synthetic monitoring fleet on the raw coordinator —
+// one sender LP heartbeating N endpoint LPs (100 ms lookahead), each
+// delivery spawning local follow-up work — timed serial vs parallel, with
+// the executed-event count compared for identity.
+//
+// Output (BENCH_pdes.json): one row per timing,
+//   [{"bench": "qos_lps", "width": 30, "lps": 4, "jobs": 2, "hw_jobs": 4,
+//     "wall_s": 1.23, "speedup": 1.9}, ...]
+// speedup is the same bench's sequential wall time / this entry's wall
+// time, so baseline rows carry 1.0. Oversubscribed boxes (jobs > hw_jobs)
+// legitimately report speedup <= 1; hw_jobs is recorded so the baseline
+// stays honest. Scale knobs (reduced sweeps for CI):
+//
+//   bench_pdes [--runs N] [--cycles N] [--widths W1,W2,...]
+//              [--lps L1,L2,...] [--lp-jobs N] [--endpoints E1,E2,...]
+//              [--fleet-beats N] [--seed S] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "exec/thread_pool.hpp"
+#include "exp/qos_experiment.hpp"
+#include "exp/report.hpp"
+#include "fd/suite.hpp"
+#include "sim/parallel_simulator.hpp"
+
+using namespace fdqos;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// W lanes from ceil(W/30) copies of the paper suite (same construction as
+// bench_detector_bank): replicas keep the canonical predictor_key, so the
+// bank shares 5 predictor groups — and the LP engine therefore shards 5
+// groups' worth of lanes — at every width.
+std::vector<fd::FdSpec> replicated_suite(std::size_t width) {
+  std::vector<fd::FdSpec> suite;
+  suite.reserve(width);
+  std::size_t replica = 0;
+  while (suite.size() < width) {
+    for (auto& spec : fd::make_paper_suite()) {
+      if (suite.size() == width) break;
+      if (replica > 0) spec.name += "#" + std::to_string(replica);
+      suite.push_back(std::move(spec));
+    }
+    ++replica;
+  }
+  return suite;
+}
+
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> values;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!tok.empty()) values.push_back(std::stoul(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
+struct Entry {
+  std::string bench;
+  std::size_t scale;  // suite width (qos_lps) or endpoint count (fleet)
+  std::size_t lps;
+  std::size_t jobs;
+  double wall_s;
+  double speedup;
+};
+
+// Bench B workload: `beats` heartbeats from LP0 fanned out to every
+// endpoint LP, each delivery scheduling two local follow-ups (timer reset +
+// bookkeeping), roughly the per-arrival work of a freshness detector.
+std::uint64_t run_fleet(std::size_t endpoints, std::size_t jobs,
+                        std::size_t beats) {
+  sim::ParallelSimulator::Options options;
+  options.lps = endpoints + 1;
+  options.jobs = jobs;
+  sim::ParallelSimulator psim(options);
+  const Duration eta = Duration::millis(10);
+  const Duration floor = Duration::millis(100);
+  for (std::size_t e = 1; e <= endpoints; ++e) {
+    psim.set_lookahead(0, e, floor);
+  }
+
+  std::function<void(std::size_t)> beat = [&](std::size_t remaining) {
+    const TimePoint now = psim.lp(0).now();
+    for (std::size_t e = 1; e <= endpoints; ++e) {
+      psim.post(0, e, now + floor, [&psim, e] {
+        sim::Lp& lp = psim.lp(e);
+        const TimePoint t = lp.now();
+        lp.schedule_at(t + Duration::millis(1), [] {});
+        lp.schedule_at(t + Duration::millis(2), [] {});
+      });
+    }
+    if (remaining > 1) {
+      psim.lp(0).schedule_at(now + eta,
+                             [&beat, remaining] { beat(remaining - 1); });
+    }
+  };
+  psim.lp(0).schedule_at(TimePoint::origin() + eta,
+                         [&beat, beats] { beat(beats); });
+  const Duration horizon = eta * static_cast<std::int64_t>(beats + 2) + floor +
+                           Duration::millis(5);
+  return psim.run_until(TimePoint::origin() + horizon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto runs = static_cast<std::size_t>(args.get_int("--runs", 4));
+  const auto cycles = args.get_int("--cycles", 2000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("--seed", 42));
+  const auto lp_jobs = static_cast<std::size_t>(args.get_int(
+      "--lp-jobs", static_cast<std::int64_t>(exec::hardware_jobs())));
+  const auto fleet_beats =
+      static_cast<std::size_t>(args.get_int("--fleet-beats", 2000));
+  const std::vector<std::size_t> widths =
+      parse_list(args.get_string("--widths", "30,300,3000"));
+  const std::vector<std::size_t> lps_sweep =
+      parse_list(args.get_string("--lps", "1,2,4,8"));
+  const std::vector<std::size_t> endpoints_sweep =
+      parse_list(args.get_string("--endpoints", "1,16,256"));
+  const std::string out_path = args.get_string("--out", "BENCH_pdes.json");
+  const std::size_t hw = exec::hardware_jobs();
+  if (lp_jobs > hw) {
+    std::fprintf(stderr,
+                 "[bench_pdes] note: lp-jobs=%zu > %zu hardware thread(s); "
+                 "expect speedup <= 1\n",
+                 lp_jobs, hw);
+  }
+
+  std::vector<Entry> entries;
+
+  // --- Bench A: QoS experiment, seq vs LP engine over the lps sweep ------
+  for (const std::size_t width : widths) {
+    exp::QosExperimentConfig config;
+    config.runs = runs;
+    config.num_cycles = cycles;
+    config.seed = seed;
+    config.jobs = 1;  // isolate the intra-run engine; outer runs stay serial
+    config.mttc = Duration::seconds(90);
+    config.ttr = Duration::seconds(20);
+    config.include_paper_suite = false;
+    config.extra_specs = replicated_suite(width);
+
+    config.sim_engine = exp::SimEngine::kSeq;
+    exp::QosReport seq_report;
+    const double seq_s =
+        wall_seconds([&] { seq_report = exp::run_qos_experiment(config); });
+    const std::string reference = exp::qos_report_fingerprint(seq_report);
+    entries.push_back({"qos_lps", width, 0, 1, seq_s, 1.0});
+    std::fprintf(stderr, "[bench_pdes] qos width=%zu seq: %.2fs\n", width,
+                 seq_s);
+
+    for (const std::size_t lps : lps_sweep) {
+      config.sim_engine = exp::SimEngine::kLp;
+      config.lps = lps;
+      config.lp_jobs = lps == 1 ? 1 : lp_jobs;
+      exp::QosReport lp_report;
+      const double lp_s =
+          wall_seconds([&] { lp_report = exp::run_qos_experiment(config); });
+      if (exp::qos_report_fingerprint(lp_report) != reference) {
+        std::fprintf(stderr,
+                     "[bench_pdes] FAIL: lp engine report differs from seq "
+                     "at width=%zu lps=%zu\n",
+                     width, lps);
+        return 1;
+      }
+      entries.push_back(
+          {"qos_lps", width, lps, config.lp_jobs, lp_s, seq_s / lp_s});
+      std::fprintf(stderr,
+                   "[bench_pdes] qos width=%zu lps=%zu jobs=%zu: %.2fs "
+                   "(%.2fx, identical)\n",
+                   width, lps, config.lp_jobs, lp_s, seq_s / lp_s);
+    }
+  }
+
+  // --- Bench B: synthetic fleet on the raw coordinator --------------------
+  for (const std::size_t endpoints : endpoints_sweep) {
+    std::uint64_t serial_events = 0;
+    const double serial_s = wall_seconds(
+        [&] { serial_events = run_fleet(endpoints, 1, fleet_beats); });
+    entries.push_back({"fleet", endpoints, endpoints + 1, 1, serial_s, 1.0});
+    std::fprintf(stderr, "[bench_pdes] fleet endpoints=%zu jobs=1: %.2fs\n",
+                 endpoints, serial_s);
+
+    std::uint64_t parallel_events = 0;
+    const double parallel_s = wall_seconds(
+        [&] { parallel_events = run_fleet(endpoints, lp_jobs, fleet_beats); });
+    if (parallel_events != serial_events) {
+      std::fprintf(stderr,
+                   "[bench_pdes] FAIL: fleet executed %llu events parallel "
+                   "vs %llu serial at endpoints=%zu\n",
+                   static_cast<unsigned long long>(parallel_events),
+                   static_cast<unsigned long long>(serial_events), endpoints);
+      return 1;
+    }
+    entries.push_back({"fleet", endpoints, endpoints + 1, lp_jobs, parallel_s,
+                       serial_s / parallel_s});
+    std::fprintf(stderr,
+                 "[bench_pdes] fleet endpoints=%zu jobs=%zu: %.2fs (%.2fx, "
+                 "%llu events)\n",
+                 endpoints, lp_jobs, parallel_s, serial_s / parallel_s,
+                 static_cast<unsigned long long>(parallel_events));
+  }
+
+  // --- Write the baseline ------------------------------------------------
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char line[224];
+    if (e.bench == "qos_lps") {
+      std::snprintf(line, sizeof line,
+                    "  {\"bench\": \"%s\", \"width\": %zu, \"lps\": %zu, "
+                    "\"jobs\": %zu, \"hw_jobs\": %zu, \"wall_s\": %.3f, "
+                    "\"speedup\": %.2f}%s\n",
+                    e.bench.c_str(), e.scale, e.lps, e.jobs, hw, e.wall_s,
+                    e.speedup, i + 1 < entries.size() ? "," : "");
+    } else {
+      std::snprintf(line, sizeof line,
+                    "  {\"bench\": \"%s\", \"endpoints\": %zu, \"lps\": %zu, "
+                    "\"jobs\": %zu, \"hw_jobs\": %zu, \"wall_s\": %.3f, "
+                    "\"speedup\": %.2f}%s\n",
+                    e.bench.c_str(), e.scale, e.lps, e.jobs, hw, e.wall_s,
+                    e.speedup, i + 1 < entries.size() ? "," : "");
+    }
+    json += line;
+  }
+  json += "]\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench_pdes] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("%s", json.c_str());
+  std::fprintf(stderr, "[bench_pdes] wrote %s (all outputs identical)\n",
+               out_path.c_str());
+  return 0;
+}

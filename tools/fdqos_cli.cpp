@@ -21,6 +21,7 @@
 // Everything prints the same paper-layout tables as the bench binaries,
 // with the experiment knobs exposed as flags instead of env vars.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -79,6 +80,10 @@ int usage() {
                "qos/chaos take --engine bank|legacy (bank = one batched\n"
                "DetectorBank per run, the default; legacy = one detector\n"
                "per spec — reports are byte-identical either way)\n"
+               "qos/chaos/replay take --sim-engine seq|lp (lp = conservative\n"
+               "parallel simulation core, --lps N logical processes and\n"
+               "--lp-jobs N workers per run; env FDQOS_SIM_ENGINE sets the\n"
+               "default — reports are byte-identical at every setting)\n"
                "see docs/tracestore.md for the record/replay walkthrough\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
@@ -106,6 +111,39 @@ bool parse_engine(const ArgParser& args, exp::QosExperimentConfig& config) {
                  engine.c_str());
     return false;
   }
+  return true;
+}
+
+// --sim-engine seq|lp and --lps N (qos + chaos + replay). seq runs each
+// simulation on one sequential Simulator; lp partitions it across logical
+// processes on the conservative parallel core (docs/pdes.md). Reports are
+// byte-identical either way. The FDQOS_SIM_ENGINE environment variable
+// supplies the default when the flag is absent (so whole ctest/CI suites
+// can be steered onto the lp engine without touching every invocation).
+bool parse_sim_engine(const ArgParser& args, exp::QosExperimentConfig& config) {
+  std::string engine = args.get_string("--sim-engine", "");
+  if (engine.empty()) {
+    const char* env = std::getenv("FDQOS_SIM_ENGINE");
+    engine = env != nullptr ? env : "seq";
+  }
+  if (engine == "seq") {
+    config.sim_engine = exp::SimEngine::kSeq;
+  } else if (engine == "lp") {
+    config.sim_engine = exp::SimEngine::kLp;
+  } else {
+    std::fprintf(stderr,
+                 "fdqos: unknown sim engine '%s' (want seq|lp; flag "
+                 "--sim-engine or env FDQOS_SIM_ENGINE)\n",
+                 engine.c_str());
+    return false;
+  }
+  const int lps = static_cast<int>(args.get_int("--lps", 4));
+  if (lps < 1) {
+    std::fprintf(stderr, "fdqos: --lps must be >= 1 (got %d)\n", lps);
+    return false;
+  }
+  config.lps = static_cast<std::size_t>(lps);
+  config.lp_jobs = static_cast<std::size_t>(args.get_int("--lp-jobs", 0));
   return true;
 }
 
@@ -242,6 +280,7 @@ int cmd_qos_impl(const ArgParser& args, bool require_trace) {
     return 2;
   }
   if (!parse_engine(args, config)) return 2;
+  if (!parse_sim_engine(args, config)) return 2;
   if (!parse_policy(args, config)) return 2;
   if (!config.trace_path.empty()) {
     const wan::TraceLoadResult probe = wan::load_trace(config.trace_path);
@@ -324,6 +363,7 @@ int cmd_chaos(const ArgParser& args) {
   config.ttr = Duration::seconds(args.get_int("--ttr-s", 25));
   config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
   if (!parse_engine(args, config)) return 2;
+  if (!parse_sim_engine(args, config)) return 2;
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   ObsSession obs_session = ObsSession::from_args(args);
