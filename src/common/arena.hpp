@@ -1,0 +1,104 @@
+// MonotonicArena — bump-pointer allocation for per-endpoint detector state.
+//
+// Fleet-scale monitoring (fd::FleetBank, docs/fleet.md) owns one
+// DetectorBank per monitored endpoint. Allocating tens of thousands of
+// banks individually scatters them across the heap and pays a malloc per
+// object; the arena packs them into large contiguous blocks, so shard-local
+// iteration (the per-shard cycle tick touching every member) walks nearly
+// sequential memory, and teardown is one destructor sweep plus a handful of
+// frees instead of one free per endpoint.
+//
+// The arena is monotonic: memory is only reclaimed when the arena is
+// destroyed. That matches the fleet lifecycle exactly — members are created
+// during assembly, live for the whole run, and die together. Not
+// thread-safe; each shard owns its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace fdqos::common {
+
+class MonotonicArena {
+ public:
+  // `block_bytes` is the growth granularity; objects larger than a block
+  // get a dedicated block of their own size.
+  explicit MonotonicArena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes == 0 ? 64 * 1024 : block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  ~MonotonicArena() {
+    // Destroy in reverse construction order (the usual C++ convention);
+    // the raw blocks are then released by the unique_ptrs.
+    for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+  }
+
+  // Construct a T in the arena. The arena owns the object's lifetime: its
+  // destructor runs when the arena is destroyed. Do not delete the result.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* slot = allocate(sizeof(T), alignof(T));
+    T* object = new (slot) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back(
+          {object, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return object;
+  }
+
+  // Raw aligned allocation (uninitialized, trivially destructible data).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    FDQOS_REQUIRE(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t(align) - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + align - 1) & ~(std::uintptr_t(align) - 1);
+    }
+    cursor_ = p + bytes;
+    used_bytes_ = cursor_ - block_base_ + completed_bytes_;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Footprint accounting for the bytes/endpoint bench report.
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+  std::size_t used_bytes() const { return used_bytes_; }
+
+ private:
+  struct Dtor {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  void grow(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    completed_bytes_ += cursor_ - block_base_;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    allocated_bytes_ += size;
+    block_base_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+    cursor_ = block_base_;
+    limit_ = block_base_ + size;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<Dtor> dtors_;
+  std::uintptr_t block_base_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t completed_bytes_ = 0;
+  std::size_t used_bytes_ = 0;
+};
+
+}  // namespace fdqos::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -71,6 +72,41 @@ fd::QosMetrics pooled_metrics(const Pooled& p) {
     m.query_accuracy = m.availability;
   }
   return m;
+}
+
+// One finalized tracker folded into a pooled accumulator. Every engine
+// (seq, lp, fleet) reduces through this one function in a fixed order, so
+// the pooled moments never depend on the engine or on scheduling.
+void merge_tracker(Pooled& p, const fd::QosTracker& tracker) {
+  p.td.merge(tracker.td_stats());
+  p.tm.merge(tracker.tm_stats());
+  p.tmr.merge(tracker.tmr_stats());
+  p.up += tracker.observed_up_time();
+  p.wrong += tracker.wrong_suspicion_time();
+  p.crashes += tracker.crash_count();
+  p.detections += tracker.detection_count();
+  p.missed += tracker.missed_detection_count();
+  if (tracker.td_stats().count() > 0) {
+    p.per_run_td.add(tracker.td_stats().mean());
+  }
+  p.per_run_availability.add(tracker.metrics().availability);
+}
+
+std::vector<FdQosResult> results_from_pooled(
+    const std::vector<fd::FdSpec>& suite, const std::vector<Pooled>& pooled) {
+  std::vector<FdQosResult> results;
+  results.reserve(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    FdQosResult result;
+    result.name = suite[i].name;
+    result.predictor_label = suite[i].predictor_label;
+    result.margin_label = suite[i].margin_label;
+    result.metrics = pooled_metrics(pooled[i]);
+    result.per_run_td_mean_ms = pooled[i].per_run_td.summary();
+    result.per_run_availability = pooled[i].per_run_availability.summary();
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 // Cached gauge handles for one detector lane, registered once per
@@ -848,6 +884,493 @@ RunOutput run_one_lp(const QosExperimentConfig& config,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet engine (fd::FleetBank; docs/fleet.md).
+//
+// `endpoints` independent monitored processes, each with its own link,
+// crash injector and full detector suite, sharded into contiguous blocks.
+// Each (run, shard) unit owns one simulator (one LP under kLp), one
+// FleetBank and the block's endpoint stacks. Endpoint e's whole stochastic
+// tree forks from fleet_endpoint_seed(seed, e) with the same fork names as
+// run_one, and every endpoint uses the local node-id pair (0, 1) on its
+// own transport — so endpoint e of any fleet run is bit-for-bit a
+// standalone run seeded with its fleet seed, regardless of M, the shard
+// count, jobs or engine. The equivalence suite (`ctest -L fleet`) pins it.
+
+// One monitored endpoint's stack inside a shard.
+struct FleetEndpoint {
+  std::unique_ptr<net::SimTransport> transport;
+  std::optional<faultx::FaultyTransport> chaos_net;
+  std::unique_ptr<runtime::ProcessNode> monitored;
+  std::unique_ptr<runtime::ProcessNode> monitor;
+  runtime::SimCrashLayer* crash = nullptr;           // owned by `monitored`
+  runtime::HeartbeaterLayer* heartbeater = nullptr;  // owned by `monitored`
+  runtime::MultiPlexerLayer* mux = nullptr;          // owned by `monitor`
+  fd::DetectorBank* bank = nullptr;  // owned by the fleet's arena
+  std::vector<fd::QosTracker> trackers;  // index-aligned with the suite
+};
+
+struct FleetShardContext {
+  std::unique_ptr<fd::FleetBank> fleet;
+  // deque: endpoint addresses must stay stable while later endpoints are
+  // appended (bank/crash observers capture them).
+  std::deque<FleetEndpoint> endpoints;
+  std::function<void()> progress_tick;  // keeps the tick closure alive
+};
+
+// Everything one (run, shard) unit produces.
+struct FleetShardOutput {
+  std::vector<std::vector<fd::QosTracker>> trackers;  // [local ep][lane]
+  std::vector<std::uint64_t> crash_count;             // per local endpoint
+  std::vector<std::uint64_t> hb_sent;
+  std::vector<std::uint64_t> hb_delivered;
+  faultx::FaultyTransport::Stats chaos;  // summed over the block
+  fd::DetectorBank::Counters bank;       // summed member counters
+  fd::FleetBank::Counters fleet;         // shard-level engine counters
+  sim::ParallelSimulator::Stats sim;     // shard 0 of a kLp run only
+};
+
+// Shard s of S owns endpoints [begin(s), begin(s+1)): contiguous blocks,
+// remainders spread over the first shards. A pure function of (M, S), so
+// the endpoint→shard map never depends on jobs or machine.
+std::size_t fleet_shard_begin(std::size_t endpoints, std::size_t shards,
+                              std::size_t s) {
+  const std::size_t base = endpoints / shards;
+  const std::size_t rem = endpoints % shards;
+  return s * base + std::min(s, rem);
+}
+
+void build_fleet_shard(
+    sim::Simulator& simulator, const QosExperimentConfig& config,
+    const std::vector<fd::FdSpec>& suite,
+    const std::shared_ptr<const std::vector<Duration>>& trace,
+    const std::shared_ptr<const faultx::FaultSchedule>& faults,
+    std::size_t run, std::size_t ep_begin, std::size_t ep_end,
+    FleetShardContext& ctx) {
+  fd::FleetBank::Config fleet_config;
+  fleet_config.eta = config.eta;
+  fleet_config.cold_start_timeout = config.cold_start_timeout;
+  fleet_config.name = "qos-fleet";
+  fleet_config.expected_endpoints = ep_end - ep_begin;
+  ctx.fleet = std::make_unique<fd::FleetBank>(simulator, fleet_config);
+
+  const TimePoint warmup_end = TimePoint::origin() + config.warmup;
+  for (std::size_t e = ep_begin; e < ep_end; ++e) {
+    FleetEndpoint& ep = ctx.endpoints.emplace_back();
+    // The endpoint's RNG tree is rooted exactly like a standalone run
+    // seeded with its fleet seed; every named fork below matches run_one.
+    Rng ep_rng = Rng(fleet_endpoint_seed(config.seed, e)).fork(run);
+    ep.transport =
+        std::make_unique<net::SimTransport>(simulator, ep_rng.fork("net"));
+    ep.transport->set_link(kMonitored, kMonitor,
+                           make_link_config(config, trace, faults, run));
+    net::Transport* monitored_net = ep.transport.get();
+    if (faults != nullptr) {
+      ep.chaos_net.emplace(*ep.transport, faults, ep_rng.fork("faultx"));
+      monitored_net = &*ep.chaos_net;
+    }
+
+    ep.monitored =
+        std::make_unique<runtime::ProcessNode>(*monitored_net, kMonitored);
+    ep.crash = &ep.monitored->push(std::make_unique<runtime::SimCrashLayer>(
+        simulator, runtime::SimCrashLayer::Config{config.mttc, config.ttr},
+        ep_rng.fork("crash")));
+    runtime::HeartbeaterLayer::Config hb_config;
+    hb_config.eta = config.eta;
+    hb_config.self = kMonitored;
+    hb_config.monitor = kMonitor;
+    hb_config.max_cycles = config.num_cycles;
+    ep.heartbeater = &ep.monitored->push(
+        std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
+
+    ep.monitor =
+        std::make_unique<runtime::ProcessNode>(*ep.transport, kMonitor);
+    ep.mux = &ep.monitor->push(std::make_unique<runtime::MultiPlexerLayer>());
+
+    // Member bank: the same group/lane assembly as run_one. Per-node
+    // attachment — the member sits on its endpoint's own stack, so the
+    // shared monitored id never needs fleet routing.
+    fd::DetectorBank& bank = ctx.fleet->add_member(kMonitored, "qos-bank");
+    bank.reserve_lanes(suite.size());
+    std::unordered_map<std::string, std::size_t> group_by_key;
+    for (const auto& spec : suite) {
+      std::size_t group;
+      const auto it = spec.predictor_key.empty()
+                          ? group_by_key.end()
+                          : group_by_key.find(spec.predictor_key);
+      if (it != group_by_key.end()) {
+        group = it->second;
+      } else {
+        group = bank.add_group(spec.make_predictor());
+        if (!spec.predictor_key.empty()) {
+          group_by_key.emplace(spec.predictor_key, group);
+        }
+      }
+      bank.add_lane(spec.name, group, spec.make_margin());
+    }
+    ep.bank = &bank;
+
+    ep.trackers.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      ep.trackers.emplace_back(warmup_end);
+    }
+    FleetEndpoint* epp = &ep;
+    const std::size_t width = suite.size();
+    bank.set_observer([epp, &config, run, e, width](std::size_t lane,
+                                                    TimePoint t, bool susp) {
+      if (susp) {
+        epp->trackers[lane].suspect_started(t);
+      } else {
+        epp->trackers[lane].suspect_ended(t);
+      }
+      if (config.transition_probe) {
+        config.transition_probe(run, e * width + lane, t, susp);
+      }
+    });
+    ep.crash->set_observer([epp](TimePoint t, bool crashed) {
+      for (auto& tracker : epp->trackers) {
+        if (crashed) {
+          tracker.process_crashed(t);
+        } else {
+          tracker.process_restored(t);
+        }
+      }
+    });
+    ep.monitor->attach_unowned(*ep.mux, bank);
+
+    // Start order within an endpoint matches run_one (monitored, then
+    // monitor — which runs the member's begin_cycle(0) inline).
+    // Cross-endpoint interleaving is irrelevant: endpoints share no state.
+    ep.monitored->start();
+    ep.monitor->start();
+  }
+  // The shared cycle tick is scheduled after every member computed cycle 0
+  // and before the simulator runs, so at each σ_k the begin-cycle work
+  // still precedes any same-instant heartbeat send — every member keeps
+  // its standalone event order.
+  ctx.fleet->start();
+}
+
+FleetShardOutput drain_fleet_shard(FleetShardContext& ctx, TimePoint run_end) {
+  FleetShardOutput out;
+  out.fleet = ctx.fleet->counters();
+  out.bank = ctx.fleet->member_counters();
+  out.trackers.reserve(ctx.endpoints.size());
+  out.crash_count.reserve(ctx.endpoints.size());
+  out.hb_sent.reserve(ctx.endpoints.size());
+  out.hb_delivered.reserve(ctx.endpoints.size());
+  for (FleetEndpoint& ep : ctx.endpoints) {
+    for (auto& tracker : ep.trackers) tracker.finalize(run_end);
+    out.crash_count.push_back(ep.crash->crash_count());
+    const auto& hb = ep.transport->link_stats(kMonitored, kMonitor);
+    out.hb_sent.push_back(hb.sent);
+    out.hb_delivered.push_back(hb.delivered);
+    // Per-node attachment delivers heartbeats straight into each member
+    // (never through the fleet's routed path), so the shard's heartbeat
+    // counter is accounted here from the links — fdqos_fleet_heartbeats_-
+    // total stays meaningful in experiment mode, not just raw-coordinator.
+    out.fleet.heartbeats += hb.delivered;
+    if (ep.chaos_net.has_value()) {
+      const auto stats = ep.chaos_net->stats();
+      out.chaos.sent += stats.sent;
+      out.chaos.fault_dropped += stats.fault_dropped;
+      out.chaos.duplicated += stats.duplicated;
+    }
+    out.trackers.push_back(std::move(ep.trackers));
+  }
+  return out;
+}
+
+// Fleet telemetry tick, installed on one shard per invocation (run 0 is
+// usually first but any shard 0 may win the emitter's rate limiter). A
+// shard can hold thousands of endpoint stacks, so the tick publishes
+// shard-aggregate numbers — the emitted crash/heartbeat figures are the
+// reporting shard's own block, a sample, not a fleet total; the final
+// report and /runs row carry the totals.
+void install_fleet_progress(const QosExperimentConfig& config,
+                            ProgressState* progress, FleetShardContext& ctx,
+                            sim::Simulator& simulator, std::size_t run,
+                            std::size_t suite_width, std::size_t ep_begin) {
+  const Duration tick_every = config.eta * 5;
+  ctx.progress_tick = [&config, progress, &ctx, &simulator, run, suite_width,
+                       ep_begin, tick_every] {
+    std::unique_lock<std::mutex> lock(progress->mu, std::try_to_lock);
+    if (lock.owns_lock() && progress->emitter.due()) {
+      const std::size_t suspecting = ctx.fleet->suspecting_count();
+      const std::size_t started =
+          progress->runs_started.load(std::memory_order_relaxed);
+      const std::size_t done =
+          progress->runs_done.load(std::memory_order_relaxed);
+      std::uint64_t sent = 0;
+      std::uint64_t delivered = 0;
+      std::uint64_t crashes = 0;
+      for (const FleetEndpoint& ep : ctx.endpoints) {
+        const auto& hb = ep.transport->link_stats(kMonitored, kMonitor);
+        sent += hb.sent;
+        delivered += hb.delivered;
+        crashes += ep.crash->crash_count();
+      }
+      if (obs::enabled()) {
+        obs::instruments().experiment_run.set(static_cast<double>(started));
+        obs::instruments().fd_suspecting.set(static_cast<double>(suspecting));
+        obs::RunStatus st;
+        st.id = config.run_id;
+        st.verb = config.run_verb;
+        st.suite = config.suite_label;
+        st.runs_total = config.runs;
+        st.runs_started = started;
+        st.runs_done = done;
+        st.crashes = progress->crashes_done.load(std::memory_order_relaxed) +
+                     crashes;
+        st.heartbeats_sent = sent;
+        st.detectors = suite_width * config.endpoints;
+        st.suspecting = suspecting;
+        st.sim_time_s = simulator.now().to_seconds_double();
+        obs::RunRegistry::global().update(st);
+      }
+      progress->emitter.emit(
+          "run %zu/%zu (%zu done) t=%.0fs fleet ep[%zu..%zu): crashes=%llu "
+          "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
+          run + 1, config.runs, done, simulator.now().to_seconds_double(),
+          ep_begin, ep_begin + ctx.endpoints.size(),
+          static_cast<unsigned long long>(crashes),
+          static_cast<unsigned long long>(sent),
+          static_cast<unsigned long long>(delivered),
+          static_cast<unsigned long long>(sent - delivered), suspecting,
+          ctx.fleet->total_lanes());
+    }
+    simulator.schedule_after(tick_every, ctx.progress_tick);
+  };
+  simulator.schedule_after(tick_every, ctx.progress_tick);
+}
+
+// One (run, shard) unit under the sequential engine.
+FleetShardOutput run_fleet_shard(
+    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
+    const std::shared_ptr<const std::vector<Duration>>& trace,
+    const std::shared_ptr<const faultx::FaultSchedule>& faults,
+    std::size_t run, std::size_t shards, std::size_t shard, TimePoint run_end,
+    ProgressState* progress) {
+  const std::size_t ep_begin = fleet_shard_begin(config.endpoints, shards, shard);
+  const std::size_t ep_end =
+      fleet_shard_begin(config.endpoints, shards, shard + 1);
+  sim::Simulator simulator;
+  FleetShardContext ctx;
+  build_fleet_shard(simulator, config, suite, trace, faults, run, ep_begin,
+                    ep_end, ctx);
+  if (progress != nullptr && shard == 0) {
+    install_fleet_progress(config, progress, ctx, simulator, run, suite.size(),
+                           ep_begin);
+  }
+  simulator.run_until(run_end);
+  return drain_fleet_shard(ctx, run_end);
+}
+
+// One whole run under the LP engine: endpoint shards map 1:1 onto LPs of a
+// conservative parallel simulator. Shards share no state, so there are no
+// cross-LP channels at all; with the window cap off every LP runs the
+// whole horizon in its first window (coordination-free, and trivially
+// byte-identical to the sequential shards).
+std::vector<FleetShardOutput> run_fleet_run_lp(
+    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
+    const std::shared_ptr<const std::vector<Duration>>& trace,
+    const std::shared_ptr<const faultx::FaultSchedule>& faults,
+    std::size_t run, std::size_t shards, TimePoint run_end,
+    ProgressState* progress, std::size_t lp_jobs) {
+  sim::ParallelSimulator::Options po;
+  po.lps = shards;
+  po.jobs = lp_jobs;
+  po.max_window = Duration::zero();
+  po.roles.assign(shards, "fleet");
+  sim::ParallelSimulator psim(std::move(po));
+
+  std::vector<FleetShardContext> ctxs(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    build_fleet_shard(psim.lp(s), config, suite, trace, faults, run,
+                      fleet_shard_begin(config.endpoints, shards, s),
+                      fleet_shard_begin(config.endpoints, shards, s + 1),
+                      ctxs[s]);
+  }
+  if (progress != nullptr) {
+    install_fleet_progress(config, progress, ctxs[0], psim.lp(0), run,
+                           suite.size(), 0);
+  }
+  psim.run_until(run_end);
+
+  std::vector<FleetShardOutput> outs;
+  outs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    outs.push_back(drain_fleet_shard(ctxs[s], run_end));
+  }
+  outs[0].sim = psim.stats();
+  return outs;
+}
+
+// The whole fleet experiment: run the (run, shard) grid, then reduce in
+// run-major endpoint-major order into the report. For M = 1 the merge
+// sequence collapses to exactly the single-endpoint loop.
+void run_fleet_experiment(
+    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
+    const std::shared_ptr<const std::vector<Duration>>& trace,
+    const std::shared_ptr<const faultx::FaultSchedule>& faults,
+    TimePoint run_end, ProgressState* progress, QosReport& report) {
+  const std::size_t shards = resolve_fleet_shards(config);
+  const std::size_t M = config.endpoints;
+
+  // Register the fdqos_fleet_* families before any run starts, so a
+  // mid-run scrape already sees them; the shard counters are flushed from
+  // the reduction totals at the end (per-invocation artifacts, not live
+  // increments — the live view is the /runs row and the gauges).
+  std::vector<obs::Counter*> shard_heartbeats(shards, nullptr);
+  std::vector<obs::Counter*> shard_timer_events(shards, nullptr);
+  std::vector<obs::Counter*> shard_coalesced(shards, nullptr);
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    const obs::Labels run_labels = {{"run", config.run_id},
+                                    {"suite", config.suite_label}};
+    reg.gauge("fdqos_fleet_endpoints",
+              "Monitored endpoints in the fleet experiment", run_labels)
+        .set(static_cast<double>(M));
+    reg.gauge("fdqos_fleet_shards",
+              "FleetBank shards the endpoints are split over", run_labels)
+        .set(static_cast<double>(shards));
+    for (std::size_t s = 0; s < shards; ++s) {
+      obs::Labels labels = run_labels;
+      labels.emplace_back("shard", std::to_string(s));
+      shard_heartbeats[s] =
+          &reg.counter("fdqos_fleet_heartbeats_total",
+                       "Heartbeats ingested by the fleet shard, summed over "
+                       "runs",
+                       labels);
+      shard_timer_events[s] =
+          &reg.counter("fdqos_fleet_timer_events_total",
+                       "Shard-level armed timer events fired, summed over "
+                       "runs",
+                       labels);
+      shard_coalesced[s] =
+          &reg.counter("fdqos_fleet_coalesced_events_total",
+                       "Member simulator events avoided by shard-level "
+                       "coalescing, summed over runs",
+                       labels);
+    }
+  }
+
+  std::vector<std::vector<FleetShardOutput>> outputs(config.runs);
+  for (auto& per_run : outputs) per_run.resize(shards);
+  // A run is "done" (for telemetry) when its last shard drains.
+  std::vector<std::atomic<std::size_t>> shards_left(config.runs);
+  for (auto& left : shards_left) left.store(shards, std::memory_order_relaxed);
+  auto shard_done = [&](std::size_t run, const FleetShardOutput& out) {
+    if (progress == nullptr) return;
+    std::uint64_t crashes = 0;
+    for (const std::uint64_t c : out.crash_count) crashes += c;
+    progress->crashes_done.fetch_add(crashes, std::memory_order_relaxed);
+    if (shards_left[run].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      progress->runs_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (config.sim_engine == SimEngine::kLp) {
+    // Outer pool over runs; each run's shards run as LPs of one parallel
+    // simulator with lp_jobs workers (auto mode splits the hardware).
+    const std::size_t jobs = std::min(
+        config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
+    const std::size_t lp_jobs =
+        config.lp_jobs != 0
+            ? config.lp_jobs
+            : std::max<std::size_t>(1, exec::default_jobs() / jobs);
+    exec::ThreadPool pool(jobs);
+    pool.parallel_for(config.runs, [&](std::size_t run) {
+      if (progress != nullptr) {
+        progress->runs_started.fetch_add(1, std::memory_order_relaxed);
+      }
+      outputs[run] = run_fleet_run_lp(config, suite, trace, faults, run,
+                                      shards, run_end, progress, lp_jobs);
+      for (const auto& out : outputs[run]) shard_done(run, out);
+    });
+  } else {
+    // Flattened (run, shard) grid on one pool: every unit is an
+    // independent seeded simulation, reduced in fixed order below.
+    const std::size_t units = config.runs * shards;
+    const std::size_t jobs = std::min(
+        config.jobs == 0 ? exec::default_jobs() : config.jobs, units);
+    exec::ThreadPool pool(jobs);
+    pool.parallel_for(units, [&](std::size_t unit) {
+      const std::size_t run = unit / shards;
+      const std::size_t shard = unit % shards;
+      if (progress != nullptr && shard == 0) {
+        progress->runs_started.fetch_add(1, std::memory_order_relaxed);
+      }
+      outputs[run][shard] = run_fleet_shard(config, suite, trace, faults, run,
+                                            shards, shard, run_end, progress);
+      shard_done(run, outputs[run][shard]);
+    });
+  }
+
+  // Ordered reduction. Within a run, shards ascend and local endpoints
+  // ascend within a shard, so endpoints merge in global index order.
+  std::vector<Pooled> pooled(suite.size());
+  std::vector<std::vector<Pooled>> pooled_ep(M,
+                                             std::vector<Pooled>(suite.size()));
+  report.endpoint_crashes.assign(M, 0);
+  report.endpoint_hb_sent.assign(M, 0);
+  report.endpoint_hb_delivered.assign(M, 0);
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const FleetShardOutput& out = outputs[run][s];
+      const std::size_t ep_begin = fleet_shard_begin(M, shards, s);
+      for (std::size_t le = 0; le < out.trackers.size(); ++le) {
+        const std::size_t e = ep_begin + le;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+          merge_tracker(pooled[i], out.trackers[le][i]);
+          merge_tracker(pooled_ep[e][i], out.trackers[le][i]);
+        }
+        report.total_crashes += out.crash_count[le];
+        report.heartbeats_sent += out.hb_sent[le];
+        report.heartbeats_delivered += out.hb_delivered[le];
+        report.endpoint_crashes[e] += out.crash_count[le];
+        report.endpoint_hb_sent[e] += out.hb_sent[le];
+        report.endpoint_hb_delivered[e] += out.hb_delivered[le];
+      }
+      report.bank.add(out.bank);
+      report.fleet.add(out.fleet);
+      report.sim_rounds += out.sim.rounds;
+      report.sim_stalls += out.sim.stalls;
+      report.sim_cross_lp_messages += out.sim.cross_lp_messages;
+      if (out.sim.rounds > 0) {
+        report.sim_last_window_ms =
+            out.sim.last_window == Duration::max()
+                ? std::numeric_limits<double>::infinity()
+                : out.sim.last_window.to_millis_double();
+      }
+      if (faults != nullptr) {
+        report.chaos_dropped += out.chaos.fault_dropped;
+        report.chaos_duplicated += out.chaos.duplicated;
+      }
+    }
+    // One schedule overlays every run, as in the single-endpoint engines.
+    if (faults != nullptr) report.chaos_fault_events += faults->event_count();
+  }
+
+  report.results = results_from_pooled(suite, pooled);
+  report.endpoint_results.reserve(M);
+  for (std::size_t e = 0; e < M; ++e) {
+    report.endpoint_results.push_back(results_from_pooled(suite, pooled_ep[e]));
+  }
+
+  if (obs::enabled()) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      fd::FleetBank::Counters total;
+      for (std::size_t run = 0; run < config.runs; ++run) {
+        total.add(outputs[run][s].fleet);
+      }
+      shard_heartbeats[s]->inc(total.heartbeats);
+      shard_timer_events[s]->inc(total.timer_events);
+      shard_coalesced[s]->inc(total.coalesced_events);
+    }
+  }
+}
+
 }  // namespace
 
 QosReport run_qos_experiment(const QosExperimentConfig& original) {
@@ -856,6 +1379,26 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
   QosExperimentConfig config = original;
   FDQOS_REQUIRE(config.runs > 0);
   FDQOS_REQUIRE(config.num_cycles > 0);
+  FDQOS_REQUIRE(config.endpoints > 0);
+
+  const bool fleet_mode = config.endpoints > 1 || config.force_fleet_engine;
+  if (fleet_mode) {
+    // Fleet runs route every endpoint's suite through fd::FleetBank
+    // members — there is no legacy-engine fleet — and the recording hub
+    // shards by run index only, so M endpoint streams would collide.
+    if (!config.use_detector_bank) {
+      std::fprintf(stderr,
+                   "fdqos: fleet mode (--endpoints > 1) requires the bank "
+                   "engine\n");
+      FDQOS_REQUIRE(!"fleet mode requires the detector bank engine");
+    }
+    if (config.record_hub != nullptr) {
+      std::fprintf(stderr,
+                   "fdqos: fleet mode cannot record traces (the recorder hub "
+                   "shards by run index only)\n");
+      FDQOS_REQUIRE(!"fleet mode is incompatible with record_hub");
+    }
+  }
 
   // Telemetry identity. Derived deterministically (never from wall clocks
   // or PIDs) so goldens and re-runs carry stable labels; derivation is
@@ -868,8 +1411,21 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
     config.suite_label =
         config.chaos_scenario.empty() ? "paper" : config.chaos_scenario;
   }
+  std::optional<obs::RunFinalizer> run_guard;
   if (obs::enabled()) {
     obs::set_run_context(config.run_id, config.suite_label);
+    // Seed the /runs row before any work: a run that dies before its first
+    // progress tick still appears, and the RAII guard marks the row
+    // finished (and clears the context) on *every* exit path — including
+    // an exception unwinding out of the run loop, which parallel_for
+    // rethrows on this thread. tests/obs/run_registry_test.cpp pins this.
+    obs::RunStatus st;
+    st.id = config.run_id;
+    st.verb = config.run_verb;
+    st.suite = config.suite_label;
+    st.runs_total = config.runs;
+    obs::RunRegistry::global().update(st);
+    run_guard.emplace(config.run_id);
   }
 
   // Load the replay trace once; every run shares the immutable data.
@@ -960,7 +1516,10 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
     opts.jsonl = config.progress_jsonl;
     opts.run_id = config.run_id;
     progress = std::make_unique<ProgressState>(std::move(opts));
-    if (obs::enabled()) {
+    // Fleet runs can hold endpoints × suite lanes — far too many gauge
+    // series; their ticks publish shard aggregates instead (see
+    // install_fleet_progress), so the per-lane handles are skipped.
+    if (obs::enabled() && !fleet_mode) {
       // Register the per-detector gauge handles once, up front; ticks then
       // touch only relaxed atomics. Labels carry (detector, run, suite) so
       // concurrent invocations in one process stay distinguishable.
@@ -1012,71 +1571,63 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
     }
   }
 
-  // Runs are embarrassingly parallel: each forks its RNG from (seed, run)
-  // and owns its whole simulator stack. Outputs land in a run-indexed
-  // vector and are reduced below in run order, so the report bytes do not
-  // depend on the jobs value or on scheduling.
-  const std::size_t jobs = std::min(
-      config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
-  // LP workers nest inside run workers; auto mode splits the hardware
-  // between the two levels so lp × jobs ≈ default_jobs().
-  std::size_t lp_jobs = 1;
-  if (config.sim_engine == SimEngine::kLp) {
-    FDQOS_REQUIRE(config.lps > 0);
-    lp_jobs = config.lp_jobs != 0
-                  ? config.lp_jobs
-                  : std::max<std::size_t>(1, exec::default_jobs() / jobs);
-  }
-  std::vector<RunOutput> outputs(config.runs);
-  exec::ThreadPool pool(jobs);
-  pool.parallel_for(config.runs, [&](std::size_t run) {
-    outputs[run] =
-        config.sim_engine == SimEngine::kLp
-            ? run_one_lp(config, suite, trace, faults, run, base_rng, run_end,
-                         progress.get(), lp_jobs)
-            : run_one(config, suite, trace, faults, run, base_rng, run_end,
-                      progress.get());
-  });
+  if (fleet_mode) {
+    run_fleet_experiment(config, suite, trace, faults, run_end, progress.get(),
+                         report);
+  } else {
+    // Runs are embarrassingly parallel: each forks its RNG from (seed, run)
+    // and owns its whole simulator stack. Outputs land in a run-indexed
+    // vector and are reduced below in run order, so the report bytes do not
+    // depend on the jobs value or on scheduling.
+    const std::size_t jobs = std::min(
+        config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
+    // LP workers nest inside run workers; auto mode splits the hardware
+    // between the two levels so lp × jobs ≈ default_jobs().
+    std::size_t lp_jobs = 1;
+    if (config.sim_engine == SimEngine::kLp) {
+      FDQOS_REQUIRE(config.lps > 0);
+      lp_jobs = config.lp_jobs != 0
+                    ? config.lp_jobs
+                    : std::max<std::size_t>(1, exec::default_jobs() / jobs);
+    }
+    std::vector<RunOutput> outputs(config.runs);
+    exec::ThreadPool pool(jobs);
+    pool.parallel_for(config.runs, [&](std::size_t run) {
+      outputs[run] =
+          config.sim_engine == SimEngine::kLp
+              ? run_one_lp(config, suite, trace, faults, run, base_rng,
+                           run_end, progress.get(), lp_jobs)
+              : run_one(config, suite, trace, faults, run, base_rng, run_end,
+                        progress.get());
+    });
 
-  // Ordered reduction: identical merge sequence as the serial loop.
-  std::vector<Pooled> pooled(suite.size());
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    const RunOutput& out = outputs[run];
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      Pooled& p = pooled[i];
-      const fd::QosTracker& tracker = out.trackers[i];
-      p.td.merge(tracker.td_stats());
-      p.tm.merge(tracker.tm_stats());
-      p.tmr.merge(tracker.tmr_stats());
-      p.up += tracker.observed_up_time();
-      p.wrong += tracker.wrong_suspicion_time();
-      p.crashes += tracker.crash_count();
-      p.detections += tracker.detection_count();
-      p.missed += tracker.missed_detection_count();
-      if (tracker.td_stats().count() > 0) {
-        p.per_run_td.add(tracker.td_stats().mean());
+    // Ordered reduction: identical merge sequence as the serial loop.
+    std::vector<Pooled> pooled(suite.size());
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      const RunOutput& out = outputs[run];
+      for (std::size_t i = 0; i < suite.size(); ++i) {
+        merge_tracker(pooled[i], out.trackers[i]);
       }
-      const fd::QosMetrics run_metrics = tracker.metrics();
-      p.per_run_availability.add(run_metrics.availability);
+      report.total_crashes += out.crash_count;
+      report.heartbeats_sent += out.hb_sent;
+      report.heartbeats_delivered += out.hb_delivered;
+      report.bank.add(out.bank);
+      report.sim_rounds += out.sim.rounds;
+      report.sim_stalls += out.sim.stalls;
+      report.sim_cross_lp_messages += out.sim.cross_lp_messages;
+      if (out.sim.rounds > 0) {
+        report.sim_last_window_ms =
+            out.sim.last_window == Duration::max()
+                ? std::numeric_limits<double>::infinity()
+                : out.sim.last_window.to_millis_double();
+      }
+      if (faults != nullptr) {
+        report.chaos_fault_events += faults->event_count();
+        report.chaos_dropped += out.chaos.fault_dropped;
+        report.chaos_duplicated += out.chaos.duplicated;
+      }
     }
-    report.total_crashes += out.crash_count;
-    report.heartbeats_sent += out.hb_sent;
-    report.heartbeats_delivered += out.hb_delivered;
-    report.bank.add(out.bank);
-    report.sim_rounds += out.sim.rounds;
-    report.sim_stalls += out.sim.stalls;
-    report.sim_cross_lp_messages += out.sim.cross_lp_messages;
-    if (out.sim.rounds > 0) {
-      report.sim_last_window_ms =
-          out.sim.last_window == Duration::max()
-              ? std::numeric_limits<double>::infinity()
-              : out.sim.last_window.to_millis_double();
-    }
-    if (faults != nullptr) {
-      report.chaos_fault_events += faults->event_count();
-      report.chaos_dropped += out.chaos.fault_dropped;
-      report.chaos_duplicated += out.chaos.duplicated;
-    }
+    report.results = results_from_pooled(suite, pooled);
   }
 
   if (obs::enabled()) {
@@ -1112,24 +1663,13 @@ QosReport run_qos_experiment(const QosExperimentConfig& original) {
     st.runs_done = config.runs;
     st.crashes = report.total_crashes;
     st.heartbeats_sent = report.heartbeats_sent;
-    st.detectors = suite.size();
+    st.detectors = suite.size() * config.endpoints;
     st.suspecting = 0;
     st.sim_time_s = run_end.to_seconds_double();
     st.finished = true;
     obs::RunRegistry::global().update(st);
-    obs::clear_run_context();
-  }
-
-  report.results.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    FdQosResult result;
-    result.name = suite[i].name;
-    result.predictor_label = suite[i].predictor_label;
-    result.margin_label = suite[i].margin_label;
-    result.metrics = pooled_metrics(pooled[i]);
-    result.per_run_td_mean_ms = pooled[i].per_run_td.summary();
-    result.per_run_availability = pooled[i].per_run_availability.summary();
-    report.results.push_back(std::move(result));
+    // run_guard clears the run context and (idempotently) re-finishes the
+    // row when it goes out of scope.
   }
   return report;
 }
@@ -1140,6 +1680,40 @@ const FdQosResult* find_result(const QosReport& report,
     if (result.name == name) return &result;
   }
   return nullptr;
+}
+
+std::uint64_t fleet_endpoint_seed(std::uint64_t seed, std::size_t endpoint) {
+  // Endpoint 0 IS the experiment seed, so a 1-endpoint fleet reproduces
+  // the legacy single-endpoint run bit-for-bit; the rest draw from a
+  // dedicated substream so no endpoint's tree collides with the run forks.
+  if (endpoint == 0) return seed;
+  return Rng(seed).fork("endpoint").fork(endpoint).next_u64();
+}
+
+std::size_t resolve_fleet_shards(const QosExperimentConfig& config) {
+  const std::size_t endpoints = config.endpoints == 0 ? 1 : config.endpoints;
+  const std::size_t shards = config.fleet_shards == 0
+                                 ? std::min(endpoints, exec::default_jobs())
+                                 : std::min(config.fleet_shards, endpoints);
+  return std::max<std::size_t>(shards, 1);
+}
+
+QosReport fleet_endpoint_view(const QosReport& report, std::size_t endpoint) {
+  FDQOS_REQUIRE(endpoint < report.endpoint_results.size());
+  QosReport view;
+  // The config of the equivalent standalone experiment: same knobs, the
+  // endpoint's own seed, fleet mode off. Its fingerprint is directly
+  // comparable to a run_qos_experiment call with this config.
+  view.config = report.config;
+  view.config.seed = fleet_endpoint_seed(report.config.seed, endpoint);
+  view.config.endpoints = 1;
+  view.config.fleet_shards = 0;
+  view.config.force_fleet_engine = false;
+  view.results = report.endpoint_results[endpoint];
+  view.total_crashes = report.endpoint_crashes[endpoint];
+  view.heartbeats_sent = report.endpoint_hb_sent[endpoint];
+  view.heartbeats_delivered = report.endpoint_hb_delivered[endpoint];
+  return view;
 }
 
 }  // namespace fdqos::exp

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fd/detector_bank.hpp"
+#include "fd/fleet_bank.hpp"
 #include "fd/qos_tracker.hpp"
 #include "fd/suite.hpp"
 #include "obs/progress.hpp"
@@ -127,10 +128,29 @@ struct QosExperimentConfig {
   SimEngine sim_engine = SimEngine::kSeq;
   std::size_t lps = 4;
   std::size_t lp_jobs = 0;
+  // Fleet mode (docs/fleet.md): monitor `endpoints` independent processes,
+  // each with its own link, crash injector and full detector suite, sharded
+  // over `fleet_shards` fd::FleetBank shards (contiguous endpoint blocks).
+  // Endpoint e's stochastic streams derive from fleet_endpoint_seed(seed,
+  // e), and endpoint 0's seed IS the experiment seed — so endpoints = 1
+  // runs the exact legacy single-endpoint path with byte-identical reports
+  // at every jobs/lps value. Fleet mode requires the bank engine and no
+  // record_hub. Under SimEngine::kLp each endpoint shard becomes one LP
+  // (`lps` is ignored; shards are fully independent, so there are no
+  // cross-LP channels at all).
+  std::size_t endpoints = 1;
+  // 0 = min(endpoints, exec::default_jobs()); always clamped to endpoints.
+  std::size_t fleet_shards = 0;
+  // Test hook: route even endpoints = 1 through the FleetBank engine (the
+  // equivalence suite proves FleetBank M=1 ≡ DetectorBank this way).
+  bool force_fleet_engine = false;
   // Test/diagnostic hook: invoked on every suspect transition as
   // (run, detector index, time, suspecting), in simulation order within a
   // run. May be called concurrently from worker threads, but only with
-  // distinct `run` values — per-run consumers need no locking. Null = off.
+  // distinct `run` values — per-run consumers need no locking. In fleet
+  // mode the detector index is endpoint·suite_width + lane, concurrency is
+  // per distinct (run, endpoint-shard) pair, and per-(run, endpoint)
+  // streams stay time-ordered. Null = off.
   std::function<void(std::size_t run, std::size_t detector, TimePoint t,
                      bool suspecting)>
       transition_probe;
@@ -170,11 +190,36 @@ struct QosReport {
   std::uint64_t sim_stalls = 0;            // zero-lookahead minimum grants
   std::uint64_t sim_cross_lp_messages = 0;
   double sim_last_window_ms = 0.0;         // widest grant, last round seen
+
+  // Fleet mode only (empty/zero otherwise): per-endpoint pooled results
+  // (endpoint-major; the top-level `results` pool across endpoints AND
+  // runs) plus per-endpoint tallies summed over runs, and the fleet
+  // shard-level counters summed over runs and shards.
+  std::vector<std::vector<FdQosResult>> endpoint_results;
+  std::vector<std::uint64_t> endpoint_crashes;
+  std::vector<std::uint64_t> endpoint_hb_sent;
+  std::vector<std::uint64_t> endpoint_hb_delivered;
+  fd::FleetBank::Counters fleet;
 };
 
 QosReport run_qos_experiment(const QosExperimentConfig& config);
 
 // Look up a result by detector name; nullptr if absent.
 const FdQosResult* find_result(const QosReport& report, const std::string& name);
+
+// Fleet helpers (docs/fleet.md).
+//
+// The seed endpoint e's whole stochastic stack forks from; endpoint 0's is
+// the experiment seed itself, so a 1-endpoint fleet is bit-for-bit the
+// legacy experiment and endpoint e of a fleet run equals a standalone run
+// seeded with fleet_endpoint_seed(seed, e).
+std::uint64_t fleet_endpoint_seed(std::uint64_t seed, std::size_t endpoint);
+// Resolved shard count for a config (applies the 0 = auto rule).
+std::size_t resolve_fleet_shards(const QosExperimentConfig& config);
+// A single-endpoint-shaped view of one fleet endpoint: results, crash and
+// heartbeat tallies of endpoint e with the config rewritten to the
+// equivalent standalone experiment (seed swapped, endpoints = 1) — its
+// qos_report_fingerprint() is directly comparable to that standalone run.
+QosReport fleet_endpoint_view(const QosReport& report, std::size_t endpoint);
 
 }  // namespace fdqos::exp

@@ -212,6 +212,13 @@ std::string qos_config_summary(const QosExperimentConfig& config) {
   if (config.sim_engine == SimEngine::kLp) {
     line += " sim=lp lps=" + std::to_string(config.lps);
   }
+  // Fleet mode: echo only when active, so the single-endpoint summary
+  // bytes stay exactly as before. The resolved shard count is echoed (like
+  // jobs, it may derive from the machine; the report bytes never do).
+  if (config.endpoints > 1) {
+    line += " endpoints=" + std::to_string(config.endpoints) +
+            " shards=" + std::to_string(resolve_fleet_shards(config));
+  }
   return line;
 }
 

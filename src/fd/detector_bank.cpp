@@ -1,5 +1,6 @@
 #include "fd/detector_bank.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <exception>
 
@@ -105,6 +106,22 @@ std::size_t DetectorBank::suspecting_count() const {
   return n;
 }
 
+void DetectorBank::set_timer_host(TimerHost* host, std::size_t member) {
+  FDQOS_REQUIRE(!started_);
+  FDQOS_REQUIRE(host != nullptr);
+  host_ = host;
+  host_member_ = member;
+}
+
+void DetectorBank::reserve_lanes(std::size_t lanes) {
+  lane_names_.reserve(lanes);
+  lane_group_.reserve(lanes);
+  margins_.reserve(lanes);
+  freshness_index_.reserve(lanes);
+  suspecting_.reserve(lanes);
+  armed_delta_ms_.reserve(lanes);
+}
+
 void DetectorBank::start() {
   FDQOS_REQUIRE(width() > 0);
   started_ = true;
@@ -135,19 +152,41 @@ void DetectorBank::begin_cycle(std::int64_t k) {
   }
   arm_timer();
 
-  // The next cycle begins at σ_{k+1}.
-  simulator_.schedule_at(sigma_next, [this, next] { begin_cycle(next); });
+  // The next cycle begins at σ_{k+1}. A hosted bank schedules nothing: the
+  // host's shared shard tick calls host_begin_cycle(next) at σ_{k+1}.
+  if (host_ == nullptr) {
+    simulator_.schedule_at(sigma_next, [this, next] { begin_cycle(next); });
+  }
+}
+
+void DetectorBank::host_begin_cycle(std::int64_t k) {
+  FDQOS_REQUIRE(host_ != nullptr);
+  begin_cycle(k);
 }
 
 void DetectorBank::push_expiry(TimePoint due, std::int64_t index,
                                std::size_t lane) {
-  expiries_.push(Expiry{due, next_expiry_seq_++, index,
-                        static_cast<std::uint32_t>(lane)});
+  expiries_.push_back(Expiry{due, next_expiry_seq_++, index,
+                             static_cast<std::uint32_t>(lane)});
+  std::push_heap(expiries_.begin(), expiries_.end(), ExpiryAfter{});
+}
+
+TimePoint DetectorBank::earliest_expiry() const {
+  return expiries_.empty() ? TimePoint::max() : expiries_.front().due;
 }
 
 void DetectorBank::arm_timer() {
   if (expiries_.empty()) return;
-  const TimePoint front = expiries_.top().due;
+  const TimePoint front = expiries_.front().due;
+  if (host_ != nullptr) {
+    // Hosted: report instead of arming. Same undercut rule — the host
+    // already holds an entry at host_reported_, so only an earlier front
+    // needs a new one.
+    if (host_reported_ <= front) return;
+    host_reported_ = front;
+    host_->member_deadline_changed(host_member_, front);
+    return;
+  }
   // Under delay spikes a later cycle's τ can undercut an already-armed
   // earlier one; re-arm at the new front (O(1) tombstone cancel).
   if (armed_.time() <= front) return;
@@ -157,16 +196,34 @@ void DetectorBank::arm_timer() {
 
 void DetectorBank::timer_fired() {
   ++counters_.timer_events;
+  pop_due(simulator_.now());
+  arm_timer();
+}
+
+void DetectorBank::host_timer_check() {
+  // A host-queue entry for this member came due. It may be stale (the solo
+  // engine would have tombstone-cancelled it): only count a fire when
+  // something actually pops. Either way the consumed entry is replaced by
+  // re-reporting the current front, so the next real deadline still fires.
   const TimePoint now = simulator_.now();
+  if (!expiries_.empty() && expiries_.front().due <= now) {
+    ++counters_.timer_events;
+    pop_due(now);
+  }
+  host_reported_ = TimePoint::max();
+  arm_timer();
+}
+
+void DetectorBank::pop_due(TimePoint now) {
   bool first = true;
-  while (!expiries_.empty() && expiries_.top().due <= now) {
-    const Expiry e = expiries_.top();
-    expiries_.pop();
+  while (!expiries_.empty() && expiries_.front().due <= now) {
+    std::pop_heap(expiries_.begin(), expiries_.end(), ExpiryAfter{});
+    const Expiry e = expiries_.back();
+    expiries_.pop_back();
     if (!first) ++counters_.coalesced_timers;
     first = false;
     freshness_reached(e.lane, e.index);
   }
-  arm_timer();
 }
 
 void DetectorBank::freshness_reached(std::size_t lane, std::int64_t index) {
@@ -183,7 +240,11 @@ void DetectorBank::handle_up(const net::Message& msg) {
     deliver_up(msg);
     return;
   }
-  const TimePoint sigma = config_.epoch + config_.eta * msg.seq;
+  observe_heartbeat(msg.seq);
+}
+
+void DetectorBank::observe_heartbeat(std::int64_t seq) {
+  const TimePoint sigma = config_.epoch + config_.eta * seq;
   double obs_ms = (simulator_.now() - sigma).to_millis_double();
   // On a real deployment residual clock skew can make a delay appear
   // negative; clamp (the paper's NTP assumption makes this ≈ 0).
@@ -204,7 +265,7 @@ void DetectorBank::handle_up(const net::Message& msg) {
   counters_.lane_updates += width();
   ++observations_;
 
-  if (msg.seq > max_seq_) max_seq_ = msg.seq;
+  if (seq > max_seq_) max_seq_ = seq;
   for (std::size_t lane = 0; lane < width(); ++lane) update_suspicion(lane);
 }
 

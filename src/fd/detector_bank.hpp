@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -74,6 +73,21 @@ class DetectorBank : public runtime::Layer {
   using LaneObserver =
       std::function<void(std::size_t lane, TimePoint t, bool suspecting)>;
 
+  // Timer host for bank-of-banks coalescing (fd::FleetBank). A hosted bank
+  // never arms its own simulator event and never schedules its own
+  // cycle-begin tick; instead it reports its earliest pending freshness
+  // deadline through member_deadline_changed(), and the host drives
+  // host_begin_cycle() / host_timer_check() at the right instants — one
+  // armed event and one cycle tick per *shard* instead of per bank.
+  class TimerHost {
+   public:
+    virtual ~TimerHost() = default;
+    // The member's earliest pending deadline dropped below every deadline
+    // reported since the host's last host_timer_check() on this member.
+    virtual void member_deadline_changed(std::size_t member,
+                                         TimePoint due) = 0;
+  };
+
   DetectorBank(sim::Simulator& simulator, Config config);
 
   // Assembly, before start(): register each distinct predictor once, then
@@ -84,8 +98,40 @@ class DetectorBank : public runtime::Layer {
 
   void set_observer(LaneObserver observer) { observer_ = std::move(observer); }
 
+  // Enter hosted mode (before start()): `member` is this bank's index at
+  // the host. In hosted mode start() computes cycle 0 inline but schedules
+  // nothing; the host owns all simulator events.
+  void set_timer_host(TimerHost* host, std::size_t member);
+
   void start() override;
   void handle_up(const net::Message& msg) override;
+
+  // Heartbeat fast path: identical semantics to handle_up for a heartbeat
+  // with this sequence number from the monitored node, minus the message
+  // filter — the caller (FleetBank's router / columnar ingest) has already
+  // established provenance. This is the fleet's allocation-free
+  // steady-state entry.
+  void observe_heartbeat(std::int64_t seq);
+
+  // Hosted-mode entry points (TimerHost side).
+  //
+  // host_begin_cycle(k): exactly begin_cycle(k) minus the self-scheduling
+  // of cycle k+1 — the host's shared tick calls every member in turn.
+  void host_begin_cycle(std::int64_t k);
+  // host_timer_check(): called whenever a deadline this member reported
+  // comes due at the host. Pops and dispatches every due freshness point
+  // (if any — a stale entry is a no-op), then re-reports the new earliest
+  // deadline, so every consumed host-queue entry is replaced and no
+  // deadline is ever lost.
+  void host_timer_check();
+  // Earliest pending freshness deadline; TimePoint::max() when idle.
+  TimePoint earliest_expiry() const;
+  bool started() const { return started_; }
+
+  // Capacity hints for allocation-free steady state (fleet assembly sizes
+  // these from width × cycles-in-flight before the run starts).
+  void reserve_lanes(std::size_t lanes);
+  void reserve_expiries(std::size_t n) { expiries_.reserve(n); }
 
   std::size_t width() const { return margins_.size(); }
   std::size_t group_count() const { return groups_.size(); }
@@ -114,7 +160,11 @@ class DetectorBank : public runtime::Layer {
   // while no timer is armed. The obs plane renders `deadline − now` as the
   // freshness-timer lag gauge (how far away the next possible suspicion
   // is), so a live scrape can see a detector coasting vs. about to fire.
-  TimePoint next_timer_deadline() const { return armed_.time(); }
+  // Hosted banks have no armed event of their own; their deadline is the
+  // front of the expiry queue (the host fires at or before it).
+  TimePoint next_timer_deadline() const {
+    return host_ != nullptr ? earliest_expiry() : armed_.time();
+  }
 
  private:
   struct Expiry {
@@ -135,6 +185,7 @@ class DetectorBank : public runtime::Layer {
   void push_expiry(TimePoint due, std::int64_t index, std::size_t lane);
   void arm_timer();
   void timer_fired();
+  void pop_due(TimePoint now);
   void freshness_reached(std::size_t lane, std::int64_t index);
   void update_suspicion(std::size_t lane);
 
@@ -153,10 +204,21 @@ class DetectorBank : public runtime::Layer {
   std::vector<std::uint8_t> suspecting_;
   std::vector<double> armed_delta_ms_;  // δ used for the last armed τ
 
-  // Coalesced freshness timers: one ordered queue, one armed sim event.
-  std::priority_queue<Expiry, std::vector<Expiry>, ExpiryAfter> expiries_;
+  // Coalesced freshness timers: one ordered queue (a binary min-heap over
+  // a plain vector so capacity can be reserved up front — the fleet's
+  // allocation-free steady state), one armed sim event. The (due, seq)
+  // comparator totally orders entries, so heap pops are deterministic.
+  std::vector<Expiry> expiries_;
   std::uint64_t next_expiry_seq_ = 0;
   sim::EventHandle armed_;  // armed_.time() is the deadline; max() = idle
+
+  // Hosted mode (see TimerHost): the host pointer, this bank's member
+  // index there, and the lowest deadline reported since the last check —
+  // arm_timer() reports only when the front undercuts it, mirroring the
+  // solo "re-arm only if earlier" rule.
+  TimerHost* host_ = nullptr;
+  std::size_t host_member_ = 0;
+  TimePoint host_reported_ = TimePoint::max();
 
   std::int64_t max_seq_ = 0;
   std::size_t observations_ = 0;

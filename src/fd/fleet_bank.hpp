@@ -1,0 +1,166 @@
+// FleetBank — a bank-of-banks: fleet-scale monitoring of M endpoints.
+//
+// The paper evaluates one monitored Italy→Japan process; production
+// failure detectors watch whole fleets (Dobre et al., PAPERS.md). The
+// FleetBank owns one DetectorBank per monitored endpoint and extends the
+// bank's coalescing idiom one level up, so a shard of tens of thousands of
+// endpoints costs the simulator what a single bank used to:
+//
+//   * ONE cycle-begin event per shard per cycle. All endpoints share the
+//     heartbeat epoch and period η, so their σ boundaries coincide; the
+//     shard tick walks every member (arena-packed, nearly sequential
+//     memory) instead of each bank scheduling its own event.
+//   * ONE armed freshness-timer event per shard. Members run in
+//     DetectorBank::TimerHost mode: they report their earliest pending
+//     deadline into the fleet's (due, seq, member) min-heap, and the fleet
+//     keeps a single armed event at the heap front — the same
+//     "re-arm only if earlier" rule the bank applies to its lanes.
+//   * Columnar heartbeat ingestion: a coordinator batches arrivals across
+//     endpoints into index-aligned (endpoint, seq) columns and hands the
+//     shard one ingest_columns() call per batch; each entry takes the
+//     bank's observe_heartbeat() fast path (no message construction, no
+//     allocation in steady state).
+//
+// Per-endpoint semantics are *identical* to a standalone DetectorBank —
+// members never share estimator or suspicion state, only timer plumbing.
+// The fleet equivalence suite (tests/fd/fleet_bank_test.cpp, `ctest -L
+// fleet`) pins M independent single-endpoint runs ≡ one FleetBank run
+// byte-for-byte. See docs/fleet.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "fd/detector_bank.hpp"
+#include "runtime/layer.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::fd {
+
+class FleetBank final : public runtime::Layer, private DetectorBank::TimerHost {
+ public:
+  struct Config {
+    Duration eta = Duration::seconds(1);    // shared heartbeat period
+    TimePoint epoch = TimePoint::origin();  // shared σ_i = epoch + i·η
+    Duration cold_start_timeout = Duration::seconds(1);
+    std::string name = "fleet";     // log/telemetry label for the shard
+    std::size_t expected_endpoints = 0;  // capacity hint for the heaps
+  };
+
+  // Shard-level engine counters; the experiment flushes them into the
+  // fdqos::obs registry (fdqos_fleet_* families) at run end.
+  struct Counters {
+    // Heartbeats ingested via the route/ingest paths. In per-node
+    // attachment mode deliveries bypass the fleet (members sit on their own
+    // endpoint stacks); the experiment accounts them from the link stats
+    // when draining a shard, so the obs counter covers both modes.
+    std::uint64_t heartbeats = 0;
+    std::uint64_t batches = 0;        // columnar batches ingested
+    std::uint64_t timer_events = 0;   // shard armed events actually fired
+    std::uint64_t member_checks = 0;  // member deadline checks dispatched
+    // Member simulator events avoided by the shard-level tick and timer
+    // (each member would otherwise schedule its own).
+    std::uint64_t coalesced_events = 0;
+    std::uint64_t unroutable = 0;  // heartbeats from unregistered sources
+    std::uint64_t malformed = 0;   // heartbeats with out-of-range seq
+
+    void add(const Counters& other);
+  };
+
+  // One columnar heartbeat batch: index-aligned endpoint/seq arrays, the
+  // shard-local half of a scatter by endpoint→shard.
+  struct HeartbeatColumns {
+    std::vector<std::uint32_t> endpoint;  // member index within this shard
+    std::vector<std::int64_t> seq;
+
+    void clear() {
+      endpoint.clear();
+      seq.clear();
+    }
+    std::size_t size() const { return endpoint.size(); }
+  };
+
+  FleetBank(sim::Simulator& simulator, Config config);
+
+  // Assembly, before start(): one member bank per monitored endpoint.
+  // `monitored` keys handle_up routing (must be unique for routing to
+  // work; per-node attachment mode — where each member is attached to its
+  // own endpoint's stack — never routes and may reuse ids). The member is
+  // arena-owned by the fleet; configure its groups/lanes before start().
+  DetectorBank& add_member(net::NodeId monitored, std::string name = "");
+
+  std::size_t members() const { return members_.size(); }
+  DetectorBank& member(std::size_t e);
+  const DetectorBank& member(std::size_t e) const;
+
+  // Starts any member not already started by its own node stack, then
+  // schedules the shared cycle tick. Call exactly once, after every
+  // member's stack has started (the experiment starts members via their
+  // ProcessNodes; the raw-coordinator bench lets start() do it).
+  void start() override;
+
+  // Routed ingestion: heartbeats are routed to the member registered for
+  // msg.from; anything else falls through to deliver_up. Wild sequence
+  // numbers (negative, or large enough that epoch + η·seq overflows) are
+  // counted as malformed and dropped — network input is data, never a
+  // contract violation.
+  void handle_up(const net::Message& msg) override;
+
+  // Direct ingestion fast paths (raw-coordinator mode). `endpoint` is the
+  // member index — out of range is a caller bug (FDQOS_REQUIRE).
+  void ingest(std::size_t endpoint, std::int64_t seq);
+  void ingest_columns(const HeartbeatColumns& batch);
+
+  std::size_t total_lanes() const;
+  std::size_t suspecting_count() const;
+  const Counters& counters() const { return counters_; }
+  // Aggregate of every member's engine counters.
+  DetectorBank::Counters member_counters() const;
+
+  // Approximate resident bytes for the whole shard: arena blocks plus the
+  // fleet-level containers. Predictor/margin internals behind virtual
+  // interfaces are not visible from here, so treat this as a lower bound
+  // (the bench reports it as bytes/endpoint).
+  std::size_t memory_bytes() const;
+
+  TimePoint next_timer_deadline() const { return armed_.time(); }
+
+ private:
+  struct MemberDue {
+    TimePoint due;
+    std::uint64_t seq;  // push order — stable tie-break
+    std::uint32_t member;
+  };
+  struct MemberDueAfter {
+    bool operator()(const MemberDue& a, const MemberDue& b) const {
+      if (a.due != b.due) return a.due > b.due;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void member_deadline_changed(std::size_t member, TimePoint due) override;
+  void cycle_tick(std::int64_t k);
+  void arm();
+  void fired();
+  bool seq_in_range(std::int64_t seq) const;
+
+  sim::Simulator& simulator_;
+  Config config_;
+  common::MonotonicArena arena_;
+  std::vector<DetectorBank*> members_;  // arena-owned
+  std::unordered_map<net::NodeId, std::size_t> endpoint_of_;  // routing
+
+  // Coalesced member deadlines: vector min-heap + one armed event, the
+  // bank's own expiry idiom lifted one level.
+  std::vector<MemberDue> due_heap_;
+  std::uint64_t next_due_seq_ = 0;
+  sim::EventHandle armed_;
+
+  bool started_ = false;
+  Counters counters_;
+};
+
+}  // namespace fdqos::fd

@@ -81,4 +81,25 @@ std::string run_id();
 std::string run_suite();
 Labels run_labels();
 
+// RAII guard for a /runs row: marks `id` finished and clears the run
+// context on destruction, so an experiment that unwinds early (an
+// exception from a worker rethrown by parallel_for, a throwing factory)
+// never leaves a live row or a stale context behind. Normal completion
+// writes its final row before the guard runs; finish() on an
+// already-finished (or vanished) row is a no-op, so the guard is safe on
+// every exit path.
+class RunFinalizer {
+ public:
+  explicit RunFinalizer(std::string id) : id_(std::move(id)) {}
+  RunFinalizer(const RunFinalizer&) = delete;
+  RunFinalizer& operator=(const RunFinalizer&) = delete;
+  ~RunFinalizer() {
+    RunRegistry::global().finish(id_);
+    clear_run_context();
+  }
+
+ private:
+  std::string id_;
+};
+
 }  // namespace fdqos::obs

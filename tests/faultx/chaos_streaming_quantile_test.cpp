@@ -1,0 +1,111 @@
+// SampleSet backend parameterization of the chaos harness: the streaming
+// (t-digest) backend was never exercised on a chaos-produced stream — only
+// on synthetic generators in the sketch property suite. This drives the
+// actual faulted delay stream of a GE-burst-loss chaos experiment (captured
+// via record_hub, the same path `fdqos record` uses) through both backends
+// and pins the streaming contract where it will be used (ROADMAP §5,
+// fleet-scale per-endpoint stats): rank error bounded at every requested
+// quantile, exact min/max, and the exact backend staying bit-faithful to
+// the sorted samples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/qos_experiment.hpp"
+#include "stats/quantiles.hpp"
+#include "wan/tracestore.hpp"
+
+namespace fdqos::exp {
+namespace {
+
+// Empirical CDF of `value` in the exact sorted sample — the rank a
+// quantile estimate actually lands on. Rank bounds are distribution-free;
+// value bounds are meaningless on heavy-tailed WAN delays.
+double rank_of(const std::vector<double>& sorted, double value) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+// The faulted delay stream of a burst_loss chaos run: Gilbert–Elliott loss
+// bursts punch gaps in the stream and the spike wrappers stretch the tail,
+// so this is exactly the shape a long-running monitor would feed the
+// streaming backend. Captured once, shared by both backend params.
+const std::vector<double>& chaos_delays_ms() {
+  static const std::vector<double> delays = [] {
+    QosExperimentConfig config;
+    config.chaos_scenario = "burst_loss";
+    config.seed = 7;
+    config.runs = 2;
+    config.num_cycles = 500;
+    config.mttc = Duration::seconds(90);
+    config.ttr = Duration::seconds(20);
+    config.warmup = Duration::seconds(60);
+    config.jobs = 2;
+    config.record_hub = std::make_shared<wan::TraceRecorderHub>();
+    run_qos_experiment(config);
+    return config.record_hub->merged().delays_ms();
+  }();
+  return delays;
+}
+
+class ChaosSampleSetTest
+    : public ::testing::TestWithParam<stats::SampleSet::Backend> {};
+
+TEST_P(ChaosSampleSetTest, QuantileRankErrorBoundedOnFaultedStream) {
+  const stats::SampleSet::Backend backend = GetParam();
+  const std::vector<double>& delays = chaos_delays_ms();
+  ASSERT_GT(delays.size(), 500u) << "chaos capture produced too few samples";
+
+  stats::SampleSet set(backend);
+  for (double d : delays) set.add(d);
+  ASSERT_EQ(set.size(), delays.size());
+
+  std::vector<double> sorted = delays;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+
+  // Exact: the estimate must sit within one sample of the requested rank
+  // (interpolation lands between neighbours). Streaming: t-digest at
+  // compression 100 — 2% rank error mid-range, tighter at the tails (the
+  // digest's centroids concentrate there by construction).
+  for (const double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double estimate = set.quantile(q);
+    const double err = std::abs(rank_of(sorted, estimate) - q);
+    const bool tail = q <= 0.05 || q >= 0.95;
+    const double eps = backend == stats::SampleSet::Backend::kExact
+                           ? 1.5 / n
+                           : (tail ? 0.01 : 0.02);
+    EXPECT_LE(err, eps) << "q=" << q << " estimate=" << estimate;
+  }
+
+  // Both backends keep exact extremes.
+  EXPECT_EQ(set.min(), sorted.front());
+  EXPECT_EQ(set.max(), sorted.back());
+
+  if (backend == stats::SampleSet::Backend::kExact) {
+    // The exact backend still holds every sample, bit-for-bit.
+    std::vector<double> held = set.samples();
+    std::sort(held.begin(), held.end());
+    EXPECT_EQ(held, sorted);
+  } else {
+    // The streaming backend dropped per-sample storage — that is the point.
+    EXPECT_TRUE(set.samples().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ChaosSampleSetTest,
+    ::testing::Values(stats::SampleSet::Backend::kExact,
+                      stats::SampleSet::Backend::kStreaming),
+    [](const auto& info) {
+      return info.param == stats::SampleSet::Backend::kExact ? "exact"
+                                                             : "streaming";
+    });
+
+}  // namespace
+}  // namespace fdqos::exp

@@ -1,0 +1,160 @@
+// RunRegistry finalization on early-abort runs: an experiment that unwinds
+// mid-run (a throwing predictor factory, an exception rethrown out of the
+// worker pool) must still mark its /runs row finished and clear the
+// process-wide run context — otherwise a scrape forever shows a zombie
+// in-flight run and the next experiment inherits stale labels. The
+// RunFinalizer RAII guard in run_qos_experiment carries this contract;
+// these tests pin it at the unit level and through the real experiment
+// entry point, on both the single-endpoint and the fleet engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/qos_experiment.hpp"
+#include "fd/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runs.hpp"
+
+namespace fdqos::obs {
+namespace {
+
+// Every test here mutates process-wide obs state; scope it tightly.
+class RunRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunRegistry::global().clear();
+    clear_run_context();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear_run_context();
+    RunRegistry::global().clear();
+  }
+
+  static const RunStatus* find_row(const std::vector<RunStatus>& rows,
+                                   const std::string& id) {
+    for (const RunStatus& row : rows) {
+      if (row.id == id) return &row;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(RunRegistryTest, FinalizerFinishesRowAndClearsContextOnUnwind) {
+  RunStatus st;
+  st.id = "rf-unit";
+  st.verb = "qos";
+  st.runs_total = 5;
+  st.runs_done = 2;
+  RunRegistry::global().update(st);
+  set_run_context("rf-unit", "paper");
+
+  try {
+    RunFinalizer guard("rf-unit");
+    EXPECT_EQ(run_id(), "rf-unit");
+    throw std::runtime_error("mid-run failure");
+  } catch (const std::runtime_error&) {
+  }
+
+  const auto rows = RunRegistry::global().snapshot();
+  const RunStatus* row = find_row(rows, "rf-unit");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->finished);
+  EXPECT_EQ(row->runs_done, row->runs_total);
+  EXPECT_EQ(run_id(), "");
+  EXPECT_EQ(run_suite(), "");
+}
+
+TEST_F(RunRegistryTest, FinalizerIsIdempotentAndHarmlessOnMissingRow) {
+  // A guard for a row that was never registered (or already removed) must
+  // not invent one.
+  { RunFinalizer guard("never-registered"); }
+  EXPECT_EQ(RunRegistry::global().size(), 0u);
+
+  // Finishing twice keeps the row's totals stable.
+  RunStatus st;
+  st.id = "rf-twice";
+  st.runs_total = 3;
+  RunRegistry::global().update(st);
+  { RunFinalizer guard("rf-twice"); }
+  { RunFinalizer guard("rf-twice"); }
+  const auto rows = RunRegistry::global().snapshot();
+  const RunStatus* row = find_row(rows, "rf-twice");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->finished);
+  EXPECT_EQ(row->runs_done, 3u);
+}
+
+// An extra spec whose predictor factory throws: factories run during bank
+// assembly, outside the per-lane isolation (a broken factory is a setup
+// bug, not a lane fault), so the exception unwinds out of the worker pool
+// and out of run_qos_experiment.
+exp::QosExperimentConfig aborting_config(std::uint64_t seed) {
+  exp::QosExperimentConfig config;
+  config.runs = 2;
+  config.num_cycles = 50;
+  config.seed = seed;
+  config.jobs = 1;
+  config.include_paper_suite = true;
+  fd::FdSpec broken;
+  broken.name = "Broken+CI_low";
+  broken.predictor_label = "Broken";
+  broken.margin_label = "CI_low";
+  broken.make_predictor = []() -> std::unique_ptr<forecast::Predictor> {
+    throw std::runtime_error("predictor factory exploded");
+  };
+  broken.make_margin = fd::make_paper_margin("CI_low");
+  config.extra_specs.push_back(std::move(broken));
+  return config;
+}
+
+TEST_F(RunRegistryTest, ExperimentAbortingMidRunStillFinalizesItsRow) {
+  exp::QosExperimentConfig config = aborting_config(21);
+  EXPECT_THROW(exp::run_qos_experiment(config), std::runtime_error);
+
+  const auto rows = RunRegistry::global().snapshot();
+  const RunStatus* row = find_row(rows, "qos-seed21");
+  ASSERT_NE(row, nullptr) << "aborted run never registered its /runs row";
+  EXPECT_TRUE(row->finished) << "aborted run left a zombie in-flight row";
+  // The context is cleared, so the next experiment starts unlabeled.
+  EXPECT_EQ(run_id(), "");
+  EXPECT_EQ(run_suite(), "");
+}
+
+TEST_F(RunRegistryTest, FleetExperimentAbortingMidRunStillFinalizesItsRow) {
+  exp::QosExperimentConfig config = aborting_config(22);
+  config.endpoints = 3;
+  config.fleet_shards = 2;
+  EXPECT_THROW(exp::run_qos_experiment(config), std::runtime_error);
+
+  const auto rows = RunRegistry::global().snapshot();
+  const RunStatus* row = find_row(rows, "qos-seed22");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->finished);
+  EXPECT_EQ(run_id(), "");
+}
+
+TEST_F(RunRegistryTest, SuccessfulRunEndsFinishedWithFinalTotals) {
+  exp::QosExperimentConfig config;
+  config.runs = 1;
+  config.num_cycles = 30;
+  config.seed = 23;
+  config.jobs = 1;
+  const exp::QosReport report = exp::run_qos_experiment(config);
+
+  const auto rows = RunRegistry::global().snapshot();
+  const RunStatus* row = find_row(rows, "qos-seed23");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->finished);
+  EXPECT_EQ(row->runs_done, 1u);
+  EXPECT_EQ(row->crashes, report.total_crashes);
+  EXPECT_EQ(row->heartbeats_sent, report.heartbeats_sent);
+  EXPECT_EQ(run_id(), "");
+}
+
+}  // namespace
+}  // namespace fdqos::obs

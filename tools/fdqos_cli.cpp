@@ -84,6 +84,9 @@ int usage() {
                "parallel simulation core, --lps N logical processes and\n"
                "--lp-jobs N workers per run; env FDQOS_SIM_ENGINE sets the\n"
                "default — reports are byte-identical at every setting)\n"
+               "qos/chaos take --endpoints M (fleet mode: M independent\n"
+               "monitored endpoints on one fd::FleetBank per shard) and\n"
+               "--shards S (0 = auto; see docs/fleet.md)\n"
                "see docs/tracestore.md for the record/replay walkthrough\n"
                "run `fdqos <command> --help` is not needed: unknown flags "
                "are listed on error\n");
@@ -144,6 +147,34 @@ bool parse_sim_engine(const ArgParser& args, exp::QosExperimentConfig& config) {
   }
   config.lps = static_cast<std::size_t>(lps);
   config.lp_jobs = static_cast<std::size_t>(args.get_int("--lp-jobs", 0));
+  return true;
+}
+
+// --endpoints M and --shards S (qos + chaos): fleet mode, M independent
+// monitored endpoints sharded over S fd::FleetBank shards (docs/fleet.md).
+// M = 1 (the default) is the exact legacy single-endpoint experiment;
+// --shards 0 picks min(endpoints, hardware jobs).
+bool parse_fleet(const ArgParser& args, exp::QosExperimentConfig& config) {
+  const std::int64_t endpoints = args.get_int("--endpoints", 1);
+  if (endpoints < 1) {
+    std::fprintf(stderr, "fdqos: --endpoints must be >= 1 (got %lld)\n",
+                 static_cast<long long>(endpoints));
+    return false;
+  }
+  config.endpoints = static_cast<std::size_t>(endpoints);
+  const std::int64_t shards = args.get_int("--shards", 0);
+  if (shards < 0) {
+    std::fprintf(stderr, "fdqos: --shards must be >= 0 (got %lld)\n",
+                 static_cast<long long>(shards));
+    return false;
+  }
+  config.fleet_shards = static_cast<std::size_t>(shards);
+  if (config.endpoints > 1 && !config.use_detector_bank) {
+    std::fprintf(stderr,
+                 "fdqos: --endpoints > 1 requires --engine bank (the fleet "
+                 "has no legacy engine)\n");
+    return false;
+  }
   return true;
 }
 
@@ -281,6 +312,7 @@ int cmd_qos_impl(const ArgParser& args, bool require_trace) {
   }
   if (!parse_engine(args, config)) return 2;
   if (!parse_sim_engine(args, config)) return 2;
+  if (!parse_fleet(args, config)) return 2;
   if (!parse_policy(args, config)) return 2;
   if (!config.trace_path.empty()) {
     const wan::TraceLoadResult probe = wan::load_trace(config.trace_path);
@@ -364,6 +396,7 @@ int cmd_chaos(const ArgParser& args) {
   config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
   if (!parse_engine(args, config)) return 2;
   if (!parse_sim_engine(args, config)) return 2;
+  if (!parse_fleet(args, config)) return 2;
   const std::string metric = args.get_string("--metric", "all");
   const std::string csv = args.get_string("--csv", "");
   ObsSession obs_session = ObsSession::from_args(args);
