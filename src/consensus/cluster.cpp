@@ -33,6 +33,9 @@ ConsensusCluster::ConsensusCluster(Config config,
             ? schedule_it->second
             : std::vector<runtime::ScriptedCrashLayer::DownPeriod>{}));
 
+    node.views = std::make_unique<membership::ViewManager>(i, members);
+    node.feed = std::make_unique<membership::BankViewFeed>(*node.views);
+
     for (int peer = 0; peer < config_.nodes; ++peer) {
       if (peer == i) continue;
       runtime::HeartbeaterLayer::Config hb;
@@ -43,16 +46,22 @@ ConsensusCluster::ConsensusCluster(Config config,
       node.process->attach_unowned(*node.crash, *beater);
       node.heartbeaters.push_back(std::move(beater));
 
-      fd::FreshnessDetector::Config fd_config;
-      fd_config.eta = config_.eta;
-      fd_config.monitored = peer;
-      fd_config.cold_start_timeout = config_.cold_start_timeout;
-      auto detector = std::make_unique<fd::FreshnessDetector>(
-          simulator_, fd_config,
-          fd::make_paper_predictor(config_.predictor_label)(),
+      // One width-1 DetectorBank per peer: the same batched engine the QoS
+      // experiment measures, configured as a single (predictor, margin)
+      // lane watching this peer's heartbeats.
+      fd::DetectorBank::Config bank_config;
+      bank_config.eta = config_.eta;
+      bank_config.monitored = peer;
+      bank_config.cold_start_timeout = config_.cold_start_timeout;
+      bank_config.name = "consensus-fd";
+      auto bank = std::make_unique<fd::DetectorBank>(simulator_, bank_config);
+      const std::size_t group =
+          bank->add_group(fd::make_paper_predictor(config_.predictor_label)());
+      bank->add_lane(
+          config_.predictor_label + "/" + config_.margin_label, group,
           fd::make_paper_margin(config_.margin_label)());
-      node.process->attach_unowned(*node.crash, *detector);
-      node.detectors.emplace(peer, std::move(detector));
+      node.process->attach_unowned(*node.crash, *bank);
+      node.detectors.emplace(peer, std::move(bank));
     }
 
     ConsensusProcess::Config c_config;
@@ -63,7 +72,7 @@ ConsensusCluster::ConsensusCluster(Config config,
     node.consensus = std::make_unique<ConsensusProcess>(
         simulator_, c_config, [detectors](net::NodeId peer) {
           auto it = detectors->find(peer);
-          return it != detectors->end() && it->second->suspecting();
+          return it != detectors->end() && it->second->lane_suspecting(0);
         });
     node.process->attach_unowned(*node.crash, *node.consensus);
     Node* node_ptr = &node;
@@ -72,10 +81,14 @@ ConsensusCluster::ConsensusCluster(Config config,
           node_ptr->decision = value;
           node_ptr->decision_time = t;
         });
-    for (auto& [peer, det] : node.detectors) {
+    for (auto& [peer, bank] : node.detectors) {
+      // The feed routes each bank's transitions into the node's view
+      // manager, then chains the consensus ◇S wake-up.
       ConsensusProcess* consensus = node.consensus.get();
-      det->set_observer(
-          [consensus](TimePoint, bool) { consensus->on_suspicion_change(); });
+      node.feed->attach(*bank, {peer},
+                        [consensus](std::size_t, TimePoint, bool) {
+                          consensus->on_suspicion_change();
+                        });
     }
     node.process->start();
   }
@@ -133,6 +146,18 @@ std::uint32_t ConsensusCluster::rounds_entered(int i) const {
 
 std::uint64_t ConsensusCluster::consensus_messages(int i) const {
   return nodes_[static_cast<std::size_t>(i)].consensus->messages_sent();
+}
+
+const membership::View& ConsensusCluster::view(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].views->view();
+}
+
+std::uint64_t ConsensusCluster::views_installed(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].views->views_installed();
+}
+
+std::uint64_t ConsensusCluster::coordinator_changes(int i) const {
+  return nodes_[static_cast<std::size_t>(i)].views->coordinator_changes();
 }
 
 }  // namespace fdqos::consensus

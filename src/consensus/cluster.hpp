@@ -1,7 +1,10 @@
 // ConsensusCluster — an N-node consensus deployment in a box.
 //
-// Wires, per node: scripted crash injection, per-peer heartbeaters and
-// freshness detectors (the ◇S oracle), and a ConsensusProcess, all over one
+// Wires, per node: scripted crash injection, per-peer heartbeaters, one
+// width-1 fd::DetectorBank per peer (the ◇S oracle — the same batched
+// engine the QoS experiment runs, so consensus consumes exactly the
+// detector semantics the paper measures), a membership::ViewManager fed by
+// those banks' suspect transitions, and a ConsensusProcess, all over one
 // simulated transport. Used by the consensus QoS experiment
 // (bench_consensus_qos) to relate detector QoS to consensus QoS, the
 // relation studied by Coccoli et al. (paper reference [6]).
@@ -13,8 +16,10 @@
 #include <vector>
 
 #include "consensus/process.hpp"
-#include "fd/freshness_detector.hpp"
+#include "fd/detector_bank.hpp"
 #include "fd/suite.hpp"
+#include "membership/bank_feed.hpp"
+#include "membership/view_manager.hpp"
 #include "net/sim_transport.hpp"
 #include "runtime/heartbeater.hpp"
 #include "runtime/process_node.hpp"
@@ -61,12 +66,22 @@ class ConsensusCluster {
   std::uint32_t rounds_entered(int i) const;
   std::uint64_t consensus_messages(int i) const;
 
+  // Node i's local membership view (driven by its detector banks) and its
+  // stability counters — detector accuracy surfaces here as view churn.
+  const membership::View& view(int i) const;
+  std::uint64_t views_installed(int i) const;
+  std::uint64_t coordinator_changes(int i) const;
+
  private:
   struct Node {
     std::unique_ptr<runtime::ProcessNode> process;
     runtime::ScriptedCrashLayer* crash = nullptr;
     std::vector<std::unique_ptr<runtime::HeartbeaterLayer>> heartbeaters;
-    std::map<net::NodeId, std::unique_ptr<fd::FreshnessDetector>> detectors;
+    // One width-1 bank per monitored peer (a bank watches one heartbeat
+    // source; lane 0 is the (predictor, margin) pair under test).
+    std::map<net::NodeId, std::unique_ptr<fd::DetectorBank>> detectors;
+    std::unique_ptr<membership::ViewManager> views;
+    std::unique_ptr<membership::BankViewFeed> feed;
     std::unique_ptr<ConsensusProcess> consensus;
     std::optional<std::int64_t> decision;
     TimePoint decision_time;

@@ -1,1677 +1,24 @@
+// Public entry points of the QoS experiment. The implementation lives in
+// the workload layer: exp/qos_workload.{hpp,cpp} orchestrates (config
+// validation, suite/trace/fault assembly, unit mapping, ordered
+// reduction), exp/qos_engines.{hpp,cpp} holds the per-unit simulation
+// drivers, and exp/workload.{hpp,cpp} owns the fan-out/join rule. This
+// file is the stable façade the CLI, benches and tests call.
 #include "exp/qos_experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
-#include <deque>
-#include <functional>
-#include <limits>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/assert.hpp"
-#include "common/log.hpp"
 #include "exec/thread_pool.hpp"
-#include "faultx/fault_models.hpp"
-#include "faultx/scenarios.hpp"
-#include "fd/freshness_detector.hpp"
-#include "obs/instruments.hpp"
-#include "obs/progress.hpp"
-#include "obs/runs.hpp"
-#include "net/lp_transport.hpp"
-#include "net/sim_transport.hpp"
-#include "runtime/heartbeater.hpp"
-#include "runtime/multiplexer.hpp"
-#include "runtime/process_node.hpp"
-#include "runtime/sim_crash.hpp"
-#include "sim/parallel_simulator.hpp"
-#include "sim/simulator.hpp"
-#include "wan/trace.hpp"
+#include "exp/qos_workload.hpp"
+#include "exp/workload.hpp"
 
 namespace fdqos::exp {
-namespace {
 
-constexpr net::NodeId kMonitored = 0;
-constexpr net::NodeId kMonitor = 1;
-
-// Pooled per-detector accumulators across runs.
-struct Pooled {
-  stats::RunningStats td;
-  stats::RunningStats tm;
-  stats::RunningStats tmr;
-  Duration up = Duration::zero();
-  Duration wrong = Duration::zero();
-  std::uint64_t crashes = 0;
-  std::uint64_t detections = 0;
-  std::uint64_t missed = 0;
-  // One sample per run: that run's mean T_D / availability.
-  stats::RunningStats per_run_td;
-  stats::RunningStats per_run_availability;
-};
-
-fd::QosMetrics pooled_metrics(const Pooled& p) {
-  fd::QosMetrics m;
-  m.detection_time_ms = p.td.summary();
-  m.mistake_duration_ms = p.tm.summary();
-  m.mistake_recurrence_ms = p.tmr.summary();
-  m.crashes_observed = p.crashes;
-  m.detections = p.detections;
-  m.missed_detections = p.missed;
-  m.mistakes = p.tm.count();
-  if (p.up > Duration::zero()) {
-    m.availability =
-        1.0 - p.wrong.to_seconds_double() / p.up.to_seconds_double();
-  }
-  if (p.tmr.count() > 0 && p.tmr.mean() > 0.0) {
-    m.query_accuracy =
-        std::max(0.0, (p.tmr.mean() - p.tm.mean()) / p.tmr.mean());
-  } else {
-    m.query_accuracy = m.availability;
-  }
-  return m;
-}
-
-// One finalized tracker folded into a pooled accumulator. Every engine
-// (seq, lp, fleet) reduces through this one function in a fixed order, so
-// the pooled moments never depend on the engine or on scheduling.
-void merge_tracker(Pooled& p, const fd::QosTracker& tracker) {
-  p.td.merge(tracker.td_stats());
-  p.tm.merge(tracker.tm_stats());
-  p.tmr.merge(tracker.tmr_stats());
-  p.up += tracker.observed_up_time();
-  p.wrong += tracker.wrong_suspicion_time();
-  p.crashes += tracker.crash_count();
-  p.detections += tracker.detection_count();
-  p.missed += tracker.missed_detection_count();
-  if (tracker.td_stats().count() > 0) {
-    p.per_run_td.add(tracker.td_stats().mean());
-  }
-  p.per_run_availability.add(tracker.metrics().availability);
-}
-
-std::vector<FdQosResult> results_from_pooled(
-    const std::vector<fd::FdSpec>& suite, const std::vector<Pooled>& pooled) {
-  std::vector<FdQosResult> results;
-  results.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    FdQosResult result;
-    result.name = suite[i].name;
-    result.predictor_label = suite[i].predictor_label;
-    result.margin_label = suite[i].margin_label;
-    result.metrics = pooled_metrics(pooled[i]);
-    result.per_run_td_mean_ms = pooled[i].per_run_td.summary();
-    result.per_run_availability = pooled[i].per_run_availability.summary();
-    results.push_back(std::move(result));
-  }
-  return results;
-}
-
-// Cached gauge handles for one detector lane, registered once per
-// experiment and refreshed by the winning progress tick — live scrapes see
-// each detector's trust state, running mistake/detection counts, current
-// timeout δ and windowed T_D/T_M estimates without waiting for the report.
-struct LaneGauges {
-  obs::Gauge* suspect = nullptr;       // 1 while suspecting
-  obs::Gauge* timeout_ms = nullptr;    // current δ = pred + sm
-  obs::Gauge* mistakes = nullptr;      // recorded T_M samples so far
-  obs::Gauge* detections = nullptr;    // detections so far
-  obs::Gauge* recent_td_ms = nullptr;  // EWMA T_D (NaN until first crash)
-  obs::Gauge* recent_tm_ms = nullptr;  // EWMA T_M (NaN until first mistake)
-};
-
-// Telemetry shared by every concurrent run. The emitter's own mutex keeps
-// single calls atomic; `mu` additionally serializes the due()+emit() pair
-// and the gauge refresh so a status line and the gauges it reflects stay
-// consistent with each other.
-struct ProgressState {
-  explicit ProgressState(obs::ProgressEmitter::Options opts)
-      : emitter(std::move(opts)) {}
-
-  obs::ProgressEmitter emitter;
-  std::mutex mu;
-  std::atomic<std::size_t> runs_started{0};
-  std::atomic<std::size_t> runs_done{0};
-  std::atomic<std::uint64_t> crashes_done{0};  // crashes in completed runs
-
-  // Per-detector gauges (index-aligned with the suite; empty when obs is
-  // off). Concurrent runs share the handles: the tick that wins `mu`
-  // publishes its own run's lane state and stamps source_run so a scrape
-  // knows which run it is looking at.
-  std::vector<LaneGauges> lanes;
-  obs::Gauge* source_run = nullptr;
-  obs::Gauge* timer_lag_ms = nullptr;  // next freshness deadline − now
-};
-
-// Everything one run produces, extracted so runs can execute on pool
-// threads and be reduced in run order afterwards.
-struct RunOutput {
-  std::vector<fd::QosTracker> trackers;  // finalized, index-aligned w/ suite
-  std::uint64_t crash_count = 0;
-  std::uint64_t hb_sent = 0;
-  std::uint64_t hb_delivered = 0;
-  faultx::FaultyTransport::Stats chaos;  // zero when no scenario active
-  fd::DetectorBank::Counters bank;       // engine counters for this run
-  sim::ParallelSimulator::Stats sim;     // zero under the sequential engine
-};
-
-// The per-run link stack, identical under both engines: trace replay or the
-// synthetic Italy→Japan models, optionally wrapped by chaos and recording.
-// RNG forks are pure functions of (parent, name), so sharing this builder
-// keeps the two engines' draw sequences aligned by construction.
-net::SimTransport::LinkConfig make_link_config(
-    const QosExperimentConfig& config,
-    const std::shared_ptr<const std::vector<Duration>>& trace,
-    const std::shared_ptr<const faultx::FaultSchedule>& faults,
-    std::size_t run) {
-  net::SimTransport::LinkConfig link;
-  if (trace == nullptr) {
-    link.delay = wan::make_italy_japan_delay(config.link);
-    link.loss = wan::make_italy_japan_loss(config.link);
-  } else {
-    // Each run replays the identical trace (loaded once, shared
-    // immutably; the replay cursor is per-instance); runs differ only in
-    // the crash schedule. With the default truncate policy the caller has
-    // already clamped num_cycles to the trace length.
-    link.delay =
-        std::make_unique<wan::TraceReplayDelay>(trace, config.replay_policy);
-  }
-  if (faults != nullptr) {
-    // Chaos: the same immutable schedule overlays every run; all per-run
-    // fault state (burst chains, duplication draws) lives in the wrappers.
-    link.delay =
-        std::make_unique<faultx::FaultyDelay>(std::move(link.delay), faults);
-    link.loss =
-        std::make_unique<faultx::FaultyLoss>(std::move(link.loss), faults);
-  }
-  if (config.record_hub != nullptr) {
-    // Tracestore hook: capture the delay stream exactly as the link
-    // produced it — outside the fault wrapper, so a chaos run records the
-    // faulted delays and becomes a replayable artifact. One shard per run
-    // index keeps parallel runs race-free and the merge order fixed.
-    link.delay = std::make_unique<wan::RecordingDelay>(
-        std::move(link.delay), config.record_hub, run);
-  }
-  return link;
-}
-
-// One self-contained seeded simulation (paper run). Reads only immutable
-// shared state (config, suite, trace data); all mutable state is local.
-RunOutput run_one(const QosExperimentConfig& config,
-                  const std::vector<fd::FdSpec>& suite,
-                  const std::shared_ptr<const std::vector<Duration>>& trace,
-                  const std::shared_ptr<const faultx::FaultSchedule>& faults,
-                  std::size_t run, const Rng& base_rng, TimePoint run_end,
-                  ProgressState* progress) {
-  Rng run_rng = base_rng.fork(run);
-  if (progress != nullptr) {
-    progress->runs_started.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  sim::Simulator simulator;
-  net::SimTransport transport(simulator, run_rng.fork("net"));
-  transport.set_link(kMonitored, kMonitor,
-                     make_link_config(config, trace, faults, run));
-
-  // Transport-level faults (partitions, flaps, duplication, clock stamps)
-  // wrap only the monitored node's view of the network.
-  std::optional<faultx::FaultyTransport> chaos_net;
-  net::Transport* monitored_net = &transport;
-  if (faults != nullptr) {
-    chaos_net.emplace(transport, faults, run_rng.fork("faultx"));
-    monitored_net = &*chaos_net;
-  }
-
-  // Monitored node: Heartbeater over SimCrash.
-  runtime::ProcessNode monitored(*monitored_net, kMonitored);
-  auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
-      simulator,
-      runtime::SimCrashLayer::Config{config.mttc, config.ttr},
-      run_rng.fork("crash")));
-  runtime::HeartbeaterLayer::Config hb_config;
-  hb_config.eta = config.eta;
-  hb_config.self = kMonitored;
-  hb_config.monitor = kMonitor;
-  hb_config.max_cycles = config.num_cycles;
-  auto& heartbeater = monitored.push(
-      std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
-
-  // Monitor node: MultiPlexer fanning out to every detector.
-  runtime::ProcessNode monitor(transport, kMonitor);
-  auto& mux = monitor.push(std::make_unique<runtime::MultiPlexerLayer>());
-
-  const TimePoint warmup_end = TimePoint::origin() + config.warmup;
-  std::vector<fd::QosTracker> trackers;
-  trackers.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    trackers.emplace_back(warmup_end);
-  }
-  // Both engines funnel transitions through the same per-lane sink, so the
-  // tracker update sequence (and the optional probe stream) is identical.
-  auto on_transition = [&trackers, &config, run](std::size_t i, TimePoint t,
-                                                 bool suspecting) {
-    if (suspecting) {
-      trackers[i].suspect_started(t);
-    } else {
-      trackers[i].suspect_ended(t);
-    }
-    if (config.transition_probe) config.transition_probe(run, i, t, suspecting);
-  };
-
-  std::unique_ptr<fd::DetectorBank> bank;                 // batched engine
-  std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;  // legacy
-  if (config.use_detector_bank) {
-    fd::DetectorBank::Config bank_config;
-    bank_config.eta = config.eta;
-    bank_config.monitored = kMonitored;
-    bank_config.cold_start_timeout = config.cold_start_timeout;
-    bank_config.name = "qos-bank";
-    bank = std::make_unique<fd::DetectorBank>(simulator, bank_config);
-    // One predictor group per distinct non-empty predictor_key; an empty
-    // key never shares (the spec made no identical-behaviour promise).
-    std::unordered_map<std::string, std::size_t> group_by_key;
-    for (const auto& spec : suite) {
-      std::size_t group;
-      const auto it = spec.predictor_key.empty()
-                          ? group_by_key.end()
-                          : group_by_key.find(spec.predictor_key);
-      if (it != group_by_key.end()) {
-        group = it->second;
-      } else {
-        group = bank->add_group(spec.make_predictor());
-        if (!spec.predictor_key.empty()) {
-          group_by_key.emplace(spec.predictor_key, group);
-        }
-      }
-      bank->add_lane(spec.name, group, spec.make_margin());
-    }
-    bank->set_observer(
-        [&on_transition](std::size_t lane, TimePoint t, bool suspecting) {
-          on_transition(lane, t, suspecting);
-        });
-    monitor.attach_unowned(mux, *bank);
-  } else {
-    detectors.reserve(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      fd::FreshnessDetector::Config fd_config;
-      fd_config.eta = config.eta;
-      fd_config.monitored = kMonitored;
-      fd_config.cold_start_timeout = config.cold_start_timeout;
-      fd_config.name = suite[i].name;
-      auto detector = std::make_unique<fd::FreshnessDetector>(
-          simulator, fd_config, suite[i].make_predictor(),
-          suite[i].make_margin());
-      detector->set_observer([&on_transition, i](TimePoint t, bool suspecting) {
-        on_transition(i, t, suspecting);
-      });
-      monitor.attach_unowned(mux, *detector);
-      detectors.push_back(std::move(detector));
-    }
-  }
-  auto suspecting_count = [&bank, &detectors]() {
-    if (bank != nullptr) return bank->suspecting_count();
-    std::size_t n = 0;
-    for (const auto& d : detectors) {
-      if (d->suspecting()) ++n;
-    }
-    return n;
-  };
-
-  crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
-    for (auto& tracker : trackers) {
-      if (crashed) {
-        tracker.process_crashed(t);
-      } else {
-        tracker.process_restored(t);
-      }
-    }
-  });
-
-  monitored.start();
-  monitor.start();
-
-  // Telemetry tick: a repeating virtual-time event that emits a status
-  // line whenever enough *wall* time has passed. Virtual runs execute
-  // thousands of simulated seconds per wall second, so the tick is cheap
-  // and the wall-clock rate limiter in ProgressEmitter does the pacing.
-  std::function<void()> progress_tick;
-  if (progress != nullptr) {
-    const Duration tick_every = config.eta * 5;
-    progress_tick = [&, run] {
-      std::unique_lock<std::mutex> lock(progress->mu, std::try_to_lock);
-      // A tick that loses the race simply skips this line; another run's
-      // tick just emitted one.
-      if (lock.owns_lock() && progress->emitter.due()) {
-        const std::size_t suspecting = suspecting_count();
-        const std::size_t started =
-            progress->runs_started.load(std::memory_order_relaxed);
-        const std::size_t done =
-            progress->runs_done.load(std::memory_order_relaxed);
-        const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
-        if (obs::enabled()) {
-          // Aggregated, not per-run, so concurrent runs never fight over
-          // the gauges: runs in flight and completed-run crash totals.
-          obs::instruments().experiment_run.set(static_cast<double>(started));
-          obs::instruments().fd_suspecting.set(
-              static_cast<double>(suspecting));
-          // Per-detector live QoS gauges: this run won the tick, so it
-          // publishes its lane states wholesale and stamps source_run.
-          for (std::size_t i = 0; i < progress->lanes.size(); ++i) {
-            const LaneGauges& g = progress->lanes[i];
-            const bool susp = bank != nullptr ? bank->lane_suspecting(i)
-                                              : detectors[i]->suspecting();
-            const double delta = bank != nullptr
-                                     ? bank->lane_delta_ms(i)
-                                     : detectors[i]->current_delta_ms();
-            g.suspect->set(susp ? 1.0 : 0.0);
-            g.timeout_ms->set(delta);
-            g.mistakes->set(static_cast<double>(trackers[i].tm_stats().count()));
-            g.detections->set(
-                static_cast<double>(trackers[i].detection_count()));
-            g.recent_td_ms->set(trackers[i].recent_td_ms());
-            g.recent_tm_ms->set(trackers[i].recent_tm_ms());
-          }
-          if (progress->source_run != nullptr) {
-            progress->source_run->set(static_cast<double>(run));
-          }
-          if (progress->timer_lag_ms != nullptr) {
-            TimePoint deadline = TimePoint::max();
-            if (bank != nullptr) {
-              deadline = bank->next_timer_deadline();
-            } else {
-              for (const auto& d : detectors) {
-                deadline = std::min(deadline, d->next_timer_deadline());
-              }
-            }
-            progress->timer_lag_ms->set(
-                deadline == TimePoint::max()
-                    ? std::numeric_limits<double>::quiet_NaN()
-                    : (deadline - simulator.now()).to_millis_double());
-          }
-          // Refresh this invocation's /runs row. Crashes count completed
-          // runs plus the reporting run (other in-flight runs report on
-          // their own winning ticks).
-          obs::RunStatus st;
-          st.id = config.run_id;
-          st.verb = config.run_verb;
-          st.suite = config.suite_label;
-          st.runs_total = config.runs;
-          st.runs_started = started;
-          st.runs_done = done;
-          st.crashes = progress->crashes_done.load(std::memory_order_relaxed) +
-                       crash_layer.crash_count();
-          st.heartbeats_sent = hb_stats.sent;
-          st.detectors = suite.size();
-          st.suspecting = suspecting;
-          st.sim_time_s = simulator.now().to_seconds_double();
-          obs::RunRegistry::global().update(st);
-        }
-        progress->emitter.emit(
-            "run %zu/%zu (%zu done) t=%.0fs cycles=%lld/%lld crashes=%llu "
-            "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
-            run + 1, config.runs, done,
-            simulator.now().to_seconds_double(),
-            static_cast<long long>(heartbeater.cycles_sent()),
-            static_cast<long long>(config.num_cycles),
-            static_cast<unsigned long long>(crash_layer.crash_count()),
-            static_cast<unsigned long long>(hb_stats.sent),
-            static_cast<unsigned long long>(hb_stats.delivered),
-            static_cast<unsigned long long>(hb_stats.sent -
-                                            hb_stats.delivered),
-            suspecting, suite.size());
-      }
-      simulator.schedule_after(tick_every, progress_tick);
-    };
-    simulator.schedule_after(tick_every, progress_tick);
-  }
-
-  simulator.run_until(run_end);
-
-  for (auto& tracker : trackers) tracker.finalize(run_end);
-
-  RunOutput out;
-  out.crash_count = crash_layer.crash_count();
-  const auto& hb_stats = transport.link_stats(kMonitored, kMonitor);
-  out.hb_sent = hb_stats.sent;
-  out.hb_delivered = hb_stats.delivered;
-  if (chaos_net.has_value()) out.chaos = chaos_net->stats();
-  if (bank != nullptr) {
-    out.bank = bank->counters();
-  } else {
-    for (const auto& d : detectors) out.bank.add(d->counters());
-  }
-  out.trackers = std::move(trackers);
-
-  if (progress != nullptr) {
-    progress->runs_done.fetch_add(1, std::memory_order_relaxed);
-    progress->crashes_done.fetch_add(out.crash_count,
-                                     std::memory_order_relaxed);
-  }
-  FDQOS_LOG_INFO("qos run %zu/%zu: %llu crashes", run + 1, config.runs,
-                 static_cast<unsigned long long>(out.crash_count));
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// LP-partitioned engine (SimEngine::kLp; sim/parallel_simulator.hpp and
-// docs/pdes.md).
-//
-// Partition per run: LP0 owns the whole sender stack — heartbeater, crash
-// injector, fault wrappers and every link RNG draw — and LPs 1..lps-1 each
-// own a shard of the detector suite behind their own MultiPlexer. The only
-// cross-LP channel is heartbeat delivery LP0→shard, whose lookahead is the
-// link's minimum one-way delay, so shards run concurrently with the sender
-// up to one delay floor ahead.
-//
-// QosTrackers are pure folds over timestamped records, so instead of
-// notifying them live across LPs (which would need zero-lookahead channels
-// and serialize everything), each shard records its (lane, t, suspecting)
-// transitions and LP0 records the (t, crashed) ground truth; both replay
-// into the trackers after the run. Trackers are per-lane, so cross-lane
-// order is irrelevant and the replay is deterministic for every lps,
-// lp_jobs and machine — byte-identical reports.
-
-// Suspect transition captured on a shard LP (chronological per shard).
-struct TransitionRecord {
-  std::size_t lane;  // global suite index
-  TimePoint t;
-  bool suspecting;
-};
-
-struct CrashRecord {
-  TimePoint t;
-  bool crashed;
-};
-
-// Greedy least-loaded assignment of predictor groups to shards: groups in
-// creation order, each to the shard with the fewest lanes so far (ties →
-// lowest shard id). A pure function of the suite, so the partition never
-// depends on jobs, timing or machine.
-std::vector<std::size_t> partition_groups(
-    const std::vector<std::size_t>& group_lanes, std::size_t shard_count) {
-  std::vector<std::size_t> shard_of_group(group_lanes.size());
-  std::vector<std::size_t> load(shard_count, 0);
-  for (std::size_t g = 0; g < group_lanes.size(); ++g) {
-    std::size_t best = 0;
-    for (std::size_t s = 1; s < shard_count; ++s) {
-      if (load[s] < load[best]) best = s;
-    }
-    shard_of_group[g] = best;
-    load[best] += group_lanes[g];
-  }
-  return shard_of_group;
-}
-
-RunOutput run_one_lp(const QosExperimentConfig& config,
-                     const std::vector<fd::FdSpec>& suite,
-                     const std::shared_ptr<const std::vector<Duration>>& trace,
-                     const std::shared_ptr<const faultx::FaultSchedule>& faults,
-                     std::size_t run, const Rng& base_rng, TimePoint run_end,
-                     ProgressState* progress, std::size_t lp_jobs) {
-  Rng run_rng = base_rng.fork(run);
-  if (progress != nullptr) {
-    progress->runs_started.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  const std::size_t lps = config.lps == 0 ? 1 : config.lps;
-  // lps = 1 keeps sender and detectors on one LP (the PDES baseline);
-  // otherwise LP0 sends and every other LP holds one detector shard.
-  const std::size_t shard_count = lps >= 2 ? lps - 1 : 1;
-  const auto shard_lp = [lps](std::size_t s) { return lps >= 2 ? 1 + s : s; };
-
-  sim::ParallelSimulator::Options po;
-  po.lps = lps;
-  po.jobs = lp_jobs;
-  // One LP cannot backlog cross-LP mail, so the window cap buys nothing:
-  // run the whole horizon as a single window (the PDES baseline then pays
-  // no per-round coordination at all).
-  if (lps < 2) po.max_window = Duration::zero();
-  po.roles.push_back("sender");
-  for (std::size_t i = 1; i < lps; ++i) po.roles.push_back("detectors");
-  sim::ParallelSimulator psim(std::move(po));
-  sim::Lp& sender_lp = psim.lp(0);
-
-  net::LpSenderTransport transport(psim, 0, run_rng.fork("net"));
-  transport.set_link(kMonitored, kMonitor,
-                     make_link_config(config, trace, faults, run));
-
-  // Transport-level faults wrap only the monitored node's view, exactly as
-  // in the sequential engine; every fault draw stays on the sender LP.
-  std::optional<faultx::FaultyTransport> chaos_net;
-  net::Transport* monitored_net = &transport;
-  if (faults != nullptr) {
-    chaos_net.emplace(transport, faults, run_rng.fork("faultx"));
-    monitored_net = &*chaos_net;
-  }
-
-  runtime::ProcessNode monitored(*monitored_net, kMonitored);
-  auto& crash_layer = monitored.push(std::make_unique<runtime::SimCrashLayer>(
-      sender_lp, runtime::SimCrashLayer::Config{config.mttc, config.ttr},
-      run_rng.fork("crash")));
-  runtime::HeartbeaterLayer::Config hb_config;
-  hb_config.eta = config.eta;
-  hb_config.self = kMonitored;
-  hb_config.monitor = kMonitor;
-  hb_config.max_cycles = config.num_cycles;
-  auto& heartbeater = monitored.push(
-      std::make_unique<runtime::HeartbeaterLayer>(sender_lp, hb_config));
-
-  // lps = 1 keeps every layer on one LP, so observer callbacks already
-  // fire in global simulation order — trackers update inline, exactly like
-  // the sequential engine, and the record/merge machinery below is skipped
-  // (the PDES baseline then costs what seq costs). Multi-LP runs defer.
-  const bool single_lp = lps < 2;
-  const TimePoint warmup_end = TimePoint::origin() + config.warmup;
-  std::vector<fd::QosTracker> trackers;
-  trackers.reserve(suite.size());
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    trackers.emplace_back(warmup_end);
-  }
-
-  // Ground-truth crash toggles: applied inline on the single-LP layout,
-  // recorded on LP0 and replayed after the run otherwise.
-  std::vector<CrashRecord> crash_records;
-  if (single_lp) {
-    crash_layer.set_observer([&trackers](TimePoint t, bool crashed) {
-      for (auto& tracker : trackers) {
-        if (crashed) {
-          tracker.process_crashed(t);
-        } else {
-          tracker.process_restored(t);
-        }
-      }
-    });
-  } else {
-    crash_layer.set_observer([&crash_records](TimePoint t, bool crashed) {
-      crash_records.push_back({t, crashed});
-    });
-  }
-
-  // Partition the suite, predictor groups kept whole (a shared predictor
-  // must see one arrival stream on one LP). Group ids replicate run_one's
-  // first-seen-key order; the legacy engine shares nothing, so every lane
-  // is its own group.
-  std::vector<std::size_t> group_of(suite.size());
-  std::vector<std::size_t> group_lanes;
-  if (config.use_detector_bank) {
-    std::unordered_map<std::string, std::size_t> group_by_key;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      const auto& key = suite[i].predictor_key;
-      const auto it =
-          key.empty() ? group_by_key.end() : group_by_key.find(key);
-      if (it != group_by_key.end()) {
-        group_of[i] = it->second;
-      } else {
-        group_of[i] = group_lanes.size();
-        group_lanes.push_back(0);
-        if (!key.empty()) group_by_key.emplace(key, group_of[i]);
-      }
-      ++group_lanes[group_of[i]];
-    }
-  } else {
-    group_lanes.assign(suite.size(), 1);
-    for (std::size_t i = 0; i < suite.size(); ++i) group_of[i] = i;
-  }
-  // More shards than predictor groups would leave some with a zero-lane
-  // bank (DetectorBank requires width > 0): cap the shard count at the
-  // group count — the surplus LPs simply stay idle for the whole run.
-  const std::size_t active_shards = std::min(
-      shard_count, std::max<std::size_t>(group_lanes.size(), 1));
-  const std::vector<std::size_t> shard_of_group =
-      partition_groups(group_lanes, active_shards);
-
-  struct Shard {
-    std::unique_ptr<net::LpShardTransport> transport;
-    std::unique_ptr<runtime::ProcessNode> node;
-    runtime::MultiPlexerLayer* mux = nullptr;  // owned by node
-    std::unique_ptr<fd::DetectorBank> bank;
-    std::vector<std::unique_ptr<fd::FreshnessDetector>> detectors;  // legacy
-    std::vector<std::size_t> local_to_global;  // bank lane → suite index
-    std::vector<TransitionRecord> transitions;
-  };
-  std::vector<Shard> shards(active_shards);
-  // Live "how many lanes suspect right now" for the progress tick; shard
-  // observers update it from their own LP threads.
-  std::atomic<std::size_t> suspecting_now{0};
-
-  for (std::size_t s = 0; s < active_shards; ++s) {
-    Shard& shard = shards[s];
-    shard.transport =
-        std::make_unique<net::LpShardTransport>(psim, shard_lp(s));
-    transport.add_shard(kMonitor, *shard.transport);
-    shard.node =
-        std::make_unique<runtime::ProcessNode>(*shard.transport, kMonitor);
-    shard.mux =
-        &shard.node->push(std::make_unique<runtime::MultiPlexerLayer>());
-
-    Shard* sp = &shard;
-    if (config.use_detector_bank) {
-      fd::DetectorBank::Config bank_config;
-      bank_config.eta = config.eta;
-      bank_config.monitored = kMonitored;
-      bank_config.cold_start_timeout = config.cold_start_timeout;
-      bank_config.name = "qos-bank";
-      shard.bank =
-          std::make_unique<fd::DetectorBank>(psim.lp(shard_lp(s)), bank_config);
-      // Suite order within the shard: the first lane of a group here is
-      // also the group's globally-first spec (groups are never split), so
-      // predictor construction matches run_one exactly.
-      std::unordered_map<std::size_t, std::size_t> local_group;
-      for (std::size_t i = 0; i < suite.size(); ++i) {
-        if (shard_of_group[group_of[i]] != s) continue;
-        std::size_t lg;
-        const auto it = local_group.find(group_of[i]);
-        if (it != local_group.end()) {
-          lg = it->second;
-        } else {
-          lg = shard.bank->add_group(suite[i].make_predictor());
-          local_group.emplace(group_of[i], lg);
-        }
-        shard.bank->add_lane(suite[i].name, lg, suite[i].make_margin());
-        shard.local_to_global.push_back(i);
-      }
-      if (single_lp) {
-        shard.bank->set_observer([sp, &trackers, &config, run,
-                                  &suspecting_now](std::size_t lane,
-                                                   TimePoint t, bool susp) {
-          const std::size_t i = sp->local_to_global[lane];
-          if (susp) {
-            trackers[i].suspect_started(t);
-            suspecting_now.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            trackers[i].suspect_ended(t);
-            suspecting_now.fetch_sub(1, std::memory_order_relaxed);
-          }
-          if (config.transition_probe) {
-            config.transition_probe(run, i, t, susp);
-          }
-        });
-      } else {
-        shard.bank->set_observer(
-            [sp, &suspecting_now](std::size_t lane, TimePoint t, bool susp) {
-              sp->transitions.push_back({sp->local_to_global[lane], t, susp});
-              if (susp) {
-                suspecting_now.fetch_add(1, std::memory_order_relaxed);
-              } else {
-                suspecting_now.fetch_sub(1, std::memory_order_relaxed);
-              }
-            });
-      }
-      shard.node->attach_unowned(*shard.mux, *shard.bank);
-    } else {
-      for (std::size_t i = 0; i < suite.size(); ++i) {
-        if (shard_of_group[group_of[i]] != s) continue;
-        fd::FreshnessDetector::Config fd_config;
-        fd_config.eta = config.eta;
-        fd_config.monitored = kMonitored;
-        fd_config.cold_start_timeout = config.cold_start_timeout;
-        fd_config.name = suite[i].name;
-        auto detector = std::make_unique<fd::FreshnessDetector>(
-            psim.lp(shard_lp(s)), fd_config, suite[i].make_predictor(),
-            suite[i].make_margin());
-        if (single_lp) {
-          detector->set_observer([&trackers, &config, run, i,
-                                  &suspecting_now](TimePoint t, bool susp) {
-            if (susp) {
-              trackers[i].suspect_started(t);
-              suspecting_now.fetch_add(1, std::memory_order_relaxed);
-            } else {
-              trackers[i].suspect_ended(t);
-              suspecting_now.fetch_sub(1, std::memory_order_relaxed);
-            }
-            if (config.transition_probe) {
-              config.transition_probe(run, i, t, susp);
-            }
-          });
-        } else {
-          detector->set_observer(
-              [sp, i, &suspecting_now](TimePoint t, bool susp) {
-                sp->transitions.push_back({i, t, susp});
-                if (susp) {
-                  suspecting_now.fetch_add(1, std::memory_order_relaxed);
-                } else {
-                  suspecting_now.fetch_sub(1, std::memory_order_relaxed);
-                }
-              });
-        }
-        shard.node->attach_unowned(*shard.mux, *detector);
-        shard.detectors.push_back(std::move(detector));
-      }
-    }
-  }
-
-  // The one cross-LP channel: heartbeat delivery. Its lookahead is the
-  // link's hard delay floor, already shrunk by chaos clock jumps
-  // (FaultyDelay::min_delay) and zero for unconfigured/floorless links —
-  // the coordinator's stall rule keeps even that case correct.
-  if (lps >= 2) {
-    const Duration lookahead =
-        transport.link_lookahead(kMonitored, kMonitor);
-    for (std::size_t s = 0; s < active_shards; ++s) {
-      psim.set_lookahead(0, shard_lp(s), lookahead);
-    }
-  }
-
-  monitored.start();
-  for (auto& shard : shards) shard.node->start();
-
-  // Reduced LP-mode telemetry tick on the sender LP: mid-run shard state
-  // (per-lane gauges, timer deadlines) belongs to other LPs, so the tick
-  // publishes only sender-local counts and the shard-maintained atomic
-  // suspecting count. See docs/pdes.md.
-  std::function<void()> progress_tick;
-  if (progress != nullptr) {
-    const Duration tick_every = config.eta * 5;
-    progress_tick = [&, run] {
-      std::unique_lock<std::mutex> lock(progress->mu, std::try_to_lock);
-      if (lock.owns_lock() && progress->emitter.due()) {
-        const std::size_t suspecting =
-            suspecting_now.load(std::memory_order_relaxed);
-        const std::size_t started =
-            progress->runs_started.load(std::memory_order_relaxed);
-        const std::size_t done =
-            progress->runs_done.load(std::memory_order_relaxed);
-        const auto hb_stats = transport.link_stats(kMonitored, kMonitor);
-        if (obs::enabled()) {
-          obs::instruments().experiment_run.set(static_cast<double>(started));
-          obs::instruments().fd_suspecting.set(
-              static_cast<double>(suspecting));
-          obs::RunStatus st;
-          st.id = config.run_id;
-          st.verb = config.run_verb;
-          st.suite = config.suite_label;
-          st.runs_total = config.runs;
-          st.runs_started = started;
-          st.runs_done = done;
-          st.crashes = progress->crashes_done.load(std::memory_order_relaxed) +
-                       crash_layer.crash_count();
-          st.heartbeats_sent = hb_stats.sent;
-          st.detectors = suite.size();
-          st.suspecting = suspecting;
-          st.sim_time_s = sender_lp.now().to_seconds_double();
-          obs::RunRegistry::global().update(st);
-        }
-        progress->emitter.emit(
-            "run %zu/%zu (%zu done) t=%.0fs cycles=%lld/%lld crashes=%llu "
-            "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
-            run + 1, config.runs, done, sender_lp.now().to_seconds_double(),
-            static_cast<long long>(heartbeater.cycles_sent()),
-            static_cast<long long>(config.num_cycles),
-            static_cast<unsigned long long>(crash_layer.crash_count()),
-            static_cast<unsigned long long>(hb_stats.sent),
-            static_cast<unsigned long long>(hb_stats.delivered),
-            static_cast<unsigned long long>(hb_stats.sent -
-                                            hb_stats.delivered),
-            suspecting, suite.size());
-      }
-      sender_lp.schedule_after(tick_every, progress_tick);
-    };
-    sender_lp.schedule_after(tick_every, progress_tick);
-  }
-
-  psim.run_until(run_end);
-
-  // Multi-LP: replay the recorded streams into the trackers. A lane's
-  // transitions live on exactly one shard, appended in that LP's execution
-  // order — chronological — so a per-lane two-stream merge with the crash
-  // toggles reproduces the live update sequence. Equal-instant ties replay
-  // crash-first (fixed, engine-independent order; the determinism suite
-  // pins the resulting bytes). Single-LP runs updated inline above.
-  if (!single_lp) {
-    std::vector<std::vector<const TransitionRecord*>> by_lane(suite.size());
-    for (const auto& shard : shards) {
-      for (const auto& rec : shard.transitions) {
-        by_lane[rec.lane].push_back(&rec);
-      }
-    }
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      fd::QosTracker& tracker = trackers[i];
-      const auto& lane = by_lane[i];
-      std::size_t c = 0;
-      std::size_t t = 0;
-      while (c < crash_records.size() || t < lane.size()) {
-        const bool take_crash =
-            t >= lane.size() ||
-            (c < crash_records.size() && crash_records[c].t <= lane[t]->t);
-        if (take_crash) {
-          if (crash_records[c].crashed) {
-            tracker.process_crashed(crash_records[c].t);
-          } else {
-            tracker.process_restored(crash_records[c].t);
-          }
-          ++c;
-        } else {
-          if (lane[t]->suspecting) {
-            tracker.suspect_started(lane[t]->t);
-          } else {
-            tracker.suspect_ended(lane[t]->t);
-          }
-          if (config.transition_probe) {
-            // Note: under this layout the probe fires post-run, grouped by
-            // lane (time-ordered within a lane), not globally interleaved.
-            config.transition_probe(run, i, lane[t]->t, lane[t]->suspecting);
-          }
-          ++t;
-        }
-      }
-    }
-  }
-  for (auto& tracker : trackers) tracker.finalize(run_end);
-
-  RunOutput out;
-  out.crash_count = crash_layer.crash_count();
-  const auto hb_stats = transport.link_stats(kMonitored, kMonitor);
-  out.hb_sent = hb_stats.sent;
-  out.hb_delivered = hb_stats.delivered;
-  if (chaos_net.has_value()) out.chaos = chaos_net->stats();
-  for (const auto& shard : shards) {
-    if (shard.bank != nullptr) out.bank.add(shard.bank->counters());
-    for (const auto& d : shard.detectors) out.bank.add(d->counters());
-  }
-  out.sim = psim.stats();
-  out.trackers = std::move(trackers);
-
-  if (progress != nullptr) {
-    progress->runs_done.fetch_add(1, std::memory_order_relaxed);
-    progress->crashes_done.fetch_add(out.crash_count,
-                                     std::memory_order_relaxed);
-  }
-  FDQOS_LOG_INFO(
-      "qos run %zu/%zu (lp engine, %zu lps): %llu crashes", run + 1,
-      config.runs, lps, static_cast<unsigned long long>(out.crash_count));
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Fleet engine (fd::FleetBank; docs/fleet.md).
-//
-// `endpoints` independent monitored processes, each with its own link,
-// crash injector and full detector suite, sharded into contiguous blocks.
-// Each (run, shard) unit owns one simulator (one LP under kLp), one
-// FleetBank and the block's endpoint stacks. Endpoint e's whole stochastic
-// tree forks from fleet_endpoint_seed(seed, e) with the same fork names as
-// run_one, and every endpoint uses the local node-id pair (0, 1) on its
-// own transport — so endpoint e of any fleet run is bit-for-bit a
-// standalone run seeded with its fleet seed, regardless of M, the shard
-// count, jobs or engine. The equivalence suite (`ctest -L fleet`) pins it.
-
-// One monitored endpoint's stack inside a shard.
-struct FleetEndpoint {
-  std::unique_ptr<net::SimTransport> transport;
-  std::optional<faultx::FaultyTransport> chaos_net;
-  std::unique_ptr<runtime::ProcessNode> monitored;
-  std::unique_ptr<runtime::ProcessNode> monitor;
-  runtime::SimCrashLayer* crash = nullptr;           // owned by `monitored`
-  runtime::HeartbeaterLayer* heartbeater = nullptr;  // owned by `monitored`
-  runtime::MultiPlexerLayer* mux = nullptr;          // owned by `monitor`
-  fd::DetectorBank* bank = nullptr;  // owned by the fleet's arena
-  std::vector<fd::QosTracker> trackers;  // index-aligned with the suite
-};
-
-struct FleetShardContext {
-  std::unique_ptr<fd::FleetBank> fleet;
-  // deque: endpoint addresses must stay stable while later endpoints are
-  // appended (bank/crash observers capture them).
-  std::deque<FleetEndpoint> endpoints;
-  std::function<void()> progress_tick;  // keeps the tick closure alive
-};
-
-// Everything one (run, shard) unit produces.
-struct FleetShardOutput {
-  std::vector<std::vector<fd::QosTracker>> trackers;  // [local ep][lane]
-  std::vector<std::uint64_t> crash_count;             // per local endpoint
-  std::vector<std::uint64_t> hb_sent;
-  std::vector<std::uint64_t> hb_delivered;
-  faultx::FaultyTransport::Stats chaos;  // summed over the block
-  fd::DetectorBank::Counters bank;       // summed member counters
-  fd::FleetBank::Counters fleet;         // shard-level engine counters
-  sim::ParallelSimulator::Stats sim;     // shard 0 of a kLp run only
-};
-
-// Shard s of S owns endpoints [begin(s), begin(s+1)): contiguous blocks,
-// remainders spread over the first shards. A pure function of (M, S), so
-// the endpoint→shard map never depends on jobs or machine.
-std::size_t fleet_shard_begin(std::size_t endpoints, std::size_t shards,
-                              std::size_t s) {
-  const std::size_t base = endpoints / shards;
-  const std::size_t rem = endpoints % shards;
-  return s * base + std::min(s, rem);
-}
-
-void build_fleet_shard(
-    sim::Simulator& simulator, const QosExperimentConfig& config,
-    const std::vector<fd::FdSpec>& suite,
-    const std::shared_ptr<const std::vector<Duration>>& trace,
-    const std::shared_ptr<const faultx::FaultSchedule>& faults,
-    std::size_t run, std::size_t ep_begin, std::size_t ep_end,
-    FleetShardContext& ctx) {
-  fd::FleetBank::Config fleet_config;
-  fleet_config.eta = config.eta;
-  fleet_config.cold_start_timeout = config.cold_start_timeout;
-  fleet_config.name = "qos-fleet";
-  fleet_config.expected_endpoints = ep_end - ep_begin;
-  ctx.fleet = std::make_unique<fd::FleetBank>(simulator, fleet_config);
-
-  const TimePoint warmup_end = TimePoint::origin() + config.warmup;
-  for (std::size_t e = ep_begin; e < ep_end; ++e) {
-    FleetEndpoint& ep = ctx.endpoints.emplace_back();
-    // The endpoint's RNG tree is rooted exactly like a standalone run
-    // seeded with its fleet seed; every named fork below matches run_one.
-    Rng ep_rng = Rng(fleet_endpoint_seed(config.seed, e)).fork(run);
-    ep.transport =
-        std::make_unique<net::SimTransport>(simulator, ep_rng.fork("net"));
-    ep.transport->set_link(kMonitored, kMonitor,
-                           make_link_config(config, trace, faults, run));
-    net::Transport* monitored_net = ep.transport.get();
-    if (faults != nullptr) {
-      ep.chaos_net.emplace(*ep.transport, faults, ep_rng.fork("faultx"));
-      monitored_net = &*ep.chaos_net;
-    }
-
-    ep.monitored =
-        std::make_unique<runtime::ProcessNode>(*monitored_net, kMonitored);
-    ep.crash = &ep.monitored->push(std::make_unique<runtime::SimCrashLayer>(
-        simulator, runtime::SimCrashLayer::Config{config.mttc, config.ttr},
-        ep_rng.fork("crash")));
-    runtime::HeartbeaterLayer::Config hb_config;
-    hb_config.eta = config.eta;
-    hb_config.self = kMonitored;
-    hb_config.monitor = kMonitor;
-    hb_config.max_cycles = config.num_cycles;
-    ep.heartbeater = &ep.monitored->push(
-        std::make_unique<runtime::HeartbeaterLayer>(simulator, hb_config));
-
-    ep.monitor =
-        std::make_unique<runtime::ProcessNode>(*ep.transport, kMonitor);
-    ep.mux = &ep.monitor->push(std::make_unique<runtime::MultiPlexerLayer>());
-
-    // Member bank: the same group/lane assembly as run_one. Per-node
-    // attachment — the member sits on its endpoint's own stack, so the
-    // shared monitored id never needs fleet routing.
-    fd::DetectorBank& bank = ctx.fleet->add_member(kMonitored, "qos-bank");
-    bank.reserve_lanes(suite.size());
-    std::unordered_map<std::string, std::size_t> group_by_key;
-    for (const auto& spec : suite) {
-      std::size_t group;
-      const auto it = spec.predictor_key.empty()
-                          ? group_by_key.end()
-                          : group_by_key.find(spec.predictor_key);
-      if (it != group_by_key.end()) {
-        group = it->second;
-      } else {
-        group = bank.add_group(spec.make_predictor());
-        if (!spec.predictor_key.empty()) {
-          group_by_key.emplace(spec.predictor_key, group);
-        }
-      }
-      bank.add_lane(spec.name, group, spec.make_margin());
-    }
-    ep.bank = &bank;
-
-    ep.trackers.reserve(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      ep.trackers.emplace_back(warmup_end);
-    }
-    FleetEndpoint* epp = &ep;
-    const std::size_t width = suite.size();
-    bank.set_observer([epp, &config, run, e, width](std::size_t lane,
-                                                    TimePoint t, bool susp) {
-      if (susp) {
-        epp->trackers[lane].suspect_started(t);
-      } else {
-        epp->trackers[lane].suspect_ended(t);
-      }
-      if (config.transition_probe) {
-        config.transition_probe(run, e * width + lane, t, susp);
-      }
-    });
-    ep.crash->set_observer([epp](TimePoint t, bool crashed) {
-      for (auto& tracker : epp->trackers) {
-        if (crashed) {
-          tracker.process_crashed(t);
-        } else {
-          tracker.process_restored(t);
-        }
-      }
-    });
-    ep.monitor->attach_unowned(*ep.mux, bank);
-
-    // Start order within an endpoint matches run_one (monitored, then
-    // monitor — which runs the member's begin_cycle(0) inline).
-    // Cross-endpoint interleaving is irrelevant: endpoints share no state.
-    ep.monitored->start();
-    ep.monitor->start();
-  }
-  // The shared cycle tick is scheduled after every member computed cycle 0
-  // and before the simulator runs, so at each σ_k the begin-cycle work
-  // still precedes any same-instant heartbeat send — every member keeps
-  // its standalone event order.
-  ctx.fleet->start();
-}
-
-FleetShardOutput drain_fleet_shard(FleetShardContext& ctx, TimePoint run_end) {
-  FleetShardOutput out;
-  out.fleet = ctx.fleet->counters();
-  out.bank = ctx.fleet->member_counters();
-  out.trackers.reserve(ctx.endpoints.size());
-  out.crash_count.reserve(ctx.endpoints.size());
-  out.hb_sent.reserve(ctx.endpoints.size());
-  out.hb_delivered.reserve(ctx.endpoints.size());
-  for (FleetEndpoint& ep : ctx.endpoints) {
-    for (auto& tracker : ep.trackers) tracker.finalize(run_end);
-    out.crash_count.push_back(ep.crash->crash_count());
-    const auto& hb = ep.transport->link_stats(kMonitored, kMonitor);
-    out.hb_sent.push_back(hb.sent);
-    out.hb_delivered.push_back(hb.delivered);
-    // Per-node attachment delivers heartbeats straight into each member
-    // (never through the fleet's routed path), so the shard's heartbeat
-    // counter is accounted here from the links — fdqos_fleet_heartbeats_-
-    // total stays meaningful in experiment mode, not just raw-coordinator.
-    out.fleet.heartbeats += hb.delivered;
-    if (ep.chaos_net.has_value()) {
-      const auto stats = ep.chaos_net->stats();
-      out.chaos.sent += stats.sent;
-      out.chaos.fault_dropped += stats.fault_dropped;
-      out.chaos.duplicated += stats.duplicated;
-    }
-    out.trackers.push_back(std::move(ep.trackers));
-  }
-  return out;
-}
-
-// Fleet telemetry tick, installed on one shard per invocation (run 0 is
-// usually first but any shard 0 may win the emitter's rate limiter). A
-// shard can hold thousands of endpoint stacks, so the tick publishes
-// shard-aggregate numbers — the emitted crash/heartbeat figures are the
-// reporting shard's own block, a sample, not a fleet total; the final
-// report and /runs row carry the totals.
-void install_fleet_progress(const QosExperimentConfig& config,
-                            ProgressState* progress, FleetShardContext& ctx,
-                            sim::Simulator& simulator, std::size_t run,
-                            std::size_t suite_width, std::size_t ep_begin) {
-  const Duration tick_every = config.eta * 5;
-  ctx.progress_tick = [&config, progress, &ctx, &simulator, run, suite_width,
-                       ep_begin, tick_every] {
-    std::unique_lock<std::mutex> lock(progress->mu, std::try_to_lock);
-    if (lock.owns_lock() && progress->emitter.due()) {
-      const std::size_t suspecting = ctx.fleet->suspecting_count();
-      const std::size_t started =
-          progress->runs_started.load(std::memory_order_relaxed);
-      const std::size_t done =
-          progress->runs_done.load(std::memory_order_relaxed);
-      std::uint64_t sent = 0;
-      std::uint64_t delivered = 0;
-      std::uint64_t crashes = 0;
-      for (const FleetEndpoint& ep : ctx.endpoints) {
-        const auto& hb = ep.transport->link_stats(kMonitored, kMonitor);
-        sent += hb.sent;
-        delivered += hb.delivered;
-        crashes += ep.crash->crash_count();
-      }
-      if (obs::enabled()) {
-        obs::instruments().experiment_run.set(static_cast<double>(started));
-        obs::instruments().fd_suspecting.set(static_cast<double>(suspecting));
-        obs::RunStatus st;
-        st.id = config.run_id;
-        st.verb = config.run_verb;
-        st.suite = config.suite_label;
-        st.runs_total = config.runs;
-        st.runs_started = started;
-        st.runs_done = done;
-        st.crashes = progress->crashes_done.load(std::memory_order_relaxed) +
-                     crashes;
-        st.heartbeats_sent = sent;
-        st.detectors = suite_width * config.endpoints;
-        st.suspecting = suspecting;
-        st.sim_time_s = simulator.now().to_seconds_double();
-        obs::RunRegistry::global().update(st);
-      }
-      progress->emitter.emit(
-          "run %zu/%zu (%zu done) t=%.0fs fleet ep[%zu..%zu): crashes=%llu "
-          "hb sent=%llu delivered=%llu lost=%llu suspecting=%zu/%zu",
-          run + 1, config.runs, done, simulator.now().to_seconds_double(),
-          ep_begin, ep_begin + ctx.endpoints.size(),
-          static_cast<unsigned long long>(crashes),
-          static_cast<unsigned long long>(sent),
-          static_cast<unsigned long long>(delivered),
-          static_cast<unsigned long long>(sent - delivered), suspecting,
-          ctx.fleet->total_lanes());
-    }
-    simulator.schedule_after(tick_every, ctx.progress_tick);
-  };
-  simulator.schedule_after(tick_every, ctx.progress_tick);
-}
-
-// One (run, shard) unit under the sequential engine.
-FleetShardOutput run_fleet_shard(
-    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
-    const std::shared_ptr<const std::vector<Duration>>& trace,
-    const std::shared_ptr<const faultx::FaultSchedule>& faults,
-    std::size_t run, std::size_t shards, std::size_t shard, TimePoint run_end,
-    ProgressState* progress) {
-  const std::size_t ep_begin = fleet_shard_begin(config.endpoints, shards, shard);
-  const std::size_t ep_end =
-      fleet_shard_begin(config.endpoints, shards, shard + 1);
-  sim::Simulator simulator;
-  FleetShardContext ctx;
-  build_fleet_shard(simulator, config, suite, trace, faults, run, ep_begin,
-                    ep_end, ctx);
-  if (progress != nullptr && shard == 0) {
-    install_fleet_progress(config, progress, ctx, simulator, run, suite.size(),
-                           ep_begin);
-  }
-  simulator.run_until(run_end);
-  return drain_fleet_shard(ctx, run_end);
-}
-
-// One whole run under the LP engine: endpoint shards map 1:1 onto LPs of a
-// conservative parallel simulator. Shards share no state, so there are no
-// cross-LP channels at all; with the window cap off every LP runs the
-// whole horizon in its first window (coordination-free, and trivially
-// byte-identical to the sequential shards).
-std::vector<FleetShardOutput> run_fleet_run_lp(
-    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
-    const std::shared_ptr<const std::vector<Duration>>& trace,
-    const std::shared_ptr<const faultx::FaultSchedule>& faults,
-    std::size_t run, std::size_t shards, TimePoint run_end,
-    ProgressState* progress, std::size_t lp_jobs) {
-  sim::ParallelSimulator::Options po;
-  po.lps = shards;
-  po.jobs = lp_jobs;
-  po.max_window = Duration::zero();
-  po.roles.assign(shards, "fleet");
-  sim::ParallelSimulator psim(std::move(po));
-
-  std::vector<FleetShardContext> ctxs(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    build_fleet_shard(psim.lp(s), config, suite, trace, faults, run,
-                      fleet_shard_begin(config.endpoints, shards, s),
-                      fleet_shard_begin(config.endpoints, shards, s + 1),
-                      ctxs[s]);
-  }
-  if (progress != nullptr) {
-    install_fleet_progress(config, progress, ctxs[0], psim.lp(0), run,
-                           suite.size(), 0);
-  }
-  psim.run_until(run_end);
-
-  std::vector<FleetShardOutput> outs;
-  outs.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    outs.push_back(drain_fleet_shard(ctxs[s], run_end));
-  }
-  outs[0].sim = psim.stats();
-  return outs;
-}
-
-// The whole fleet experiment: run the (run, shard) grid, then reduce in
-// run-major endpoint-major order into the report. For M = 1 the merge
-// sequence collapses to exactly the single-endpoint loop.
-void run_fleet_experiment(
-    const QosExperimentConfig& config, const std::vector<fd::FdSpec>& suite,
-    const std::shared_ptr<const std::vector<Duration>>& trace,
-    const std::shared_ptr<const faultx::FaultSchedule>& faults,
-    TimePoint run_end, ProgressState* progress, QosReport& report) {
-  const std::size_t shards = resolve_fleet_shards(config);
-  const std::size_t M = config.endpoints;
-
-  // Register the fdqos_fleet_* families before any run starts, so a
-  // mid-run scrape already sees them; the shard counters are flushed from
-  // the reduction totals at the end (per-invocation artifacts, not live
-  // increments — the live view is the /runs row and the gauges).
-  std::vector<obs::Counter*> shard_heartbeats(shards, nullptr);
-  std::vector<obs::Counter*> shard_timer_events(shards, nullptr);
-  std::vector<obs::Counter*> shard_coalesced(shards, nullptr);
-  if (obs::enabled()) {
-    auto& reg = obs::Registry::global();
-    const obs::Labels run_labels = {{"run", config.run_id},
-                                    {"suite", config.suite_label}};
-    reg.gauge("fdqos_fleet_endpoints",
-              "Monitored endpoints in the fleet experiment", run_labels)
-        .set(static_cast<double>(M));
-    reg.gauge("fdqos_fleet_shards",
-              "FleetBank shards the endpoints are split over", run_labels)
-        .set(static_cast<double>(shards));
-    for (std::size_t s = 0; s < shards; ++s) {
-      obs::Labels labels = run_labels;
-      labels.emplace_back("shard", std::to_string(s));
-      shard_heartbeats[s] =
-          &reg.counter("fdqos_fleet_heartbeats_total",
-                       "Heartbeats ingested by the fleet shard, summed over "
-                       "runs",
-                       labels);
-      shard_timer_events[s] =
-          &reg.counter("fdqos_fleet_timer_events_total",
-                       "Shard-level armed timer events fired, summed over "
-                       "runs",
-                       labels);
-      shard_coalesced[s] =
-          &reg.counter("fdqos_fleet_coalesced_events_total",
-                       "Member simulator events avoided by shard-level "
-                       "coalescing, summed over runs",
-                       labels);
-    }
-  }
-
-  std::vector<std::vector<FleetShardOutput>> outputs(config.runs);
-  for (auto& per_run : outputs) per_run.resize(shards);
-  // A run is "done" (for telemetry) when its last shard drains.
-  std::vector<std::atomic<std::size_t>> shards_left(config.runs);
-  for (auto& left : shards_left) left.store(shards, std::memory_order_relaxed);
-  auto shard_done = [&](std::size_t run, const FleetShardOutput& out) {
-    if (progress == nullptr) return;
-    std::uint64_t crashes = 0;
-    for (const std::uint64_t c : out.crash_count) crashes += c;
-    progress->crashes_done.fetch_add(crashes, std::memory_order_relaxed);
-    if (shards_left[run].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      progress->runs_done.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-
-  if (config.sim_engine == SimEngine::kLp) {
-    // Outer pool over runs; each run's shards run as LPs of one parallel
-    // simulator with lp_jobs workers (auto mode splits the hardware).
-    const std::size_t jobs = std::min(
-        config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
-    const std::size_t lp_jobs =
-        config.lp_jobs != 0
-            ? config.lp_jobs
-            : std::max<std::size_t>(1, exec::default_jobs() / jobs);
-    exec::ThreadPool pool(jobs);
-    pool.parallel_for(config.runs, [&](std::size_t run) {
-      if (progress != nullptr) {
-        progress->runs_started.fetch_add(1, std::memory_order_relaxed);
-      }
-      outputs[run] = run_fleet_run_lp(config, suite, trace, faults, run,
-                                      shards, run_end, progress, lp_jobs);
-      for (const auto& out : outputs[run]) shard_done(run, out);
-    });
-  } else {
-    // Flattened (run, shard) grid on one pool: every unit is an
-    // independent seeded simulation, reduced in fixed order below.
-    const std::size_t units = config.runs * shards;
-    const std::size_t jobs = std::min(
-        config.jobs == 0 ? exec::default_jobs() : config.jobs, units);
-    exec::ThreadPool pool(jobs);
-    pool.parallel_for(units, [&](std::size_t unit) {
-      const std::size_t run = unit / shards;
-      const std::size_t shard = unit % shards;
-      if (progress != nullptr && shard == 0) {
-        progress->runs_started.fetch_add(1, std::memory_order_relaxed);
-      }
-      outputs[run][shard] = run_fleet_shard(config, suite, trace, faults, run,
-                                            shards, shard, run_end, progress);
-      shard_done(run, outputs[run][shard]);
-    });
-  }
-
-  // Ordered reduction. Within a run, shards ascend and local endpoints
-  // ascend within a shard, so endpoints merge in global index order.
-  std::vector<Pooled> pooled(suite.size());
-  std::vector<std::vector<Pooled>> pooled_ep(M,
-                                             std::vector<Pooled>(suite.size()));
-  report.endpoint_crashes.assign(M, 0);
-  report.endpoint_hb_sent.assign(M, 0);
-  report.endpoint_hb_delivered.assign(M, 0);
-  for (std::size_t run = 0; run < config.runs; ++run) {
-    for (std::size_t s = 0; s < shards; ++s) {
-      const FleetShardOutput& out = outputs[run][s];
-      const std::size_t ep_begin = fleet_shard_begin(M, shards, s);
-      for (std::size_t le = 0; le < out.trackers.size(); ++le) {
-        const std::size_t e = ep_begin + le;
-        for (std::size_t i = 0; i < suite.size(); ++i) {
-          merge_tracker(pooled[i], out.trackers[le][i]);
-          merge_tracker(pooled_ep[e][i], out.trackers[le][i]);
-        }
-        report.total_crashes += out.crash_count[le];
-        report.heartbeats_sent += out.hb_sent[le];
-        report.heartbeats_delivered += out.hb_delivered[le];
-        report.endpoint_crashes[e] += out.crash_count[le];
-        report.endpoint_hb_sent[e] += out.hb_sent[le];
-        report.endpoint_hb_delivered[e] += out.hb_delivered[le];
-      }
-      report.bank.add(out.bank);
-      report.fleet.add(out.fleet);
-      report.sim_rounds += out.sim.rounds;
-      report.sim_stalls += out.sim.stalls;
-      report.sim_cross_lp_messages += out.sim.cross_lp_messages;
-      if (out.sim.rounds > 0) {
-        report.sim_last_window_ms =
-            out.sim.last_window == Duration::max()
-                ? std::numeric_limits<double>::infinity()
-                : out.sim.last_window.to_millis_double();
-      }
-      if (faults != nullptr) {
-        report.chaos_dropped += out.chaos.fault_dropped;
-        report.chaos_duplicated += out.chaos.duplicated;
-      }
-    }
-    // One schedule overlays every run, as in the single-endpoint engines.
-    if (faults != nullptr) report.chaos_fault_events += faults->event_count();
-  }
-
-  report.results = results_from_pooled(suite, pooled);
-  report.endpoint_results.reserve(M);
-  for (std::size_t e = 0; e < M; ++e) {
-    report.endpoint_results.push_back(results_from_pooled(suite, pooled_ep[e]));
-  }
-
-  if (obs::enabled()) {
-    for (std::size_t s = 0; s < shards; ++s) {
-      fd::FleetBank::Counters total;
-      for (std::size_t run = 0; run < config.runs; ++run) {
-        total.add(outputs[run][s].fleet);
-      }
-      shard_heartbeats[s]->inc(total.heartbeats);
-      shard_timer_events[s]->inc(total.timer_events);
-      shard_coalesced[s]->inc(total.coalesced_events);
-    }
-  }
-}
-
-}  // namespace
-
-QosReport run_qos_experiment(const QosExperimentConfig& original) {
-  // Local copy: replay with the truncate policy may clamp num_cycles to
-  // the trace length below, and the report echoes what actually ran.
-  QosExperimentConfig config = original;
-  FDQOS_REQUIRE(config.runs > 0);
-  FDQOS_REQUIRE(config.num_cycles > 0);
-  FDQOS_REQUIRE(config.endpoints > 0);
-
-  const bool fleet_mode = config.endpoints > 1 || config.force_fleet_engine;
-  if (fleet_mode) {
-    // Fleet runs route every endpoint's suite through fd::FleetBank
-    // members — there is no legacy-engine fleet — and the recording hub
-    // shards by run index only, so M endpoint streams would collide.
-    if (!config.use_detector_bank) {
-      std::fprintf(stderr,
-                   "fdqos: fleet mode (--endpoints > 1) requires the bank "
-                   "engine\n");
-      FDQOS_REQUIRE(!"fleet mode requires the detector bank engine");
-    }
-    if (config.record_hub != nullptr) {
-      std::fprintf(stderr,
-                   "fdqos: fleet mode cannot record traces (the recorder hub "
-                   "shards by run index only)\n");
-      FDQOS_REQUIRE(!"fleet mode is incompatible with record_hub");
-    }
-  }
-
-  // Telemetry identity. Derived deterministically (never from wall clocks
-  // or PIDs) so goldens and re-runs carry stable labels; derivation is
-  // unconditional so the echoed report config is independent of whether
-  // telemetry happens to be enabled.
-  if (config.run_id.empty()) {
-    config.run_id = config.run_verb + "-seed" + std::to_string(config.seed);
-  }
-  if (config.suite_label.empty()) {
-    config.suite_label =
-        config.chaos_scenario.empty() ? "paper" : config.chaos_scenario;
-  }
-  std::optional<obs::RunFinalizer> run_guard;
-  if (obs::enabled()) {
-    obs::set_run_context(config.run_id, config.suite_label);
-    // Seed the /runs row before any work: a run that dies before its first
-    // progress tick still appears, and the RAII guard marks the row
-    // finished (and clears the context) on *every* exit path — including
-    // an exception unwinding out of the run loop, which parallel_for
-    // rethrows on this thread. tests/obs/run_registry_test.cpp pins this.
-    obs::RunStatus st;
-    st.id = config.run_id;
-    st.verb = config.run_verb;
-    st.suite = config.suite_label;
-    st.runs_total = config.runs;
-    obs::RunRegistry::global().update(st);
-    run_guard.emplace(config.run_id);
-  }
-
-  // Load the replay trace once; every run shares the immutable data.
-  std::shared_ptr<const wan::Trace> trace_data;
-  std::shared_ptr<const std::vector<Duration>> trace;
-  if (!config.trace_path.empty()) {
-    wan::TraceLoadResult loaded = wan::load_trace(config.trace_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "fdqos: cannot load trace: %s\n",
-                   loaded.error.c_str());
-      FDQOS_REQUIRE(!"trace load failed in run_qos_experiment");
-    }
-    trace_data = loaded.trace;
-    // Aliasing share: the delay column lives inside the loaded Trace.
-    trace = std::shared_ptr<const std::vector<Duration>>(trace_data,
-                                                         &trace_data->delays);
-    if (config.replay_policy == wan::ReplayPolicy::kTruncate &&
-        static_cast<std::uint64_t>(config.num_cycles) > trace_data->size()) {
-      // The experiment ends with the trace: every run replays a strict
-      // prefix and no sample is ever re-read (wrap/extend opt out).
-      FDQOS_LOG_INFO(
-          "trace %s has %zu samples; truncating NumCycles %lld -> %zu",
-          config.trace_path.c_str(), trace_data->size(),
-          static_cast<long long>(config.num_cycles), trace_data->size());
-      config.num_cycles = static_cast<std::int64_t>(trace_data->size());
-    }
-  }
-
-  std::vector<fd::FdSpec> suite;
-  if (config.include_paper_suite) {
-    suite = fd::make_paper_suite(config.params);
-  }
-  if (config.include_constant_baseline) {
-    auto baselines =
-        fd::make_constant_margin_suite(config.baseline_margin_ms, config.params);
-    for (auto& spec : baselines) suite.push_back(std::move(spec));
-  }
-  for (const auto& spec : config.extra_specs) suite.push_back(spec);
-  FDQOS_REQUIRE(!suite.empty());
-
-  // Names key results, figure cells and the bank's lanes; a duplicate (or
-  // empty) name would silently alias two detectors. Reject loudly up front.
-  std::unordered_set<std::string> seen_names;
-  for (const auto& spec : suite) {
-    if (spec.name.empty()) {
-      std::fprintf(stderr,
-                   "fdqos: qos suite contains a detector with an empty name "
-                   "(predictor=%s margin=%s); every spec needs a unique "
-                   "non-empty name\n",
-                   spec.predictor_label.c_str(), spec.margin_label.c_str());
-      FDQOS_REQUIRE(!"empty detector name in qos suite");
-    }
-    if (!seen_names.insert(spec.name).second) {
-      std::fprintf(stderr,
-                   "fdqos: duplicate detector name '%s' in qos suite "
-                   "(extra_specs and the paper/baseline suites share one "
-                   "namespace); names must be unique\n",
-                   spec.name.c_str());
-      FDQOS_REQUIRE(!"duplicate detector name in qos suite");
-    }
-  }
-
-  QosReport report;
-  report.config = config;
-
-  const Rng base_rng(config.seed);
-  const TimePoint run_end =
-      TimePoint::origin() + config.eta * config.num_cycles + config.ttr +
-      Duration::seconds(5);
-
-  // Build the fault schedule once; every run overlays the same immutable
-  // event timeline (per-run randomness lives in the wrapper models).
-  std::shared_ptr<const faultx::FaultSchedule> faults;
-  if (!config.chaos_scenario.empty()) {
-    FDQOS_REQUIRE(faultx::is_scenario(config.chaos_scenario));
-    faultx::ScenarioParams sp;
-    sp.active_start = TimePoint::origin() + config.warmup;
-    sp.horizon = run_end;
-    faults = std::make_shared<const faultx::FaultSchedule>(
-        faultx::make_scenario(config.chaos_scenario, sp));
-  }
-
-  std::unique_ptr<ProgressState> progress;
-  if (config.progress_interval_s > 0.0) {
-    obs::ProgressEmitter::Options opts;
-    opts.interval_s = config.progress_interval_s;
-    opts.prefix = "[fdqos " + config.run_verb + "]";
-    opts.jsonl = config.progress_jsonl;
-    opts.run_id = config.run_id;
-    progress = std::make_unique<ProgressState>(std::move(opts));
-    // Fleet runs can hold endpoints × suite lanes — far too many gauge
-    // series; their ticks publish shard aggregates instead (see
-    // install_fleet_progress), so the per-lane handles are skipped.
-    if (obs::enabled() && !fleet_mode) {
-      // Register the per-detector gauge handles once, up front; ticks then
-      // touch only relaxed atomics. Labels carry (detector, run, suite) so
-      // concurrent invocations in one process stay distinguishable.
-      auto& reg = obs::Registry::global();
-      const obs::Labels run_labels = {{"run", config.run_id},
-                                      {"suite", config.suite_label}};
-      progress->lanes.reserve(suite.size());
-      for (const auto& spec : suite) {
-        obs::Labels labels = run_labels;
-        labels.emplace_back("detector", spec.name);
-        LaneGauges g;
-        g.suspect = &reg.gauge("fdqos_detector_suspect",
-                               "1 while the detector suspects the monitored "
-                               "process, 0 while it trusts it",
-                               labels);
-        g.timeout_ms = &reg.gauge("fdqos_detector_timeout_ms",
-                                  "Current freshness timeout delta = "
-                                  "prediction + safety margin, milliseconds",
-                                  labels);
-        g.mistakes = &reg.gauge("fdqos_detector_mistakes",
-                                "Mistake (wrong suspicion) samples recorded "
-                                "so far in the source run",
-                                labels);
-        g.detections = &reg.gauge("fdqos_detector_detections",
-                                  "Crash detections recorded so far in the "
-                                  "source run",
-                                  labels);
-        g.recent_td_ms = &reg.gauge("fdqos_detector_recent_td_ms",
-                                    "EWMA (alpha=0.2) of recent detection "
-                                    "times T_D, milliseconds; NaN before "
-                                    "the first detection",
-                                    labels);
-        g.recent_tm_ms = &reg.gauge("fdqos_detector_recent_tm_ms",
-                                    "EWMA (alpha=0.2) of recent mistake "
-                                    "durations T_M, milliseconds; NaN "
-                                    "before the first mistake",
-                                    labels);
-        progress->lanes.push_back(g);
-      }
-      progress->source_run = &reg.gauge(
-          "fdqos_detector_source_run",
-          "Run index whose state the per-detector gauges currently show",
-          run_labels);
-      progress->timer_lag_ms = &reg.gauge(
-          "fdqos_freshness_timer_lag_ms",
-          "Next armed freshness-timer deadline minus current virtual time "
-          "in the source run, milliseconds; NaN while no timer is armed",
-          run_labels);
-    }
-  }
-
-  if (fleet_mode) {
-    run_fleet_experiment(config, suite, trace, faults, run_end, progress.get(),
-                         report);
-  } else {
-    // Runs are embarrassingly parallel: each forks its RNG from (seed, run)
-    // and owns its whole simulator stack. Outputs land in a run-indexed
-    // vector and are reduced below in run order, so the report bytes do not
-    // depend on the jobs value or on scheduling.
-    const std::size_t jobs = std::min(
-        config.jobs == 0 ? exec::default_jobs() : config.jobs, config.runs);
-    // LP workers nest inside run workers; auto mode splits the hardware
-    // between the two levels so lp × jobs ≈ default_jobs().
-    std::size_t lp_jobs = 1;
-    if (config.sim_engine == SimEngine::kLp) {
-      FDQOS_REQUIRE(config.lps > 0);
-      lp_jobs = config.lp_jobs != 0
-                    ? config.lp_jobs
-                    : std::max<std::size_t>(1, exec::default_jobs() / jobs);
-    }
-    std::vector<RunOutput> outputs(config.runs);
-    exec::ThreadPool pool(jobs);
-    pool.parallel_for(config.runs, [&](std::size_t run) {
-      outputs[run] =
-          config.sim_engine == SimEngine::kLp
-              ? run_one_lp(config, suite, trace, faults, run, base_rng,
-                           run_end, progress.get(), lp_jobs)
-              : run_one(config, suite, trace, faults, run, base_rng, run_end,
-                        progress.get());
-    });
-
-    // Ordered reduction: identical merge sequence as the serial loop.
-    std::vector<Pooled> pooled(suite.size());
-    for (std::size_t run = 0; run < config.runs; ++run) {
-      const RunOutput& out = outputs[run];
-      for (std::size_t i = 0; i < suite.size(); ++i) {
-        merge_tracker(pooled[i], out.trackers[i]);
-      }
-      report.total_crashes += out.crash_count;
-      report.heartbeats_sent += out.hb_sent;
-      report.heartbeats_delivered += out.hb_delivered;
-      report.bank.add(out.bank);
-      report.sim_rounds += out.sim.rounds;
-      report.sim_stalls += out.sim.stalls;
-      report.sim_cross_lp_messages += out.sim.cross_lp_messages;
-      if (out.sim.rounds > 0) {
-        report.sim_last_window_ms =
-            out.sim.last_window == Duration::max()
-                ? std::numeric_limits<double>::infinity()
-                : out.sim.last_window.to_millis_double();
-      }
-      if (faults != nullptr) {
-        report.chaos_fault_events += faults->event_count();
-        report.chaos_dropped += out.chaos.fault_dropped;
-        report.chaos_duplicated += out.chaos.duplicated;
-      }
-    }
-    report.results = results_from_pooled(suite, pooled);
-  }
-
-  if (obs::enabled()) {
-    auto& m = obs::instruments();
-    m.bank_predictor_updates.inc(report.bank.predictor_updates);
-    m.bank_lane_updates.inc(report.bank.lane_updates);
-    m.bank_coalesced_timers.inc(report.bank.coalesced_timers);
-    m.bank_dispatch_errors.inc(report.bank.dispatch_errors);
-    m.sim_safe_window_advances.inc(report.sim_rounds);
-    m.sim_lp_stalls.inc(report.sim_stalls);
-    m.sim_cross_lp_messages.inc(report.sim_cross_lp_messages);
-    if (config.sim_engine == SimEngine::kLp) {
-      m.sim_safe_window_ms.set(report.sim_last_window_ms);
-    }
-  }
-
-  if (progress != nullptr) {
-    progress->emitter.emit(
-        "done: %zu runs, %llu crashes, %llu heartbeats sent, %llu delivered",
-        config.runs, static_cast<unsigned long long>(report.total_crashes),
-        static_cast<unsigned long long>(report.heartbeats_sent),
-        static_cast<unsigned long long>(report.heartbeats_delivered));
-  }
-  if (obs::enabled()) {
-    // Final /runs row: whole-invocation totals, marked finished so a
-    // scrape arriving after the join still sees a consistent summary.
-    obs::RunStatus st;
-    st.id = config.run_id;
-    st.verb = config.run_verb;
-    st.suite = config.suite_label;
-    st.runs_total = config.runs;
-    st.runs_started = config.runs;
-    st.runs_done = config.runs;
-    st.crashes = report.total_crashes;
-    st.heartbeats_sent = report.heartbeats_sent;
-    st.detectors = suite.size() * config.endpoints;
-    st.suspecting = 0;
-    st.sim_time_s = run_end.to_seconds_double();
-    st.finished = true;
-    obs::RunRegistry::global().update(st);
-    // run_guard clears the run context and (idempotently) re-finishes the
-    // row when it goes out of scope.
-  }
-  return report;
+QosReport run_qos_experiment(const QosExperimentConfig& config) {
+  QosWorkload workload(config);
+  run_workload(workload);
+  return workload.take_report();
 }
 
 const FdQosResult* find_result(const QosReport& report,

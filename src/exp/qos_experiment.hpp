@@ -154,6 +154,16 @@ struct QosExperimentConfig {
   std::function<void(std::size_t run, std::size_t detector, TimePoint t,
                      bool suspecting)>
       transition_probe;
+  // Test/workload hook: the crash injector's ground truth, invoked as
+  // (run, endpoint, time, crashed) on every crash/restore toggle, in
+  // simulation order within a run (endpoint is 0 outside fleet mode).
+  // Same concurrency contract as transition_probe: concurrent calls only
+  // with distinct `run` (fleet: distinct (run, endpoint-shard)) values.
+  // Under SimEngine::kLp the stream fires on the sender LP in simulation
+  // order even when suspect transitions are replayed post-run. Null = off.
+  std::function<void(std::size_t run, std::size_t endpoint, TimePoint t,
+                     bool crashed)>
+      crash_probe;
 };
 
 struct FdQosResult {

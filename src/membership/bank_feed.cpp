@@ -1,0 +1,29 @@
+#include "membership/bank_feed.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::membership {
+
+void BankViewFeed::attach(fd::DetectorBank& bank,
+                          std::vector<net::NodeId> peers,
+                          fd::DetectorBank::LaneObserver chained) {
+  FDQOS_REQUIRE(!peers.empty());
+  auto binding = std::make_unique<Binding>();
+  binding->peers = std::move(peers);
+  binding->chained = std::move(chained);
+  Binding* b = binding.get();
+  ViewManager* views = views_;
+  bank.set_observer([views, b](std::size_t lane, TimePoint t,
+                               bool suspecting) {
+    FDQOS_REQUIRE(lane < b->peers.size());
+    if (suspecting) {
+      views->peer_suspected(b->peers[lane], t);
+    } else {
+      views->peer_trusted(b->peers[lane], t);
+    }
+    if (b->chained) b->chained(lane, t, suspecting);
+  });
+  bindings_.push_back(std::move(binding));
+}
+
+}  // namespace fdqos::membership

@@ -1,0 +1,44 @@
+// BankViewFeed — wires fd::DetectorBank suspect transitions into a
+// ViewManager.
+//
+// The bank's lanes each monitor one peer; a lane's trust <-> suspect
+// transition becomes peer_trusted / peer_suspected on the view manager,
+// in simulation order. One feed can attach several banks (e.g. one
+// width-1 bank per peer, the consensus-cluster layout) or a single bank
+// whose lanes map 1:1 onto peers — either way the view manager sees one
+// merged, time-ordered suspicion stream, and an optional chained observer
+// still receives every raw lane transition (the consensus process taps
+// this for on_suspicion_change()).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fd/detector_bank.hpp"
+#include "membership/view_manager.hpp"
+
+namespace fdqos::membership {
+
+class BankViewFeed {
+ public:
+  explicit BankViewFeed(ViewManager& views) : views_(&views) {}
+
+  // Install the feed as `bank`'s lane observer: lane i reports about
+  // peers[i] (peers.size() must cover every lane the bank fires). Replaces
+  // any previous observer on the bank; `chained`, when set, is invoked
+  // after the view update with the raw transition.
+  void attach(fd::DetectorBank& bank, std::vector<net::NodeId> peers,
+              fd::DetectorBank::LaneObserver chained = nullptr);
+
+ private:
+  struct Binding {
+    std::vector<net::NodeId> peers;
+    fd::DetectorBank::LaneObserver chained;
+  };
+
+  ViewManager* views_;
+  // Stable storage for the per-bank lane→peer maps the observers capture.
+  std::vector<std::unique_ptr<Binding>> bindings_;
+};
+
+}  // namespace fdqos::membership

@@ -71,6 +71,27 @@ TEST(ConsensusClusterTest, DeadlineExpiryReportsFalse) {
   EXPECT_FALSE(cluster.run_until_decided(at_s(1.0)));
 }
 
+TEST(ConsensusClusterTest, MembershipViewTracksDetectedCrash) {
+  // The per-peer detector banks feed each node's ViewManager: once node 2
+  // stays down long enough for the survivors' detectors to fire, their
+  // views must exclude it (and elect the smallest live member), while a
+  // failure-free node's own view keeps all members.
+  ConsensusCluster::Config config;
+  config.nodes = 3;
+  config.crash_schedules[2] = {{at_s(5.0), TimePoint::max()}};
+  ConsensusCluster cluster(config, fast_links());
+  cluster.simulator().run_until(at_s(60.0));
+  for (int i = 0; i < 2; ++i) {
+    const membership::View& view = cluster.view(i);
+    EXPECT_FALSE(view.contains(2)) << "node " << i;
+    EXPECT_TRUE(view.contains(0)) << "node " << i;
+    EXPECT_TRUE(view.contains(1)) << "node " << i;
+    EXPECT_EQ(view.coordinator(), 0) << "node " << i;
+    EXPECT_GE(cluster.views_installed(i), 1u) << "node " << i;
+    EXPECT_GE(cluster.coordinator_changes(i), 0u) << "node " << i;
+  }
+}
+
 TEST(ConsensusClusterTest, DetectorConfigurationIsHonored) {
   ConsensusCluster::Config config;
   config.nodes = 3;

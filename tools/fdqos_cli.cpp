@@ -33,6 +33,7 @@
 #include "exp/chaos.hpp"
 #include "exp/qos_experiment.hpp"
 #include "exp/report.hpp"
+#include "exp/workload.hpp"
 #include "faultx/fault_models.hpp"
 #include "faultx/scenarios.hpp"
 #include "forecast/arima/order_selection.hpp"
@@ -43,6 +44,7 @@
 #include "obs/trace.hpp"
 #include "wan/italy_japan.hpp"
 #include "wan/tracestore.hpp"
+#include "workload/leader_election.hpp"
 
 using namespace fdqos;
 
@@ -51,14 +53,19 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fdqos "
-               "<qos|chaos|accuracy|link|order-select|record|replay|trace> "
-               "[flags]\n"
+               "<qos|chaos|workload|accuracy|link|order-select|record|replay|"
+               "trace> [flags]\n"
                "  qos          reproduce the Figures 4-8 experiment\n"
                "               (--trace FILE runs it on a recorded trace,\n"
                "               --policy truncate|wrap|extend at trace end)\n"
                "  chaos        run the QoS experiment under a fault scenario\n"
                "               and check the QoS invariants (--list to see\n"
                "               scenarios; --scenario NAME --seed N --jobs J)\n"
+               "  workload     run a named application workload over the\n"
+               "               detector grid (--name leader-election|qos,\n"
+               "               --list to enumerate; same --scenario/--seed/\n"
+               "               --jobs/--sim-engine knobs as qos/chaos; see\n"
+               "               docs/workloads.md)\n"
                "  accuracy     reproduce the Table 3 experiment\n"
                "  link         characterize the WAN model (Table 4)\n"
                "  order-select run the ARIMA order grid search (Table 2)\n"
@@ -467,6 +474,127 @@ int cmd_chaos(const ArgParser& args) {
   return 1;
 }
 
+// Run a named exp::Workload over the detector grid. The flags mirror
+// qos/chaos exactly (--scenario/--seed/--jobs/--sim-engine/--endpoints all
+// work for any workload, because every factory takes the shared
+// QosExperimentConfig), and the stdout contract is the same: every section
+// is a pure function of (workload, seed, config), never of --jobs. For
+// workloads that define invariants (leader-election; qos under --scenario)
+// the verdicts print last and drive the exit code: 0 = all hold, 1 =
+// violations — same contract as `fdqos chaos`.
+int cmd_workload(const ArgParser& args) {
+  workload::register_builtin_workloads();
+  if (args.get_flag("--list")) {
+    if (const int rc = check_unknown(args); rc != 0) return rc;
+    for (const auto& name : exp::workload_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  exp::QosExperimentConfig config;
+  config.chaos_scenario = args.get_string("--scenario", "");
+  config.runs = static_cast<std::size_t>(args.get_int("--runs", 3));
+  config.num_cycles = args.get_int("--cycles", 1200);
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 7));
+  config.eta = Duration::millis(args.get_int("--eta-ms", 1000));
+  config.mttc = Duration::seconds(args.get_int("--mttc-s", 120));
+  config.ttr = Duration::seconds(args.get_int("--ttr-s", 25));
+  config.trace_path = args.get_string("--trace", "");
+  config.jobs = static_cast<std::size_t>(args.get_int("--jobs", 0));
+  const std::string name = args.get_string("--name", "");
+  if (!parse_engine(args, config)) return 2;
+  if (!parse_sim_engine(args, config)) return 2;
+  if (!parse_fleet(args, config)) return 2;
+  if (!parse_policy(args, config)) return 2;
+  const std::string csv = args.get_string("--csv", "");
+  ObsSession obs_session = ObsSession::from_args(args);
+  config.progress_interval_s = obs_session.progress_s;
+  config.progress_jsonl = obs_session.progress_jsonl.get();
+  config.run_verb = "workload";
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
+
+  if (name.empty()) {
+    std::fprintf(stderr,
+                 "fdqos workload: --name NAME required (--list shows them)\n");
+    return 2;
+  }
+  if (!config.chaos_scenario.empty() &&
+      !faultx::is_scenario(config.chaos_scenario)) {
+    std::fprintf(stderr, "fdqos workload: unknown scenario '%s'; known:\n",
+                 config.chaos_scenario.c_str());
+    for (const auto& scenario : faultx::scenario_names()) {
+      std::fprintf(stderr, "  %s\n", scenario.c_str());
+    }
+    return 2;
+  }
+  if (!config.trace_path.empty()) {
+    const wan::TraceLoadResult probe = wan::load_trace(config.trace_path);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "fdqos: %s\n", probe.error.c_str());
+      return 1;
+    }
+  }
+  std::unique_ptr<exp::Workload> workload = exp::make_workload(name, config);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "fdqos workload: unknown workload '%s'; known:\n",
+                 name.c_str());
+    for (const auto& known : exp::workload_names()) {
+      std::fprintf(stderr, "  %s\n", known.c_str());
+    }
+    return 2;
+  }
+
+  std::fprintf(stderr, "[fdqos] workload=%s %s\n", name.c_str(),
+               exp::qos_config_summary(config).c_str());
+  exp::run_workload(*workload);
+  if (!obs_session.finish()) return 1;
+
+  std::string csv_out;
+  for (const auto& section : workload->report_sections()) {
+    std::printf("%s\n", section.table.to_ascii().c_str());
+    for (const auto& note : section.notes) {
+      std::printf("%s\n", note.c_str());
+    }
+    csv_out += section.table.to_csv() + "\n";
+  }
+  if (!csv.empty() && !write_file(csv, csv_out)) {
+    std::fprintf(stderr, "fdqos: cannot write %s\n", csv.c_str());
+    return 1;
+  }
+
+  // Workload-specific invariants (printed after the tables so the table
+  // block stays byte-comparable across workloads).
+  std::vector<exp::InvariantViolation> violations;
+  bool checked = false;
+  if (const auto* leader =
+          dynamic_cast<const workload::LeaderElectionWorkload*>(
+              workload.get())) {
+    violations = workload::leader_invariant_violations(leader->report());
+    checked = true;
+  } else if (const auto* qos =
+                 dynamic_cast<const exp::QosWorkload*>(workload.get());
+             qos != nullptr && !config.chaos_scenario.empty()) {
+    violations = exp::qos_invariant_violations(qos->report());
+    checked = true;
+  }
+  if (!checked) return 0;
+  if (violations.empty()) {
+    std::printf("invariants: OK (workload %s, seed %llu)\n", name.c_str(),
+                static_cast<unsigned long long>(config.seed));
+    return 0;
+  }
+  for (const auto& v : violations) {
+    std::printf("invariant VIOLATED [%s] %s\n", v.invariant.c_str(),
+                v.detail.c_str());
+  }
+  std::printf("invariants: %zu violation(s) (workload %s, seed %llu)\n",
+              violations.size(), name.c_str(),
+              static_cast<unsigned long long>(config.seed));
+  return 1;
+}
+
 // Capture a delay trace from the calibrated WAN model — the input
 // `fdqos replay` / `qos --trace` consume. The capture mirrors the
 // experiment's link exactly: same RNG substream layout
@@ -679,6 +807,7 @@ int main(int argc, char** argv) {
   const std::string command = args.positional()[0];
   if (command == "qos") return cmd_qos(args);
   if (command == "chaos") return cmd_chaos(args);
+  if (command == "workload") return cmd_workload(args);
   if (command == "accuracy") return cmd_accuracy(args);
   if (command == "link") return cmd_link(args);
   if (command == "order-select") return cmd_order_select(args);
