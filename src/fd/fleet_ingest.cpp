@@ -1,0 +1,39 @@
+#include "fd/fleet_ingest.hpp"
+
+#include "common/assert.hpp"
+
+namespace fdqos::fd {
+
+FleetIngest::FleetIngest(FleetBank& fleet, std::size_t capacity)
+    : fleet_(fleet), capacity_(capacity) {
+  FDQOS_REQUIRE(fleet.members() >= capacity);
+  slot_of_.reserve(capacity);
+}
+
+bool FleetIngest::offer(net::NodeId source, std::int64_t seq) {
+  auto it = slot_of_.find(source);
+  if (it == slot_of_.end()) {
+    if (slot_of_.size() >= capacity_) {
+      ++counters_.dropped_capacity;
+      return false;
+    }
+    it = slot_of_.emplace(source, static_cast<std::uint32_t>(slot_of_.size()))
+             .first;
+  }
+  batch_.endpoint.push_back(it->second);
+  batch_.seq.push_back(seq);
+  return true;
+}
+
+void FleetIngest::flush() {
+  if (batch_.size() == 0) return;
+  fleet_.ingest_columns(batch_);
+  batch_.clear();
+}
+
+std::size_t FleetIngest::slot_of(net::NodeId source) const {
+  auto it = slot_of_.find(source);
+  return it == slot_of_.end() ? capacity_ : it->second;
+}
+
+}  // namespace fdqos::fd

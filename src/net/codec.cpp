@@ -2,10 +2,42 @@
 
 #include <cstring>
 
+#include "common/assert.hpp"
+
 namespace fdqos::net {
 namespace {
-constexpr std::uint32_t kMagic = 0x31514446;  // "FDQ1" little-endian
+constexpr std::uint32_t kMagic = 0x31514446;       // "FDQ1" little-endian
+constexpr std::uint32_t kBatchMagic = 0x42514446;  // "FDQB" little-endian
+
+// Unchecked little-endian loads (callers validate the byte range first).
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
 }
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         static_cast<std::uint64_t>(load_u32(p + 4)) << 32;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void push_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void push_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+}  // namespace
 
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -113,6 +145,76 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire) {
   msg.send_time = TimePoint::from_nanos(*send_ns);
   msg.payload = std::move(*payload);
   return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat fast paths
+
+bool decode_heartbeat_frame(std::span<const std::uint8_t> wire,
+                            HeartbeatFrame& out) {
+  // Fixed prefix: magic(4) from(4) to(4) type(4) seq(8) send_time(8)
+  // payload_len(4) — 36 bytes — then exactly payload_len payload bytes.
+  constexpr std::size_t kFixed = 36;
+  if (wire.size() < kFixed) return false;
+  const std::uint8_t* p = wire.data();
+  if (load_u32(p) != kMagic) return false;
+  if (static_cast<MessageType>(load_u32(p + 12)) != MessageType::kHeartbeat) {
+    return false;
+  }
+  const std::uint32_t payload_len = load_u32(p + 32);
+  if (wire.size() - kFixed != payload_len) return false;
+  out.from = static_cast<NodeId>(load_u32(p + 4));
+  out.to = static_cast<NodeId>(load_u32(p + 8));
+  out.seq = static_cast<std::int64_t>(load_u64(p + 16));
+  out.send_time =
+      TimePoint::from_nanos(static_cast<std::int64_t>(load_u64(p + 24)));
+  return true;
+}
+
+void begin_packed_batch(std::vector<std::uint8_t>& buf) {
+  buf.clear();
+  push_u32(buf, kBatchMagic);
+  push_u32(buf, 0);  // record count, patched by finish_packed_batch
+}
+
+void append_packed_heartbeat(std::vector<std::uint8_t>& buf, NodeId from,
+                             std::int64_t seq, TimePoint send_time) {
+  push_u32(buf, static_cast<std::uint32_t>(from));
+  push_u64(buf, static_cast<std::uint64_t>(seq));
+  push_u64(buf, static_cast<std::uint64_t>(send_time.count_nanos()));
+}
+
+std::uint32_t finish_packed_batch(std::vector<std::uint8_t>& buf) {
+  FDQOS_REQUIRE(buf.size() >= kPackedBatchHeaderBytes);
+  FDQOS_REQUIRE((buf.size() - kPackedBatchHeaderBytes) % kPackedRecordBytes ==
+                0);
+  const auto count = static_cast<std::uint32_t>(
+      (buf.size() - kPackedBatchHeaderBytes) / kPackedRecordBytes);
+  store_u32(buf.data() + 4, count);
+  return count;
+}
+
+void PackedBatchView::get(std::size_t i, HeartbeatFrame& out) const {
+  FDQOS_REQUIRE(i < count_);
+  const std::uint8_t* p = records_.data() + i * kPackedRecordBytes;
+  out.from = static_cast<NodeId>(load_u32(p));
+  out.to = 0;
+  out.seq = static_cast<std::int64_t>(load_u64(p + 4));
+  out.send_time =
+      TimePoint::from_nanos(static_cast<std::int64_t>(load_u64(p + 12)));
+}
+
+bool decode_packed_batch(std::span<const std::uint8_t> wire,
+                         PackedBatchView& out) {
+  if (wire.size() < kPackedBatchHeaderBytes) return false;
+  if (load_u32(wire.data()) != kBatchMagic) return false;
+  const std::uint32_t count = load_u32(wire.data() + 4);
+  const std::size_t body = wire.size() - kPackedBatchHeaderBytes;
+  if (body % kPackedRecordBytes != 0) return false;
+  if (body / kPackedRecordBytes != count) return false;
+  out.records_ = wire.subspan(kPackedBatchHeaderBytes);
+  out.count_ = count;
+  return true;
 }
 
 }  // namespace fdqos::net

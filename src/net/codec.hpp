@@ -56,4 +56,62 @@ class ByteReader {
 std::vector<std::uint8_t> encode_message(const Message& msg);
 std::optional<Message> decode_message(std::span<const std::uint8_t> wire);
 
+// ---------------------------------------------------------------------------
+// Heartbeat fast paths (the `fdqos serve` ingest plane, docs/serve.md).
+
+// A heartbeat decoded without touching the heap: the fields the ingest
+// plane needs, nothing else. Payload bytes are length-validated but never
+// copied.
+struct HeartbeatFrame {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::int64_t seq = 0;
+  TimePoint send_time;
+};
+
+// Decodes a single-message datagram holding a kHeartbeat. Returns false on
+// malformed wire *or* any non-heartbeat type — callers that must handle
+// other message types fall back to decode_message(). Accepts exactly the
+// bytes encode_message() produces; zero allocation.
+bool decode_heartbeat_frame(std::span<const std::uint8_t> wire,
+                            HeartbeatFrame& out);
+
+// Packed heartbeat batch ("FDQB"): one datagram carrying N heartbeats —
+// the wire-level batching a high-rate sender uses so ingest cost is not
+// dominated by per-datagram network-stack traversal (HPX-5's parcel
+// coalescing idiom). Layout, little-endian:
+//   u32 magic "FDQB" | u32 count | count × { u32 from | i64 seq | i64 send_ns }
+// The destination and type are implicit (the receiving daemon, kHeartbeat).
+inline constexpr std::size_t kPackedBatchHeaderBytes = 8;
+inline constexpr std::size_t kPackedRecordBytes = 20;
+
+// Appends the batch header / one record to a caller-owned buffer (reuse the
+// buffer across batches for an allocation-free sender steady state).
+void begin_packed_batch(std::vector<std::uint8_t>& buf);
+void append_packed_heartbeat(std::vector<std::uint8_t>& buf, NodeId from,
+                             std::int64_t seq, TimePoint send_time);
+// Patches the record count into the header; returns it. `buf` must hold a
+// header plus whole records (anything else is a caller bug).
+std::uint32_t finish_packed_batch(std::vector<std::uint8_t>& buf);
+
+// Zero-copy reader over a packed batch datagram.
+class PackedBatchView {
+ public:
+  std::uint32_t count() const { return count_; }
+  // Decodes record i (< count()) into `out`; no allocation, no bounds
+  // surprises — decode_packed_batch validated the byte range.
+  void get(std::size_t i, HeartbeatFrame& out) const;
+
+ private:
+  friend bool decode_packed_batch(std::span<const std::uint8_t> wire,
+                                  PackedBatchView& out);
+  std::span<const std::uint8_t> records_;
+  std::uint32_t count_ = 0;
+};
+
+// True iff `wire` is a well-formed packed batch (magic, declared count
+// consistent with the byte length). A count of zero is valid and empty.
+bool decode_packed_batch(std::span<const std::uint8_t> wire,
+                         PackedBatchView& out);
+
 }  // namespace fdqos::net

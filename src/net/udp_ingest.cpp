@@ -1,0 +1,131 @@
+#include "net/udp_ingest.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fdqos::net {
+
+UdpIngestSocket::UdpIngestSocket(const Options& opts)
+    : batch_(opts.batch), slot_bytes_(opts.datagram_bytes) {
+  FDQOS_REQUIRE(batch_ > 0);
+  FDQOS_REQUIRE(slot_bytes_ > 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    FDQOS_LOG_ERROR(
+        "ingest: bind host '%s' is not an IPv4 literal (hostnames are not "
+        "resolved; see net/udp_ingest.hpp)",
+        opts.host.c_str());
+    return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    FDQOS_LOG_ERROR("ingest: socket() failed: %s", std::strerror(errno));
+    return;
+  }
+  if (opts.rcvbuf_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max; a burst that overflows
+    // the default 212KB buffer silently drops datagrams, which would show
+    // up as mysterious loss in the bench rather than an error anywhere.
+    const int want = opts.rcvbuf_bytes;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &want, sizeof want);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    FDQOS_LOG_ERROR("ingest: bind(%s:%u) failed: %s", opts.host.c_str(),
+                    opts.port, std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+
+  slab_.resize(batch_ * slot_bytes_);
+  lengths_.assign(batch_, 0);
+#ifdef __linux__
+  use_recvmmsg_ = !opts.force_single_recv;
+  if (use_recvmmsg_) {
+    // One mmsghdr + one iovec per slot, wired up once; recvmmsg only
+    // writes msg_len / msg_flags back, so the wiring survives reuse.
+    headers_.resize(batch_ * (sizeof(mmsghdr) + sizeof(iovec)));
+    auto* msgs = reinterpret_cast<mmsghdr*>(headers_.data());
+    auto* iovs =
+        reinterpret_cast<iovec*>(headers_.data() + batch_ * sizeof(mmsghdr));
+    std::memset(headers_.data(), 0, headers_.size());
+    for (std::size_t i = 0; i < batch_; ++i) {
+      iovs[i].iov_base = slab_.data() + i * slot_bytes_;
+      iovs[i].iov_len = slot_bytes_;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+  }
+#else
+  (void)opts.force_single_recv;
+#endif
+}
+
+UdpIngestSocket::~UdpIngestSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t UdpIngestSocket::recv_batch() {
+  if (fd_ < 0) return 0;
+#ifdef __linux__
+  if (use_recvmmsg_) {
+    auto* msgs = reinterpret_cast<mmsghdr*>(headers_.data());
+    int rc;
+    do {
+      rc = ::recvmmsg(fd_, msgs, static_cast<unsigned>(batch_), MSG_DONTWAIT,
+                      nullptr);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        FDQOS_LOG_DEBUG("ingest: recvmmsg failed: %s", std::strerror(errno));
+      }
+      return 0;
+    }
+    for (int i = 0; i < rc; ++i) lengths_[static_cast<std::size_t>(i)] = msgs[i].msg_len;
+    return static_cast<std::size_t>(rc);
+  }
+#endif
+  return recv_batch_single();
+}
+
+std::size_t UdpIngestSocket::recv_batch_single() {
+  std::size_t n = 0;
+  while (n < batch_) {
+    const ssize_t rc =
+        ::recv(fd_, slab_.data() + n * slot_bytes_, slot_bytes_, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        FDQOS_LOG_DEBUG("ingest: recv failed: %s", std::strerror(errno));
+      }
+      break;
+    }
+    lengths_[n] = static_cast<std::size_t>(rc);
+    ++n;
+  }
+  return n;
+}
+
+std::span<const std::uint8_t> UdpIngestSocket::datagram(std::size_t i) const {
+  FDQOS_REQUIRE(i < batch_);
+  return {slab_.data() + i * slot_bytes_, lengths_[i]};
+}
+
+}  // namespace fdqos::net

@@ -1,0 +1,73 @@
+// UdpIngestSocket — batched datagram drain for the `fdqos serve` daemon.
+//
+// UdpTransport (net/udp_transport.hpp) drains one datagram per recv() and
+// allocates a Message per decode — right for a peer in the experiment mesh,
+// wrong for an ingest daemon absorbing a fleet's heartbeat traffic, where
+// per-syscall and per-allocation costs dominate. This socket owns a
+// preallocated slab of receive slots and drains up to `batch` datagrams
+// per recv_batch() call via recvmmsg(2) on Linux, falling back to a
+// single-recv loop elsewhere (or when Options::force_single_recv is set,
+// which the tests use to pin both paths to identical behaviour). The
+// steady state performs zero heap allocation: callers read the drained
+// datagrams in place through datagram(i) views.
+//
+// Like UdpTransport, the bind host must be an IPv4 literal — construction
+// fails fast (ok() == false) on anything inet_pton rejects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fdqos::net {
+
+class UdpIngestSocket {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";  // IPv4 literal; see header comment
+    std::uint16_t port = 0;          // 0 = kernel-assigned (local_port())
+    std::size_t batch = 32;          // max datagrams drained per call
+    std::size_t datagram_bytes = 65536;  // per-slot capacity (max UDP)
+    int rcvbuf_bytes = 4 << 20;      // SO_RCVBUF request; 0 = kernel default
+    bool force_single_recv = false;  // skip recvmmsg even where available
+  };
+
+  explicit UdpIngestSocket(const Options& opts);
+  ~UdpIngestSocket();
+  UdpIngestSocket(const UdpIngestSocket&) = delete;
+  UdpIngestSocket& operator=(const UdpIngestSocket&) = delete;
+
+  // False if construction failed (bad literal, socket/bind error); the
+  // failure was logged and every recv_batch() returns 0.
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t local_port() const { return local_port_; }
+
+  // Drains up to Options::batch datagrams without blocking. Returns the
+  // number drained (0 = nothing pending). EINTR is retried; any other
+  // error ends the drain with what was already received. Slots stay valid
+  // until the next recv_batch() call.
+  std::size_t recv_batch();
+
+  // Bytes of drained datagram i (i < the last recv_batch() return value).
+  // A datagram longer than Options::datagram_bytes arrives truncated and
+  // will fail decoding downstream — counted there, never a crash here.
+  std::span<const std::uint8_t> datagram(std::size_t i) const;
+
+  bool using_recvmmsg() const { return use_recvmmsg_; }
+
+ private:
+  std::size_t recv_batch_single();
+
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::size_t batch_ = 0;
+  std::size_t slot_bytes_ = 0;
+  bool use_recvmmsg_ = false;
+  std::vector<std::uint8_t> slab_;     // batch_ × slot_bytes_ receive slots
+  std::vector<std::size_t> lengths_;   // filled per drained datagram
+  std::vector<std::uint8_t> headers_;  // opaque mmsghdr/iovec storage (Linux)
+};
+
+}  // namespace fdqos::net

@@ -18,6 +18,20 @@
 namespace fdqos::net {
 namespace {
 
+UdpSyscalls g_syscalls;  // test hooks; null members = real syscalls
+
+ssize_t sys_recv(int fd, void* buf, std::size_t len, int flags) {
+  return g_syscalls.recv != nullptr ? g_syscalls.recv(fd, buf, len, flags)
+                                    : ::recv(fd, buf, len, flags);
+}
+
+ssize_t sys_sendto(int fd, const void* buf, std::size_t len, int flags,
+                   const sockaddr* addr, socklen_t addrlen) {
+  return g_syscalls.sendto != nullptr
+             ? g_syscalls.sendto(fd, buf, len, flags, addr, addrlen)
+             : ::sendto(fd, buf, len, flags, addr, addrlen);
+}
+
 bool to_sockaddr(const UdpEndpoint& ep, sockaddr_in& out) {
   std::memset(&out, 0, sizeof out);
   out.sin_family = AF_INET;
@@ -34,6 +48,12 @@ TimePoint wall_now() {
 
 }  // namespace
 
+UdpSyscalls set_udp_syscalls_for_test(UdpSyscalls hooks) {
+  UdpSyscalls previous = g_syscalls;
+  g_syscalls = hooks;
+  return previous;
+}
+
 UdpTransport::UdpTransport(sim::Simulator& simulator, NodeId self,
                            std::map<NodeId, UdpEndpoint> peers)
     : simulator_(simulator), self_(self), peers_(std::move(peers)) {
@@ -42,19 +62,29 @@ UdpTransport::UdpTransport(sim::Simulator& simulator, NodeId self,
     FDQOS_LOG_ERROR("udp: self node %d missing from peer map", self_);
     return;
   }
+  // Fail fast on any endpoint that is not an IPv4 literal. The old code
+  // validated lazily in send(), so a hostname peer produced an endless
+  // per-send debug-log loop with every message silently dropped; now the
+  // error surfaces once, at construction, naming the endpoint.
+  for (const auto& [node, ep] : peers_) {
+    sockaddr_in addr;
+    if (!to_sockaddr(ep, addr)) {
+      FDQOS_LOG_ERROR(
+          "udp: node %d endpoint '%s:%u' is not an IPv4 literal (hostnames "
+          "are not resolved; see net/udp_transport.hpp)",
+          node, ep.host.c_str(), ep.port);
+      return;
+    }
+    addrs_.emplace(node, addr);
+  }
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
     FDQOS_LOG_ERROR("udp: socket() failed: %s", std::strerror(errno));
     return;
   }
-  sockaddr_in addr;
-  if (!to_sockaddr(it->second, addr)) {
-    FDQOS_LOG_ERROR("udp: bad self address %s", it->second.host.c_str());
-    ::close(fd_);
-    fd_ = -1;
-    return;
-  }
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  const sockaddr_in& self_addr = addrs_.at(self_);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&self_addr),
+             sizeof self_addr) != 0) {
     FDQOS_LOG_ERROR("udp: bind(%s:%u) failed: %s", it->second.host.c_str(),
                     it->second.port, std::strerror(errno));
     ::close(fd_);
@@ -79,20 +109,30 @@ void UdpTransport::bind(NodeId node, DeliverFn deliver) {
 
 void UdpTransport::send(Message msg) {
   if (fd_ < 0) return;
-  auto it = peers_.find(msg.to);
-  if (it == peers_.end()) {
+  auto it = addrs_.find(msg.to);
+  if (it == addrs_.end()) {
     FDQOS_LOG_WARN("udp: unknown destination node %d", msg.to);
     return;
   }
-  sockaddr_in addr;
-  if (!to_sockaddr(it->second, addr)) return;
   const std::vector<std::uint8_t> wire = encode_message(msg);
-  const ssize_t rc =
-      ::sendto(fd_, wire.data(), wire.size(), 0,
-               reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  if (rc < 0) {
-    // UDP is fire-and-forget; treat send errors as loss (fair-lossy link).
-    FDQOS_LOG_DEBUG("udp: sendto failed: %s", std::strerror(errno));
+  ssize_t rc;
+  do {
+    rc = sys_sendto(fd_, wire.data(), wire.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&it->second),
+                    sizeof it->second);
+  } while (rc < 0 && errno == EINTR);  // a signal is not a send failure
+  if (rc < 0 || static_cast<std::size_t>(rc) != wire.size()) {
+    // UDP is fire-and-forget; treat send errors (and short writes, which
+    // would decode as garbage anyway) as loss on a fair-lossy link — but
+    // count them, so a misconfigured or saturated deployment is visible
+    // instead of silently mute.
+    ++send_failures_;
+    if (obs::enabled()) obs::instruments().udp_send_failures_total.inc();
+    if (rc < 0) {
+      FDQOS_LOG_DEBUG("udp: sendto failed: %s", std::strerror(errno));
+    } else {
+      FDQOS_LOG_DEBUG("udp: short sendto: %zd of %zu bytes", rc, wire.size());
+    }
     return;
   }
   ++sent_;
@@ -104,8 +144,9 @@ std::size_t UdpTransport::drain() {
   std::size_t delivered = 0;
   std::uint8_t buf[65536];
   for (;;) {
-    const ssize_t rc = ::recv(fd_, buf, sizeof buf, 0);
+    const ssize_t rc = sys_recv(fd_, buf, sizeof buf, 0);
     if (rc < 0) {
+      if (errno == EINTR) continue;  // interrupted, not drained — retry
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       FDQOS_LOG_DEBUG("udp: recv failed: %s", std::strerror(errno));
       break;
@@ -143,7 +184,7 @@ int clamp_poll_timeout_ms(Duration wait) {
 
 std::uint64_t RealTimeDriver::run_for(Duration duration) {
   FDQOS_REQUIRE(duration >= Duration::zero());
-  stopped_ = false;
+  stopped_.store(false, std::memory_order_relaxed);
   const TimePoint virtual_start = simulator_.now();
   const TimePoint wall_start = wall_now();
   const TimePoint deadline = virtual_start + duration;
@@ -153,14 +194,14 @@ std::uint64_t RealTimeDriver::run_for(Duration duration) {
     return virtual_start + (wall - wall_start);
   };
 
-  while (!stopped_) {
+  while (!stop_requested()) {
     const TimePoint v_now = to_virtual(wall_now());
     if (v_now >= deadline) break;
 
     // Fire everything due by the current wall instant.
     executed += simulator_.run_until(v_now);
     transport_.drain();
-    if (stopped_) break;
+    if (stop_requested()) break;
 
     // Sleep in poll() until the next event or new data, capped at deadline.
     const TimePoint next = std::min(simulator_.next_event_time(), deadline);
@@ -181,7 +222,7 @@ std::uint64_t RealTimeDriver::run_for(Duration duration) {
 
   // Final catch-up to the deadline — unless a callback stopped the run, in
   // which case pending events must stay pending.
-  if (!stopped_) executed += simulator_.run_until(deadline);
+  if (!stop_requested()) executed += simulator_.run_until(deadline);
   return executed;
 }
 

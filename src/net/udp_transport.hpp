@@ -5,11 +5,23 @@
 // clock (virtual time == elapsed real time) and pumps received datagrams
 // into the bound receivers. This is the deployment path — e.g. monitoring a
 // live process across a real WAN — and the mechanism for recording real
-// delay traces to replay through the experiment harness.
+// delay traces to replay through the experiment harness. The long-running
+// production ingest mode built on top of it is `fdqos serve`
+// (serve/daemon.hpp, docs/serve.md).
+//
+// Addressing contract: every UdpEndpoint::host must be an IPv4 literal
+// ("127.0.0.1", "10.0.0.7", ...). Hostnames are NOT resolved — resolution
+// would block the real-time loop and make send() latency depend on DNS.
+// The constructor validates every peer up front and fails construction
+// (ok() == false) with an error naming the offending endpoint, instead of
+// the old behaviour of silently dropping every send to that peer.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <string>
+
+#include <netinet/in.h>
 
 #include "net/codec.hpp"
 #include "net/transport.hpp"
@@ -18,13 +30,26 @@
 namespace fdqos::net {
 
 struct UdpEndpoint {
-  std::string host = "127.0.0.1";
+  std::string host = "127.0.0.1";  // IPv4 literal only (see header comment)
   std::uint16_t port = 0;
 };
+
+// Test seam: syscall indirection so unit tests can interpose failing
+// recv/sendto (EINTR and short-write injection) without arranging a real
+// kernel signal mid-call. Null members mean "the real syscall".
+struct UdpSyscalls {
+  ssize_t (*recv)(int fd, void* buf, std::size_t len, int flags) = nullptr;
+  ssize_t (*sendto)(int fd, const void* buf, std::size_t len, int flags,
+                    const sockaddr* addr, socklen_t addrlen) = nullptr;
+};
+// Installs the hooks and returns the previous set (tests restore on exit).
+UdpSyscalls set_udp_syscalls_for_test(UdpSyscalls hooks);
 
 class UdpTransport final : public Transport {
  public:
   // `self` must appear in `peers`; its endpoint's port is bound locally.
+  // Every peer's host must be an IPv4 literal; any unparsable endpoint
+  // fails construction (ok() == false) with a log line naming it.
   // Time is read from `simulator` (driven in real time by RealTimeDriver).
   UdpTransport(sim::Simulator& simulator, NodeId self,
                std::map<NodeId, UdpEndpoint> peers);
@@ -33,7 +58,8 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  // True when the socket was created and bound successfully.
+  // True when every peer endpoint parsed and the socket was created and
+  // bound successfully.
   bool ok() const { return fd_ >= 0; }
   // Port actually bound (resolves port 0 to the kernel-assigned one).
   std::uint16_t local_port() const { return local_port_; }
@@ -44,10 +70,16 @@ class UdpTransport final : public Transport {
 
   int fd() const { return fd_; }
   // Read every pending datagram and deliver decoded messages. Returns the
-  // number of messages delivered.
+  // number of messages delivered. EINTR is retried, never treated as
+  // end-of-queue — a signal must not abandon datagrams until the next
+  // poll tick.
   std::size_t drain();
 
+  // sent_count() counts only full-length sendto() completions; a failed or
+  // short send is a send_failure (UDP stays fire-and-forget — the message
+  // is treated as lost — but the loss is now visible to callers and obs).
   std::uint64_t sent_count() const { return sent_; }
+  std::uint64_t send_failures() const { return send_failures_; }
   std::uint64_t received_count() const { return received_; }
   std::uint64_t decode_failures() const { return decode_failures_; }
 
@@ -55,10 +87,14 @@ class UdpTransport final : public Transport {
   sim::Simulator& simulator_;
   NodeId self_;
   std::map<NodeId, UdpEndpoint> peers_;
+  // Destination addresses pre-parsed at construction (the fail-fast IPv4
+  // validation doubles as a per-send inet_pton saved on the hot path).
+  std::map<NodeId, sockaddr_in> addrs_;
   DeliverFn deliver_;
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::uint64_t sent_ = 0;
+  std::uint64_t send_failures_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t decode_failures_ = 0;
 };
@@ -77,15 +113,23 @@ class RealTimeDriver {
   RealTimeDriver(sim::Simulator& simulator, UdpTransport& transport);
 
   // Runs until virtual time reaches `deadline` (or stop() is called from a
-  // callback). Returns the number of simulator events executed.
+  // callback or another thread). Returns the number of simulator events
+  // executed.
   std::uint64_t run_for(Duration duration);
 
-  void stop() { stopped_ = true; }
+  // Safe from callbacks, other threads and signal handlers: one relaxed
+  // atomic store (std::atomic<bool> is lock-free on every supported
+  // target), observed within one loop iteration / poll timeout.
+  void stop() { stopped_.store(true, std::memory_order_relaxed); }
 
  private:
+  bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
   sim::Simulator& simulator_;
   UdpTransport& transport_;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace fdqos::net

@@ -43,6 +43,26 @@ Instruments& instruments() {
       Registry::global().counter(
           "fdqos_udp_decode_failures_total",
           "Received datagrams that failed message decoding"),
+      Registry::global().counter(
+          "fdqos_udp_send_failures_total",
+          "sendto() errors and short writes (message treated as lost)"),
+      Registry::global().counter(
+          "fdqos_serve_batches_total",
+          "Datagram batches drained by the fdqos serve ingest loop"),
+      Registry::global().counter(
+          "fdqos_serve_datagrams_total",
+          "Datagrams received by the fdqos serve ingest loop"),
+      Registry::global().counter("fdqos_serve_drops_total",
+                                 "Heartbeats dropped by fdqos serve, by "
+                                 "reason",
+                                 {{"reason", "decode"}}),
+      Registry::global().counter("fdqos_serve_drops_total",
+                                 "Heartbeats dropped by fdqos serve, by "
+                                 "reason",
+                                 {{"reason", "capacity"}}),
+      Registry::global().histogram(
+          "fdqos_serve_batch_size",
+          "Datagrams drained per fdqos serve receive batch"),
       Registry::global().counter("fdqos_crash_events_total",
                                  "SimCrash injector events",
                                  {{"kind", "crash"}}),

@@ -35,10 +35,22 @@ struct Instruments {
   Counter& arima_refits_rejected;
   Histogram& arima_refit_duration_us;
 
-  // UdpTransport datagram I/O.
+  // UdpTransport datagram I/O. Send failures cover sendto() errors and
+  // short writes — sent counts only exact-length completions.
   Counter& udp_datagrams_sent;
   Counter& udp_datagrams_received;
   Counter& udp_decode_failures_total;
+  Counter& udp_send_failures_total;
+
+  // `fdqos serve` ingest daemon (serve/daemon.hpp): recvmmsg batches
+  // drained, datagrams received, heartbeats dropped (labeled by reason:
+  // decode failure vs. admission capacity), and the per-drain batch-size
+  // distribution. Incremented once per batch, never per datagram.
+  Counter& serve_batches_total;
+  Counter& serve_datagrams_total;
+  Counter& serve_drops_decode;
+  Counter& serve_drops_capacity;
+  Histogram& serve_batch_size;
 
   // SimCrash injector.
   Counter& crash_injections;

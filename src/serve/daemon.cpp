@@ -1,0 +1,273 @@
+#include "serve/daemon.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "fd/suite.hpp"
+#include "net/codec.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/instruments.hpp"
+#include "obs/runs.hpp"
+
+namespace fdqos::serve {
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Groups-then-lanes assembly shared with the experiment engines: one
+// predictor group per distinct predictor_key, every lane hung off its
+// group, so e.g. the paper suite evaluates 5 shared predictors per
+// endpoint, not 30.
+void assemble_member(fd::DetectorBank& bank,
+                     const std::vector<fd::FdSpec>& specs) {
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (const auto& spec : specs) {
+    std::size_t group;
+    auto it = spec.predictor_key.empty() ? group_of.end()
+                                         : group_of.find(spec.predictor_key);
+    if (it != group_of.end()) {
+      group = it->second;
+    } else {
+      group = bank.add_group(spec.make_predictor());
+      if (!spec.predictor_key.empty()) group_of.emplace(spec.predictor_key, group);
+    }
+    bank.add_lane(spec.name, group, spec.make_margin());
+  }
+}
+
+// lite = one Last+CI_low lane: the cheapest paper-family detector, enough
+// for liveness monitoring at fleet scale. paper = the full 30-lane family.
+std::vector<fd::FdSpec> suite_specs(const std::string& suite) {
+  if (suite == "paper") return fd::make_paper_suite();
+  if (suite == "lite") {
+    fd::FdSpec spec;
+    spec.name = "Last+CI_low";
+    spec.predictor_label = "Last";
+    spec.margin_label = "CI_low";
+    spec.predictor_key = fd::paper_predictor_key("Last");
+    spec.make_predictor = fd::make_paper_predictor("Last");
+    spec.make_margin = fd::make_paper_margin("CI_low");
+    return {std::move(spec)};
+  }
+  return {};
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeConfig config) : config_(std::move(config)) {}
+
+ServeDaemon::~ServeDaemon() = default;
+
+std::uint16_t ServeDaemon::udp_port() const {
+  return socket_ != nullptr ? socket_->local_port() : 0;
+}
+
+std::vector<std::string> ServeDaemon::capture_segments() const {
+  return capture_ != nullptr ? capture_->segments()
+                             : std::vector<std::string>{};
+}
+
+bool ServeDaemon::init() {
+  FDQOS_REQUIRE(!initialized_);
+  FDQOS_REQUIRE(config_.max_endpoints > 0);
+  FDQOS_REQUIRE(config_.eta > Duration::zero());
+
+  const std::vector<fd::FdSpec> specs = suite_specs(config_.suite);
+  if (specs.empty()) {
+    FDQOS_LOG_ERROR("serve: unknown suite '%s' (want lite or paper)",
+                    config_.suite.c_str());
+    return false;
+  }
+
+  net::UdpIngestSocket::Options sopts;
+  sopts.host = config_.host;
+  sopts.port = config_.port;
+  sopts.batch = config_.batch;
+  sopts.force_single_recv = config_.force_single_recv;
+  socket_ = std::make_unique<net::UdpIngestSocket>(sopts);
+  if (!socket_->ok()) return false;
+
+  fd::FleetBank::Config fc;
+  fc.eta = config_.eta;
+  fc.epoch = TimePoint::origin();
+  fc.cold_start_timeout = config_.eta;
+  fc.name = "serve";
+  fc.expected_endpoints = config_.max_endpoints;
+  fleet_ = std::make_unique<fd::FleetBank>(simulator_, fc);
+  // Pre-allocate every admission slot: the FleetBank member set is fixed
+  // at start(), so admission capacity is decided here, not under load.
+  for (std::size_t slot = 0; slot < config_.max_endpoints; ++slot) {
+    assemble_member(
+        fleet_->add_member(static_cast<net::NodeId>(slot)), specs);
+  }
+  fleet_->start();
+  ingest_ = std::make_unique<fd::FleetIngest>(*fleet_, config_.max_endpoints);
+
+  if (config_.capture) {
+    wan::RotatingFdtWriter::Options copts;
+    copts.directory = config_.capture_dir;
+    copts.prefix = config_.capture_prefix;
+    copts.max_samples = config_.segment_samples;
+    copts.meta.clock_base_ns = 0;  // send-time column is daemon-relative
+    copts.meta.source = "fdqos serve " + config_.host + ":" +
+                        std::to_string(socket_->local_port()) + " suite=" +
+                        config_.suite;
+    capture_ = std::make_unique<wan::RotatingFdtWriter>(std::move(copts));
+    if (!capture_->ok()) {
+      FDQOS_LOG_ERROR("serve: capture setup failed: %s",
+                      capture_->error().c_str());
+      return false;
+    }
+  }
+
+  initialized_ = true;
+  return true;
+}
+
+void ServeDaemon::offer(net::NodeId from, std::int64_t seq,
+                        std::int64_t send_ns, std::int64_t recv_wall_ns,
+                        std::int64_t wall_start_ns) {
+  if (!ingest_->offer(from, seq)) {
+    ++stats_.drops_capacity;
+    return;
+  }
+  ++stats_.heartbeats;
+  if (capture_ != nullptr) {
+    // The sender stamps send_ns on its own steady clock; on one host
+    // (loopback, the bench) that is the daemon's clock too. Clamp the
+    // delay at zero — the .fdt contract rejects negative delays, and a
+    // cross-host clock offset must degrade the capture, not kill it.
+    const std::int64_t delay_ns = std::max<std::int64_t>(
+        0, recv_wall_ns - send_ns);
+    capture_->append(TimePoint::from_nanos(send_ns - wall_start_ns),
+                     Duration::nanos(delay_ns));
+    ++stats_.captured;
+  }
+}
+
+void ServeDaemon::process_batch(std::size_t drained, TimePoint v_now,
+                                std::int64_t wall_start_ns) {
+  const std::int64_t recv_wall_ns = wall_start_ns + v_now.count_nanos();
+  const Stats before = stats_;
+  net::PackedBatchView packed;
+  net::HeartbeatFrame frame;
+  for (std::size_t i = 0; i < drained; ++i) {
+    const auto wire = socket_->datagram(i);
+    if (net::decode_packed_batch(wire, packed)) {
+      for (std::uint32_t j = 0; j < packed.count(); ++j) {
+        packed.get(j, frame);
+        offer(frame.from, frame.seq, frame.send_time.count_nanos(),
+              recv_wall_ns, wall_start_ns);
+      }
+    } else if (net::decode_heartbeat_frame(wire, frame)) {
+      offer(frame.from, frame.seq, frame.send_time.count_nanos(),
+            recv_wall_ns, wall_start_ns);
+    } else {
+      ++stats_.drops_decode;
+    }
+  }
+  ingest_->flush();
+  ++stats_.batches;
+  stats_.datagrams += drained;
+  if (obs::enabled()) {
+    auto& ins = obs::instruments();
+    ins.serve_batches_total.inc();
+    ins.serve_datagrams_total.inc(drained);
+    ins.serve_batch_size.observe(static_cast<double>(drained));
+    // One delta-flush per batch keeps the per-heartbeat path free of
+    // shared-cacheline traffic even with obs on.
+    if (stats_.drops_decode != before.drops_decode) {
+      ins.serve_drops_decode.inc(stats_.drops_decode - before.drops_decode);
+    }
+    if (stats_.drops_capacity != before.drops_capacity) {
+      ins.serve_drops_capacity.inc(stats_.drops_capacity -
+                                   before.drops_capacity);
+    }
+  }
+}
+
+void ServeDaemon::publish_status(bool finished) {
+  obs::RunStatus row;
+  row.id = config_.run_id;
+  row.verb = "serve";
+  row.suite = config_.suite;
+  row.runs_total = 1;
+  row.runs_started = 1;
+  row.runs_done = finished ? 1 : 0;
+  row.heartbeats_sent = stats_.heartbeats;
+  row.detectors = fleet_->total_lanes();
+  row.suspecting = fleet_->suspecting_count();
+  row.sim_time_s = simulator_.now().to_seconds_double();
+  row.finished = finished;
+  obs::RunRegistry::global().update(row);
+}
+
+int ServeDaemon::run() {
+  if (!initialized_) {
+    FDQOS_LOG_ERROR("serve: run() without successful init()");
+    return 1;
+  }
+  const std::int64_t wall_start_ns = wall_ns();
+  const TimePoint deadline = config_.duration > Duration::zero()
+                                 ? TimePoint::origin() + config_.duration
+                                 : TimePoint::max();
+  // Status heartbeat rides the simulator like every other timer: one
+  // event per interval refreshing the /runs row.
+  std::function<void()> tick = [&] {
+    publish_status(false);
+    simulator_.schedule_at(simulator_.now() + config_.status_interval, tick);
+  };
+  simulator_.schedule_at(TimePoint::origin() + config_.status_interval, tick);
+  publish_status(false);
+  obs::RunFinalizer finalizer(config_.run_id);
+
+  while (!stop_requested()) {
+    const TimePoint v_now =
+        TimePoint::origin() + Duration::nanos(wall_ns() - wall_start_ns);
+    if (v_now >= deadline) break;
+    // Fire detector timers and cycle ticks due by this wall instant, so
+    // every observe_heartbeat sees a fresh now().
+    simulator_.run_until(std::min(v_now, deadline));
+    const std::size_t drained = socket_->recv_batch();
+    if (drained > 0) {
+      process_batch(drained, v_now, wall_start_ns);
+      if (capture_ != nullptr && !capture_->ok()) {
+        FDQOS_LOG_ERROR("serve: capture failed: %s",
+                        capture_->error().c_str());
+        publish_status(true);
+        return 1;
+      }
+      continue;  // stay hot while traffic is flowing
+    }
+    // Idle: sleep in poll() until new data, the next detector deadline,
+    // or the run deadline — whichever lands first.
+    const TimePoint next = std::min(simulator_.next_event_time(), deadline);
+    const TimePoint v_idle =
+        TimePoint::origin() + Duration::nanos(wall_ns() - wall_start_ns);
+    const int timeout_ms = net::clamp_poll_timeout_ms(next - v_idle);
+    pollfd pfd{socket_->fd(), POLLIN, 0};
+    ::poll(&pfd, 1, timeout_ms);
+  }
+
+  bool clean = true;
+  if (capture_ != nullptr) {
+    if (!capture_->finalize()) {
+      FDQOS_LOG_ERROR("serve: capture finalize failed: %s",
+                      capture_->error().c_str());
+      clean = false;
+    }
+  }
+  publish_status(true);
+  return clean ? 0 : 1;
+}
+
+}  // namespace fdqos::serve

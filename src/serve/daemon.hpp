@@ -1,0 +1,133 @@
+// serve::ServeDaemon — the `fdqos serve` live heavy-traffic ingest daemon
+// (ROADMAP item 4).
+//
+// One long-running process that turns the repo's simulation-first stack
+// into a production service mode:
+//
+//   UdpIngestSocket ──recvmmsg batches──▶ codec fast paths ──▶ FleetIngest
+//        │                                     │                   │
+//        │                              (decode drops)      (capacity drops)
+//        ▼                                     ▼                   ▼
+//   poll() idle wait                  obs serve_* families   FleetBank shard
+//                                                                 │
+//                              RotatingFdtWriter ◀── delay capture ┘
+//
+// The daemon drives a real-time loop in the RealTimeDriver idiom: virtual
+// time tracks the wall clock (steady_clock), the simulator runs detector
+// timers and cycle ticks up to "now", then one socket batch is drained,
+// decoded without allocation, and flushed into the FleetBank as a single
+// columnar ingest. Unknown sources are admitted onto pre-allocated member
+// slots on first sight; beyond --max-endpoints they are counted and
+// dropped. Every heartbeat's (send_time, delay) lands in rotating .fdt
+// segments, each independently replayable through `fdqos replay` while
+// the daemon is still running.
+//
+// Wire formats accepted (net/codec.hpp): single "FDQ1" heartbeat
+// datagrams (what UdpTransport peers send) and packed "FDQB" batches
+// (what a high-rate sender uses). Anything else counts as a decode drop.
+//
+// Shutdown: request_stop() is async-signal-safe (one relaxed atomic
+// store) — the CLI wires SIGINT/SIGTERM straight to it — and run()
+// finalizes capture segments and the /runs row before returning, so a
+// signalled daemon never leaves a truncated live segment behind.
+// See docs/serve.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fd/fleet_bank.hpp"
+#include "fd/fleet_ingest.hpp"
+#include "net/udp_ingest.hpp"
+#include "sim/simulator.hpp"
+#include "wan/tracestore.hpp"
+
+namespace fdqos::serve {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";  // IPv4 literal (net/udp_ingest.hpp)
+  std::uint16_t port = 0;          // 0 = kernel-assigned
+  std::size_t max_endpoints = 1024;
+  Duration eta = Duration::millis(1000);  // fleet heartbeat period
+  std::size_t batch = 32;                 // datagrams per recvmmsg drain
+  bool force_single_recv = false;         // portable recv() path (tests)
+
+  // Continuous capture (off => no segments are written).
+  bool capture = true;
+  std::string capture_dir = ".";
+  std::string capture_prefix = "serve";
+  std::uint64_t segment_samples = 1'000'000;
+
+  // lite: one Last+CI_low lane per endpoint — the cheap liveness suite.
+  // paper: the full 30-lane paper family per endpoint.
+  std::string suite = "lite";
+
+  Duration duration = Duration::zero();  // zero = run until stopped
+  Duration status_interval = Duration::seconds(1);
+  std::string run_id = "serve";
+};
+
+class ServeDaemon {
+ public:
+  struct Stats {
+    std::uint64_t batches = 0;      // non-empty socket drains
+    std::uint64_t datagrams = 0;    // datagrams received
+    std::uint64_t heartbeats = 0;   // heartbeats ingested into the fleet
+    std::uint64_t drops_decode = 0;    // undecodable datagrams
+    std::uint64_t drops_capacity = 0;  // heartbeats beyond max-endpoints
+    std::uint64_t captured = 0;        // samples written to segments
+  };
+
+  explicit ServeDaemon(ServeConfig config);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  // Binds the socket, assembles the fleet, opens the first capture
+  // segment. False (with logged reasons) on any failure; run() on an
+  // uninitialized daemon returns immediately.
+  bool init();
+
+  // Blocks in the real-time loop until request_stop() or the configured
+  // duration elapses. Returns 0 on a clean run (including a signalled
+  // one), 1 if init() failed or capture failed mid-run.
+  int run();
+
+  // Async-signal-safe: one relaxed atomic store. Callable from any
+  // thread or from a signal handler.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  std::uint16_t udp_port() const;
+  const Stats& stats() const { return stats_; }
+  const fd::FleetBank& fleet() const { return *fleet_; }
+  const fd::FleetIngest& ingest() const { return *ingest_; }
+  // Finalized capture segments so far (oldest first); empty if capture
+  // was disabled.
+  std::vector<std::string> capture_segments() const;
+
+ private:
+  void process_batch(std::size_t drained, TimePoint v_now,
+                     std::int64_t wall_start_ns);
+  void offer(net::NodeId from, std::int64_t seq, std::int64_t send_ns,
+             std::int64_t recv_wall_ns, std::int64_t wall_start_ns);
+  void publish_status(bool finished);
+
+  ServeConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::UdpIngestSocket> socket_;
+  std::unique_ptr<fd::FleetBank> fleet_;
+  std::unique_ptr<fd::FleetIngest> ingest_;
+  std::unique_ptr<wan::RotatingFdtWriter> capture_;
+  Stats stats_;
+  std::atomic<bool> stop_{false};
+  bool initialized_ = false;
+};
+
+}  // namespace fdqos::serve

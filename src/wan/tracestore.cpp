@@ -295,10 +295,17 @@ bool TraceFdtWriter::append(TimePoint send_time, Duration delay) {
     fail("negative delay " + std::to_string(delay.count_nanos()) + " ns");
     return false;
   }
-  std::string record;
-  put_i64(record, send_time.count_nanos());
-  put_i64(record, delay.count_nanos());
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+  // Stack-encode the record: a 16-byte record overflows libstdc++'s 15-byte
+  // SSO, so the old std::string path heap-allocated per sample — visible in
+  // the serve daemon's capture path at millions of samples per second.
+  unsigned char record[kRecordBytes];
+  const auto send_ns = static_cast<std::uint64_t>(send_time.count_nanos());
+  const auto delay_ns = static_cast<std::uint64_t>(delay.count_nanos());
+  for (int i = 0; i < 8; ++i) {
+    record[i] = static_cast<unsigned char>(send_ns >> (8 * i));
+    record[8 + i] = static_cast<unsigned char>(delay_ns >> (8 * i));
+  }
+  if (std::fwrite(record, 1, sizeof record, file_) != sizeof record) {
     fail("record write failed");
     return false;
   }
@@ -325,6 +332,71 @@ bool TraceFdtWriter::finalize() {
   }
   file_ = nullptr;
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// RotatingFdtWriter
+
+RotatingFdtWriter::RotatingFdtWriter(Options opts) : opts_(std::move(opts)) {
+  if (opts_.max_samples == 0) opts_.max_samples = 1;
+  if (!open_segment()) ok_ = false;
+}
+
+RotatingFdtWriter::~RotatingFdtWriter() { finalize(); }
+
+std::string RotatingFdtWriter::segment_path(std::size_t index) const {
+  char suffix[24];
+  std::snprintf(suffix, sizeof suffix, "-%05zu.fdt", index);
+  return opts_.directory + "/" + opts_.prefix + suffix;
+}
+
+bool RotatingFdtWriter::open_segment() {
+  live_path_ = segment_path(next_index_++);
+  writer_ = std::make_unique<TraceFdtWriter>(live_path_, opts_.meta);
+  if (!writer_->ok()) {
+    if (error_.empty()) error_ = writer_->error();
+    writer_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool RotatingFdtWriter::close_segment() {
+  if (writer_ == nullptr) return true;
+  const std::uint64_t samples = writer_->samples_written();
+  const bool closed = writer_->finalize();
+  if (!closed && error_.empty()) error_ = writer_->error();
+  writer_.reset();
+  if (samples == 0) {
+    // A finalized 0-sample file is one the loader rejects ("empty trace");
+    // leaving it behind would make every idle shutdown litter a broken
+    // segment next to the good ones.
+    std::remove(live_path_.c_str());
+  } else if (closed) {
+    segments_.push_back(live_path_);
+  }
+  return closed;
+}
+
+bool RotatingFdtWriter::append(TimePoint send_time, Duration delay) {
+  if (!ok_ || finalized_ || writer_ == nullptr) return false;
+  if (!writer_->append(send_time, delay)) {
+    if (error_.empty()) error_ = writer_->error();
+    ok_ = false;
+    return false;
+  }
+  ++total_samples_;
+  if (writer_->samples_written() >= opts_.max_samples) {
+    if (!close_segment() || !open_segment()) ok_ = false;
+  }
+  return ok_;
+}
+
+bool RotatingFdtWriter::finalize() {
+  if (finalized_) return ok_;
+  finalized_ = true;
+  if (!close_segment()) ok_ = false;
+  return ok_;
 }
 
 // ---------------------------------------------------------------------------

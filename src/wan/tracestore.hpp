@@ -121,6 +121,55 @@ class TraceFdtWriter {
   std::string error_;
 };
 
+// Segmented continuous capture for long-running daemons (`fdqos serve`):
+// appends stream into numbered .fdt segments (<prefix>-00000.fdt,
+// <prefix>-00001.fdt, ...) under one directory, rotating after
+// `max_samples` records so every segment but the live one is a complete,
+// finalized trace that `fdqos replay` accepts while the capture is still
+// running. finalize() closes the live segment; empty live segments are
+// deleted rather than left as 0-sample files the loader rejects.
+class RotatingFdtWriter {
+ public:
+  struct Options {
+    std::string directory = ".";
+    std::string prefix = "capture";
+    std::uint64_t max_samples = 1'000'000;  // per segment
+    TraceMeta meta;
+  };
+
+  explicit RotatingFdtWriter(Options opts);
+  ~RotatingFdtWriter();
+
+  RotatingFdtWriter(const RotatingFdtWriter&) = delete;
+  RotatingFdtWriter& operator=(const RotatingFdtWriter&) = delete;
+
+  bool append(TimePoint send_time, Duration delay);
+  // Finalizes the live segment. Idempotent; append() after finalize()
+  // fails. Returns false if any segment (including past rotations) failed.
+  bool finalize();
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  std::uint64_t samples_written() const { return total_samples_; }
+  // Paths of completed (finalized, non-empty) segments, oldest first.
+  const std::vector<std::string>& segments() const { return segments_; }
+
+ private:
+  std::string segment_path(std::size_t index) const;
+  bool open_segment();
+  bool close_segment();
+
+  Options opts_;
+  std::unique_ptr<TraceFdtWriter> writer_;  // live segment, null when closed
+  std::string live_path_;
+  std::size_t next_index_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::vector<std::string> segments_;
+  bool ok_ = true;
+  bool finalized_ = false;
+  std::string error_;
+};
+
 // ---------------------------------------------------------------------------
 // Recording
 

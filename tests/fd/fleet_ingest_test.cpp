@@ -1,0 +1,97 @@
+// FleetIngest coverage: first-sight slot admission, stable mapping,
+// capacity refusal accounting, and the columnar flush into the FleetBank.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fd/fleet_bank.hpp"
+#include "fd/fleet_ingest.hpp"
+#include "fd/suite.hpp"
+#include "sim/simulator.hpp"
+
+namespace fdqos::fd {
+namespace {
+
+constexpr std::size_t kCapacity = 3;
+
+class FleetIngestTest : public testing::Test {
+ protected:
+  FleetIngestTest() {
+    FleetBank::Config config;
+    config.eta = Duration::millis(100);
+    config.cold_start_timeout = Duration::millis(100);
+    config.expected_endpoints = kCapacity;
+    fleet_ = std::make_unique<FleetBank>(simulator_, config);
+    for (std::size_t slot = 0; slot < kCapacity; ++slot) {
+      DetectorBank& member = fleet_->add_member(static_cast<net::NodeId>(slot));
+      const std::size_t group =
+          member.add_group(make_paper_predictor("Last")());
+      member.add_lane("Last+CI_low", group, make_paper_margin("CI_low")());
+    }
+    fleet_->start();
+    ingest_ = std::make_unique<FleetIngest>(*fleet_, kCapacity);
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<FleetBank> fleet_;
+  std::unique_ptr<FleetIngest> ingest_;
+};
+
+TEST_F(FleetIngestTest, AdmitsSourcesOntoSlotsInFirstSightOrder) {
+  EXPECT_TRUE(ingest_->offer(500, 1));
+  EXPECT_TRUE(ingest_->offer(900, 1));
+  EXPECT_TRUE(ingest_->offer(700, 1));
+  EXPECT_EQ(ingest_->admitted(), 3u);
+  EXPECT_EQ(ingest_->slot_of(500), 0u);
+  EXPECT_EQ(ingest_->slot_of(900), 1u);
+  EXPECT_EQ(ingest_->slot_of(700), 2u);
+}
+
+TEST_F(FleetIngestTest, KnownSourceKeepsItsSlot) {
+  ingest_->offer(500, 1);
+  ingest_->offer(900, 1);
+  ingest_->offer(500, 2);
+  ingest_->offer(500, 3);
+  EXPECT_EQ(ingest_->admitted(), 2u);
+  EXPECT_EQ(ingest_->slot_of(500), 0u);
+  EXPECT_EQ(ingest_->pending(), 4u);
+}
+
+TEST_F(FleetIngestTest, RefusesAndCountsBeyondCapacity) {
+  for (net::NodeId src = 0; src < static_cast<net::NodeId>(kCapacity); ++src) {
+    EXPECT_TRUE(ingest_->offer(100 + src, 1));
+  }
+  EXPECT_FALSE(ingest_->offer(999, 1));
+  EXPECT_FALSE(ingest_->offer(998, 1));
+  EXPECT_EQ(ingest_->counters().dropped_capacity, 2u);
+  EXPECT_EQ(ingest_->admitted(), kCapacity);
+  EXPECT_EQ(ingest_->slot_of(999), kCapacity);  // never admitted
+  // Known sources still land after the refusals.
+  EXPECT_TRUE(ingest_->offer(100, 2));
+}
+
+TEST_F(FleetIngestTest, FlushHandsBatchToFleetAndClears) {
+  ingest_->offer(500, 1);
+  ingest_->offer(900, 1);
+  ingest_->offer(500, 2);
+  ASSERT_EQ(ingest_->pending(), 3u);
+
+  ingest_->flush();
+  EXPECT_EQ(ingest_->pending(), 0u);
+  EXPECT_EQ(fleet_->counters().heartbeats, 3u);
+  EXPECT_EQ(fleet_->counters().batches, 1u);
+
+  // An empty flush is a no-op, not an empty batch.
+  ingest_->flush();
+  EXPECT_EQ(fleet_->counters().batches, 1u);
+}
+
+TEST_F(FleetIngestTest, DroppedHeartbeatsNeverReachTheFleet) {
+  for (net::NodeId src = 0; src < 10; ++src) ingest_->offer(src, 1);
+  ingest_->flush();
+  EXPECT_EQ(fleet_->counters().heartbeats, kCapacity);
+  EXPECT_EQ(ingest_->counters().dropped_capacity, 10 - kCapacity);
+}
+
+}  // namespace
+}  // namespace fdqos::fd

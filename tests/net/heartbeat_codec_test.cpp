@@ -1,0 +1,216 @@
+// Heartbeat fast-path codec coverage (net/codec.hpp): the zero-allocation
+// single-frame decoder must accept exactly what encode_message() produces
+// for heartbeats and reject everything decode_message() rejects; the packed
+// "FDQB" batch format must round-trip and survive a hostile corpus.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+
+namespace fdqos::net {
+namespace {
+
+Message make_heartbeat(NodeId from, std::int64_t seq, std::int64_t send_ns) {
+  Message msg;
+  msg.from = from;
+  msg.to = 1;
+  msg.type = MessageType::kHeartbeat;
+  msg.seq = seq;
+  msg.send_time = TimePoint::from_nanos(send_ns);
+  return msg;
+}
+
+TEST(HeartbeatFrame, DecodesExactlyWhatEncodeMessageProduces) {
+  const Message msg = make_heartbeat(42, 1234, 987'654'321);
+  const std::vector<std::uint8_t> wire = encode_message(msg);
+
+  HeartbeatFrame frame;
+  ASSERT_TRUE(decode_heartbeat_frame(wire, frame));
+  EXPECT_EQ(frame.from, msg.from);
+  EXPECT_EQ(frame.to, msg.to);
+  EXPECT_EQ(frame.seq, msg.seq);
+  EXPECT_EQ(frame.send_time.count_nanos(), msg.send_time.count_nanos());
+
+  // The slow path agrees on every field.
+  const auto slow = decode_message(wire);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_EQ(slow->from, frame.from);
+  EXPECT_EQ(slow->seq, frame.seq);
+  EXPECT_EQ(slow->send_time.count_nanos(), frame.send_time.count_nanos());
+}
+
+TEST(HeartbeatFrame, AcceptsHeartbeatWithPayload) {
+  Message msg = make_heartbeat(7, 9, 100);
+  msg.payload = {0xde, 0xad, 0xbe, 0xef};
+  const auto wire = encode_message(msg);
+  HeartbeatFrame frame;
+  EXPECT_TRUE(decode_heartbeat_frame(wire, frame));
+  EXPECT_EQ(frame.from, 7);
+}
+
+TEST(HeartbeatFrame, RejectsNonHeartbeatTypes) {
+  for (MessageType type :
+       {MessageType::kPing, MessageType::kPong, MessageType::kUser}) {
+    Message msg = make_heartbeat(3, 5, 10);
+    msg.type = type;
+    const auto wire = encode_message(msg);
+    HeartbeatFrame frame;
+    EXPECT_FALSE(decode_heartbeat_frame(wire, frame));
+    // ...even though the generic decoder accepts them.
+    EXPECT_TRUE(decode_message(wire).has_value());
+  }
+}
+
+// The fast path must never accept bytes the generic decoder rejects: every
+// corpus entry fails both decoders.
+TEST(HeartbeatFrame, HostileCorpusRejectedConsistentlyWithDecodeMessage) {
+  const std::vector<std::uint8_t> good =
+      encode_message(make_heartbeat(1, 2, 3));
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back({});                          // empty datagram
+  corpus.push_back({0x46});                      // one byte
+  corpus.push_back({'F', 'D', 'Q', '1'});        // magic only
+  {
+    auto bad_magic = good;                       // "GDQ1"
+    bad_magic[0] = 'G';
+    corpus.push_back(std::move(bad_magic));
+  }
+  {
+    auto truncated = good;                       // body cut mid-seq
+    truncated.resize(20);
+    corpus.push_back(std::move(truncated));
+  }
+  {
+    auto inflated = good;                        // payload_len > actual bytes
+    inflated[32] = 0xff;
+    corpus.push_back(std::move(inflated));
+  }
+  {
+    auto trailing = good;                        // garbage after payload
+    trailing.push_back(0x00);
+    corpus.push_back(std::move(trailing));
+  }
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    HeartbeatFrame frame;
+    EXPECT_FALSE(decode_heartbeat_frame(corpus[i], frame))
+        << "corpus entry " << i;
+    EXPECT_FALSE(decode_message(corpus[i]).has_value())
+        << "corpus entry " << i;
+  }
+}
+
+TEST(PackedBatch, RoundTripsRecords) {
+  std::vector<std::uint8_t> buf;
+  begin_packed_batch(buf);
+  for (int i = 0; i < 5; ++i) {
+    append_packed_heartbeat(buf, static_cast<NodeId>(100 + i), 1000 + i,
+                            TimePoint::from_nanos(7'000 + i));
+  }
+  EXPECT_EQ(finish_packed_batch(buf), 5u);
+  EXPECT_EQ(buf.size(), kPackedBatchHeaderBytes + 5 * kPackedRecordBytes);
+
+  PackedBatchView view;
+  ASSERT_TRUE(decode_packed_batch(buf, view));
+  ASSERT_EQ(view.count(), 5u);
+  HeartbeatFrame frame;
+  for (std::uint32_t i = 0; i < view.count(); ++i) {
+    view.get(i, frame);
+    EXPECT_EQ(frame.from, static_cast<NodeId>(100 + i));
+    EXPECT_EQ(frame.seq, 1000 + i);
+    EXPECT_EQ(frame.send_time.count_nanos(), 7'000 + i);
+  }
+}
+
+TEST(PackedBatch, EmptyBatchIsValid) {
+  std::vector<std::uint8_t> buf;
+  begin_packed_batch(buf);
+  EXPECT_EQ(finish_packed_batch(buf), 0u);
+  PackedBatchView view;
+  ASSERT_TRUE(decode_packed_batch(buf, view));
+  EXPECT_EQ(view.count(), 0u);
+}
+
+TEST(PackedBatch, BufferReuseAcrossBatches) {
+  std::vector<std::uint8_t> buf;
+  begin_packed_batch(buf);
+  append_packed_heartbeat(buf, 1, 2, TimePoint::from_nanos(3));
+  finish_packed_batch(buf);
+
+  // begin resets the buffer; the second batch must not see the first.
+  begin_packed_batch(buf);
+  append_packed_heartbeat(buf, 9, 8, TimePoint::from_nanos(7));
+  EXPECT_EQ(finish_packed_batch(buf), 1u);
+  PackedBatchView view;
+  ASSERT_TRUE(decode_packed_batch(buf, view));
+  ASSERT_EQ(view.count(), 1u);
+  HeartbeatFrame frame;
+  view.get(0, frame);
+  EXPECT_EQ(frame.from, 9);
+  EXPECT_EQ(frame.seq, 8);
+}
+
+TEST(PackedBatch, HostileCorpusRejected) {
+  std::vector<std::uint8_t> good;
+  begin_packed_batch(good);
+  append_packed_heartbeat(good, 1, 2, TimePoint::from_nanos(3));
+  finish_packed_batch(good);
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back({});                       // empty
+  corpus.push_back({'F', 'D', 'Q'});          // shorter than the header
+  {
+    auto bad_magic = good;                    // "FDQC"
+    bad_magic[3] = 'C';
+    corpus.push_back(std::move(bad_magic));
+  }
+  {
+    auto short_body = good;                   // body not a whole record
+    short_body.resize(good.size() - 1);
+    corpus.push_back(std::move(short_body));
+  }
+  {
+    auto count_lie = good;                    // header claims 2 records
+    count_lie[4] = 2;
+    corpus.push_back(std::move(count_lie));
+  }
+  {
+    auto extra_record = good;                 // whole extra record, count 1
+    extra_record.resize(good.size() + kPackedRecordBytes, 0);
+    corpus.push_back(std::move(extra_record));
+  }
+  // A single-message heartbeat is not a packed batch.
+  corpus.push_back(encode_message(make_heartbeat(1, 2, 3)));
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    PackedBatchView view;
+    EXPECT_FALSE(decode_packed_batch(corpus[i], view))
+        << "corpus entry " << i;
+  }
+}
+
+// Every truncation of a valid batch must be rejected (the count/length
+// consistency check is what makes PackedBatchView::get() bounds-safe).
+TEST(PackedBatch, AllTruncationsRejected) {
+  std::vector<std::uint8_t> good;
+  begin_packed_batch(good);
+  for (int i = 0; i < 3; ++i) {
+    append_packed_heartbeat(good, i, i, TimePoint::from_nanos(i));
+  }
+  finish_packed_batch(good);
+
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    PackedBatchView view;
+    EXPECT_FALSE(decode_packed_batch(
+        std::span<const std::uint8_t>(good.data(), len), view))
+        << "truncated to " << len << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace fdqos::net

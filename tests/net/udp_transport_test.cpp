@@ -9,7 +9,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <vector>
+
+#include "net/codec.hpp"
 
 namespace fdqos::net {
 namespace {
@@ -117,6 +123,229 @@ TEST(ClampPollTimeoutTest, NeverNegativeAndCapped) {
   EXPECT_EQ(clamp_poll_timeout_ms(Duration::seconds(25L * 24 * 3600)), 60'000);
   EXPECT_EQ(clamp_poll_timeout_ms(Duration::seconds(400L * 24 * 3600)),
             60'000);
+}
+
+// --------------------------------------------------------------------------
+// Syscall-shim regression tests: EINTR retry and short-write/error
+// accounting (see UdpSyscalls in net/udp_transport.hpp). Hooks are plain
+// function pointers, so the injected state lives in file-scope globals.
+
+int g_recv_eintr_remaining = 0;
+ssize_t eintr_then_real_recv(int fd, void* buf, std::size_t len, int flags) {
+  if (g_recv_eintr_remaining > 0) {
+    --g_recv_eintr_remaining;
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+int g_sendto_eintr_remaining = 0;
+ssize_t eintr_then_real_sendto(int fd, const void* buf, std::size_t len,
+                               int flags, const sockaddr* addr,
+                               socklen_t addrlen) {
+  if (g_sendto_eintr_remaining > 0) {
+    --g_sendto_eintr_remaining;
+    errno = EINTR;
+    return -1;
+  }
+  return ::sendto(fd, buf, len, flags, addr, addrlen);
+}
+
+ssize_t short_write_sendto(int fd, const void* buf, std::size_t len,
+                           int flags, const sockaddr* addr,
+                           socklen_t addrlen) {
+  const std::size_t truncated = len > 0 ? len - 1 : 0;
+  ::sendto(fd, buf, truncated, flags, addr, addrlen);
+  return static_cast<ssize_t>(truncated);
+}
+
+ssize_t failing_sendto(int, const void*, std::size_t, int, const sockaddr*,
+                       socklen_t) {
+  errno = EPERM;
+  return -1;
+}
+
+// Restores the real syscalls when a test scope exits, pass or fail.
+struct SyscallGuard {
+  explicit SyscallGuard(UdpSyscalls hooks)
+      : previous(set_udp_syscalls_for_test(hooks)) {}
+  ~SyscallGuard() { set_udp_syscalls_for_test(previous); }
+  UdpSyscalls previous;
+};
+
+TEST(UdpTransportTest, DrainRetriesOnEintr) {
+  // Regression: drain() used to treat EINTR as a hard error and abandon
+  // the queue, so a signal landing mid-drain delayed delivery by a full
+  // poll tick (or forever, for a stopped driver).
+  sim::Simulator simulator;
+  UdpTransport receiver(simulator, 0, {{0, {"127.0.0.1", 0}}});
+  ASSERT_TRUE(receiver.ok());
+  std::vector<std::int64_t> got;
+  receiver.bind(0, [&](const Message& m) { got.push_back(m.seq); });
+
+  Message msg;
+  msg.from = 0;
+  msg.to = 0;
+  msg.type = MessageType::kHeartbeat;
+  msg.seq = 9;
+  const std::vector<std::uint8_t> wire = encode_message(msg);
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(receiver.local_port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::sendto(fd, wire.data(), wire.size(), 0,
+                     reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fd);
+  // Datagram delivery on loopback is asynchronous; wait for it to be
+  // queued so the first (interrupted) recv has something behind it.
+  for (int i = 0; i < 200 && got.empty(); ++i) {
+    g_recv_eintr_remaining = 2;
+    SyscallGuard guard(UdpSyscalls{eintr_then_real_recv, nullptr});
+    receiver.drain();
+    if (got.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 9);
+  EXPECT_EQ(receiver.decode_failures(), 0u);
+}
+
+TEST(UdpTransportTest, SendRetriesOnEintr) {
+  sim::Simulator simulator;
+  UdpTransport t(simulator, 0, {{0, {"127.0.0.1", 0}}, {1, {"127.0.0.1", 45617}}});
+  ASSERT_TRUE(t.ok());
+  g_sendto_eintr_remaining = 2;
+  SyscallGuard guard(UdpSyscalls{nullptr, eintr_then_real_sendto});
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.type = MessageType::kHeartbeat;
+  t.send(msg);
+  EXPECT_EQ(g_sendto_eintr_remaining, 0);  // both interruptions consumed
+  EXPECT_EQ(t.sent_count(), 1u);
+  EXPECT_EQ(t.send_failures(), 0u);
+}
+
+TEST(UdpTransportTest, ShortWriteCountsAsSendFailureNotSent) {
+  // Regression: a short sendto() used to increment sent_ as if the
+  // message went out whole; the peer sees a truncated datagram that
+  // cannot decode, so the send must count as a failure instead.
+  sim::Simulator simulator;
+  UdpTransport t(simulator, 0,
+                 {{0, {"127.0.0.1", 0}}, {1, {"127.0.0.1", 45618}}});
+  ASSERT_TRUE(t.ok());
+  SyscallGuard guard(UdpSyscalls{nullptr, short_write_sendto});
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.type = MessageType::kHeartbeat;
+  t.send(msg);
+  EXPECT_EQ(t.sent_count(), 0u);
+  EXPECT_EQ(t.send_failures(), 1u);
+}
+
+TEST(UdpTransportTest, SendErrorCountsAsSendFailure) {
+  sim::Simulator simulator;
+  UdpTransport t(simulator, 0,
+                 {{0, {"127.0.0.1", 0}}, {1, {"127.0.0.1", 45619}}});
+  ASSERT_TRUE(t.ok());
+  SyscallGuard guard(UdpSyscalls{nullptr, failing_sendto});
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.type = MessageType::kHeartbeat;
+  t.send(msg);
+  t.send(msg);
+  EXPECT_EQ(t.sent_count(), 0u);
+  EXPECT_EQ(t.send_failures(), 2u);
+}
+
+TEST(UdpTransportTest, FailsFastOnHostnamePeer) {
+  // Regression: a hostname PEER (self fine) used to pass construction and
+  // then silently drop every send to it; now any non-IPv4-literal
+  // endpoint fails construction with a log line naming it.
+  sim::Simulator simulator;
+  UdpTransport t(simulator, 0,
+                 {{0, {"127.0.0.1", 0}}, {1, {"peer.example.com", 4567}}});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(UdpTransportTest, HostileDatagramCorpusCountsDecodeFailures) {
+  sim::Simulator simulator;
+  UdpTransport receiver(simulator, 0, {{0, {"127.0.0.1", 0}}});
+  ASSERT_TRUE(receiver.ok());
+  std::size_t delivered = 0;
+  receiver.bind(0, [&](const Message&) { ++delivered; });
+
+  Message msg;
+  msg.from = 0;
+  msg.to = 0;
+  msg.type = MessageType::kHeartbeat;
+  msg.seq = 1;
+  std::vector<std::uint8_t> good = encode_message(msg);
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.push_back({});                                    // empty datagram
+  corpus.push_back({0x00});                                // 1 byte
+  corpus.push_back({'F', 'D', 'Q', '2'});                  // wrong magic
+  corpus.emplace_back(good.begin(), good.begin() + 20);    // truncated body
+  std::vector<std::uint8_t> inflated = good;
+  inflated[32] = 0xff;  // payload_len lies about the remaining bytes
+  corpus.push_back(inflated);
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0xab);  // trailing garbage (reader not exhausted)
+  corpus.push_back(trailing);
+
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(receiver.local_port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (const auto& hostile : corpus) {
+    ::sendto(fd, hostile.data(), hostile.size(), 0,
+             reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }
+  ::sendto(fd, good.data(), good.size(), 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  ::close(fd);
+
+  RealTimeDriver driver(simulator, receiver);
+  driver.run_for(Duration::millis(200));
+  EXPECT_EQ(receiver.decode_failures(), corpus.size());
+  EXPECT_EQ(receiver.received_count(), 1u);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(RealTimeDriverTest, StopFromAnotherThreadEndsRun) {
+  // stopped_ is an atomic exactly so a signal handler or another thread
+  // can end the loop; a run with a far deadline must return promptly
+  // after a cross-thread stop() instead of sleeping out its budget.
+  sim::Simulator simulator;
+  UdpTransport transport(simulator, 0, {{0, {"127.0.0.1", 0}}});
+  ASSERT_TRUE(transport.ok());
+  RealTimeDriver driver(simulator, transport);
+  // A recurring tick keeps the poll timeout short, as any live deployment
+  // has (detector timers); the loop rechecks stop() between ticks.
+  std::function<void()> tick = [&] {
+    simulator.schedule_after(Duration::millis(10), tick);
+  };
+  simulator.schedule_after(Duration::millis(10), tick);
+  const auto start = std::chrono::steady_clock::now();
+  std::thread stopper([&driver] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    driver.stop();
+  });
+  driver.run_for(Duration::seconds(30));
+  stopper.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
 }
 
 TEST(RealTimeDriverTest, StopFromCallbackEndsRun) {

@@ -1,0 +1,218 @@
+// In-process end-to-end coverage for serve::ServeDaemon: a real loopback
+// socket feeds single "FDQ1" heartbeats, a packed "FDQB" batch, capacity
+// overflow and garbage at a running daemon; stats, fleet counters and the
+// captured .fdt segments (via load_trace) must all agree on what happened.
+// Stats are only read after run() returns — the daemon thread owns them
+// while it runs.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "serve/daemon.hpp"
+#include "wan/tracestore.hpp"
+
+namespace fdqos::serve {
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class LoopbackSender {
+ public:
+  explicit LoopbackSender(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    std::memset(&dest_, 0, sizeof dest_);
+    dest_.sin_family = AF_INET;
+    dest_.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &dest_.sin_addr);
+  }
+  ~LoopbackSender() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::vector<std::uint8_t>& bytes) {
+    ASSERT_GE(fd_, 0);
+    const ssize_t n =
+        ::sendto(fd_, bytes.data(), bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dest_), sizeof dest_);
+    ASSERT_EQ(n, static_cast<ssize_t>(bytes.size()));
+  }
+
+  void send_heartbeat(net::NodeId from, std::int64_t seq) {
+    net::Message msg;
+    msg.from = from;
+    msg.to = 0;
+    msg.type = net::MessageType::kHeartbeat;
+    msg.seq = seq;
+    msg.send_time = TimePoint::from_nanos(wall_ns());
+    send(net::encode_message(msg));
+  }
+
+ private:
+  int fd_ = -1;
+  sockaddr_in dest_{};
+};
+
+ServeConfig test_config(const std::string& prefix) {
+  ServeConfig config;
+  config.port = 0;
+  config.max_endpoints = 4;
+  config.eta = Duration::millis(50);
+  config.batch = 8;
+  config.capture_dir = testing::TempDir();
+  config.capture_prefix = prefix;
+  config.segment_samples = 16;
+  config.run_id = "serve-test-" + prefix;
+  return config;
+}
+
+// Polls the daemon-side predicate from the sender thread. Reading Stats
+// while run() is live is a benign test-only race on plain uint64 counters;
+// assertions only ever run on post-join values.
+template <typename Pred>
+bool wait_for(Pred pred, std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(ServeDaemon, IngestsSinglePackedOverflowAndGarbage) {
+  ServeDaemon daemon(test_config("e2e"));
+  ASSERT_TRUE(daemon.init());
+  ASSERT_NE(daemon.udp_port(), 0);
+
+  std::thread runner([&] { EXPECT_EQ(daemon.run(), 0); });
+
+  LoopbackSender sender(daemon.udp_port());
+  // 3 sources × 5 single-frame heartbeats.
+  for (std::int64_t seq = 1; seq <= 5; ++seq) {
+    for (net::NodeId src = 101; src <= 103; ++src) {
+      sender.send_heartbeat(src, seq);
+    }
+  }
+  // One packed batch: source 104 takes the last slot, 105 overflows.
+  std::vector<std::uint8_t> packed;
+  net::begin_packed_batch(packed);
+  for (std::int64_t seq = 1; seq <= 3; ++seq) {
+    net::append_packed_heartbeat(packed, 104, seq,
+                                 TimePoint::from_nanos(wall_ns()));
+    net::append_packed_heartbeat(packed, 105, seq,
+                                 TimePoint::from_nanos(wall_ns()));
+  }
+  net::finish_packed_batch(packed);
+  sender.send(packed);
+  // Garbage datagram: a decode drop, never a crash.
+  sender.send({0xba, 0xad, 0xf0, 0x0d});
+
+  // 15 singles + 3 admitted from the packed batch.
+  EXPECT_TRUE(wait_for([&] { return daemon.stats().heartbeats >= 18; },
+                       std::chrono::seconds(5)));
+  daemon.request_stop();
+  runner.join();
+
+  const ServeDaemon::Stats& stats = daemon.stats();
+  EXPECT_EQ(stats.heartbeats, 18u);
+  EXPECT_EQ(stats.datagrams, 17u);  // 15 singles + packed + garbage
+  EXPECT_EQ(stats.drops_decode, 1u);
+  EXPECT_EQ(stats.drops_capacity, 3u);  // source 105, three times
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.captured, stats.heartbeats);
+
+  EXPECT_EQ(daemon.ingest().admitted(), 4u);
+  EXPECT_EQ(daemon.fleet().counters().heartbeats, stats.heartbeats);
+
+  // Rotation at 16 samples: 18 captured ⇒ one rotated + one final segment,
+  // and each must load as a valid trace on its own.
+  const auto segments = daemon.capture_segments();
+  ASSERT_EQ(segments.size(), 2u);
+  std::uint64_t loaded_samples = 0;
+  for (const auto& path : segments) {
+    const auto loaded = wan::load_trace(path);
+    ASSERT_TRUE(loaded.ok()) << path << ": " << loaded.error;
+    loaded_samples += loaded.trace->size();
+    for (const Duration delay : loaded.trace->delays) {
+      EXPECT_GE(delay.count_nanos(), 0);
+      EXPECT_LT(delay.to_seconds_double(), 10.0);  // loopback, same clock
+    }
+  }
+  EXPECT_EQ(loaded_samples, stats.captured);
+}
+
+TEST(ServeDaemon, DurationBoundedRunFinishesByItself) {
+  ServeConfig config = test_config("bounded");
+  config.capture = false;
+  config.duration = Duration::millis(150);
+  ServeDaemon daemon(std::move(config));
+  ASSERT_TRUE(daemon.init());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(daemon.run(), 0);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(140));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  EXPECT_TRUE(daemon.capture_segments().empty());
+}
+
+TEST(ServeDaemon, StopBeforeAnyTrafficShutsDownCleanly) {
+  ServeDaemon daemon(test_config("idle"));
+  ASSERT_TRUE(daemon.init());
+  std::thread runner([&] { EXPECT_EQ(daemon.run(), 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  daemon.request_stop();
+  runner.join();
+  EXPECT_EQ(daemon.stats().heartbeats, 0u);
+  // No samples ⇒ the empty live segment was deleted, not finalized.
+  EXPECT_TRUE(daemon.capture_segments().empty());
+}
+
+TEST(ServeDaemon, InitFailsOnUnknownSuite) {
+  ServeConfig config = test_config("badsuite");
+  config.suite = "no-such-suite";
+  ServeDaemon daemon(std::move(config));
+  EXPECT_FALSE(daemon.init());
+  EXPECT_EQ(daemon.run(), 1);
+}
+
+TEST(ServeDaemon, InitFailsOnHostnameBindAddress) {
+  ServeConfig config = test_config("badhost");
+  config.host = "serve.example.com";
+  ServeDaemon daemon(std::move(config));
+  EXPECT_FALSE(daemon.init());
+}
+
+TEST(ServeDaemon, SingleRecvPathBehavesLikeRecvmmsg) {
+  ServeConfig config = test_config("single");
+  config.force_single_recv = true;
+  ServeDaemon daemon(std::move(config));
+  ASSERT_TRUE(daemon.init());
+  std::thread runner([&] { EXPECT_EQ(daemon.run(), 0); });
+
+  LoopbackSender sender(daemon.udp_port());
+  for (std::int64_t seq = 1; seq <= 4; ++seq) sender.send_heartbeat(7, seq);
+
+  EXPECT_TRUE(wait_for([&] { return daemon.stats().heartbeats >= 4; },
+                       std::chrono::seconds(5)));
+  daemon.request_stop();
+  runner.join();
+  EXPECT_EQ(daemon.stats().heartbeats, 4u);
+  EXPECT_EQ(daemon.ingest().admitted(), 1u);
+}
+
+}  // namespace
+}  // namespace fdqos::serve

@@ -1,0 +1,108 @@
+// RotatingFdtWriter coverage: segment rotation at max_samples, finalize
+// semantics, deletion of empty live segments, and the load_trace round
+// trip on every completed segment (each must replay independently).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <string>
+
+#include "wan/tracestore.hpp"
+
+namespace fdqos::wan {
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+RotatingFdtWriter::Options make_options(std::uint64_t max_samples,
+                                        const std::string& prefix) {
+  RotatingFdtWriter::Options opts;
+  opts.directory = testing::TempDir();
+  opts.prefix = prefix;
+  opts.max_samples = max_samples;
+  opts.meta.source = "rotating_fdt_test";
+  return opts;
+}
+
+TEST(RotatingFdtWriter, RotatesAtMaxSamplesAndEverySegmentReplays) {
+  RotatingFdtWriter writer(make_options(3, "rot"));
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  for (std::int64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(writer.append(TimePoint::from_nanos(i * 1'000'000),
+                              Duration::millis(10 + i)));
+  }
+  EXPECT_EQ(writer.samples_written(), 8u);
+  // 8 samples at 3/segment: two full segments rotated out, 2 still live.
+  EXPECT_EQ(writer.segments().size(), 2u);
+
+  ASSERT_TRUE(writer.finalize());
+  ASSERT_EQ(writer.segments().size(), 3u);
+
+  std::int64_t next = 0;
+  const std::size_t expected_sizes[] = {3, 3, 2};
+  for (std::size_t s = 0; s < writer.segments().size(); ++s) {
+    const auto loaded = load_trace(writer.segments()[s]);
+    ASSERT_TRUE(loaded.ok()) << loaded.error;
+    ASSERT_EQ(loaded.trace->size(), expected_sizes[s]) << "segment " << s;
+    EXPECT_EQ(loaded.trace->meta.source, "rotating_fdt_test");
+    for (std::size_t i = 0; i < loaded.trace->size(); ++i, ++next) {
+      EXPECT_EQ(loaded.trace->send_times[i].count_nanos(), next * 1'000'000);
+      EXPECT_EQ(loaded.trace->delays[i].count_nanos(),
+                Duration::millis(10 + next).count_nanos());
+    }
+  }
+  EXPECT_EQ(next, 8);
+}
+
+TEST(RotatingFdtWriter, FinalizeWithNoSamplesLeavesNoFiles) {
+  RotatingFdtWriter writer(make_options(100, "empty"));
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  ASSERT_TRUE(writer.finalize());
+  EXPECT_TRUE(writer.segments().empty());
+  EXPECT_FALSE(file_exists(testing::TempDir() + "/empty-00000.fdt"));
+}
+
+TEST(RotatingFdtWriter, ExactMultipleLeavesNoTrailingEmptySegment) {
+  RotatingFdtWriter writer(make_options(2, "exact"));
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.append(TimePoint::from_nanos(i), Duration::millis(1)));
+  }
+  ASSERT_TRUE(writer.finalize());
+  // Exactly two full segments; the empty live segment opened by the last
+  // rotation must be deleted, not finalized as a zero-sample file.
+  EXPECT_EQ(writer.segments().size(), 2u);
+  for (const auto& path : writer.segments()) {
+    const auto loaded = load_trace(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error;
+    EXPECT_EQ(loaded.trace->size(), 2u);
+  }
+}
+
+TEST(RotatingFdtWriter, FinalizeIsIdempotentAndAppendAfterwardsFails) {
+  RotatingFdtWriter writer(make_options(10, "fin"));
+  ASSERT_TRUE(writer.append(TimePoint::origin(), Duration::millis(5)));
+  ASSERT_TRUE(writer.finalize());
+  EXPECT_TRUE(writer.finalize());
+  EXPECT_FALSE(writer.append(TimePoint::origin(), Duration::millis(5)));
+  EXPECT_EQ(writer.samples_written(), 1u);
+  EXPECT_EQ(writer.segments().size(), 1u);
+}
+
+TEST(RotatingFdtWriter, UnwritableDirectoryFailsWithoutAborting) {
+  RotatingFdtWriter::Options opts;
+  opts.directory = "/nonexistent/fdqos-rotating-fdt-test";
+  opts.prefix = "x";
+  RotatingFdtWriter writer(std::move(opts));
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.error().empty());
+  EXPECT_FALSE(writer.append(TimePoint::origin(), Duration::millis(1)));
+  EXPECT_FALSE(writer.finalize());
+}
+
+}  // namespace
+}  // namespace fdqos::wan

@@ -20,6 +20,7 @@
 //
 // Everything prints the same paper-layout tables as the bench binaries,
 // with the experiment knobs exposed as flags instead of env vars.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,7 @@
 #include "obs/progress.hpp"
 #include "obs/runs.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
 #include "wan/italy_japan.hpp"
 #include "wan/tracestore.hpp"
 #include "workload/leader_election.hpp"
@@ -54,7 +56,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: fdqos "
                "<qos|chaos|workload|accuracy|link|order-select|record|replay|"
-               "trace> [flags]\n"
+               "serve|trace> [flags]\n"
                "  qos          reproduce the Figures 4-8 experiment\n"
                "               (--trace FILE runs it on a recorded trace,\n"
                "               --policy truncate|wrap|extend at trace end)\n"
@@ -73,6 +75,13 @@ int usage() {
                "               WAN model, optionally faulted (--scenario)\n"
                "  replay       run the 30-detector comparison on a recorded\n"
                "               trace (--trace FILE required, --policy ...)\n"
+               "  serve        run the live UDP heartbeat ingest daemon\n"
+               "               (--port P, --max-endpoints M, --eta-ms MS,\n"
+               "               --suite lite|paper, --capture-dir DIR,\n"
+               "               --capture-prefix P, --segment-samples N,\n"
+               "               --no-capture, --duration-s S, --batch N;\n"
+               "               SIGINT/SIGTERM shut down cleanly; see\n"
+               "               docs/serve.md)\n"
                "  trace        deprecated alias for `record` (CSV output)\n"
                "qos/accuracy also take --metrics-out FILE (Prometheus text),\n"
                "--metrics-jsonl-out FILE, --trace-out FILE (chrome://tracing)\n"
@@ -729,6 +738,102 @@ int record_impl(const ArgParser& args, const std::string& default_out) {
 
 int cmd_record(const ArgParser& args) { return record_impl(args, "trace.fdt"); }
 
+// `serve` — the live heavy-traffic UDP ingest daemon (serve/daemon.hpp,
+// docs/serve.md). The signal path is the one place a handler touches the
+// process: a file-scope pointer set strictly before handlers install,
+// cleared strictly after they revert, and a handler body that is one
+// async-signal-safe relaxed atomic store.
+serve::ServeDaemon* g_serve_daemon = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_daemon != nullptr) g_serve_daemon->request_stop();
+}
+
+int cmd_serve(const ArgParser& args) {
+  serve::ServeConfig config;
+  config.host = args.get_string("--host", "127.0.0.1");
+  const auto port = args.get_int("--port", 0);
+  const auto max_endpoints = args.get_int("--max-endpoints", 1024);
+  const auto eta_ms = args.get_int("--eta-ms", 1000);
+  const auto batch = args.get_int("--batch", 32);
+  const auto segment_samples = args.get_int("--segment-samples", 1'000'000);
+  const double duration_s = args.get_double("--duration-s", 0.0);
+  config.force_single_recv = args.get_flag("--single-recv");
+  config.capture = !args.get_flag("--no-capture");
+  config.capture_dir = args.get_string("--capture-dir", ".");
+  config.capture_prefix = args.get_string("--capture-prefix", "serve");
+  config.suite = args.get_string("--suite", "lite");
+  config.run_id = args.get_string("--run-id", "serve");
+  ObsSession obs_session = ObsSession::from_args(args);
+  if (const int rc = check_unknown(args); rc != 0) return rc;
+  if (!obs_session.ok) return 1;
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "fdqos serve: --port %lld out of range\n",
+                 static_cast<long long>(port));
+    return 2;
+  }
+  if (max_endpoints <= 0 || eta_ms <= 0 || batch <= 0 ||
+      segment_samples <= 0 || duration_s < 0.0) {
+    std::fprintf(stderr,
+                 "fdqos serve: --max-endpoints, --eta-ms, --batch and "
+                 "--segment-samples must be positive (--duration-s >= 0)\n");
+    return 2;
+  }
+  config.port = static_cast<std::uint16_t>(port);
+  config.max_endpoints = static_cast<std::size_t>(max_endpoints);
+  config.eta = Duration::millis(eta_ms);
+  config.batch = static_cast<std::size_t>(batch);
+  config.segment_samples = static_cast<std::uint64_t>(segment_samples);
+  config.duration = Duration::from_seconds_double(duration_s);
+
+  if (obs::enabled()) obs::set_run_context(config.run_id, config.suite);
+  serve::ServeDaemon daemon(config);
+  if (!daemon.init()) {
+    obs_session.finish();
+    return 1;
+  }
+  // The bound-port line is load-bearing for scripts using --port 0.
+  std::fprintf(stderr,
+               "[fdqos serve] listening on udp://%s:%u (max-endpoints %zu, "
+               "eta %lld ms, suite %s, capture %s)\n",
+               config.host.c_str(), static_cast<unsigned>(daemon.udp_port()),
+               config.max_endpoints, static_cast<long long>(eta_ms),
+               config.suite.c_str(), config.capture ? "on" : "off");
+
+  g_serve_daemon = &daemon;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  int rc = daemon.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_daemon = nullptr;
+
+  const auto& stats = daemon.stats();
+  std::fprintf(stderr,
+               "[fdqos serve] shutdown: %llu heartbeats from %zu endpoints, "
+               "%llu datagrams in %llu batches, drops decode=%llu "
+               "capacity=%llu\n",
+               static_cast<unsigned long long>(stats.heartbeats),
+               daemon.ingest().admitted(),
+               static_cast<unsigned long long>(stats.datagrams),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.drops_decode),
+               static_cast<unsigned long long>(stats.drops_capacity));
+  const auto segments = daemon.capture_segments();
+  if (config.capture) {
+    std::fprintf(stderr,
+                 "[fdqos serve] capture: %llu samples in %zu finalized "
+                 "segments\n",
+                 static_cast<unsigned long long>(stats.captured),
+                 segments.size());
+    for (const auto& path : segments) {
+      std::fprintf(stderr, "[fdqos serve] segment %s\n", path.c_str());
+    }
+  }
+  if (!obs_session.finish() && rc == 0) rc = 1;
+  return rc;
+}
+
 int cmd_trace(const ArgParser& args) {
   std::fprintf(stderr,
                "fdqos trace: deprecated alias for `fdqos record` "
@@ -813,6 +918,7 @@ int main(int argc, char** argv) {
   if (command == "order-select") return cmd_order_select(args);
   if (command == "record") return cmd_record(args);
   if (command == "replay") return cmd_replay(args);
+  if (command == "serve") return cmd_serve(args);
   if (command == "trace") return cmd_trace(args);
   std::fprintf(stderr, "fdqos: unknown command '%s'\n", command.c_str());
   return usage();
